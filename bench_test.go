@@ -1,0 +1,292 @@
+// Package repro's top-level benchmarks regenerate every figure and table
+// of the evaluation (see DESIGN.md section 5 for the experiment index):
+//
+//	BenchmarkFigure1            — the paper's Figure 1 (per platform)
+//	BenchmarkDefaultsAsymmetry  — T2: CPU-only vs GPU-only per platform
+//	BenchmarkSizeSensitivity    — T3: oracle partitioning vs problem size
+//	BenchmarkModelComparison    — T4: model families under LOPO CV
+//	BenchmarkFeatureAblation    — T5: static vs runtime vs combined features
+//	BenchmarkOracleGap          — T6: partitioning headroom vs best single device
+//	BenchmarkStepAblation       — T7: partition grid step size
+//
+// Key result values are attached as custom benchmark metrics (geomean
+// speedups, oracle efficiency), so `go test -bench .` both regenerates and
+// summarizes the experiments. The full pretty-printed tables come from
+// `go run ./cmd/bench all`.
+//
+// The shared training database is generated once per process at reduced
+// problem sizes (S0-S3) to keep benchmark runs fast; cmd/train builds the
+// full-size database.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/exec"
+	"repro/internal/harness"
+	"repro/internal/inspire"
+	"repro/internal/ml"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+var (
+	dbOnce  sync.Once
+	dbCache *harness.DB
+	dbErr   error
+)
+
+func benchDB(b *testing.B) *harness.DB {
+	b.Helper()
+	dbOnce.Do(func() {
+		dbCache, dbErr = harness.Generate(harness.GenOptions{MaxSizeIdx: 3})
+	})
+	if dbErr != nil {
+		b.Fatal(dbErr)
+	}
+	return dbCache
+}
+
+// BenchmarkFigure1 regenerates Figure 1: leave-one-program-out prediction
+// for all 23 programs, speedups vs the CPU-only and GPU-only defaults.
+func BenchmarkFigure1(b *testing.B) {
+	for _, plat := range []string{"mc1", "mc2"} {
+		b.Run(plat, func(b *testing.B) {
+			db := benchDB(b)
+			var res *harness.Fig1Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = harness.Figure1(db, plat, harness.DefaultModel())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.GeoMeanVsCPU, "speedup-vs-cpu")
+			b.ReportMetric(res.GeoMeanVsGPU, "speedup-vs-gpu")
+			b.ReportMetric(res.MeanOracleEff, "oracle-eff")
+		})
+	}
+}
+
+// BenchmarkDefaultsAsymmetry regenerates T2.
+func BenchmarkDefaultsAsymmetry(b *testing.B) {
+	db := benchDB(b)
+	var rows []harness.DefaultsRow
+	for i := 0; i < b.N; i++ {
+		rows = harness.DefaultsAsymmetry(db, []string{"mc1", "mc2"})
+	}
+	b.ReportMetric(float64(rows[0].CPUWins), "mc1-cpu-wins")
+	b.ReportMetric(float64(rows[1].GPUWins), "mc2-gpu-wins")
+}
+
+// BenchmarkSizeSensitivity regenerates T3.
+func BenchmarkSizeSensitivity(b *testing.B) {
+	db := benchDB(b)
+	progs := []string{"vecadd", "matmul", "blackscholes", "mandelbrot", "spmv", "nbody"}
+	var changed float64
+	for i := 0; i < b.N; i++ {
+		changed = 0
+		for _, plat := range []string{"mc1", "mc2"} {
+			rows, err := harness.SizeSensitivity(db, plat, progs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range rows {
+				for j := 1; j < len(r.PerSize); j++ {
+					if r.PerSize[j] != r.PerSize[0] {
+						changed++
+						break
+					}
+				}
+			}
+		}
+	}
+	b.ReportMetric(changed, "size-dependent-programs")
+}
+
+// BenchmarkModelComparison regenerates T4 with all five model families.
+func BenchmarkModelComparison(b *testing.B) {
+	db := benchDB(b)
+	models := map[string]ml.NewModel{
+		"knn5":   func() ml.Classifier { return ml.NewKNN(5) },
+		"dtree":  func() ml.Classifier { return ml.NewTree() },
+		"forest": func() ml.Classifier { return ml.NewForest(30, 42) },
+		"logreg": func() ml.Classifier { return ml.NewLogReg(42) },
+		"mlp":    func() ml.Classifier { return ml.NewMLP(32, 42) },
+	}
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.CompareModels(db, "mc2", models)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.OracleEff, r.Model+"-oracle-eff")
+			}
+		}
+	}
+}
+
+// BenchmarkFeatureAblation regenerates T5.
+func BenchmarkFeatureAblation(b *testing.B) {
+	db := benchDB(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.FeatureAblation(db, "mc2", harness.FastModel())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.OracleEff, r.Features+"-eff")
+			}
+		}
+	}
+}
+
+// BenchmarkOracleGap regenerates T6.
+func BenchmarkOracleGap(b *testing.B) {
+	db := benchDB(b)
+	var rows []harness.OracleGapRow
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, plat := range []string{"mc1", "mc2"} {
+			rows = append(rows, harness.OracleGap(db, plat))
+		}
+	}
+	b.ReportMetric(rows[0].MeanOracleVsBestSingle, "mc1-headroom")
+	b.ReportMetric(rows[1].MeanOracleVsBestSingle, "mc2-headroom")
+}
+
+// BenchmarkDynamicScheduler regenerates T8: the StarPU-style dynamic
+// chunk scheduler against the static oracle.
+func BenchmarkDynamicScheduler(b *testing.B) {
+	var rows []harness.DynamicRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = harness.DynamicComparison("mc2",
+			[]string{"vecadd", "matmul", "blackscholes", "mandelbrot"}, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	dyn, def := harness.DynamicGeoMeans(rows)
+	b.ReportMetric(dyn, "dynamic-vs-oracle")
+	b.ReportMetric(def, "best-default-vs-oracle")
+}
+
+// BenchmarkStepAblation regenerates T7 (live re-pricing, not DB-based).
+func BenchmarkStepAblation(b *testing.B) {
+	var rows []harness.StepRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = harness.StepAblation("mc2", []string{"vecadd", "matmul"}, []int{2, 4, 10, 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(rows)), "rows")
+}
+
+// --- component micro-benchmarks ---
+
+// BenchmarkCompileKernel measures the full front-end (parse, check, lower,
+// verify, closure-compile, plan) on a representative kernel.
+func BenchmarkCompileKernel(b *testing.B) {
+	p, err := bench.Get("blackscholes")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, kn := p.Source, p.Kernel
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compileAll(src, kn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func compileAll(src, kernel string) (*exec.Compiled, error) {
+	u, err := inspire.LowerSource("bench", src)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Compile(u.Kernel(kernel))
+}
+
+// BenchmarkKernelExecution measures interpreter throughput on vecadd.
+func BenchmarkKernelExecution(b *testing.B) {
+	p, err := bench.Get("vecadd")
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, _, err := p.Build(2) // 128K items
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := runtime.New(device.MC2())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Profile(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(p.Sizes[2].N) * 12) // 2 loads + 1 store per item
+}
+
+// BenchmarkPartitionPricing measures pricing the full 66-candidate space
+// from one profile (the training inner loop).
+func BenchmarkPartitionPricing(b *testing.B) {
+	p, err := bench.Get("matmul")
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, _, err := p.Build(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := runtime.New(device.MC1())
+	prof, err := rt.Profile(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := partition.Space(3, partition.DefaultSteps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, part := range space {
+			if _, _, err := rt.Price(l, prof, part); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkModelTraining measures fitting the default MLP on the database.
+func BenchmarkModelTraining(b *testing.B) {
+	db := benchDB(b)
+	data := db.Dataset("mc2", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ml.TrainFull(data, harness.DefaultModel()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPrediction measures one deployment-time prediction (scaling +
+// MLP forward pass).
+func BenchmarkPrediction(b *testing.B) {
+	db := benchDB(b)
+	data := db.Dataset("mc2", nil)
+	pred, _, err := ml.TrainFull(data, harness.DefaultModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := data.X[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred(x)
+	}
+}

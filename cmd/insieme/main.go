@@ -1,0 +1,92 @@
+// Command insieme is the source-to-source compiler front door: it compiles
+// a single-device MiniCL program, prints the INSPIRE representation, the
+// static program features, and the derived multi-device plan (which
+// buffers are split vs replicated) — the compile-time half of the paper's
+// pipeline.
+//
+// Usage:
+//
+//	insieme [-kernel name] [-ir] file.cl
+//	insieme -benchmark vecadd          # inspect a built-in suite program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/inspire"
+)
+
+func main() {
+	kernel := flag.String("kernel", "", "kernel name (default: first kernel)")
+	showIR := flag.Bool("ir", false, "print the INSPIRE IR")
+	benchmark := flag.String("benchmark", "", "inspect a built-in benchmark instead of a file")
+	flag.Parse()
+
+	var name, src string
+	switch {
+	case *benchmark != "":
+		p, err := bench.Get(*benchmark)
+		if err != nil {
+			fail(err)
+		}
+		name, src = p.Name, p.Source
+		if *kernel == "" {
+			*kernel = p.Kernel
+		}
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		name, src = flag.Arg(0), string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: insieme [-kernel name] [-ir] file.cl | insieme -benchmark name")
+		os.Exit(2)
+	}
+
+	p, err := core.CompileSource(name, src, *kernel)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("program %s, kernel %s\n\n", p.Name, p.Kernel)
+
+	if *showIR {
+		fmt.Println("--- INSPIRE IR ---")
+		fmt.Println(inspire.Print(p.Unit))
+	}
+
+	fmt.Println("--- static program features ---")
+	fv := features.Static(p.Static)
+	for i, n := range fv.Names {
+		fmt.Printf("  %-18s %8.3f\n", n, fv.Values[i])
+	}
+
+	fmt.Println("\n--- multi-device plan ---")
+	fmt.Printf("  access mix: coalesced %.0f%%, strided %.0f%%, indirect %.0f%%, uniform %.0f%%\n",
+		p.Plan.Mix.Coalesced*100, p.Plan.Mix.Strided*100, p.Plan.Mix.Indirect*100, p.Plan.Mix.Uniform*100)
+	for _, u := range p.Plan.Usages {
+		mode := "replicated to every device"
+		if u.Splittable {
+			mode = "split proportionally per chunk"
+		}
+		rw := ""
+		if u.Read {
+			rw += "R"
+		}
+		if u.Written {
+			rw += "W"
+		}
+		fmt.Printf("  buffer %-12s [%-2s] read=%-9s write=%-9s -> %s\n",
+			u.Param.Name, rw, u.ReadPattern, u.WritePattern, mode)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "insieme:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Command predict runs the deployment phase for one benchmark: it trains
+// the default model on the other 22 programs (leave-one-out, the unseen-
+// program scenario), predicts the task partitioning for the requested
+// problem size, and compares the prediction against the default strategies
+// and the oracle.
+//
+// Usage:
+//
+//	predict -db training_db.json -platform mc2 -program matmul -size 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/harness"
+	"repro/internal/ml"
+)
+
+func main() {
+	dbPath := flag.String("db", "training_db.json", "training database (from cmd/train)")
+	platform := flag.String("platform", "mc2", "target platform: mc1 or mc2")
+	program := flag.String("program", "matmul", "benchmark program name")
+	sizeIdx := flag.Int("size", -1, "problem size index 0-5 (default: program default)")
+	flag.Parse()
+
+	db, err := harness.LoadDB(*dbPath)
+	if err != nil {
+		fail(fmt.Errorf("%w (run cmd/train first)", err))
+	}
+	p, err := bench.Get(*program)
+	if err != nil {
+		fail(err)
+	}
+	if *sizeIdx < 0 {
+		*sizeIdx = p.DefaultSize
+	}
+	rec := db.Find(*platform, *program, *sizeIdx)
+	if rec == nil {
+		fail(fmt.Errorf("no record for %s/%s size %d", *platform, *program, *sizeIdx))
+	}
+
+	// Leave-one-program-out: train on everything except the target.
+	data := db.Dataset(*platform, nil)
+	trainIdx, _ := data.SplitByGroup(*program)
+	train := data.Subset(trainIdx)
+	scaler := ml.FitScaler(train)
+	model := harness.DefaultModel()()
+	if err := model.Fit(scaler.TransformDataset(train)); err != nil {
+		fail(err)
+	}
+	cls := model.Predict(scaler.Transform(rec.Features))
+	if cls < 0 || cls >= len(rec.Times) {
+		cls = 0
+	}
+
+	fmt.Printf("program %s, size %s (N=%d), platform %s\n", *program, rec.SizeLabel, rec.SizeN, *platform)
+	fmt.Printf("  predicted partitioning (CPU/GPU1/GPU2): %s  -> %.4g ms\n", db.Space[cls], rec.Times[cls]*1e3)
+	fmt.Printf("  oracle partitioning:                    %s  -> %.4g ms\n", rec.BestPartition, rec.OracleTime*1e3)
+	fmt.Printf("  CPU-only: %.4g ms   GPU-only: %.4g ms\n", rec.CPUOnlyTime*1e3, rec.GPUOnlyTime*1e3)
+	fmt.Printf("  speedup vs CPU-only %.2fx, vs GPU-only %.2fx, oracle efficiency %.2f\n",
+		rec.CPUOnlyTime/rec.Times[cls], rec.GPUOnlyTime/rec.Times[cls], rec.OracleTime/rec.Times[cls])
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "predict:", err)
+	os.Exit(1)
+}

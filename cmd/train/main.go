@@ -1,0 +1,62 @@
+// Command train runs the offline training phase: it profiles every
+// benchmark program at every problem size, prices all candidate
+// partitionings on the selected platforms, stores the resulting training
+// database, and reports leave-one-program-out quality of the default
+// model.
+//
+// Usage:
+//
+//	train -out training_db.json [-programs vecadd,matmul] [-maxsize 5] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	out := flag.String("out", "training_db.json", "output database path")
+	programs := flag.String("programs", "", "comma-separated program subset (default: all 23)")
+	maxSize := flag.Int("maxsize", 5, "largest problem size index to measure (0-5)")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	var log io.Writer = os.Stderr
+	if *quiet {
+		log = nil
+	}
+	opts := harness.GenOptions{MaxSizeIdx: *maxSize, Log: log}
+	if *programs != "" {
+		opts.Programs = strings.Split(*programs, ",")
+	}
+
+	db, err := harness.Generate(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(1)
+	}
+	if err := db.Save(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("training database: %d records (%d programs x sizes x 2 platforms) -> %s\n",
+		len(db.Records), len(db.Programs()), *out)
+
+	for _, plat := range []string{"mc1", "mc2"} {
+		if len(db.PlatformRecords(plat)) == 0 {
+			continue
+		}
+		res, err := harness.Figure1(db, plat, harness.DefaultModel())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "train:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: leave-one-program-out geomean speedup vs CPU-only %.2fx, vs GPU-only %.2fx, oracle efficiency %.2f\n",
+			plat, res.GeoMeanVsCPU, res.GeoMeanVsGPU, res.MeanOracleEff)
+	}
+}

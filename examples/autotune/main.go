@@ -1,0 +1,65 @@
+// Autotune exhaustively measures every candidate partitioning of a
+// benchmark on both platforms — the measurement loop of the paper's
+// training phase — and prints the five best and the default strategies.
+// It shows why exhaustive search is too expensive online (66 candidates
+// per program and size) and what the learned model replaces.
+//
+//	go run ./examples/autotune [program]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+func main() {
+	name := "convolution2d"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	p, err := bench.Get(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, _, err := p.Build(p.DefaultSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, plat := range device.Platforms() {
+		rt := runtime.New(plat)
+		prof, err := rt.Profile(l)
+		if err != nil {
+			log.Fatal(err)
+		}
+		type cand struct {
+			part partition.Partition
+			time float64
+		}
+		var cands []cand
+		for _, part := range partition.Space(plat.NumDevices(), partition.DefaultSteps) {
+			tm, _, err := rt.Price(l, prof, part)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cands = append(cands, cand{part, tm})
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].time < cands[j].time })
+
+		fmt.Printf("%s on %s, size %s: %d candidate partitionings\n",
+			name, plat.Name, p.Sizes[p.DefaultSize].Label, len(cands))
+		for i := 0; i < 5; i++ {
+			fmt.Printf("  #%d  %-9s  %.4g ms\n", i+1, cands[i].part, cands[i].time*1e3)
+		}
+		cpu, _, _ := rt.Price(l, prof, rt.CPUOnly())
+		gpu, _, _ := rt.Price(l, prof, rt.GPUOnly())
+		fmt.Printf("  CPU-only %.4g ms (%.2fx off oracle), GPU-only %.4g ms (%.2fx off oracle)\n\n",
+			cpu*1e3, cpu/cands[0].time, gpu*1e3, gpu/cands[0].time)
+	}
+}

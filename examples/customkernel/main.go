@@ -1,0 +1,92 @@
+// Customkernel walks through what the compiler sees for a user-written
+// kernel: the INSPIRE IR, the static features, the per-buffer multi-device
+// plan, and the problem-size dependent runtime features at two sizes —
+// the two feature classes the prediction model combines.
+//
+//	go run ./examples/customkernel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/exec"
+	"repro/internal/features"
+	"repro/internal/inspire"
+)
+
+const src = `
+// Gather-scatter kernel: reads through an index buffer (GPU-hostile
+// indirect access) with a branchy inner loop.
+kernel void gather(global const float* src, global const int* idx,
+                   global float* dst, int n, int rounds) {
+	int i = get_global_id(0);
+	if (i < n) {
+		float acc = 0.0;
+		for (int r = 0; r < rounds; r++) {
+			float v = src[idx[i]];
+			if (v > 0.5) {
+				acc += sqrt(v);
+			} else {
+				acc += v * v;
+			}
+		}
+		dst[i] = acc;
+	}
+}`
+
+func main() {
+	prog, err := core.CompileSource("gather", src, "gather")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("--- INSPIRE IR ---")
+	fmt.Println(inspire.PrintFunction(prog.Unit.Kernel("gather")))
+
+	fmt.Println("--- static features (compile time) ---")
+	sv := features.Static(prog.Static)
+	for i, n := range sv.Names {
+		fmt.Printf("  %-18s %8.3f\n", n, sv.Values[i])
+	}
+
+	fmt.Println("\n--- multi-device plan ---")
+	for _, u := range prog.Plan.Usages {
+		mode := "replicate"
+		if u.Splittable {
+			mode = "split"
+		}
+		fmt.Printf("  %-4s read=%-9v written=%-5v -> %s\n", u.Param.Name, u.ReadPattern, u.Written, mode)
+	}
+
+	fw, err := core.New(device.MC1())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- runtime features at two problem sizes ---")
+	for _, n := range []int{8192, 524288} {
+		srcB, dst := exec.NewFloatBuffer(n), exec.NewFloatBuffer(n)
+		idx := exec.NewIntBuffer(n)
+		for i := 0; i < n; i++ {
+			srcB.F[i] = float32(i%97) / 97
+			idx.I[i] = int32((i * 31) % n)
+		}
+		spec := core.LaunchSpec{
+			Args: []exec.Arg{exec.BufArg(srcB), exec.BufArg(idx), exec.BufArg(dst),
+				exec.IntArg(n), exec.IntArg(8)},
+			ND: exec.ND1(n),
+		}
+		fv, _, err := fw.Features(prog, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  n=%d:\n", n)
+		for i, name := range fv.Names {
+			if name[0] == 'r' { // runtime features only
+				fmt.Printf("    %-20s %8.3f\n", name, fv.Values[i])
+			}
+		}
+	}
+}

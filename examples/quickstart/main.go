@@ -1,0 +1,79 @@
+// Quickstart: compile a single-device kernel, train the partitioning
+// model, and run the kernel partitioned across the heterogeneous platform.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/exec"
+	"repro/internal/harness"
+	"repro/internal/ml"
+)
+
+// A single-device OpenCL-style kernel: the framework turns this into a
+// multi-device program automatically.
+const src = `
+kernel void triad(global const float* a, global const float* b, global float* c,
+                  float s, int n) {
+	int i = get_global_id(0);
+	if (i < n) {
+		c[i] = a[i] + s * b[i];
+	}
+}`
+
+func main() {
+	// 1. Pick a platform (mc2: 2x Xeon + 2x GTX 480) and build the framework.
+	fw, err := core.New(device.MC2())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Offline training: profile a few suite programs, price all 66
+	//    candidate partitionings, and fit the model. (Real deployments
+	//    train once on the full 23-program suite with cmd/train.)
+	fmt.Fprintln(os.Stderr, "training on a benchmark subset...")
+	db, err := harness.Generate(harness.GenOptions{
+		Programs:   []string{"vecadd", "saxpy", "matmul", "blackscholes", "mandelbrot", "reduction"},
+		MaxSizeIdx: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fw.Train(db, func() ml.Classifier { return ml.NewMLP(32, 42) }); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Deployment: compile an UNSEEN program and run it at a problem size.
+	prog, err := core.CompileSource("triad", src, "triad")
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := 262144
+	a, b, c := exec.NewFloatBuffer(n), exec.NewFloatBuffer(n), exec.NewFloatBuffer(n)
+	for i := 0; i < n; i++ {
+		a.F[i] = float32(i)
+		b.F[i] = 2
+	}
+	rep, err := fw.Run(prog, core.LaunchSpec{
+		Args: []exec.Arg{exec.BufArg(a), exec.BufArg(b), exec.BufArg(c), exec.FloatArg(3), exec.IntArg(n)},
+		ND:   exec.ND1(n),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The outputs are real (c = a + 3b), and the report compares the
+	//    predicted partitioning against the default strategies.
+	fmt.Printf("c[10] = %g (want %g)\n", c.F[10], a.F[10]+3*b.F[10])
+	fmt.Printf("predicted partitioning (CPU/GPU1/GPU2): %s\n", rep.Partition)
+	fmt.Printf("simulated makespan: %.4g ms\n", rep.Makespan*1e3)
+	fmt.Printf("speedup vs CPU-only: %.2fx, vs GPU-only: %.2fx\n", rep.SpeedupVsCPU(), rep.SpeedupVsGPU())
+	fmt.Printf("oracle partitioning %s at %.4g ms (efficiency %.2f)\n",
+		rep.OraclePartition, rep.Oracle*1e3, rep.Oracle/rep.Makespan)
+}

@@ -1,0 +1,225 @@
+package repro
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/exec"
+	"repro/internal/harness"
+	"repro/internal/ml"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// TestPipelineDeterminism runs the full train-predict pipeline twice and
+// demands bit-identical results (the repository's reproducibility
+// guarantee).
+func TestPipelineDeterminism(t *testing.T) {
+	run := func() (string, float64) {
+		db, err := harness.Generate(harness.GenOptions{
+			Programs:   []string{"vecadd", "matmul", "blackscholes"},
+			MaxSizeIdx: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := harness.Figure1(db, "mc2", harness.DefaultModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rows[0].Predicted, res.GeoMeanVsCPU
+	}
+	p1, g1 := run()
+	p2, g2 := run()
+	if p1 != p2 || g1 != g2 {
+		t.Fatalf("pipeline not deterministic: (%s, %g) vs (%s, %g)", p1, g1, p2, g2)
+	}
+}
+
+// claimDB lazily builds the suite-wide database shared by the claim tests.
+var (
+	claimOnce sync.Once
+	claimDBv  *harness.DB
+	claimErr  error
+)
+
+func claimDB(t *testing.T) *harness.DB {
+	t.Helper()
+	claimOnce.Do(func() {
+		claimDBv, claimErr = harness.Generate(harness.GenOptions{MaxSizeIdx: 4})
+	})
+	if claimErr != nil {
+		t.Fatal(claimErr)
+	}
+	return claimDBv
+}
+
+// TestClaimC1SizeDependence asserts the paper's first claim on the full
+// suite at reduced sizes: the oracle partitioning of a substantial
+// fraction of programs changes with the problem size.
+func TestClaimC1SizeDependence(t *testing.T) {
+	db := claimDB(t)
+	for _, plat := range []string{"mc1", "mc2"} {
+		gap := harness.OracleGap(db, plat)
+		if gap.FracSizeDependent < 0.5 {
+			t.Errorf("%s: only %.0f%% of programs size-dependent, want >= 50%%",
+				plat, gap.FracSizeDependent*100)
+		}
+	}
+}
+
+// TestClaimC2PlatformAsymmetry asserts the paper's second claim: the
+// CPU-only default dominates on mc1, the GPU-only default is relatively
+// much stronger on mc2.
+func TestClaimC2PlatformAsymmetry(t *testing.T) {
+	db := claimDB(t)
+	rows := harness.DefaultsAsymmetry(db, []string{"mc1", "mc2"})
+	mc1, mc2 := rows[0], rows[1]
+	if mc1.CPUWins <= mc1.GPUWins {
+		t.Errorf("mc1: CPU-only should win most records (%d vs %d)", mc1.CPUWins, mc1.GPUWins)
+	}
+	if float64(mc2.GPUWins) < 0.3*float64(mc2.CPUWins+mc2.GPUWins) {
+		t.Errorf("mc2: GPU-only should win a large share (%d of %d)",
+			mc2.GPUWins, mc2.CPUWins+mc2.GPUWins)
+	}
+	if mc1.MeanCPUGPU <= mc2.MeanCPUGPU {
+		t.Error("asymmetry direction inverted between platforms")
+	}
+}
+
+// TestClaimC3ModelBeatsDefaults asserts the headline claim on a reduced
+// database: the ML-guided partitioning beats both defaults on geometric
+// mean, on both platforms.
+func TestClaimC3ModelBeatsDefaults(t *testing.T) {
+	db := claimDB(t)
+	for _, plat := range []string{"mc1", "mc2"} {
+		res, err := harness.Figure1(db, plat, harness.DefaultModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.GeoMeanVsCPU < 1.0 {
+			t.Errorf("%s: geomean vs CPU-only %.3f < 1", plat, res.GeoMeanVsCPU)
+		}
+		if res.GeoMeanVsGPU < 1.0 {
+			t.Errorf("%s: geomean vs GPU-only %.3f < 1", plat, res.GeoMeanVsGPU)
+		}
+		if res.MeanOracleEff < 0.6 {
+			t.Errorf("%s: oracle efficiency %.2f too low", plat, res.MeanOracleEff)
+		}
+	}
+}
+
+// TestEndToEndUnseenKernel trains on the suite and deploys on a kernel
+// that shares no source with any training program, checking output
+// correctness under the predicted multi-device partitioning.
+func TestEndToEndUnseenKernel(t *testing.T) {
+	db, err := harness.Generate(harness.GenOptions{
+		Programs:   []string{"vecadd", "saxpy", "matmul", "blackscholes", "reduction", "mandelbrot"},
+		MaxSizeIdx: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, plat := range device.Platforms() {
+		fw, err := core.New(plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.Train(db, harness.DefaultModel()); err != nil {
+			t.Fatal(err)
+		}
+		prog, err := core.CompileSource("poly", `
+kernel void poly(global const float* x, global float* y, int n) {
+	int i = get_global_id(0);
+	if (i < n) {
+		float v = x[i];
+		y[i] = ((v * 0.5 + 1.0) * v - 2.0) * v + 3.0;
+	}
+}`, "poly")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 32768
+		x, y := exec.NewFloatBuffer(n), exec.NewFloatBuffer(n)
+		for i := range x.F {
+			x.F[i] = float32(i%17) * 0.1
+		}
+		rep, err := fw.Run(prog, core.LaunchSpec{
+			Args: []exec.Arg{exec.BufArg(x), exec.BufArg(y), exec.IntArg(n)},
+			ND:   exec.ND1(n),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			v := float64(x.F[i])
+			want := ((v*0.5+1)*v-2)*v + 3
+			if math.Abs(float64(y.F[i])-want) > 1e-4 {
+				t.Fatalf("%s: y[%d] = %g, want %g", plat.Name, i, y.F[i], want)
+			}
+		}
+		if rep.Partition.Steps() != partition.DefaultSteps {
+			t.Errorf("%s: malformed partition %v", plat.Name, rep.Partition)
+		}
+	}
+}
+
+// TestAllProgramsOracleNeverWorseThanDefaults is a suite-wide sanity
+// invariant of the measurement pipeline.
+func TestAllProgramsOracleNeverWorseThanDefaults(t *testing.T) {
+	for _, p := range bench.All() {
+		l, _, err := p.Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := runtime.New(device.MC2())
+		prof, err := rt.Profile(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, oracle, err := rt.Best(l, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, def := range []partition.Partition{rt.CPUOnly(), rt.GPUOnly()} {
+			dt, _, err := rt.Price(l, prof, def)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if oracle > dt*1.0000001 {
+				t.Errorf("%s: oracle %g worse than default %s %g", p.Name, oracle, def, dt)
+			}
+		}
+	}
+}
+
+// TestTwoStageAndPipelineOnRealData exercises the extension models on a
+// real (reduced) training database end to end.
+func TestTwoStageAndPipelineOnRealData(t *testing.T) {
+	db, err := harness.Generate(harness.GenOptions{
+		Programs:   []string{"vecadd", "matmul", "blackscholes", "mandelbrot", "spmv"},
+		MaxSizeIdx: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := map[string]ml.NewModel{
+		"twostage": harness.TwoStageModel(),
+		"pca+knn": func() ml.Classifier {
+			return ml.NewPCAPipeline(8, 42, func() ml.Classifier { return ml.NewKNN(5) })
+		},
+	}
+	rows, err := harness.CompareModels(db, "mc1", models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.OracleEff < 0.3 {
+			t.Errorf("%s: oracle efficiency %.2f suspiciously low", r.Model, r.OracleEff)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+func TestSuiteHas23Programs(t *testing.T) {
+	if got := len(All()); got != 23 {
+		t.Fatalf("suite has %d programs, want 23", got)
+	}
+	seen := map[string]bool{}
+	for _, p := range All() {
+		if seen[p.Name] {
+			t.Errorf("duplicate program %q", p.Name)
+		}
+		seen[p.Name] = true
+		if len(p.Sizes) != 6 {
+			t.Errorf("%s has %d sizes, want 6", p.Name, len(p.Sizes))
+		}
+		if p.DefaultSize < 0 || p.DefaultSize >= len(p.Sizes) {
+			t.Errorf("%s default size %d out of range", p.Name, p.DefaultSize)
+		}
+		for i := 1; i < len(p.Sizes); i++ {
+			if p.Sizes[i].N <= p.Sizes[i-1].N {
+				t.Errorf("%s sizes not ascending at %d", p.Name, i)
+			}
+		}
+	}
+}
+
+func TestSuiteCoversOriginSuites(t *testing.T) {
+	suites := map[string]int{}
+	for _, p := range All() {
+		suites[p.Suite]++
+	}
+	for _, s := range []string{"vendor", "rodinia", "shoc", "polybench"} {
+		if suites[s] == 0 {
+			t.Errorf("no programs from suite %q", s)
+		}
+	}
+}
+
+// TestAllProgramsCompileAndAnalyze exercises the full front-end on every
+// benchmark kernel.
+func TestAllProgramsCompileAndAnalyze(t *testing.T) {
+	for _, p := range All() {
+		st, err := p.Static()
+		if err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		if st.GlobalLoads+st.GlobalStores == 0 {
+			t.Errorf("%s: kernel touches no global memory", p.Name)
+		}
+	}
+}
+
+// TestAllProgramsVerifySingleDevice runs every program at its smallest size
+// on the CPU-only partition and checks outputs against the Go reference.
+func TestAllProgramsVerifySingleDevice(t *testing.T) {
+	rt := runtime.New(device.MC2())
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			l, inst, err := p.Build(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rt.Execute(l, rt.CPUOnly()); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Verify(inst, 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAllProgramsVerifyPartitioned repeats verification under a three-way
+// split: partitioned execution must be semantically identical.
+func TestAllProgramsVerifyPartitioned(t *testing.T) {
+	rt := runtime.New(device.MC1())
+	part := partition.Partition{Shares: []int{4, 3, 3}}
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			l, inst, err := p.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rt.Execute(l, part); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Verify(inst, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	p, err := Get("vecadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, i1, err := p.Build(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, i2, err := p.Build(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, a2 := i1.Args[0].Buf, i2.Args[0].Buf
+	for i := range a1.F {
+		if a1.F[i] != a2.F[i] {
+			t.Fatal("Build is not deterministic")
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Error("Get(nope) should fail")
+	}
+}
+
+func TestBuildSizeRange(t *testing.T) {
+	p, err := Get("matmul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Build(99); err == nil {
+		t.Error("out-of-range size accepted")
+	}
+}
+
+func TestIterativeProgramsMarked(t *testing.T) {
+	iterative := map[string]bool{
+		"hotspot": true, "srad": true, "pathfinder": true,
+		"kmeans": true, "bfs": true, "bitonicsort": true,
+	}
+	for _, p := range All() {
+		if iterative[p.Name] && p.Iterations <= 1 {
+			t.Errorf("%s should be iterative", p.Name)
+		}
+		if !iterative[p.Name] && p.Iterations > 1 {
+			t.Errorf("%s unexpectedly iterative", p.Name)
+		}
+	}
+}
+
+// TestSuiteDiversity checks that the suite spans the feature axes the
+// partitioning model needs to discriminate on.
+func TestSuiteDiversity(t *testing.T) {
+	var withBarrier, withIndirect, withTrans, withBranchDivergence int
+	for _, p := range All() {
+		st, err := p.Static()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Barriers > 0 {
+			withBarrier++
+		}
+		if st.TranscendentalOps > 0 {
+			withTrans++
+		}
+		var indirect int
+		for pat, n := range st.Accesses {
+			if pat.String() == "indirect" {
+				indirect += n
+			}
+		}
+		if indirect > 0 {
+			withIndirect++
+		}
+		if st.Branches > 2 {
+			withBranchDivergence++
+		}
+	}
+	if withBarrier < 3 {
+		t.Errorf("only %d barrier programs, want >= 3", withBarrier)
+	}
+	if withIndirect < 3 {
+		t.Errorf("only %d indirect-access programs, want >= 3", withIndirect)
+	}
+	if withTrans < 3 {
+		t.Errorf("only %d transcendental programs, want >= 3", withTrans)
+	}
+	if withBranchDivergence < 5 {
+		t.Errorf("only %d branchy programs, want >= 5", withBranchDivergence)
+	}
+}

@@ -1,0 +1,496 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/exec"
+)
+
+// --- 17. blackscholes: transcendental-heavy option pricing (vendor sample) ---
+
+var blackscholesProg = register(&Program{
+	Name:  "blackscholes",
+	Suite: "vendor",
+	Source: `
+float cnd(float d) {
+	float k = 1.0 / (1.0 + 0.2316419 * fabs(d));
+	float poly = k * (0.31938153 + k * (-0.356563782 + k * (1.781477937 +
+		k * (-1.821255978 + k * 1.330274429))));
+	float v = 1.0 - 0.39894228 * exp(-0.5 * d * d) * poly;
+	if (d < 0.0) {
+		return 1.0 - v;
+	}
+	return v;
+}
+
+kernel void blackscholes(global const float* price, global const float* strike,
+                         global const float* years, global float* call, global float* put, int n) {
+	int i = get_global_id(0);
+	if (i < n) {
+		float s = price[i];
+		float k = strike[i];
+		float t = years[i];
+		float r = 0.02;
+		float v = 0.30;
+		float sq = v * sqrt(t);
+		float d1 = (log(s / k) + (r + 0.5 * v * v) * t) / sq;
+		float d2 = d1 - sq;
+		float expRT = exp(-r * t);
+		float c = s * cnd(d1) - k * expRT * cnd(d2);
+		call[i] = c;
+		put[i] = c + k * expRT - s;
+	}
+}`,
+	Kernel:      "blackscholes",
+	Sizes:       geomSizes(sizeLabels, 8192),
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		price, strike, years := exec.NewFloatBuffer(n), exec.NewFloatBuffer(n), exec.NewFloatBuffer(n)
+		fillUniform(price, rng, 5, 30)
+		fillUniform(strike, rng, 1, 100)
+		fillUniform(years, rng, 0.25, 10)
+		call, put := exec.NewFloatBuffer(n), exec.NewFloatBuffer(n)
+		return &Instance{
+			Args: []exec.Arg{exec.BufArg(price), exec.BufArg(strike), exec.BufArg(years),
+				exec.BufArg(call), exec.BufArg(put), exec.IntArg(n)},
+			ND: exec.ND1(n),
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		price, strike, years := inst.Args[0].Buf, inst.Args[1].Buf, inst.Args[2].Buf
+		call, put := inst.Args[3].Buf, inst.Args[4].Buf
+		cnd := func(d float64) float64 {
+			k := 1.0 / (1.0 + 0.2316419*math.Abs(d))
+			poly := k * (0.31938153 + k*(-0.356563782+k*(1.781477937+
+				k*(-1.821255978+k*1.330274429))))
+			v := 1.0 - 0.39894228*math.Exp(-0.5*d*d)*poly
+			if d < 0 {
+				return 1.0 - v
+			}
+			return v
+		}
+		for i := 0; i < n; i++ {
+			s, k, t := float64(price.F[i]), float64(strike.F[i]), float64(years.F[i])
+			r, v := 0.02, 0.30
+			sq := v * math.Sqrt(t)
+			d1 := (math.Log(s/k) + (r+0.5*v*v)*t) / sq
+			d2 := d1 - sq
+			expRT := math.Exp(-r * t)
+			c := s*cnd(d1) - k*expRT*cnd(d2)
+			if !approxEq(call.F[i], float32(c), 1e-3) {
+				return fmt.Errorf("call[%d] = %g, want %g", i, call.F[i], c)
+			}
+			if !approxEq(put.F[i], float32(c+k*expRT-s), 1e-3) {
+				return fmt.Errorf("put[%d] = %g, want %g", i, put.F[i], c+k*expRT-s)
+			}
+		}
+		return nil
+	},
+})
+
+// --- 18. nbody: all-pairs gravitational forces (vendor sample) ---
+
+var nbodyProg = register(&Program{
+	Name:  "nbody",
+	Suite: "vendor",
+	Source: `
+kernel void nbody(global const float* x, global const float* y, global const float* m,
+                  global float* ax, global float* ay, int n) {
+	int i = get_global_id(0);
+	if (i < n) {
+		float xi = x[i];
+		float yi = y[i];
+		float fx = 0.0;
+		float fy = 0.0;
+		for (int j = 0; j < n; j++) {
+			float dx = x[j] - xi;
+			float dy = y[j] - yi;
+			float r2 = dx * dx + dy * dy + 0.0001;
+			float inv = rsqrt(r2);
+			float f = m[j] * inv * inv * inv;
+			fx += f * dx;
+			fy += f * dy;
+		}
+		ax[i] = fx;
+		ay[i] = fy;
+	}
+}`,
+	Kernel:    "nbody",
+	LocalSize: 64,
+	Sizes: []Size{
+		{"S0", 128}, {"S1", 256}, {"S2", 512}, {"S3", 768}, {"S4", 1024}, {"S5", 1536},
+	},
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		x, y, m := exec.NewFloatBuffer(n), exec.NewFloatBuffer(n), exec.NewFloatBuffer(n)
+		fillUniform(x, rng, -1, 1)
+		fillUniform(y, rng, -1, 1)
+		fillUniform(m, rng, 0.1, 1)
+		ax, ay := exec.NewFloatBuffer(n), exec.NewFloatBuffer(n)
+		return &Instance{
+			Args: []exec.Arg{exec.BufArg(x), exec.BufArg(y), exec.BufArg(m),
+				exec.BufArg(ax), exec.BufArg(ay), exec.IntArg(n)},
+			ND: exec.ND1(n),
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		x, y, m := inst.Args[0].Buf, inst.Args[1].Buf, inst.Args[2].Buf
+		ax, ay := inst.Args[3].Buf, inst.Args[4].Buf
+		for i := 0; i < n; i++ {
+			var fx, fy float64
+			for j := 0; j < n; j++ {
+				dx := float64(x.F[j]) - float64(x.F[i])
+				dy := float64(y.F[j]) - float64(y.F[i])
+				r2 := dx*dx + dy*dy + 0.0001
+				inv := 1 / math.Sqrt(r2)
+				f := float64(m.F[j]) * inv * inv * inv
+				fx += f * dx
+				fy += f * dy
+			}
+			if !approxEq(ax.F[i], float32(fx), 5e-3) || !approxEq(ay.F[i], float32(fy), 5e-3) {
+				return fmt.Errorf("force[%d] = (%g,%g), want (%g,%g)", i, ax.F[i], ay.F[i], fx, fy)
+			}
+		}
+		return nil
+	},
+})
+
+// --- 19. mandelbrot: divergent escape-time iteration (vendor sample) ---
+
+const mandelMaxIter = 32
+
+var mandelbrotProg = register(&Program{
+	Name:  "mandelbrot",
+	Suite: "vendor",
+	Source: `
+kernel void mandelbrot(global int* out, int w, int h, int maxIter) {
+	int x = get_global_id(0);
+	int y = get_global_id(1);
+	if (x < w && y < h) {
+		float cr = (float)x / (float)w * 3.5 - 2.5;
+		float ci = (float)y / (float)h * 2.0 - 1.0;
+		float zr = 0.0;
+		float zi = 0.0;
+		int it = 0;
+		while (it < maxIter && zr * zr + zi * zi < 4.0) {
+			float nzr = zr * zr - zi * zi + cr;
+			zi = 2.0 * zr * zi + ci;
+			zr = nzr;
+			it++;
+		}
+		out[y * w + x] = it;
+	}
+}`,
+	Kernel: "mandelbrot",
+	Sizes: []Size{
+		{"S0", 64}, {"S1", 128}, {"S2", 192}, {"S3", 256}, {"S4", 384}, {"S5", 512},
+	},
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		out := exec.NewIntBuffer(n * n)
+		return &Instance{
+			Args: []exec.Arg{exec.BufArg(out), exec.IntArg(n), exec.IntArg(n), exec.IntArg(mandelMaxIter)},
+			ND:   exec.ND2(n, n),
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		out := inst.Args[0].Buf
+		want := func(x, y int) int32 {
+			cr := float64(float32(x)/float32(n)*3.5 - 2.5)
+			ci := float64(float32(y)/float32(n)*2.0 - 1.0)
+			zr, zi := 0.0, 0.0
+			var it int32
+			for it < mandelMaxIter && zr*zr+zi*zi < 4.0 {
+				zr, zi = zr*zr-zi*zi+cr, 2*zr*zi+ci
+				it++
+			}
+			return it
+		}
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				w := want(x, y)
+				g := out.I[y*n+x]
+				// float32 kernel vs float64 reference may disagree by one
+				// iteration near the boundary.
+				if g != w && g != w-1 && g != w+1 {
+					return fmt.Errorf("iter[%d,%d] = %d, want %d", x, y, g, w)
+				}
+			}
+		}
+		return nil
+	},
+})
+
+// --- 20. kmeans: cluster assignment step (Rodinia) ---
+
+const kmeansK = 8
+
+var kmeansProg = register(&Program{
+	Name:  "kmeans",
+	Suite: "rodinia",
+	Source: `
+kernel void kmeans(global const float* px, global const float* py,
+                   global const float* cx, global const float* cy,
+                   global int* assign, int n, int k) {
+	int i = get_global_id(0);
+	if (i < n) {
+		float bestd = 1e30;
+		int best = 0;
+		for (int c = 0; c < k; c++) {
+			float dx = px[i] - cx[c];
+			float dy = py[i] - cy[c];
+			float d = dx * dx + dy * dy;
+			if (d < bestd) {
+				bestd = d;
+				best = c;
+			}
+		}
+		assign[i] = best;
+	}
+}`,
+	Kernel:      "kmeans",
+	Iterations:  10,
+	Sizes:       geomSizes(sizeLabels, 8192),
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		px, py := exec.NewFloatBuffer(n), exec.NewFloatBuffer(n)
+		fillUniform(px, rng, -10, 10)
+		fillUniform(py, rng, -10, 10)
+		cx, cy := exec.NewFloatBuffer(kmeansK), exec.NewFloatBuffer(kmeansK)
+		fillUniform(cx, rng, -10, 10)
+		fillUniform(cy, rng, -10, 10)
+		assign := exec.NewIntBuffer(n)
+		return &Instance{
+			Args: []exec.Arg{exec.BufArg(px), exec.BufArg(py), exec.BufArg(cx), exec.BufArg(cy),
+				exec.BufArg(assign), exec.IntArg(n), exec.IntArg(kmeansK)},
+			ND: exec.ND1(n),
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		px, py, cx, cy := inst.Args[0].Buf, inst.Args[1].Buf, inst.Args[2].Buf, inst.Args[3].Buf
+		assign := inst.Args[4].Buf
+		want := make([]int32, n)
+		for i := 0; i < n; i++ {
+			bestd := math.Inf(1)
+			var best int32
+			for c := 0; c < kmeansK; c++ {
+				dx := float64(px.F[i]) - float64(cx.F[c])
+				dy := float64(py.F[i]) - float64(cy.F[c])
+				if d := dx*dx + dy*dy; d < bestd {
+					bestd, best = d, int32(c)
+				}
+			}
+			want[i] = best
+		}
+		return checkInts("assign", assign.I, want)
+	},
+})
+
+// --- 21. md: Lennard-Jones forces over neighbor lists (SHOC MD) ---
+
+const mdNeighbors = 16
+
+var mdProg = register(&Program{
+	Name:  "md",
+	Suite: "shoc",
+	Source: `
+kernel void md(global const float* pos, global const int* neigh, global float* force, int n, int nn) {
+	int i = get_global_id(0);
+	if (i < n) {
+		float xi = pos[i * 3];
+		float yi = pos[i * 3 + 1];
+		float zi = pos[i * 3 + 2];
+		float fx = 0.0;
+		float fy = 0.0;
+		float fz = 0.0;
+		for (int j = 0; j < nn; j++) {
+			int nb = neigh[i * nn + j];
+			float dx = pos[nb * 3] - xi;
+			float dy = pos[nb * 3 + 1] - yi;
+			float dz = pos[nb * 3 + 2] - zi;
+			float r2 = dx * dx + dy * dy + dz * dz + 0.01;
+			float inv2 = 1.0 / r2;
+			float inv6 = inv2 * inv2 * inv2;
+			float f = inv6 * (inv6 - 0.5) * inv2;
+			fx += f * dx;
+			fy += f * dy;
+			fz += f * dz;
+		}
+		force[i * 3] = fx;
+		force[i * 3 + 1] = fy;
+		force[i * 3 + 2] = fz;
+	}
+}`,
+	Kernel:      "md",
+	Sizes:       geomSizes(sizeLabels, 1024),
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		pos := exec.NewFloatBuffer(n * 3)
+		fillUniform(pos, rng, -2, 2)
+		neigh := exec.NewIntBuffer(n * mdNeighbors)
+		for i := range neigh.I {
+			neigh.I[i] = int32(rng.Intn(n))
+		}
+		force := exec.NewFloatBuffer(n * 3)
+		return &Instance{
+			Args: []exec.Arg{exec.BufArg(pos), exec.BufArg(neigh), exec.BufArg(force),
+				exec.IntArg(n), exec.IntArg(mdNeighbors)},
+			ND: exec.ND1(n),
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		pos, neigh, force := inst.Args[0].Buf, inst.Args[1].Buf, inst.Args[2].Buf
+		for i := 0; i < n; i++ {
+			var fx, fy, fz float64
+			xi, yi, zi := float64(pos.F[i*3]), float64(pos.F[i*3+1]), float64(pos.F[i*3+2])
+			for j := 0; j < mdNeighbors; j++ {
+				nb := neigh.I[i*mdNeighbors+j]
+				dx := float64(pos.F[nb*3]) - xi
+				dy := float64(pos.F[nb*3+1]) - yi
+				dz := float64(pos.F[nb*3+2]) - zi
+				r2 := dx*dx + dy*dy + dz*dz + 0.01
+				inv2 := 1 / r2
+				inv6 := inv2 * inv2 * inv2
+				f := inv6 * (inv6 - 0.5) * inv2
+				fx += f * dx
+				fy += f * dy
+				fz += f * dz
+			}
+			if !approxEq(force.F[i*3], float32(fx), 1e-2) ||
+				!approxEq(force.F[i*3+1], float32(fy), 1e-2) ||
+				!approxEq(force.F[i*3+2], float32(fz), 1e-2) {
+				return fmt.Errorf("force[%d] mismatch", i)
+			}
+		}
+		return nil
+	},
+})
+
+// --- 22. bfs: pull-style breadth-first level expansion (Rodinia) ---
+
+const bfsInDegree = 8
+
+var bfsProg = register(&Program{
+	Name:  "bfs",
+	Suite: "rodinia",
+	Source: `
+kernel void bfs(global const int* rowptr, global const int* inedge, global const int* dist,
+                global int* newdist, int n, int level) {
+	int i = get_global_id(0);
+	if (i < n) {
+		int d = dist[i];
+		if (d == -1) {
+			int end = rowptr[i + 1];
+			for (int e = rowptr[i]; e < end; e++) {
+				int nb = inedge[e];
+				if (dist[nb] == level) {
+					d = level + 1;
+				}
+			}
+		}
+		newdist[i] = d;
+	}
+}`,
+	Kernel:      "bfs",
+	Iterations:  8,
+	Sizes:       geomSizes(sizeLabels, 4096),
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		rowptr := exec.NewIntBuffer(n + 1)
+		inedge := exec.NewIntBuffer(n * bfsInDegree)
+		for i := 0; i <= n; i++ {
+			rowptr.I[i] = int32(i * bfsInDegree)
+		}
+		for i := range inedge.I {
+			inedge.I[i] = int32(rng.Intn(n))
+		}
+		dist := exec.NewIntBuffer(n)
+		for i := range dist.I {
+			dist.I[i] = -1
+		}
+		// Seed a small frontier at level 0.
+		for s := 0; s < 8; s++ {
+			dist.I[rng.Intn(n)] = 0
+		}
+		newdist := exec.NewIntBuffer(n)
+		return &Instance{
+			Args: []exec.Arg{exec.BufArg(rowptr), exec.BufArg(inedge), exec.BufArg(dist),
+				exec.BufArg(newdist), exec.IntArg(n), exec.IntArg(0)},
+			ND: exec.ND1(n),
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		rowptr, inedge, dist, newdist := inst.Args[0].Buf, inst.Args[1].Buf, inst.Args[2].Buf, inst.Args[3].Buf
+		for i := 0; i < n; i++ {
+			want := dist.I[i]
+			if want == -1 {
+				for e := rowptr.I[i]; e < rowptr.I[i+1]; e++ {
+					if dist.I[inedge.I[e]] == 0 {
+						want = 1
+					}
+				}
+			}
+			if newdist.I[i] != want {
+				return fmt.Errorf("newdist[%d] = %d, want %d", i, newdist.I[i], want)
+			}
+		}
+		return nil
+	},
+})
+
+// --- 23. bitonicsort: one compare-exchange stage (vendor sample) ---
+
+var bitonicProg = register(&Program{
+	Name:  "bitonicsort",
+	Suite: "vendor",
+	Source: `
+kernel void bitonic(global float* a, int inc, int dir, int n) {
+	int i = get_global_id(0);
+	int lo = i & (inc - 1);
+	int j = (i << 1) - lo;
+	int k = j + inc;
+	if (k < n) {
+		bool up = (j & dir) == 0;
+		float x = a[j];
+		float y = a[k];
+		if ((x > y) == up) {
+			a[j] = y;
+			a[k] = x;
+		}
+	}
+}`,
+	Kernel:      "bitonic",
+	Iterations:  100, // ~log^2(n) compare-exchange stages per full sort
+	Sizes:       geomSizes(sizeLabels, 16384),
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		a := exec.NewFloatBuffer(n)
+		fillUniform(a, rng, 0, 1)
+		return &Instance{
+			Args: []exec.Arg{exec.BufArg(a), exec.IntArg(4), exec.IntArg(8), exec.IntArg(n)},
+			ND:   exec.ND1(n / 2),
+			Extra: map[string]*exec.Buffer{
+				"a0": a.Clone(),
+			},
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		a, a0 := inst.Args[0].Buf, inst.Extra["a0"]
+		inc, dir := 4, 8
+		want := append([]float32(nil), a0.F...)
+		for i := 0; i < n/2; i++ {
+			lo := i & (inc - 1)
+			j := (i << 1) - lo
+			k := j + inc
+			if k < n {
+				up := (j & dir) == 0
+				if (want[j] > want[k]) == up {
+					want[j], want[k] = want[k], want[j]
+				}
+			}
+		}
+		return checkFloats("a", a.F, want, 0)
+	},
+})

@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/exec"
+)
+
+// --- 7. matmul: dense matrix multiply, one row per work item (PolyBench gemm) ---
+
+var matmulProg = register(&Program{
+	Name:  "matmul",
+	Suite: "polybench",
+	Source: `
+kernel void matmul(global const float* a, global const float* b, global float* c, int n) {
+	int j = get_global_id(0);
+	int i = get_global_id(1);
+	if (j < n && i < n) {
+		float acc = 0.0;
+		for (int k = 0; k < n; k++) {
+			acc += a[i * n + k] * b[k * n + j];
+		}
+		c[i * n + j] = acc;
+	}
+}`,
+	Kernel:    "matmul",
+	LocalSize: 16,
+	Sizes: []Size{
+		{"S0", 32}, {"S1", 48}, {"S2", 64}, {"S3", 96}, {"S4", 128}, {"S5", 192},
+	},
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		a, b, c := exec.NewFloatBuffer(n*n), exec.NewFloatBuffer(n*n), exec.NewFloatBuffer(n*n)
+		fillUniform(a, rng, -1, 1)
+		fillUniform(b, rng, -1, 1)
+		return &Instance{
+			Args: []exec.Arg{exec.BufArg(a), exec.BufArg(b), exec.BufArg(c), exec.IntArg(n)},
+			ND:   exec.ND2(n, n),
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		a, b, c := inst.Args[0].Buf, inst.Args[1].Buf, inst.Args[2].Buf
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var acc float64
+				for k := 0; k < n; k++ {
+					acc += float64(a.F[i*n+k]) * float64(b.F[k*n+j])
+				}
+				if !approxEq(c.F[i*n+j], float32(acc), 1e-3) {
+					return fmt.Errorf("c[%d,%d] = %g, want %g", i, j, c.F[i*n+j], acc)
+				}
+			}
+		}
+		return nil
+	},
+})
+
+// --- 8. matvec: dense matrix-vector product, memory bound ---
+
+var matvecProg = register(&Program{
+	Name:  "matvec",
+	Suite: "polybench",
+	Source: `
+kernel void matvec(global const float* a, global const float* x, global float* y, int n) {
+	int i = get_global_id(0);
+	if (i < n) {
+		float acc = 0.0;
+		for (int j = 0; j < n; j++) {
+			acc += a[i * n + j] * x[j];
+		}
+		y[i] = acc;
+	}
+}`,
+	Kernel:    "matvec",
+	LocalSize: 64,
+	Sizes: []Size{
+		{"S0", 128}, {"S1", 256}, {"S2", 512}, {"S3", 1024}, {"S4", 2048}, {"S5", 4096},
+	},
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		a, x, y := exec.NewFloatBuffer(n*n), exec.NewFloatBuffer(n), exec.NewFloatBuffer(n)
+		fillUniform(a, rng, -1, 1)
+		fillUniform(x, rng, -1, 1)
+		return &Instance{
+			Args: []exec.Arg{exec.BufArg(a), exec.BufArg(x), exec.BufArg(y), exec.IntArg(n)},
+			ND:   exec.ND1(n),
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		a, x, y := inst.Args[0].Buf, inst.Args[1].Buf, inst.Args[2].Buf
+		for i := 0; i < n; i++ {
+			var acc float64
+			for j := 0; j < n; j++ {
+				acc += float64(a.F[i*n+j]) * float64(x.F[j])
+			}
+			if !approxEq(y.F[i], float32(acc), 1e-3) {
+				return fmt.Errorf("y[%d] = %g, want %g", i, y.F[i], acc)
+			}
+		}
+		return nil
+	},
+})
+
+// --- 9. transpose: strided global writes (vendor sample) ---
+
+var transposeProg = register(&Program{
+	Name:  "transpose",
+	Suite: "vendor",
+	Source: `
+kernel void transpose(global const float* in, global float* out, int w, int h) {
+	int x = get_global_id(0);
+	int y = get_global_id(1);
+	if (x < w && y < h) {
+		out[x * h + y] = in[y * w + x];
+	}
+}`,
+	Kernel: "transpose",
+	Sizes: []Size{
+		{"S0", 64}, {"S1", 128}, {"S2", 256}, {"S3", 384}, {"S4", 512}, {"S5", 1024},
+	},
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		in, out := exec.NewFloatBuffer(n*n), exec.NewFloatBuffer(n*n)
+		fillUniform(in, rng, -1, 1)
+		return &Instance{
+			Args: []exec.Arg{exec.BufArg(in), exec.BufArg(out), exec.IntArg(n), exec.IntArg(n)},
+			ND:   exec.ND2(n, n),
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		in, out := inst.Args[0].Buf, inst.Args[1].Buf
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				if out.F[x*n+y] != in.F[y*n+x] {
+					return fmt.Errorf("out[%d,%d] = %g, want %g", x, y, out.F[x*n+y], in.F[y*n+x])
+				}
+			}
+		}
+		return nil
+	},
+})
+
+// --- 10. atax: mixed row/column matrix traversal (PolyBench atax/gemver) ---
+
+var ataxProg = register(&Program{
+	Name:  "atax",
+	Suite: "polybench",
+	Source: `
+kernel void atax(global const float* a, global const float* x, global const float* y,
+                 global float* z, int n) {
+	int i = get_global_id(0);
+	if (i < n) {
+		float s1 = 0.0;
+		float s2 = 0.0;
+		for (int j = 0; j < n; j++) {
+			s1 += a[i * n + j] * x[j];
+			s2 += a[j * n + i] * y[j];
+		}
+		z[i] = s1 + 1.5 * s2;
+	}
+}`,
+	Kernel:    "atax",
+	LocalSize: 64,
+	Sizes: []Size{
+		{"S0", 128}, {"S1", 256}, {"S2", 512}, {"S3", 768}, {"S4", 1024}, {"S5", 2048},
+	},
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		a, x, y, z := exec.NewFloatBuffer(n*n), exec.NewFloatBuffer(n), exec.NewFloatBuffer(n), exec.NewFloatBuffer(n)
+		fillUniform(a, rng, -1, 1)
+		fillUniform(x, rng, -1, 1)
+		fillUniform(y, rng, -1, 1)
+		return &Instance{
+			Args: []exec.Arg{exec.BufArg(a), exec.BufArg(x), exec.BufArg(y), exec.BufArg(z), exec.IntArg(n)},
+			ND:   exec.ND1(n),
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		a, x, y, z := inst.Args[0].Buf, inst.Args[1].Buf, inst.Args[2].Buf, inst.Args[3].Buf
+		for i := 0; i < n; i++ {
+			var s1, s2 float64
+			for j := 0; j < n; j++ {
+				s1 += float64(a.F[i*n+j]) * float64(x.F[j])
+				s2 += float64(a.F[j*n+i]) * float64(y.F[j])
+			}
+			if !approxEq(z.F[i], float32(s1+1.5*s2), 1e-3) {
+				return fmt.Errorf("z[%d] = %g, want %g", i, z.F[i], s1+1.5*s2)
+			}
+		}
+		return nil
+	},
+})
+
+// --- 11. spmv: CSR sparse matrix-vector product, irregular gather (SHOC) ---
+
+const spmvAvgNNZ = 16
+
+var spmvProg = register(&Program{
+	Name:  "spmv",
+	Suite: "shoc",
+	Source: `
+kernel void spmv(global const int* rowptr, global const int* col, global const float* val,
+                 global const float* x, global float* y, int rows) {
+	int i = get_global_id(0);
+	if (i < rows) {
+		float acc = 0.0;
+		int end = rowptr[i + 1];
+		for (int j = rowptr[i]; j < end; j++) {
+			acc += val[j] * x[col[j]];
+		}
+		y[i] = acc;
+	}
+}`,
+	Kernel:      "spmv",
+	Sizes:       geomSizes(sizeLabels, 2048),
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		// Irregular row lengths around the average for divergence.
+		rowptr := exec.NewIntBuffer(n + 1)
+		lens := make([]int, n)
+		total := 0
+		for i := range lens {
+			lens[i] = spmvAvgNNZ/2 + rng.Intn(spmvAvgNNZ)
+			total += lens[i]
+		}
+		col := exec.NewIntBuffer(total)
+		val := exec.NewFloatBuffer(total)
+		pos := 0
+		for i := 0; i < n; i++ {
+			rowptr.I[i] = int32(pos)
+			for j := 0; j < lens[i]; j++ {
+				col.I[pos] = int32(rng.Intn(n))
+				val.F[pos] = float32(rng.Float64()*2 - 1)
+				pos++
+			}
+		}
+		rowptr.I[n] = int32(pos)
+		x := exec.NewFloatBuffer(n)
+		fillUniform(x, rng, -1, 1)
+		y := exec.NewFloatBuffer(n)
+		return &Instance{
+			Args: []exec.Arg{exec.BufArg(rowptr), exec.BufArg(col), exec.BufArg(val),
+				exec.BufArg(x), exec.BufArg(y), exec.IntArg(n)},
+			ND: exec.ND1(n),
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		rowptr, col, val := inst.Args[0].Buf, inst.Args[1].Buf, inst.Args[2].Buf
+		x, y := inst.Args[3].Buf, inst.Args[4].Buf
+		for i := 0; i < n; i++ {
+			var acc float64
+			for j := rowptr.I[i]; j < rowptr.I[i+1]; j++ {
+				acc += float64(val.F[j]) * float64(x.F[col.I[j]])
+			}
+			if !approxEq(y.F[i], float32(acc), 1e-3) {
+				return fmt.Errorf("y[%d] = %g, want %g", i, y.F[i], acc)
+			}
+		}
+		return nil
+	},
+})

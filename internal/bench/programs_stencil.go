@@ -1,0 +1,296 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/exec"
+)
+
+// --- 12. convolution2d: 3x3 convolution with fixed taps (PolyBench 2DCONV) ---
+
+var conv2dProg = register(&Program{
+	Name:  "convolution2d",
+	Suite: "polybench",
+	Source: `
+kernel void conv2d(global const float* in, global float* out, int w, int h) {
+	int x = get_global_id(0);
+	int y = get_global_id(1);
+	if (x > 0 && x < w - 1 && y > 0 && y < h - 1) {
+		out[y * w + x] =
+			0.2 * in[(y - 1) * w + x - 1] + 0.5 * in[(y - 1) * w + x] - 0.8 * in[(y - 1) * w + x + 1] +
+			-0.3 * in[y * w + x - 1] + 0.6 * in[y * w + x] - 0.9 * in[y * w + x + 1] +
+			0.4 * in[(y + 1) * w + x - 1] + 0.7 * in[(y + 1) * w + x] + 0.1 * in[(y + 1) * w + x + 1];
+	} else if (x < w && y < h) {
+		out[y * w + x] = 0.0;
+	}
+}`,
+	Kernel: "conv2d",
+	Sizes: []Size{
+		{"S0", 64}, {"S1", 128}, {"S2", 256}, {"S3", 384}, {"S4", 512}, {"S5", 768},
+	},
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		in, out := exec.NewFloatBuffer(n*n), exec.NewFloatBuffer(n*n)
+		fillUniform(in, rng, -1, 1)
+		return &Instance{
+			Args: []exec.Arg{exec.BufArg(in), exec.BufArg(out), exec.IntArg(n), exec.IntArg(n)},
+			ND:   exec.ND2(n, n),
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		in, out := inst.Args[0].Buf, inst.Args[1].Buf
+		at := func(y, x int) float64 { return float64(in.F[y*n+x]) }
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				var want float64
+				if x > 0 && x < n-1 && y > 0 && y < n-1 {
+					want = 0.2*at(y-1, x-1) + 0.5*at(y-1, x) - 0.8*at(y-1, x+1) +
+						-0.3*at(y, x-1) + 0.6*at(y, x) - 0.9*at(y, x+1) +
+						0.4*at(y+1, x-1) + 0.7*at(y+1, x) + 0.1*at(y+1, x+1)
+				}
+				if !approxEq(out.F[y*n+x], float32(want), 1e-4) {
+					return fmt.Errorf("out[%d,%d] = %g, want %g", y, x, out.F[y*n+x], want)
+				}
+			}
+		}
+		return nil
+	},
+})
+
+// --- 13. stencil2d: 5-point weighted stencil (SHOC Stencil2D) ---
+
+var stencilProg = register(&Program{
+	Name:  "stencil2d",
+	Suite: "shoc",
+	Source: `
+kernel void stencil(global const float* in, global float* out, int w, int h,
+                    float wCenter, float wSide) {
+	int x = get_global_id(0);
+	int y = get_global_id(1);
+	if (x > 0 && x < w - 1 && y > 0 && y < h - 1) {
+		out[y * w + x] = wCenter * in[y * w + x] +
+			wSide * (in[(y - 1) * w + x] + in[(y + 1) * w + x] +
+			         in[y * w + x - 1] + in[y * w + x + 1]);
+	} else if (x < w && y < h) {
+		out[y * w + x] = in[y * w + x];
+	}
+}`,
+	Kernel: "stencil",
+	Sizes: []Size{
+		{"S0", 64}, {"S1", 128}, {"S2", 256}, {"S3", 384}, {"S4", 512}, {"S5", 768},
+	},
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		in, out := exec.NewFloatBuffer(n*n), exec.NewFloatBuffer(n*n)
+		fillUniform(in, rng, 0, 1)
+		return &Instance{
+			Args: []exec.Arg{exec.BufArg(in), exec.BufArg(out), exec.IntArg(n), exec.IntArg(n),
+				exec.FloatArg(0.6), exec.FloatArg(0.1)},
+			ND: exec.ND2(n, n),
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		in, out := inst.Args[0].Buf, inst.Args[1].Buf
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				var want float64
+				if x > 0 && x < n-1 && y > 0 && y < n-1 {
+					want = 0.6*float64(in.F[y*n+x]) + 0.1*(float64(in.F[(y-1)*n+x])+
+						float64(in.F[(y+1)*n+x])+float64(in.F[y*n+x-1])+float64(in.F[y*n+x+1]))
+				} else {
+					want = float64(in.F[y*n+x])
+				}
+				if !approxEq(out.F[y*n+x], float32(want), 1e-4) {
+					return fmt.Errorf("out[%d,%d] = %g, want %g", y, x, out.F[y*n+x], want)
+				}
+			}
+		}
+		return nil
+	},
+})
+
+// --- 14. hotspot: iterative thermal simulation step (Rodinia) ---
+
+var hotspotProg = register(&Program{
+	Name:  "hotspot",
+	Suite: "rodinia",
+	Source: `
+kernel void hotspot(global const float* temp, global const float* power, global float* out,
+                    int w, int h, float cap, float cond) {
+	int x = get_global_id(0);
+	int y = get_global_id(1);
+	if (x > 0 && x < w - 1 && y > 0 && y < h - 1) {
+		float t = temp[y * w + x];
+		float delta = cap * (power[y * w + x] +
+			cond * (temp[(y - 1) * w + x] + temp[(y + 1) * w + x] +
+			        temp[y * w + x - 1] + temp[y * w + x + 1] - 4.0 * t));
+		out[y * w + x] = t + delta;
+	} else if (x < w && y < h) {
+		out[y * w + x] = temp[y * w + x];
+	}
+}`,
+	Kernel:     "hotspot",
+	Iterations: 16,
+	Sizes: []Size{
+		{"S0", 64}, {"S1", 128}, {"S2", 192}, {"S3", 256}, {"S4", 384}, {"S5", 512},
+	},
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		temp, power, out := exec.NewFloatBuffer(n*n), exec.NewFloatBuffer(n*n), exec.NewFloatBuffer(n*n)
+		fillUniform(temp, rng, 320, 340)
+		fillUniform(power, rng, 0, 0.5)
+		return &Instance{
+			Args: []exec.Arg{exec.BufArg(temp), exec.BufArg(power), exec.BufArg(out),
+				exec.IntArg(n), exec.IntArg(n), exec.FloatArg(0.5), exec.FloatArg(0.1)},
+			ND: exec.ND2(n, n),
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		temp, power, out := inst.Args[0].Buf, inst.Args[1].Buf, inst.Args[2].Buf
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				t := float64(temp.F[y*n+x])
+				want := t
+				if x > 0 && x < n-1 && y > 0 && y < n-1 {
+					want = t + 0.5*(float64(power.F[y*n+x])+
+						0.1*(float64(temp.F[(y-1)*n+x])+float64(temp.F[(y+1)*n+x])+
+							float64(temp.F[y*n+x-1])+float64(temp.F[y*n+x+1])-4*t))
+				}
+				if !approxEq(out.F[y*n+x], float32(want), 1e-4) {
+					return fmt.Errorf("out[%d,%d] = %g, want %g", y, x, out.F[y*n+x], want)
+				}
+			}
+		}
+		return nil
+	},
+})
+
+// --- 15. srad: speckle-reducing anisotropic diffusion step (Rodinia) ---
+
+var sradProg = register(&Program{
+	Name:  "srad",
+	Suite: "rodinia",
+	Source: `
+kernel void srad(global const float* img, global float* out, int w, int h, float lambda) {
+	int x = get_global_id(0);
+	int y = get_global_id(1);
+	if (x > 0 && x < w - 1 && y > 0 && y < h - 1) {
+		float c = img[y * w + x];
+		float dN = img[(y - 1) * w + x] - c;
+		float dS = img[(y + 1) * w + x] - c;
+		float dW = img[y * w + x - 1] - c;
+		float dE = img[y * w + x + 1] - c;
+		float g2 = (dN * dN + dS * dS + dW * dW + dE * dE) / (c * c + 0.0001);
+		float l = (dN + dS + dW + dE) / (c + 0.0001);
+		float num = 0.5 * g2 - 0.0625 * l * l;
+		float den = 1.0 + 0.25 * l;
+		float q = num / (den * den + 0.0001);
+		float coef = exp(-q);
+		coef = clamp(coef, 0.0, 1.0);
+		out[y * w + x] = c + 0.25 * lambda * coef * (dN + dS + dW + dE);
+	} else if (x < w && y < h) {
+		out[y * w + x] = img[y * w + x];
+	}
+}`,
+	Kernel:     "srad",
+	Iterations: 8,
+	Sizes: []Size{
+		{"S0", 64}, {"S1", 128}, {"S2", 192}, {"S3", 256}, {"S4", 384}, {"S5", 512},
+	},
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		img, out := exec.NewFloatBuffer(n*n), exec.NewFloatBuffer(n*n)
+		fillUniform(img, rng, 0.5, 1.5)
+		return &Instance{
+			Args: []exec.Arg{exec.BufArg(img), exec.BufArg(out), exec.IntArg(n), exec.IntArg(n),
+				exec.FloatArg(0.5)},
+			ND: exec.ND2(n, n),
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		img, out := inst.Args[0].Buf, inst.Args[1].Buf
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				c := float64(img.F[y*n+x])
+				dN := float64(img.F[(y-1)*n+x]) - c
+				dS := float64(img.F[(y+1)*n+x]) - c
+				dW := float64(img.F[y*n+x-1]) - c
+				dE := float64(img.F[y*n+x+1]) - c
+				g2 := (dN*dN + dS*dS + dW*dW + dE*dE) / (c*c + 0.0001)
+				l := (dN + dS + dW + dE) / (c + 0.0001)
+				num := 0.5*g2 - 0.0625*l*l
+				den := 1.0 + 0.25*l
+				q := num / (den*den + 0.0001)
+				coef := math.Exp(-q)
+				if coef > 1 {
+					coef = 1
+				}
+				if coef < 0 {
+					coef = 0
+				}
+				want := c + 0.25*0.5*coef*(dN+dS+dW+dE)
+				if !approxEq(out.F[y*n+x], float32(want), 1e-3) {
+					return fmt.Errorf("out[%d,%d] = %g, want %g", y, x, out.F[y*n+x], want)
+				}
+			}
+		}
+		return nil
+	},
+})
+
+// --- 16. pathfinder: dynamic-programming row relaxation (Rodinia) ---
+
+var pathfinderProg = register(&Program{
+	Name:  "pathfinder",
+	Suite: "rodinia",
+	Source: `
+kernel void pathfinder(global const float* src, global const float* wall, global float* dst,
+                       int n, int row) {
+	int i = get_global_id(0);
+	if (i < n) {
+		float best = src[i];
+		if (i > 0) {
+			best = fmin(best, src[i - 1]);
+		}
+		if (i < n - 1) {
+			best = fmin(best, src[i + 1]);
+		}
+		dst[i] = wall[row * n + i] + best;
+	}
+}`,
+	Kernel:      "pathfinder",
+	Iterations:  64,
+	Sizes:       geomSizes(sizeLabels, 8192),
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		src := exec.NewFloatBuffer(n)
+		fillUniform(src, rng, 0, 10)
+		wall := exec.NewFloatBuffer(n * 2) // two DP rows' worth of weights
+		fillUniform(wall, rng, 0, 10)
+		dst := exec.NewFloatBuffer(n)
+		return &Instance{
+			Args: []exec.Arg{exec.BufArg(src), exec.BufArg(wall), exec.BufArg(dst),
+				exec.IntArg(n), exec.IntArg(1)},
+			ND: exec.ND1(n),
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		src, wall, dst := inst.Args[0].Buf, inst.Args[1].Buf, inst.Args[2].Buf
+		for i := 0; i < n; i++ {
+			best := src.F[i]
+			if i > 0 && src.F[i-1] < best {
+				best = src.F[i-1]
+			}
+			if i < n-1 && src.F[i+1] < best {
+				best = src.F[i+1]
+			}
+			want := wall.F[n+i] + best // row 1
+			if !approxEq(dst.F[i], want, 1e-5) {
+				return fmt.Errorf("dst[%d] = %g, want %g", i, dst.F[i], want)
+			}
+		}
+		return nil
+	},
+})

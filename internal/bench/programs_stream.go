@@ -1,0 +1,314 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/exec"
+)
+
+// --- 1. vecadd: canonical streaming kernel (vendor sample) ---
+
+var vecaddProg = register(&Program{
+	Name:  "vecadd",
+	Suite: "vendor",
+	Source: `
+kernel void vecadd(global const float* a, global const float* b, global float* c, int n) {
+	int i = get_global_id(0);
+	if (i < n) {
+		c[i] = a[i] + b[i];
+	}
+}`,
+	Kernel:      "vecadd",
+	Sizes:       geomSizes(sizeLabels, 32768),
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		a, b, c := exec.NewFloatBuffer(n), exec.NewFloatBuffer(n), exec.NewFloatBuffer(n)
+		fillUniform(a, rng, 0, 1)
+		fillUniform(b, rng, 0, 1)
+		return &Instance{
+			Args: []exec.Arg{exec.BufArg(a), exec.BufArg(b), exec.BufArg(c), exec.IntArg(n)},
+			ND:   exec.ND1(n),
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		a, b, c := inst.Args[0].Buf, inst.Args[1].Buf, inst.Args[2].Buf
+		want := make([]float32, n)
+		for i := 0; i < n; i++ {
+			want[i] = a.F[i] + b.F[i]
+		}
+		return checkFloats("c", c.F, want, 1e-6)
+	},
+})
+
+// --- 2. saxpy: scaled streaming update (vendor sample) ---
+
+var saxpyProg = register(&Program{
+	Name:  "saxpy",
+	Suite: "vendor",
+	Source: `
+kernel void saxpy(global const float* x, global float* y, float alpha, int n) {
+	int i = get_global_id(0);
+	if (i < n) {
+		y[i] = alpha * x[i] + y[i];
+	}
+}`,
+	Kernel:      "saxpy",
+	Sizes:       geomSizes(sizeLabels, 32768),
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		x, y := exec.NewFloatBuffer(n), exec.NewFloatBuffer(n)
+		fillUniform(x, rng, -1, 1)
+		fillUniform(y, rng, -1, 1)
+		return &Instance{
+			Args:  []exec.Arg{exec.BufArg(x), exec.BufArg(y), exec.FloatArg(2.5), exec.IntArg(n)},
+			ND:    exec.ND1(n),
+			Extra: map[string]*exec.Buffer{"y0": y.Clone()},
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		x, y, y0 := inst.Args[0].Buf, inst.Args[1].Buf, inst.Extra["y0"]
+		want := make([]float32, n)
+		for i := 0; i < n; i++ {
+			want[i] = 2.5*x.F[i] + y0.F[i]
+		}
+		return checkFloats("y", y.F, want, 1e-6)
+	},
+})
+
+// --- 3. dotprod: two-stage reduction with work-group cooperation ---
+
+var dotprodProg = register(&Program{
+	Name:  "dotprod",
+	Suite: "vendor",
+	Source: `
+kernel void dotprod(global const float* a, global const float* b, global float* partial,
+                    local float* tmp, int n) {
+	int gid = get_global_id(0);
+	int lid = get_local_id(0);
+	tmp[lid] = gid < n ? a[gid] * b[gid] : 0.0;
+	barrier(1);
+	for (int s = get_local_size(0) / 2; s > 0; s = s / 2) {
+		if (lid < s) {
+			tmp[lid] += tmp[lid + s];
+		}
+		barrier(1);
+	}
+	if (lid == 0) {
+		partial[get_group_id(0)] = tmp[0];
+	}
+}`,
+	Kernel:      "dotprod",
+	LocalSize:   64,
+	Sizes:       geomSizes(sizeLabels, 16384),
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		a, b := exec.NewFloatBuffer(n), exec.NewFloatBuffer(n)
+		fillUniform(a, rng, 0, 1)
+		fillUniform(b, rng, 0, 1)
+		partial := exec.NewFloatBuffer(n / 64)
+		return &Instance{
+			Args: []exec.Arg{exec.BufArg(a), exec.BufArg(b), exec.BufArg(partial),
+				exec.LocalArg(64), exec.IntArg(n)},
+			ND: exec.ND1(n),
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		a, b, partial := inst.Args[0].Buf, inst.Args[1].Buf, inst.Args[2].Buf
+		var got, want float64
+		for _, p := range partial.F {
+			got += float64(p)
+		}
+		for i := 0; i < n; i++ {
+			want += float64(a.F[i]) * float64(b.F[i])
+		}
+		if !approxEq(float32(got), float32(want), 1e-3) {
+			return fmt.Errorf("dot = %g, want %g", got, want)
+		}
+		return nil
+	},
+})
+
+// --- 4. reduction: SHOC-style tree sum ---
+
+var reductionProg = register(&Program{
+	Name:  "reduction",
+	Suite: "shoc",
+	Source: `
+kernel void reduction(global const float* in, global float* partial, local float* tmp, int n) {
+	int gid = get_global_id(0);
+	int lid = get_local_id(0);
+	tmp[lid] = gid < n ? in[gid] : 0.0;
+	barrier(1);
+	for (int s = get_local_size(0) / 2; s > 0; s = s / 2) {
+		if (lid < s) {
+			tmp[lid] += tmp[lid + s];
+		}
+		barrier(1);
+	}
+	if (lid == 0) {
+		partial[get_group_id(0)] = tmp[0];
+	}
+}`,
+	Kernel:      "reduction",
+	LocalSize:   64,
+	Sizes:       geomSizes(sizeLabels, 16384),
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		in := exec.NewFloatBuffer(n)
+		fillUniform(in, rng, 0, 1)
+		partial := exec.NewFloatBuffer(n / 64)
+		return &Instance{
+			Args: []exec.Arg{exec.BufArg(in), exec.BufArg(partial), exec.LocalArg(64), exec.IntArg(n)},
+			ND:   exec.ND1(n),
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		in, partial := inst.Args[0].Buf, inst.Args[1].Buf
+		var got, want float64
+		for _, p := range partial.F {
+			got += float64(p)
+		}
+		for i := 0; i < n; i++ {
+			want += float64(in.F[i])
+		}
+		if !approxEq(float32(got), float32(want), 1e-3) {
+			return fmt.Errorf("sum = %g, want %g", got, want)
+		}
+		return nil
+	},
+})
+
+// --- 5. prefixsum: per-block Hillis-Steele scan (vendor sample) ---
+
+var prefixsumProg = register(&Program{
+	Name:  "prefixsum",
+	Suite: "vendor",
+	Source: `
+kernel void prefixsum(global const float* in, global float* out, global float* sums,
+                      local float* tmp, int n) {
+	int gid = get_global_id(0);
+	int lid = get_local_id(0);
+	int lsz = get_local_size(0);
+	tmp[lid] = gid < n ? in[gid] : 0.0;
+	barrier(1);
+	for (int off = 1; off < lsz; off = off * 2) {
+		float v = 0.0;
+		if (lid >= off) {
+			v = tmp[lid - off];
+		}
+		barrier(1);
+		tmp[lid] += v;
+		barrier(1);
+	}
+	if (gid < n) {
+		out[gid] = tmp[lid];
+	}
+	if (lid == lsz - 1) {
+		sums[get_group_id(0)] = tmp[lid];
+	}
+}`,
+	Kernel:      "prefixsum",
+	LocalSize:   64,
+	Sizes:       geomSizes(sizeLabels, 16384),
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		in := exec.NewFloatBuffer(n)
+		fillUniform(in, rng, 0, 1)
+		out := exec.NewFloatBuffer(n)
+		sums := exec.NewFloatBuffer(n / 64)
+		return &Instance{
+			Args: []exec.Arg{exec.BufArg(in), exec.BufArg(out), exec.BufArg(sums),
+				exec.LocalArg(64), exec.IntArg(n)},
+			ND: exec.ND1(n),
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		in, out, sums := inst.Args[0].Buf, inst.Args[1].Buf, inst.Args[2].Buf
+		const blk = 64
+		for g := 0; g < n/blk; g++ {
+			var acc float64
+			for l := 0; l < blk; l++ {
+				i := g*blk + l
+				acc += float64(in.F[i])
+				if !approxEq(out.F[i], float32(acc), 1e-3) {
+					return fmt.Errorf("scan[%d] = %g, want %g", i, out.F[i], acc)
+				}
+			}
+			if !approxEq(sums.F[g], float32(acc), 1e-3) {
+				return fmt.Errorf("blocksum[%d] = %g, want %g", g, sums.F[g], acc)
+			}
+		}
+		return nil
+	},
+})
+
+// --- 6. histogram: privatized per-item binning (vendor sample) ---
+//
+// Scatter-free formulation: each work item counts the values of its own
+// 16-element chunk into each of 16 bins (branch-heavy, integer-heavy) and
+// writes a private count row; the host merges rows. This keeps the kernel
+// race-free under any partitioning, as a multi-device histogram must be.
+
+const histChunk = 16
+const histBins = 16
+
+var histogramProg = register(&Program{
+	Name:  "histogram",
+	Suite: "vendor",
+	Source: `
+kernel void histogram(global const float* data, global int* counts, int n, int k, int bins) {
+	int i = get_global_id(0);
+	if (i < n) {
+		int base = i * k;
+		for (int b = 0; b < bins; b++) {
+			int c = 0;
+			for (int j = 0; j < k; j++) {
+				int v = (int)(data[base + j] * (float)bins);
+				v = clamp(v, 0, bins - 1);
+				if (v == b) {
+					c++;
+				}
+			}
+			counts[i * bins + b] = c;
+		}
+	}
+}`,
+	Kernel:      "histogram",
+	Sizes:       geomSizes(sizeLabels, 4096),
+	DefaultSize: 4,
+	setup: func(n int, rng *rand.Rand) *Instance {
+		data := exec.NewFloatBuffer(n * histChunk)
+		fillUniform(data, rng, 0, 1)
+		counts := exec.NewIntBuffer(n * histBins)
+		return &Instance{
+			Args: []exec.Arg{exec.BufArg(data), exec.BufArg(counts),
+				exec.IntArg(n), exec.IntArg(histChunk), exec.IntArg(histBins)},
+			ND: exec.ND1(n),
+		}
+	},
+	verify: func(inst *Instance, n int) error {
+		data, counts := inst.Args[0].Buf, inst.Args[1].Buf
+		merged := make([]int64, histBins)
+		for i := 0; i < n*histBins; i++ {
+			merged[i%histBins] += int64(counts.I[i])
+		}
+		want := make([]int64, histBins)
+		for i := 0; i < n*histChunk; i++ {
+			v := int(data.F[i] * histBins)
+			if v < 0 {
+				v = 0
+			}
+			if v > histBins-1 {
+				v = histBins - 1
+			}
+			want[v]++
+		}
+		for b := range want {
+			if merged[b] != want[b] {
+				return fmt.Errorf("bin %d = %d, want %d", b, merged[b], want[b])
+			}
+		}
+		return nil
+	},
+})

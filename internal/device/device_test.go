@@ -1,0 +1,90 @@
+package device
+
+import "testing"
+
+func TestPlatformsValid(t *testing.T) {
+	for _, p := range Platforms() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if p.NumDevices() != 3 {
+			t.Errorf("%s has %d devices, want 3 (1 CPU + 2 GPUs)", p.Name, p.NumDevices())
+		}
+		if got := p.GPUIndices(); len(got) != 2 {
+			t.Errorf("%s has %d GPUs, want 2", p.Name, len(got))
+		}
+		if !p.Devices[CPUIndex].IsHost() {
+			t.Errorf("%s CPU device should be host memory", p.Name)
+		}
+		for _, gi := range p.GPUIndices() {
+			if p.Devices[gi].IsHost() {
+				t.Errorf("%s GPU %d should not be host memory", p.Name, gi)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"mc1", "mc2"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, p.Name)
+		}
+	}
+	if _, err := ByName("mc3"); err == nil {
+		t.Error("ByName(mc3) should fail")
+	}
+}
+
+func TestPlatformAsymmetry(t *testing.T) {
+	mc1, mc2 := MC1(), MC2()
+	// mc2's GPUs must be far stronger relative to its CPU than mc1's,
+	// since the paper observes opposite default winners per platform.
+	ratio1 := mc1.Devices[1].FloatOpsPerSec / mc1.Devices[CPUIndex].FloatOpsPerSec
+	ratio2 := mc2.Devices[1].FloatOpsPerSec / mc2.Devices[CPUIndex].FloatOpsPerSec
+	if ratio2 <= ratio1 {
+		t.Errorf("GPU/CPU float ratio: mc1 %.1f, mc2 %.1f; want mc2 > mc1", ratio1, ratio2)
+	}
+	// The VLIW GPU must have the branch handicap; Fermi must not.
+	if mc1.Devices[1].VLIWBranchFactor <= 0 {
+		t.Error("mc1 GPU should carry a VLIW branch penalty")
+	}
+	if mc2.Devices[1].VLIWBranchFactor != 0 {
+		t.Error("mc2 GPU should not carry a VLIW branch penalty")
+	}
+	if mc1.Devices[1].BranchPerSec >= mc2.Devices[1].BranchPerSec {
+		t.Error("mc1 GPU branches should be slower than mc2 GPU branches")
+	}
+}
+
+func TestValidateCatchesBrokenPlatforms(t *testing.T) {
+	p := MC1()
+	p.Devices = nil
+	if err := p.Validate(); err == nil {
+		t.Error("empty platform validated")
+	}
+	p2 := MC1()
+	p2.Devices[0], p2.Devices[1] = p2.Devices[1], p2.Devices[0]
+	if err := p2.Validate(); err == nil {
+		t.Error("GPU-first platform validated")
+	}
+	p3 := MC1()
+	p3.Devices[1].LinkBandwidth = 0
+	if err := p3.Validate(); err == nil {
+		t.Error("linkless GPU validated")
+	}
+	p4 := MC1()
+	p4.Devices[0].FloatOpsPerSec = 0
+	if err := p4.Validate(); err == nil {
+		t.Error("zero-throughput device validated")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if CPU.String() != "CPU" || GPU.String() != "GPU" {
+		t.Error("Class.String broken")
+	}
+}

@@ -1,0 +1,895 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/inspire"
+	"repro/internal/minicl"
+)
+
+// ctrl is the control-flow result of a statement closure.
+type ctrl int
+
+const (
+	ctrlNext ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+// wiState is the per-work-item NDRange coordinate set.
+type wiState struct {
+	gid, lid, grp [3]int64
+	gsz, lsz, ngr [3]int64
+}
+
+// frame is the per-work-item execution state.
+type frame struct {
+	ints   []int64
+	floats []float64
+	bufs   []*Buffer // global buffer params, by buffer slot
+	locals []*Buffer // local buffer params (per work-group), by local slot
+	wi     wiState
+	cnt    *Counts
+	bar    *groupBarrier
+}
+
+type (
+	intFn   func(*frame) int64
+	floatFn func(*frame) float64
+	boolFn  func(*frame) bool
+	stmtFn  func(*frame) ctrl
+)
+
+// slotKind says where a variable lives in a frame.
+type slotKind int
+
+const (
+	slotInt slotKind = iota
+	slotFloat
+	slotGlobalBuf
+	slotLocalBuf
+)
+
+type slot struct {
+	kind slotKind
+	idx  int
+}
+
+// execError is thrown (via panic) for runtime faults inside closures and
+// recovered at the Run boundary.
+type execError struct{ err error }
+
+func throwf(format string, args ...any) {
+	panic(execError{fmt.Errorf(format, args...)})
+}
+
+// Compiled is an executable kernel: the IR compiled to closures plus the
+// frame layout metadata needed to bind arguments.
+type Compiled struct {
+	Fn *inspire.Function
+
+	body       stmtFn
+	hasBarrier bool
+	usesLocal  bool
+
+	nInts, nFloats  int
+	nGlobal, nLocal int
+	paramSlots      []slot // parallel to Fn.Params
+	slotOf          []slot // by Var.ID
+	retIsFloat      bool
+}
+
+// HasBarrier reports whether the kernel (including helpers) executes
+// work-group barriers and therefore needs synchronous group execution.
+func (c *Compiled) HasBarrier() bool { return c.hasBarrier }
+
+// compiler compiles one function (kernel or helper).
+type compiler struct {
+	out     *Compiled
+	helpers map[*inspire.Function]*Compiled
+}
+
+// Compile translates an IR function into an executable kernel.
+func Compile(fn *inspire.Function) (c *Compiled, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ee, ok := r.(execError); ok {
+				c, err = nil, ee.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	return compileWith(fn, map[*inspire.Function]*Compiled{}), nil
+}
+
+func compileWith(fn *inspire.Function, helpers map[*inspire.Function]*Compiled) *Compiled {
+	if done, ok := helpers[fn]; ok {
+		return done
+	}
+	out := &Compiled{Fn: fn, slotOf: make([]slot, fn.NumVars)}
+	helpers[fn] = out // pre-register to guard against recursion
+	cc := &compiler{out: out, helpers: helpers}
+	// Assign slots to params first, then discover locals from Decls.
+	for _, p := range fn.Params {
+		out.paramSlots = append(out.paramSlots, cc.assign(p))
+	}
+	inspire.WalkStmts(fn.Body, func(s inspire.Stmt) bool {
+		if d, ok := s.(*inspire.Decl); ok {
+			cc.assign(d.Var)
+		}
+		return true
+	})
+	out.body = cc.block(fn.Body)
+	out.retIsFloat = fn.Ret.IsFloat()
+	return out
+}
+
+func (cc *compiler) assign(v *inspire.Var) slot {
+	o := cc.out
+	if v.ID >= len(o.slotOf) {
+		grown := make([]slot, v.ID+1)
+		copy(grown, o.slotOf)
+		o.slotOf = grown
+	}
+	var s slot
+	switch {
+	case v.Type.Ptr && v.Type.Space == minicl.Local:
+		s = slot{slotLocalBuf, o.nLocal}
+		o.nLocal++
+		o.usesLocal = true
+	case v.Type.Ptr:
+		s = slot{slotGlobalBuf, o.nGlobal}
+		o.nGlobal++
+	case v.Type.IsFloat():
+		s = slot{slotFloat, o.nFloats}
+		o.nFloats++
+	default: // int, uint, bool in int slots
+		s = slot{slotInt, o.nInts}
+		o.nInts++
+	}
+	o.slotOf[v.ID] = s
+	return s
+}
+
+func (cc *compiler) slotFor(v *inspire.Var) slot { return cc.out.slotOf[v.ID] }
+
+// bufferFor returns a closure fetching the Buffer a pointer var refers to.
+func (cc *compiler) bufferFor(v *inspire.Var) func(*frame) *Buffer {
+	s := cc.slotFor(v)
+	idx := s.idx
+	if s.kind == slotLocalBuf {
+		return func(f *frame) *Buffer { return f.locals[idx] }
+	}
+	return func(f *frame) *Buffer { return f.bufs[idx] }
+}
+
+// --- statements ---
+
+func (cc *compiler) block(b *inspire.Block) stmtFn {
+	if b == nil || len(b.Stmts) == 0 {
+		return func(*frame) ctrl { return ctrlNext }
+	}
+	stmts := make([]stmtFn, len(b.Stmts))
+	for i, s := range b.Stmts {
+		stmts[i] = cc.stmt(s)
+	}
+	if len(stmts) == 1 {
+		return stmts[0]
+	}
+	return func(f *frame) ctrl {
+		for _, s := range stmts {
+			if c := s(f); c != ctrlNext {
+				return c
+			}
+		}
+		return ctrlNext
+	}
+}
+
+func (cc *compiler) stmt(s inspire.Stmt) stmtFn {
+	switch st := s.(type) {
+	case *inspire.Block:
+		return cc.block(st)
+	case *inspire.Decl:
+		return cc.declStmt(st)
+	case *inspire.StoreVar:
+		return cc.storeVar(st)
+	case *inspire.StoreElem:
+		return cc.storeElem(st)
+	case *inspire.If:
+		cond := cc.boolExpr(st.Cond)
+		then := cc.block(st.Then)
+		if st.Else == nil {
+			return func(f *frame) ctrl {
+				f.cnt.Branches++
+				if cond(f) {
+					return then(f)
+				}
+				return ctrlNext
+			}
+		}
+		els := cc.block(st.Else)
+		return func(f *frame) ctrl {
+			f.cnt.Branches++
+			if cond(f) {
+				return then(f)
+			}
+			return els(f)
+		}
+	case *inspire.For:
+		var init, post stmtFn
+		if st.Init != nil {
+			init = cc.stmt(st.Init)
+		}
+		var cond boolFn
+		if st.Cond != nil {
+			cond = cc.boolExpr(st.Cond)
+		}
+		if st.Post != nil {
+			post = cc.stmt(st.Post)
+		}
+		body := cc.block(st.Body)
+		return func(f *frame) ctrl {
+			if init != nil {
+				if c := init(f); c == ctrlReturn {
+					return c
+				}
+			}
+			for {
+				if cond != nil {
+					f.cnt.Branches++
+					if !cond(f) {
+						return ctrlNext
+					}
+				}
+				switch body(f) {
+				case ctrlBreak:
+					return ctrlNext
+				case ctrlReturn:
+					return ctrlReturn
+				}
+				if post != nil {
+					if c := post(f); c == ctrlReturn {
+						return c
+					}
+				}
+			}
+		}
+	case *inspire.While:
+		cond := cc.boolExpr(st.Cond)
+		body := cc.block(st.Body)
+		return func(f *frame) ctrl {
+			for {
+				f.cnt.Branches++
+				if !cond(f) {
+					return ctrlNext
+				}
+				switch body(f) {
+				case ctrlBreak:
+					return ctrlNext
+				case ctrlReturn:
+					return ctrlReturn
+				}
+			}
+		}
+	case *inspire.Return:
+		if st.Value == nil {
+			return func(*frame) ctrl { return ctrlReturn }
+		}
+		// Return values go to the dedicated last slot of the bank (frames
+		// are allocated one slot larger than the variable count).
+		if st.Value.ExprType().IsFloat() {
+			val := cc.floatExpr(st.Value)
+			return func(f *frame) ctrl {
+				f.floats[len(f.floats)-1] = val(f)
+				return ctrlReturn
+			}
+		}
+		val := cc.intExpr(st.Value)
+		return func(f *frame) ctrl {
+			f.ints[len(f.ints)-1] = val(f)
+			return ctrlReturn
+		}
+	case *inspire.Break:
+		return func(*frame) ctrl { return ctrlBreak }
+	case *inspire.Continue:
+		return func(*frame) ctrl { return ctrlContinue }
+	case *inspire.Barrier:
+		cc.out.hasBarrier = true
+		return func(f *frame) ctrl {
+			f.cnt.Barriers++
+			if f.bar != nil {
+				f.bar.wait()
+			}
+			return ctrlNext
+		}
+	case *inspire.Eval:
+		switch {
+		case st.X.ExprType().IsFloat():
+			e := cc.floatExpr(st.X)
+			return func(f *frame) ctrl { e(f); return ctrlNext }
+		case st.X.ExprType().Equal(minicl.TypeVoid):
+			throwf("exec: void expression statement not supported")
+			return nil
+		default:
+			e := cc.intExpr(st.X)
+			return func(f *frame) ctrl { e(f); return ctrlNext }
+		}
+	}
+	throwf("exec: cannot compile statement %T", s)
+	return nil
+}
+
+func (cc *compiler) declStmt(st *inspire.Decl) stmtFn {
+	s := cc.slotFor(st.Var)
+	switch s.kind {
+	case slotFloat:
+		idx := s.idx
+		if st.Init == nil {
+			return func(f *frame) ctrl { f.floats[idx] = 0; return ctrlNext }
+		}
+		val := cc.floatExpr(st.Init)
+		return func(f *frame) ctrl { f.floats[idx] = val(f); return ctrlNext }
+	case slotInt:
+		idx := s.idx
+		if st.Init == nil {
+			return func(f *frame) ctrl { f.ints[idx] = 0; return ctrlNext }
+		}
+		val := cc.intExpr(st.Init)
+		return func(f *frame) ctrl { f.ints[idx] = val(f); return ctrlNext }
+	}
+	throwf("exec: cannot declare pointer-typed local %s", st.Var)
+	return nil
+}
+
+func (cc *compiler) storeVar(st *inspire.StoreVar) stmtFn {
+	s := cc.slotFor(st.Var)
+	switch s.kind {
+	case slotFloat:
+		idx := s.idx
+		val := cc.floatExpr(st.Value)
+		return func(f *frame) ctrl { f.floats[idx] = val(f); return ctrlNext }
+	case slotInt:
+		idx := s.idx
+		val := cc.intExpr(st.Value)
+		return func(f *frame) ctrl { f.ints[idx] = val(f); return ctrlNext }
+	}
+	throwf("exec: cannot store to pointer variable %s", st.Var)
+	return nil
+}
+
+func (cc *compiler) storeElem(st *inspire.StoreElem) stmtFn {
+	buf := cc.bufferFor(st.Buf)
+	idx := cc.intExpr(st.Index)
+	isLocal := st.Buf.Type.Space == minicl.Local
+	name := st.Buf.Name
+	if st.Buf.Type.Elem().IsFloat() {
+		val := cc.floatExpr(st.Value)
+		return func(f *frame) ctrl {
+			b := buf(f)
+			i := idx(f)
+			if i < 0 || i >= int64(len(b.F)) {
+				throwf("exec: store to %s[%d] out of bounds (len %d)", name, i, len(b.F))
+			}
+			b.F[i] = float32(val(f))
+			if isLocal {
+				f.cnt.LocalOps++
+			} else {
+				f.cnt.GlobalStores++
+			}
+			return ctrlNext
+		}
+	}
+	val := cc.intExpr(st.Value)
+	return func(f *frame) ctrl {
+		b := buf(f)
+		i := idx(f)
+		if i < 0 || i >= int64(len(b.I)) {
+			throwf("exec: store to %s[%d] out of bounds (len %d)", name, i, len(b.I))
+		}
+		b.I[i] = int32(val(f))
+		if isLocal {
+			f.cnt.LocalOps++
+		} else {
+			f.cnt.GlobalStores++
+		}
+		return ctrlNext
+	}
+}
+
+// --- expressions ---
+
+// intExpr compiles an integer-valued expression (bools yield 0/1).
+func (cc *compiler) intExpr(e inspire.Expr) intFn {
+	t := e.ExprType()
+	if t.IsBool() {
+		b := cc.boolExpr(e)
+		return func(f *frame) int64 {
+			if b(f) {
+				return 1
+			}
+			return 0
+		}
+	}
+	if t.IsFloat() {
+		fe := cc.floatExpr(e)
+		return func(f *frame) int64 { return int64(fe(f)) }
+	}
+	switch ex := e.(type) {
+	case *inspire.ConstInt:
+		v := ex.Value
+		return func(*frame) int64 { return v }
+	case *inspire.VarRef:
+		s := cc.slotFor(ex.Var)
+		if s.kind != slotInt {
+			throwf("exec: int read of non-int variable %s", ex.Var)
+		}
+		idx := s.idx
+		return func(f *frame) int64 { return f.ints[idx] }
+	case *inspire.Load:
+		buf := cc.bufferFor(ex.Buf)
+		idx := cc.intExpr(ex.Index)
+		isLocal := ex.Buf.Type.Space == minicl.Local
+		name := ex.Buf.Name
+		return func(f *frame) int64 {
+			b := buf(f)
+			i := idx(f)
+			if i < 0 || i >= int64(len(b.I)) {
+				throwf("exec: load %s[%d] out of bounds (len %d)", name, i, len(b.I))
+			}
+			if isLocal {
+				f.cnt.LocalOps++
+			} else {
+				f.cnt.GlobalLoads++
+			}
+			return int64(b.I[i])
+		}
+	case *inspire.BinOp:
+		return cc.intBinOp(ex)
+	case *inspire.UnOp:
+		x := cc.intExpr(ex.X)
+		return func(f *frame) int64 { f.cnt.IntOps++; return -x(f) }
+	case *inspire.Select:
+		cond := cc.boolExpr(ex.Cond)
+		then := cc.intExpr(ex.Then)
+		els := cc.intExpr(ex.Else)
+		return func(f *frame) int64 {
+			f.cnt.Branches++
+			if cond(f) {
+				return then(f)
+			}
+			return els(f)
+		}
+	case *inspire.Cast:
+		return cc.intExpr(ex.X) // int<->uint<->bool handled by operand paths
+	case *inspire.WorkItem:
+		return cc.workItem(ex)
+	case *inspire.CallBuiltin:
+		return cc.intBuiltin(ex)
+	case *inspire.CallFunc:
+		call := cc.callFunc(ex)
+		return func(f *frame) int64 {
+			child := call(f)
+			return child.ints[len(child.ints)-1]
+		}
+	}
+	throwf("exec: cannot compile int expression %T", e)
+	return nil
+}
+
+func (cc *compiler) intBinOp(ex *inspire.BinOp) intFn {
+	l := cc.intExpr(ex.L)
+	r := cc.intExpr(ex.R)
+	switch ex.Op {
+	case inspire.OpAdd:
+		return func(f *frame) int64 { f.cnt.IntOps++; return l(f) + r(f) }
+	case inspire.OpSub:
+		return func(f *frame) int64 { f.cnt.IntOps++; return l(f) - r(f) }
+	case inspire.OpMul:
+		return func(f *frame) int64 { f.cnt.IntOps++; return l(f) * r(f) }
+	case inspire.OpDiv:
+		return func(f *frame) int64 {
+			f.cnt.IntOps++
+			d := r(f)
+			if d == 0 {
+				throwf("exec: integer division by zero")
+			}
+			return l(f) / d
+		}
+	case inspire.OpMod:
+		return func(f *frame) int64 {
+			f.cnt.IntOps++
+			d := r(f)
+			if d == 0 {
+				throwf("exec: integer modulo by zero")
+			}
+			return l(f) % d
+		}
+	case inspire.OpAnd:
+		return func(f *frame) int64 { f.cnt.IntOps++; return l(f) & r(f) }
+	case inspire.OpOr:
+		return func(f *frame) int64 { f.cnt.IntOps++; return l(f) | r(f) }
+	case inspire.OpXor:
+		return func(f *frame) int64 { f.cnt.IntOps++; return l(f) ^ r(f) }
+	case inspire.OpShl:
+		return func(f *frame) int64 { f.cnt.IntOps++; return l(f) << uint(r(f)&63) }
+	case inspire.OpShr:
+		return func(f *frame) int64 { f.cnt.IntOps++; return l(f) >> uint(r(f)&63) }
+	}
+	throwf("exec: bad int binop %s", ex.Op)
+	return nil
+}
+
+// floatExpr compiles a float-valued expression; ints are converted.
+func (cc *compiler) floatExpr(e inspire.Expr) floatFn {
+	t := e.ExprType()
+	if !t.IsFloat() {
+		ie := cc.intExpr(e)
+		return func(f *frame) float64 { return float64(ie(f)) }
+	}
+	switch ex := e.(type) {
+	case *inspire.ConstFloat:
+		v := ex.Value
+		return func(*frame) float64 { return v }
+	case *inspire.VarRef:
+		s := cc.slotFor(ex.Var)
+		if s.kind != slotFloat {
+			throwf("exec: float read of non-float variable %s", ex.Var)
+		}
+		idx := s.idx
+		return func(f *frame) float64 { return f.floats[idx] }
+	case *inspire.Load:
+		buf := cc.bufferFor(ex.Buf)
+		idx := cc.intExpr(ex.Index)
+		isLocal := ex.Buf.Type.Space == minicl.Local
+		name := ex.Buf.Name
+		return func(f *frame) float64 {
+			b := buf(f)
+			i := idx(f)
+			if i < 0 || i >= int64(len(b.F)) {
+				throwf("exec: load %s[%d] out of bounds (len %d)", name, i, len(b.F))
+			}
+			if isLocal {
+				f.cnt.LocalOps++
+			} else {
+				f.cnt.GlobalLoads++
+			}
+			return float64(b.F[i])
+		}
+	case *inspire.BinOp:
+		l := cc.floatExpr(ex.L)
+		r := cc.floatExpr(ex.R)
+		switch ex.Op {
+		case inspire.OpAdd:
+			return func(f *frame) float64 { f.cnt.FloatOps++; return l(f) + r(f) }
+		case inspire.OpSub:
+			return func(f *frame) float64 { f.cnt.FloatOps++; return l(f) - r(f) }
+		case inspire.OpMul:
+			return func(f *frame) float64 { f.cnt.FloatOps++; return l(f) * r(f) }
+		case inspire.OpDiv:
+			return func(f *frame) float64 { f.cnt.FloatOps++; return l(f) / r(f) }
+		}
+		throwf("exec: bad float binop %s", ex.Op)
+	case *inspire.UnOp:
+		x := cc.floatExpr(ex.X)
+		return func(f *frame) float64 { f.cnt.FloatOps++; return -x(f) }
+	case *inspire.Select:
+		cond := cc.boolExpr(ex.Cond)
+		then := cc.floatExpr(ex.Then)
+		els := cc.floatExpr(ex.Else)
+		return func(f *frame) float64 {
+			f.cnt.Branches++
+			if cond(f) {
+				return then(f)
+			}
+			return els(f)
+		}
+	case *inspire.Cast:
+		return cc.floatExpr(ex.X)
+	case *inspire.CallBuiltin:
+		return cc.floatBuiltin(ex)
+	case *inspire.CallFunc:
+		call := cc.callFunc(ex)
+		return func(f *frame) float64 {
+			child := call(f)
+			return child.floats[len(child.floats)-1]
+		}
+	}
+	throwf("exec: cannot compile float expression %T", e)
+	return nil
+}
+
+func (cc *compiler) boolExpr(e inspire.Expr) boolFn {
+	t := e.ExprType()
+	if !t.IsBool() {
+		ie := cc.intExpr(e)
+		return func(f *frame) bool { return ie(f) != 0 }
+	}
+	switch ex := e.(type) {
+	case *inspire.ConstBool:
+		v := ex.Value
+		return func(*frame) bool { return v }
+	case *inspire.VarRef:
+		s := cc.slotFor(ex.Var)
+		idx := s.idx
+		return func(f *frame) bool { return f.ints[idx] != 0 }
+	case *inspire.UnOp: // LNot
+		x := cc.boolExpr(ex.X)
+		return func(f *frame) bool { f.cnt.IntOps++; return !x(f) }
+	case *inspire.Select:
+		cond := cc.boolExpr(ex.Cond)
+		then := cc.boolExpr(ex.Then)
+		els := cc.boolExpr(ex.Else)
+		return func(f *frame) bool {
+			f.cnt.Branches++
+			if cond(f) {
+				return then(f)
+			}
+			return els(f)
+		}
+	case *inspire.Cast:
+		return cc.boolExpr(ex.X)
+	case *inspire.BinOp:
+		if ex.Op.IsLogical() {
+			l := cc.boolExpr(ex.L)
+			r := cc.boolExpr(ex.R)
+			if ex.Op == inspire.OpLAnd {
+				return func(f *frame) bool { f.cnt.IntOps++; return l(f) && r(f) }
+			}
+			return func(f *frame) bool { f.cnt.IntOps++; return l(f) || r(f) }
+		}
+		// Comparison: operand types decide int vs float comparison.
+		if ex.L.ExprType().IsFloat() || ex.R.ExprType().IsFloat() {
+			l := cc.floatExpr(ex.L)
+			r := cc.floatExpr(ex.R)
+			switch ex.Op {
+			case inspire.OpLt:
+				return func(f *frame) bool { f.cnt.FloatOps++; return l(f) < r(f) }
+			case inspire.OpLe:
+				return func(f *frame) bool { f.cnt.FloatOps++; return l(f) <= r(f) }
+			case inspire.OpGt:
+				return func(f *frame) bool { f.cnt.FloatOps++; return l(f) > r(f) }
+			case inspire.OpGe:
+				return func(f *frame) bool { f.cnt.FloatOps++; return l(f) >= r(f) }
+			case inspire.OpEq:
+				return func(f *frame) bool { f.cnt.FloatOps++; return l(f) == r(f) }
+			case inspire.OpNe:
+				return func(f *frame) bool { f.cnt.FloatOps++; return l(f) != r(f) }
+			}
+		}
+		l := cc.intExpr(ex.L)
+		r := cc.intExpr(ex.R)
+		switch ex.Op {
+		case inspire.OpLt:
+			return func(f *frame) bool { f.cnt.IntOps++; return l(f) < r(f) }
+		case inspire.OpLe:
+			return func(f *frame) bool { f.cnt.IntOps++; return l(f) <= r(f) }
+		case inspire.OpGt:
+			return func(f *frame) bool { f.cnt.IntOps++; return l(f) > r(f) }
+		case inspire.OpGe:
+			return func(f *frame) bool { f.cnt.IntOps++; return l(f) >= r(f) }
+		case inspire.OpEq:
+			return func(f *frame) bool { f.cnt.IntOps++; return l(f) == r(f) }
+		case inspire.OpNe:
+			return func(f *frame) bool { f.cnt.IntOps++; return l(f) != r(f) }
+		}
+	}
+	throwf("exec: cannot compile bool expression %T", e)
+	return nil
+}
+
+func (cc *compiler) workItem(ex *inspire.WorkItem) intFn {
+	dim := cc.intExpr(ex.Dim)
+	q := ex.Query
+	return func(f *frame) int64 {
+		f.cnt.IntOps++
+		d := dim(f)
+		if d < 0 || d > 2 {
+			throwf("exec: work-item query dimension %d out of range", d)
+		}
+		switch q {
+		case inspire.GlobalID:
+			return f.wi.gid[d]
+		case inspire.LocalID:
+			return f.wi.lid[d]
+		case inspire.GroupID:
+			return f.wi.grp[d]
+		case inspire.GlobalSize:
+			return f.wi.gsz[d]
+		case inspire.LocalSize:
+			return f.wi.lsz[d]
+		default:
+			return f.wi.ngr[d]
+		}
+	}
+}
+
+// transNames marks expensive float builtins for profiling.
+var transNames = map[string]bool{
+	"exp": true, "log": true, "log2": true, "sin": true, "cos": true,
+	"tan": true, "pow": true, "sqrt": true, "rsqrt": true,
+}
+
+func (cc *compiler) floatBuiltin(ex *inspire.CallBuiltin) floatFn {
+	args := make([]floatFn, len(ex.Args))
+	for i, a := range ex.Args {
+		args[i] = cc.floatExpr(a)
+	}
+	trans := transNames[ex.Name]
+	count := func(f *frame) {
+		if trans {
+			f.cnt.TransOps++
+		} else {
+			f.cnt.OtherBuiltins++
+		}
+	}
+	switch ex.Name {
+	case "sqrt":
+		a := args[0]
+		return func(f *frame) float64 { count(f); return math.Sqrt(a(f)) }
+	case "rsqrt":
+		a := args[0]
+		return func(f *frame) float64 { count(f); return 1 / math.Sqrt(a(f)) }
+	case "fabs":
+		a := args[0]
+		return func(f *frame) float64 { count(f); return math.Abs(a(f)) }
+	case "exp":
+		a := args[0]
+		return func(f *frame) float64 { count(f); return math.Exp(a(f)) }
+	case "log":
+		a := args[0]
+		return func(f *frame) float64 { count(f); return math.Log(a(f)) }
+	case "log2":
+		a := args[0]
+		return func(f *frame) float64 { count(f); return math.Log2(a(f)) }
+	case "sin":
+		a := args[0]
+		return func(f *frame) float64 { count(f); return math.Sin(a(f)) }
+	case "cos":
+		a := args[0]
+		return func(f *frame) float64 { count(f); return math.Cos(a(f)) }
+	case "tan":
+		a := args[0]
+		return func(f *frame) float64 { count(f); return math.Tan(a(f)) }
+	case "pow":
+		a, b := args[0], args[1]
+		return func(f *frame) float64 { count(f); return math.Pow(a(f), b(f)) }
+	case "fmin", "min":
+		a, b := args[0], args[1]
+		return func(f *frame) float64 { count(f); return math.Min(a(f), b(f)) }
+	case "fmax", "max":
+		a, b := args[0], args[1]
+		return func(f *frame) float64 { count(f); return math.Max(a(f), b(f)) }
+	case "fma", "mad":
+		a, b, c := args[0], args[1], args[2]
+		return func(f *frame) float64 { count(f); return a(f)*b(f) + c(f) }
+	case "floor":
+		a := args[0]
+		return func(f *frame) float64 { count(f); return math.Floor(a(f)) }
+	case "ceil":
+		a := args[0]
+		return func(f *frame) float64 { count(f); return math.Ceil(a(f)) }
+	case "abs":
+		a := args[0]
+		return func(f *frame) float64 { count(f); return math.Abs(a(f)) }
+	case "clamp":
+		a, lo, hi := args[0], args[1], args[2]
+		return func(f *frame) float64 {
+			count(f)
+			return math.Max(lo(f), math.Min(a(f), hi(f)))
+		}
+	}
+	throwf("exec: unknown float builtin %q", ex.Name)
+	return nil
+}
+
+func (cc *compiler) intBuiltin(ex *inspire.CallBuiltin) intFn {
+	args := make([]intFn, len(ex.Args))
+	for i, a := range ex.Args {
+		args[i] = cc.intExpr(a)
+	}
+	switch ex.Name {
+	case "min":
+		a, b := args[0], args[1]
+		return func(f *frame) int64 {
+			f.cnt.OtherBuiltins++
+			return min(a(f), b(f))
+		}
+	case "max":
+		a, b := args[0], args[1]
+		return func(f *frame) int64 {
+			f.cnt.OtherBuiltins++
+			return max(a(f), b(f))
+		}
+	case "abs":
+		a := args[0]
+		return func(f *frame) int64 {
+			f.cnt.OtherBuiltins++
+			v := a(f)
+			if v < 0 {
+				return -v
+			}
+			return v
+		}
+	case "clamp":
+		a, lo, hi := args[0], args[1], args[2]
+		return func(f *frame) int64 {
+			f.cnt.OtherBuiltins++
+			return max(lo(f), min(a(f), hi(f)))
+		}
+	}
+	throwf("exec: unknown int builtin %q", ex.Name)
+	return nil
+}
+
+// callFunc compiles a helper call: evaluate arguments, run the callee's
+// body in a fresh child frame, and hand the frame back for return-value
+// extraction. Scalar returns use slot 0 of the respective bank (reserved
+// because the callee's first declared variable could collide — so we shift
+// callee slots by one).
+func (cc *compiler) callFunc(ex *inspire.CallFunc) func(*frame) *frame {
+	callee := compileWith(ex.Callee, cc.helpers)
+	if callee.body == nil {
+		throwf("exec: recursive helper %q not supported", ex.Callee.Name)
+	}
+	if callee.hasBarrier {
+		cc.out.hasBarrier = true
+	}
+	type binder func(parent, child *frame)
+	binders := make([]binder, len(ex.Args))
+	for i, a := range ex.Args {
+		ps := callee.paramSlots[i]
+		switch ps.kind {
+		case slotFloat:
+			val := cc.floatExpr(a)
+			idx := ps.idx
+			binders[i] = func(p, c *frame) { c.floats[idx] = val(p) }
+		case slotInt:
+			val := cc.intExpr(a)
+			idx := ps.idx
+			binders[i] = func(p, c *frame) { c.ints[idx] = val(p) }
+		case slotGlobalBuf:
+			vr, ok := a.(*inspire.VarRef)
+			if !ok {
+				throwf("exec: buffer argument to %q must be a parameter reference", ex.Callee.Name)
+			}
+			src := cc.bufferFor(vr.Var)
+			idx := ps.idx
+			binders[i] = func(p, c *frame) { c.bufs[idx] = src(p) }
+		case slotLocalBuf:
+			vr, ok := a.(*inspire.VarRef)
+			if !ok {
+				throwf("exec: local buffer argument to %q must be a parameter reference", ex.Callee.Name)
+			}
+			src := cc.bufferFor(vr.Var)
+			idx := ps.idx
+			binders[i] = func(p, c *frame) { c.locals[idx] = src(p) }
+		}
+	}
+	nInts, nFloats := callee.nInts+1, callee.nFloats+1
+	nG, nL := callee.nGlobal, callee.nLocal
+	body := callee.body
+	return func(parent *frame) *frame {
+		child := &frame{
+			ints:   make([]int64, nInts),
+			floats: make([]float64, nFloats),
+			wi:     parent.wi,
+			cnt:    parent.cnt,
+			bar:    parent.bar,
+		}
+		if nG > 0 {
+			child.bufs = make([]*Buffer, nG)
+		}
+		if nL > 0 {
+			child.locals = make([]*Buffer, nL)
+		}
+		for _, b := range binders {
+			b(parent, child)
+		}
+		body(child)
+		return child
+	}
+}

@@ -1,0 +1,272 @@
+// Package exec executes INSPIRE kernels over an OpenCL-style NDRange.
+//
+// It serves two roles in the framework:
+//
+//   - Correctness: kernels run against real host buffers, so benchmark
+//     outputs can be verified against Go reference implementations.
+//   - Profiling: every run produces a dynamic operation Profile, bucketed
+//     along dimension 0 of the NDRange. The timing simulator
+//     (internal/sim) prices these buckets on a device model, and because
+//     bucket counts are additive, the cost of ANY contiguous partition
+//     chunk is derived from one profiling run — the exhaustive
+//     partitioning search of the training phase never re-executes kernels.
+//
+// Kernels are compiled to typed closures (one func per IR node) rather
+// than walked, which keeps per-operation overhead low enough to profile
+// millions of work items in tests.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/minicl"
+)
+
+// Buffer is a typed device/host buffer. Exactly one of F or I is non-nil,
+// matching Kind. MiniCL float is 32-bit, so floats are stored as float32
+// (arithmetic happens in float64 and is rounded on store, like C).
+type Buffer struct {
+	Kind minicl.BasicKind
+	F    []float32
+	I    []int32
+}
+
+// NewFloatBuffer allocates a float buffer of n elements.
+func NewFloatBuffer(n int) *Buffer {
+	return &Buffer{Kind: minicl.Float, F: make([]float32, n)}
+}
+
+// NewIntBuffer allocates an int buffer of n elements.
+func NewIntBuffer(n int) *Buffer {
+	return &Buffer{Kind: minicl.Int, I: make([]int32, n)}
+}
+
+// Len returns the element count.
+func (b *Buffer) Len() int {
+	if b.F != nil {
+		return len(b.F)
+	}
+	return len(b.I)
+}
+
+// Bytes returns the buffer size in bytes (4-byte elements).
+func (b *Buffer) Bytes() int64 { return int64(b.Len()) * 4 }
+
+// Clone returns a deep copy of the buffer.
+func (b *Buffer) Clone() *Buffer {
+	nb := &Buffer{Kind: b.Kind}
+	if b.F != nil {
+		nb.F = append([]float32(nil), b.F...)
+	}
+	if b.I != nil {
+		nb.I = append([]int32(nil), b.I...)
+	}
+	return nb
+}
+
+// Arg is one kernel argument. For pointer parameters set Buf (global) or
+// LocalLen (local: the runtime allocates a per-group buffer of that many
+// elements). For scalar parameters set Int or Float according to the
+// parameter type.
+type Arg struct {
+	Buf      *Buffer
+	LocalLen int
+	Int      int64
+	Float    float64
+}
+
+// BufArg wraps a buffer argument.
+func BufArg(b *Buffer) Arg { return Arg{Buf: b} }
+
+// IntArg wraps an int scalar argument.
+func IntArg(v int) Arg { return Arg{Int: int64(v)} }
+
+// FloatArg wraps a float scalar argument.
+func FloatArg(v float64) Arg { return Arg{Float: v} }
+
+// LocalArg requests a per-group local buffer of n elements.
+func LocalArg(n int) Arg { return Arg{LocalLen: n} }
+
+// NDRange is the kernel launch geometry, up to 3 dimensions. Zero entries
+// in Global beyond the used rank are treated as 1. Local sizes must divide
+// the corresponding global sizes; a zero Local[0] picks a default.
+type NDRange struct {
+	Global [3]int
+	Local  [3]int
+}
+
+// ND1 builds a 1-D range with the default local size.
+func ND1(global int) NDRange { return NDRange{Global: [3]int{global, 1, 1}} }
+
+// ND2 builds a 2-D range with the default local size.
+func ND2(gx, gy int) NDRange { return NDRange{Global: [3]int{gx, gy, 1}} }
+
+// DefaultLocal0 is the work-group size used along dimension 0 when the
+// launch does not specify one and the global size is divisible by it.
+const DefaultLocal0 = 64
+
+// Normalized returns the range with zero entries defaulted and local
+// sizes validated; clients needing the effective work-group size (e.g.
+// for chunk alignment) should call this.
+func (nd NDRange) Normalized() (NDRange, error) { return nd.normalized() }
+
+// normalized returns the range with zero entries defaulted.
+func (nd NDRange) normalized() (NDRange, error) {
+	for d := 0; d < 3; d++ {
+		if nd.Global[d] == 0 {
+			nd.Global[d] = 1
+		}
+		if nd.Global[d] < 0 {
+			return nd, fmt.Errorf("exec: negative global size in dim %d", d)
+		}
+	}
+	if nd.Local[0] == 0 {
+		if nd.Global[0]%DefaultLocal0 == 0 {
+			nd.Local[0] = DefaultLocal0
+		} else {
+			nd.Local[0] = 1
+		}
+	}
+	for d := 1; d < 3; d++ {
+		if nd.Local[d] == 0 {
+			nd.Local[d] = 1
+		}
+	}
+	for d := 0; d < 3; d++ {
+		if nd.Global[d]%nd.Local[d] != 0 {
+			return nd, fmt.Errorf("exec: global size %d not divisible by local size %d in dim %d",
+				nd.Global[d], nd.Local[d], d)
+		}
+	}
+	return nd, nil
+}
+
+// Items returns the total number of work items.
+func (nd NDRange) Items() int64 {
+	n := int64(1)
+	for d := 0; d < 3; d++ {
+		g := nd.Global[d]
+		if g == 0 {
+			g = 1
+		}
+		n *= int64(g)
+	}
+	return n
+}
+
+// Counts is a dynamic operation profile: the execution counts of one work
+// item, one profile bucket, or an aggregated chunk.
+type Counts struct {
+	Items         int64 // work items executed
+	IntOps        int64
+	FloatOps      int64
+	TransOps      int64 // transcendental builtin calls
+	OtherBuiltins int64
+	GlobalLoads   int64 // element loads from global buffers
+	GlobalStores  int64
+	LocalOps      int64 // local-memory loads+stores
+	Branches      int64 // executed branch decisions
+	Barriers      int64
+	MaxItemOps    int64 // max per-item total op count seen (imbalance proxy)
+}
+
+// totalOps is the per-item work metric used for MaxItemOps.
+func (c *Counts) totalOps() int64 {
+	return c.IntOps + c.FloatOps + 4*c.TransOps + c.OtherBuiltins +
+		c.GlobalLoads + c.GlobalStores + c.LocalOps
+}
+
+// Add accumulates o into c, taking the max of MaxItemOps.
+func (c *Counts) Add(o *Counts) {
+	c.Items += o.Items
+	c.IntOps += o.IntOps
+	c.FloatOps += o.FloatOps
+	c.TransOps += o.TransOps
+	c.OtherBuiltins += o.OtherBuiltins
+	c.GlobalLoads += o.GlobalLoads
+	c.GlobalStores += o.GlobalStores
+	c.LocalOps += o.LocalOps
+	c.Branches += o.Branches
+	c.Barriers += o.Barriers
+	if o.MaxItemOps > c.MaxItemOps {
+		c.MaxItemOps = o.MaxItemOps
+	}
+}
+
+// GlobalLoadBytes returns bytes read from global memory (4-byte elements).
+func (c *Counts) GlobalLoadBytes() int64 { return c.GlobalLoads * 4 }
+
+// GlobalStoreBytes returns bytes written to global memory.
+func (c *Counts) GlobalStoreBytes() int64 { return c.GlobalStores * 4 }
+
+// Profile is the dynamic profile of one kernel launch, bucketed along
+// dimension 0 so that the cost of any contiguous dim-0 chunk can be
+// reconstructed without re-execution.
+type Profile struct {
+	// Global0 is the dim-0 extent the profile covers.
+	Global0 int
+	// Buckets partition [0, Global0) into len(Buckets) contiguous spans.
+	Buckets []Counts
+}
+
+// DefaultBuckets is the profile resolution along dim 0.
+const DefaultBuckets = 200
+
+// bucketOf maps a dim-0 index to its bucket.
+func (p *Profile) bucketOf(x int) int {
+	return x * len(p.Buckets) / p.Global0
+}
+
+// Range aggregates the profile over dim-0 indices [lo, hi). Bucket counts
+// are attributed proportionally when chunk boundaries cut a bucket.
+func (p *Profile) Range(lo, hi int) Counts {
+	var out Counts
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > p.Global0 {
+		hi = p.Global0
+	}
+	if lo >= hi {
+		return out
+	}
+	nb := len(p.Buckets)
+	for b := 0; b < nb; b++ {
+		bLo := b * p.Global0 / nb
+		bHi := (b + 1) * p.Global0 / nb
+		if bHi <= lo || bLo >= hi {
+			continue
+		}
+		ovLo, ovHi := bLo, bHi
+		if lo > ovLo {
+			ovLo = lo
+		}
+		if hi < ovHi {
+			ovHi = hi
+		}
+		c := p.Buckets[b]
+		if ovLo == bLo && ovHi == bHi {
+			out.Add(&c)
+			continue
+		}
+		frac := float64(ovHi-ovLo) / float64(bHi-bLo)
+		scaled := Counts{
+			Items:         int64(float64(c.Items) * frac),
+			IntOps:        int64(float64(c.IntOps) * frac),
+			FloatOps:      int64(float64(c.FloatOps) * frac),
+			TransOps:      int64(float64(c.TransOps) * frac),
+			OtherBuiltins: int64(float64(c.OtherBuiltins) * frac),
+			GlobalLoads:   int64(float64(c.GlobalLoads) * frac),
+			GlobalStores:  int64(float64(c.GlobalStores) * frac),
+			LocalOps:      int64(float64(c.LocalOps) * frac),
+			Branches:      int64(float64(c.Branches) * frac),
+			Barriers:      int64(float64(c.Barriers) * frac),
+			MaxItemOps:    c.MaxItemOps,
+		}
+		out.Add(&scaled)
+	}
+	return out
+}
+
+// Total aggregates the whole profile.
+func (p *Profile) Total() Counts { return p.Range(0, p.Global0) }

@@ -1,0 +1,218 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/minicl"
+)
+
+func TestRun3DRange(t *testing.T) {
+	src := `kernel void idx3(global int* o, int nx, int ny, int nz) {
+		int x = get_global_id(0);
+		int y = get_global_id(1);
+		int z = get_global_id(2);
+		o[(z * ny + y) * nx + x] = x + 10 * y + 100 * z;
+	}`
+	c := compileSrc(t, src, "idx3")
+	nx, ny, nz := 8, 4, 2
+	o := NewIntBuffer(nx * ny * nz)
+	nd := NDRange{Global: [3]int{nx, ny, nz}, Local: [3]int{4, 2, 1}}
+	if _, err := c.Run([]Arg{BufArg(o), IntArg(nx), IntArg(ny), IntArg(nz)}, nd, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				want := int32(x + 10*y + 100*z)
+				if got := o.I[(z*ny+y)*nx+x]; got != want {
+					t.Fatalf("o[%d,%d,%d] = %d, want %d", x, y, z, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRunGroupQueries(t *testing.T) {
+	src := `kernel void q(global int* grp, global int* num, global int* lsz) {
+		int i = get_global_id(0);
+		grp[i] = get_group_id(0);
+		num[i] = get_num_groups(0);
+		lsz[i] = get_local_size(0);
+	}`
+	c := compileSrc(t, src, "q")
+	n, local := 128, 32
+	grp, num, lsz := NewIntBuffer(n), NewIntBuffer(n), NewIntBuffer(n)
+	nd := NDRange{Global: [3]int{n, 1, 1}, Local: [3]int{local, 1, 1}}
+	if _, err := c.Run([]Arg{BufArg(grp), BufArg(num), BufArg(lsz)}, nd, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if grp.I[i] != int32(i/local) {
+			t.Fatalf("grp[%d] = %d, want %d", i, grp.I[i], i/local)
+		}
+		if num.I[i] != int32(n/local) || lsz.I[i] != int32(local) {
+			t.Fatalf("num/lsz[%d] = %d/%d", i, num.I[i], lsz.I[i])
+		}
+	}
+}
+
+func TestRunChunkSeesFullGlobalSize(t *testing.T) {
+	// Work items in a chunked (multi-device) execution must observe the
+	// full NDRange, or grid-stride code would change meaning.
+	src := `kernel void g(global int* o) {
+		o[get_global_id(0)] = get_global_size(0);
+	}`
+	c := compileSrc(t, src, "g")
+	n := 256
+	o := NewIntBuffer(n)
+	if _, err := c.Run([]Arg{BufArg(o)}, ND1(n), RunOptions{Lo: 64, Hi: 128}); err != nil {
+		t.Fatal(err)
+	}
+	if o.I[64] != int32(n) {
+		t.Errorf("chunked item saw global size %d, want %d", o.I[64], n)
+	}
+	if o.I[0] != 0 {
+		t.Errorf("item outside chunk executed")
+	}
+}
+
+func TestRunNestedHelpers(t *testing.T) {
+	src := `
+float inner(float x) { return x + 1.0; }
+float outer(float x) { return inner(x) * 2.0; }
+kernel void k(global float* o) {
+	o[get_global_id(0)] = outer(3.0);
+}`
+	c := compileSrc(t, src, "k")
+	o := NewFloatBuffer(4)
+	if _, err := c.Run([]Arg{BufArg(o)}, ND1(4), RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if o.F[0] != 8 {
+		t.Errorf("nested helper result %g, want 8", o.F[0])
+	}
+}
+
+func TestRunHelperWithBuffer(t *testing.T) {
+	src := `
+float sumrange(global const float* a, int lo, int hi) {
+	float s = 0.0;
+	for (int i = lo; i < hi; i++) {
+		s += a[i];
+	}
+	return s;
+}
+kernel void k(global const float* a, global float* o, int n) {
+	int i = get_global_id(0);
+	o[i] = sumrange(a, 0, n);
+}`
+	c := compileSrc(t, src, "k")
+	n := 8
+	a, o := NewFloatBuffer(n), NewFloatBuffer(n)
+	for i := range a.F {
+		a.F[i] = 1
+	}
+	if _, err := c.Run([]Arg{BufArg(a), BufArg(o), IntArg(n)}, ND1(n), RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if o.F[3] != float32(n) {
+		t.Errorf("helper buffer sum = %g, want %d", o.F[3], n)
+	}
+}
+
+func TestRunUintArithmetic(t *testing.T) {
+	src := `kernel void u(global int* o, uint a, uint b) {
+		uint s = a + b;
+		uint d = a - b;
+		o[0] = (int)s;
+		o[1] = (int)d;
+		o[2] = (int)(a * b);
+	}`
+	c := compileSrc(t, src, "u")
+	o := NewIntBuffer(4)
+	if _, err := c.Run([]Arg{BufArg(o), IntArg(7), IntArg(3)}, ND1(1), RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if o.I[0] != 10 || o.I[1] != 4 || o.I[2] != 21 {
+		t.Errorf("uint results %v", o.I[:3])
+	}
+}
+
+func TestRunBoolVariables(t *testing.T) {
+	src := `kernel void b(global int* o, int n) {
+		bool big = n > 10;
+		bool even = n % 2 == 0;
+		o[0] = big && even ? 1 : 0;
+		o[1] = big || even ? 1 : 0;
+		o[2] = !big ? 1 : 0;
+	}`
+	c := compileSrc(t, src, "b")
+	o := NewIntBuffer(4)
+	if _, err := c.Run([]Arg{BufArg(o), IntArg(12)}, ND1(1), RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if o.I[0] != 1 || o.I[1] != 1 || o.I[2] != 0 {
+		t.Errorf("bool results %v", o.I[:3])
+	}
+}
+
+func TestRunNegativeIndexCaught(t *testing.T) {
+	src := `kernel void neg(global float* o) {
+		o[get_global_id(0) - 5] = 1.0;
+	}`
+	c := compileSrc(t, src, "neg")
+	o := NewFloatBuffer(16)
+	if _, err := c.Run([]Arg{BufArg(o)}, ND1(16), RunOptions{}); err == nil {
+		t.Fatal("negative index not caught")
+	}
+}
+
+func TestRunLocalIntBuffer(t *testing.T) {
+	src := `kernel void li(global int* o, local int* tmp) {
+		int lid = get_local_id(0);
+		tmp[lid] = lid * 2;
+		barrier(1);
+		o[get_global_id(0)] = tmp[get_local_size(0) - 1 - lid];
+	}`
+	c := compileSrc(t, src, "li")
+	n, local := 64, 8
+	o := NewIntBuffer(n)
+	nd := NDRange{Global: [3]int{n, 1, 1}, Local: [3]int{local, 1, 1}}
+	if _, err := c.Run([]Arg{BufArg(o), LocalArg(local)}, nd, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Item lid reads tmp[local-1-lid] = (local-1-lid)*2.
+	for i := 0; i < n; i++ {
+		lid := i % local
+		want := int32((local - 1 - lid) * 2)
+		if o.I[i] != want {
+			t.Fatalf("o[%d] = %d, want %d", i, o.I[i], want)
+		}
+	}
+}
+
+func TestCountsAddAndBytes(t *testing.T) {
+	a := Counts{Items: 1, IntOps: 2, GlobalLoads: 3, MaxItemOps: 10}
+	b := Counts{Items: 2, IntOps: 5, GlobalStores: 1, MaxItemOps: 4}
+	a.Add(&b)
+	if a.Items != 3 || a.IntOps != 7 || a.GlobalLoads != 3 || a.GlobalStores != 1 {
+		t.Errorf("Add result %+v", a)
+	}
+	if a.MaxItemOps != 10 {
+		t.Errorf("MaxItemOps = %d, want max 10", a.MaxItemOps)
+	}
+	if a.GlobalLoadBytes() != 12 || a.GlobalStoreBytes() != 4 {
+		t.Error("byte accounting wrong")
+	}
+}
+
+func TestBufferKindMismatchRejected(t *testing.T) {
+	c := compileSrc(t, vecaddSrc, "vecadd")
+	n := 64
+	wrong := NewIntBuffer(n)
+	args := []Arg{BufArg(wrong), BufArg(NewFloatBuffer(n)), BufArg(NewFloatBuffer(n)), IntArg(n)}
+	if _, err := c.Run(args, ND1(n), RunOptions{}); err == nil {
+		t.Fatal("int buffer accepted for float parameter")
+	}
+	_ = minicl.TypeInt // keep import for clarity of intent
+}

@@ -1,0 +1,352 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/minicl"
+)
+
+// RunOptions controls a kernel launch.
+type RunOptions struct {
+	// Lo and Hi restrict execution to dim-0 global IDs in [Lo, Hi).
+	// Hi == 0 means the full dim-0 extent. Both must align to the dim-0
+	// work-group size. Work items still observe the full global size, so
+	// chunked execution is semantically a multi-device split, not a
+	// smaller launch.
+	Lo, Hi int
+	// Buckets is the profile resolution along dim 0 (default DefaultBuckets).
+	Buckets int
+	// Workers caps host parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+// Run executes the kernel over the NDRange and returns its dynamic profile.
+func (c *Compiled) Run(args []Arg, nd NDRange, opts RunOptions) (*Profile, error) {
+	nd, err := nd.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.checkArgs(args); err != nil {
+		return nil, err
+	}
+	lo, hi := opts.Lo, opts.Hi
+	if hi == 0 {
+		hi = nd.Global[0]
+	}
+	if lo < 0 || hi > nd.Global[0] || lo > hi {
+		return nil, fmt.Errorf("exec: chunk [%d,%d) outside NDRange dim 0 [0,%d)", lo, hi, nd.Global[0])
+	}
+	lsz0 := nd.Local[0]
+	if lo%lsz0 != 0 || hi%lsz0 != 0 {
+		return nil, fmt.Errorf("exec: chunk [%d,%d) not aligned to work-group size %d", lo, hi, lsz0)
+	}
+	nb := opts.Buckets
+	if nb <= 0 {
+		nb = DefaultBuckets
+	}
+	if nb > nd.Global[0] {
+		nb = nd.Global[0]
+	}
+	prof := &Profile{Global0: nd.Global[0], Buckets: make([]Counts, nb)}
+	if lo == hi {
+		return prof, nil
+	}
+
+	// Enumerate work groups in the chunk.
+	ngrp := [3]int64{
+		int64(nd.Global[0] / nd.Local[0]),
+		int64(nd.Global[1] / nd.Local[1]),
+		int64(nd.Global[2] / nd.Local[2]),
+	}
+	g0lo, g0hi := lo/lsz0, hi/lsz0
+	groupsDim0 := g0hi - g0lo
+	totalGroups := groupsDim0 * int(ngrp[1]) * int(ngrp[2])
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > totalGroups {
+		workers = totalGroups
+	}
+
+	var nextGroup atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	workerBuckets := make([][]Counts, workers)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		buckets := make([]Counts, nb)
+		workerBuckets[w] = buckets
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if ee, ok := r.(execError); ok {
+						errCh <- ee.err
+						return
+					}
+					panic(r)
+				}
+			}()
+			rt := newGroupRunner(c, args, nd, ngrp, buckets)
+			for {
+				g := nextGroup.Add(1) - 1
+				if g >= int64(totalGroups) {
+					return
+				}
+				// Decompose linear group index into (g0, g1, g2).
+				g0 := int(g)%groupsDim0 + g0lo
+				rest := int(g) / groupsDim0
+				g1 := rest % int(ngrp[1])
+				g2 := rest / int(ngrp[1])
+				rt.runGroup(g0, g1, g2)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	for _, wb := range workerBuckets {
+		for i := range wb {
+			prof.Buckets[i].Add(&wb[i])
+		}
+	}
+	return prof, nil
+}
+
+// checkArgs validates argument kinds against the kernel signature.
+func (c *Compiled) checkArgs(args []Arg) error {
+	params := c.Fn.Params
+	if len(args) != len(params) {
+		return fmt.Errorf("exec: kernel %q takes %d arguments, got %d", c.Fn.Name, len(params), len(args))
+	}
+	for i, p := range params {
+		a := args[i]
+		switch {
+		case p.Type.Ptr && p.Type.Space == minicl.Local:
+			if a.LocalLen <= 0 {
+				return fmt.Errorf("exec: argument %d (%s) needs LocalArg with positive length", i, p.Name)
+			}
+		case p.Type.Ptr:
+			if a.Buf == nil {
+				return fmt.Errorf("exec: argument %d (%s) needs a buffer", i, p.Name)
+			}
+			if p.Type.Elem().IsFloat() != (a.Buf.Kind == minicl.Float) {
+				return fmt.Errorf("exec: argument %d (%s): buffer kind mismatch", i, p.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// groupRunner executes work groups for one host worker, reusing frames.
+type groupRunner struct {
+	c       *Compiled
+	nd      NDRange
+	buckets []Counts
+	nb      int
+	global0 int
+
+	frames   []*frame // one per work item in a group
+	locals   []*Buffer
+	lsz      [3]int64
+	gsz      [3]int64
+	ngr      [3]int64
+	barrier  bool
+	itemsPer int
+}
+
+func newGroupRunner(c *Compiled, args []Arg, nd NDRange, ngrp [3]int64, buckets []Counts) *groupRunner {
+	r := &groupRunner{
+		c: c, nd: nd, buckets: buckets, nb: len(buckets), global0: nd.Global[0],
+		lsz: [3]int64{int64(nd.Local[0]), int64(nd.Local[1]), int64(nd.Local[2])},
+		gsz: [3]int64{int64(nd.Global[0]), int64(nd.Global[1]), int64(nd.Global[2])},
+		ngr: ngrp,
+	}
+	r.itemsPer = nd.Local[0] * nd.Local[1] * nd.Local[2]
+	r.barrier = c.hasBarrier && r.itemsPer > 1
+
+	// Per-group local buffers (shared by all frames of the group).
+	r.locals = make([]*Buffer, c.nLocal)
+	globalBufs := make([]*Buffer, c.nGlobal)
+	for i, p := range c.Fn.Params {
+		s := c.paramSlots[i]
+		switch s.kind {
+		case slotGlobalBuf:
+			globalBufs[s.idx] = args[i].Buf
+		case slotLocalBuf:
+			if p.Type.Elem().IsFloat() {
+				r.locals[s.idx] = NewFloatBuffer(args[i].LocalLen)
+			} else {
+				r.locals[s.idx] = NewIntBuffer(args[i].LocalLen)
+			}
+		}
+	}
+
+	r.frames = make([]*frame, r.itemsPer)
+	for i := range r.frames {
+		f := &frame{
+			ints:   make([]int64, c.nInts+1),
+			floats: make([]float64, c.nFloats+1),
+			bufs:   globalBufs,
+			locals: r.locals,
+			cnt:    &Counts{},
+		}
+		f.wi.gsz = r.gsz
+		f.wi.lsz = r.lsz
+		f.wi.ngr = r.ngr
+		// Bind scalar args once; they are identical for every item.
+		for ai, p := range c.Fn.Params {
+			s := c.paramSlots[ai]
+			switch s.kind {
+			case slotInt:
+				f.ints[s.idx] = args[ai].Int
+			case slotFloat:
+				if p.Type.IsFloat() {
+					f.floats[s.idx] = args[ai].Float
+				}
+			}
+		}
+		r.frames[i] = f
+	}
+	return r
+}
+
+// runGroup executes one work group, either sequentially or, when the
+// kernel contains barriers, with one goroutine per work item synchronized
+// on a cyclic barrier.
+func (r *groupRunner) runGroup(g0, g1, g2 int) {
+	// Zero local buffers between groups so groups are independent.
+	for _, lb := range r.locals {
+		if lb == nil {
+			continue
+		}
+		if lb.F != nil {
+			clear(lb.F)
+		} else {
+			clear(lb.I)
+		}
+	}
+	if !r.barrier {
+		li := 0
+		for l2 := 0; l2 < int(r.lsz[2]); l2++ {
+			for l1 := 0; l1 < int(r.lsz[1]); l1++ {
+				for l0 := 0; l0 < int(r.lsz[0]); l0++ {
+					f := r.frames[li]
+					li++
+					r.setupItem(f, g0, g1, g2, l0, l1, l2)
+					r.c.body(f)
+					r.finishItem(f)
+				}
+			}
+		}
+		return
+	}
+
+	bar := newGroupBarrier(r.itemsPer)
+	var wg sync.WaitGroup
+	li := 0
+	var panicVal atomic.Value
+	for l2 := 0; l2 < int(r.lsz[2]); l2++ {
+		for l1 := 0; l1 < int(r.lsz[1]); l1++ {
+			for l0 := 0; l0 < int(r.lsz[0]); l0++ {
+				f := r.frames[li]
+				li++
+				r.setupItem(f, g0, g1, g2, l0, l1, l2)
+				f.bar = bar
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer bar.leave()
+					defer func() {
+						if rec := recover(); rec != nil {
+							panicVal.CompareAndSwap(nil, rec)
+						}
+					}()
+					r.c.body(f)
+				}()
+			}
+		}
+	}
+	wg.Wait()
+	if pv := panicVal.Load(); pv != nil {
+		panic(pv)
+	}
+	for _, f := range r.frames {
+		f.bar = nil
+		r.finishItem(f)
+	}
+}
+
+func (r *groupRunner) setupItem(f *frame, g0, g1, g2, l0, l1, l2 int) {
+	f.wi.grp = [3]int64{int64(g0), int64(g1), int64(g2)}
+	f.wi.lid = [3]int64{int64(l0), int64(l1), int64(l2)}
+	f.wi.gid = [3]int64{
+		int64(g0)*r.lsz[0] + int64(l0),
+		int64(g1)*r.lsz[1] + int64(l1),
+		int64(g2)*r.lsz[2] + int64(l2),
+	}
+	*f.cnt = Counts{}
+}
+
+// finishItem folds the item's counts into its dim-0 profile bucket.
+func (r *groupRunner) finishItem(f *frame) {
+	b := int(f.wi.gid[0]) * r.nb / r.global0
+	c := f.cnt
+	c.Items = 1
+	c.MaxItemOps = c.totalOps()
+	r.buckets[b].Add(c)
+}
+
+// groupBarrier is a cyclic barrier for the work items of one group.
+// Items that finish early leave the barrier so remaining items do not
+// deadlock (matching the "all items reach the barrier or none do per
+// control path" contract loosely, but safely).
+type groupBarrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int // current participant count
+	count int // arrived this generation
+	gen   int
+}
+
+func newGroupBarrier(n int) *groupBarrier {
+	b := &groupBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *groupBarrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.count++
+	if b.count >= b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	g := b.gen
+	for g == b.gen {
+		b.cond.Wait()
+	}
+}
+
+// leave removes a finished work item from the barrier.
+func (b *groupBarrier) leave() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n--
+	if b.count >= b.n && b.n > 0 {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	}
+}

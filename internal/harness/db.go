@@ -1,0 +1,311 @@
+// Package harness implements the offline training pipeline and the
+// evaluation experiments of the paper.
+//
+// Training phase (paper Section 2): every benchmark program is profiled at
+// every problem size; all candidate task partitionings (the 10%-step
+// space) are priced on each platform's device models; the best
+// partitioning, the static+runtime feature vector and all measurements are
+// stored in a database. Models are trained from that database.
+//
+// Deployment phase / evaluation (Section 3): leave-one-program-out
+// prediction reproduces Figure 1 — the speedup of the ML-guided
+// partitioning over the CPU-only and GPU-only default strategies on mc1
+// and mc2 — plus the supporting analyses listed in DESIGN.md.
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/features"
+	"repro/internal/ml"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// Record is one training pattern: "the static features of a program, its
+// runtime features for a certain problem size as well as the best task
+// partitioning for the given program with the current input size" (paper
+// Section 3), extended with the full measurement vector so that every
+// candidate partitioning's simulated time is reusable by the experiments.
+type Record struct {
+	Program   string `json:"program"`
+	Suite     string `json:"suite"`
+	Platform  string `json:"platform"`
+	SizeIdx   int    `json:"sizeIdx"`
+	SizeLabel string `json:"sizeLabel"`
+	SizeN     int    `json:"sizeN"`
+
+	FeatureNames []string  `json:"featureNames"`
+	Features     []float64 `json:"features"`
+
+	// Times[i] is the simulated makespan of partition.Space(3,10)[i].
+	Times []float64 `json:"times"`
+
+	BestClass     int     `json:"bestClass"`
+	BestPartition string  `json:"bestPartition"`
+	OracleTime    float64 `json:"oracleTime"`
+	CPUOnlyTime   float64 `json:"cpuOnlyTime"`
+	GPUOnlyTime   float64 `json:"gpuOnlyTime"`
+}
+
+// DB is the training database.
+type DB struct {
+	// Space is the canonical partition space ("100/0/0", ...), in the
+	// class-index order used by BestClass.
+	Space   []string `json:"space"`
+	Records []Record `json:"records"`
+}
+
+// spaceStrings renders the canonical 3-device 10%-step space.
+func spaceStrings() []string {
+	ps := partition.Space(3, partition.DefaultSteps)
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.String()
+	}
+	return out
+}
+
+// GenOptions configures database generation.
+type GenOptions struct {
+	// Platforms to measure on (default: mc1 and mc2).
+	Platforms []*device.Platform
+	// Programs restricts the suite by name (default: all 23).
+	Programs []string
+	// MaxSizeIdx caps the size family (inclusive; default 5 = all sizes).
+	MaxSizeIdx int
+	// Log receives progress lines (nil = silent).
+	Log io.Writer
+}
+
+func (o *GenOptions) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// Generate builds the training database: one profiled execution per
+// (program, size), priced under every candidate partitioning on every
+// platform. Profiles are platform-independent, so each kernel runs only
+// once per size regardless of platform count.
+func Generate(opts GenOptions) (*DB, error) {
+	if len(opts.Platforms) == 0 {
+		opts.Platforms = device.Platforms()
+	}
+	if opts.MaxSizeIdx <= 0 || opts.MaxSizeIdx > 5 {
+		opts.MaxSizeIdx = 5
+	}
+	progs := bench.All()
+	if len(opts.Programs) > 0 {
+		progs = progs[:0:0]
+		for _, name := range opts.Programs {
+			p, err := bench.Get(name)
+			if err != nil {
+				return nil, err
+			}
+			progs = append(progs, p)
+		}
+	}
+	space := partition.Space(3, partition.DefaultSteps)
+	db := &DB{Space: spaceStrings()}
+
+	runtimes := make([]*runtime.Runtime, len(opts.Platforms))
+	for i, plat := range opts.Platforms {
+		if err := plat.Validate(); err != nil {
+			return nil, err
+		}
+		runtimes[i] = runtime.New(plat)
+	}
+
+	for _, p := range progs {
+		st, err := p.Static()
+		if err != nil {
+			return nil, err
+		}
+		for sz := 0; sz <= opts.MaxSizeIdx && sz < len(p.Sizes); sz++ {
+			l, _, err := p.Build(sz)
+			if err != nil {
+				return nil, err
+			}
+			prof, err := runtimes[0].Profile(l)
+			if err != nil {
+				return nil, fmt.Errorf("harness: profiling %s/%s: %w", p.Name, p.Sizes[sz].Label, err)
+			}
+			fv := features.Combined(st, features.RuntimeInput{
+				Profile:    prof,
+				Plan:       l.Plan,
+				Args:       l.Args,
+				Iterations: l.Iterations,
+			})
+			opts.logf("profiled %-14s %s (%d items)", p.Name, p.Sizes[sz].Label, prof.Total().Items)
+
+			for pi, rt := range runtimes {
+				rec := Record{
+					Program:      p.Name,
+					Suite:        p.Suite,
+					Platform:     opts.Platforms[pi].Name,
+					SizeIdx:      sz,
+					SizeLabel:    p.Sizes[sz].Label,
+					SizeN:        p.Sizes[sz].N,
+					FeatureNames: fv.Names,
+					Features:     fv.Values,
+					Times:        make([]float64, len(space)),
+				}
+				best, bestTime := -1, 0.0
+				for ci, part := range space {
+					tm, _, err := rt.Price(l, prof, part)
+					if err != nil {
+						return nil, err
+					}
+					rec.Times[ci] = tm
+					if best < 0 || tm < bestTime {
+						best, bestTime = ci, tm
+					}
+				}
+				rec.BestClass = best
+				rec.BestPartition = db.Space[best]
+				rec.OracleTime = bestTime
+				cpuClass := classOf(space, rt.CPUOnly())
+				gpuClass := classOf(space, rt.GPUOnly())
+				rec.CPUOnlyTime = rec.Times[cpuClass]
+				rec.GPUOnlyTime = rec.Times[gpuClass]
+				db.Records = append(db.Records, rec)
+			}
+		}
+	}
+	return db, nil
+}
+
+// classOf finds the class index of a partition in the space.
+func classOf(space []partition.Partition, p partition.Partition) int {
+	for i, q := range space {
+		same := true
+		for d := range q.Shares {
+			if q.Shares[d] != p.Shares[d] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return i
+		}
+	}
+	return -1
+}
+
+// Save writes the database as JSON.
+func (db *DB) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	return enc.Encode(db)
+}
+
+// LoadDB reads a database from JSON.
+func LoadDB(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	db := &DB{}
+	if err := json.NewDecoder(f).Decode(db); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// PlatformRecords returns the records measured on the named platform.
+func (db *DB) PlatformRecords(platform string) []Record {
+	var out []Record
+	for _, r := range db.Records {
+		if r.Platform == platform {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Find returns the record for (platform, program, size), or nil.
+func (db *DB) Find(platform, program string, sizeIdx int) *Record {
+	for i := range db.Records {
+		r := &db.Records[i]
+		if r.Platform == platform && r.Program == program && r.SizeIdx == sizeIdx {
+			return r
+		}
+	}
+	return nil
+}
+
+// softBeta controls the cost-sensitive label temperature: the soft target
+// probability of partition c is proportional to exp(-beta*(T_c/T_best-1)),
+// so a partition 10% off the oracle keeps ~37% of the oracle's mass while
+// one 2x off is negligible. This teaches distribution-aware models (MLP)
+// which mispredictions are cheap and which are catastrophic.
+const softBeta = 10.0
+
+// Dataset converts the platform's records into an ML dataset, grouped by
+// program for leave-one-program-out cross validation. featureFilter
+// optionally selects a subset of features by name prefix ("s_" static,
+// "r_" runtime); nil keeps everything. Cost-sensitive soft labels are
+// attached alongside the hard oracle labels.
+func (db *DB) Dataset(platform string, featureFilter func(name string) bool) *ml.Dataset {
+	d := &ml.Dataset{}
+	for _, r := range db.PlatformRecords(platform) {
+		if d.Names == nil {
+			for _, n := range r.FeatureNames {
+				if featureFilter == nil || featureFilter(n) {
+					d.Names = append(d.Names, n)
+				}
+			}
+		}
+		var x []float64
+		for i, n := range r.FeatureNames {
+			if featureFilter == nil || featureFilter(n) {
+				x = append(x, r.Features[i])
+			}
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, r.BestClass)
+		d.Groups = append(d.Groups, r.Program)
+		d.Soft = append(d.Soft, softLabels(r.Times, r.OracleTime))
+	}
+	return d
+}
+
+// softLabels builds the cost-sensitive target distribution for one record.
+func softLabels(times []float64, oracle float64) []float64 {
+	out := make([]float64, len(times))
+	total := 0.0
+	for i, t := range times {
+		v := math.Exp(-softBeta * (t/oracle - 1))
+		out[i] = v
+		total += v
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// Programs returns the distinct program names in the database.
+func (db *DB) Programs() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range db.Records {
+		if !seen[r.Program] {
+			seen[r.Program] = true
+			out = append(out, r.Program)
+		}
+	}
+	return out
+}

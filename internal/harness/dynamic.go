@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"math"
+
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/ml"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// TwoStageModel builds the hierarchical predictor (gate: CPU-only /
+// GPU-only / mixed, then a split classifier), wired to the canonical
+// 3-device 10%-step partition space.
+func TwoStageModel() ml.NewModel {
+	space := partition.Space(3, partition.DefaultSteps)
+	kindOf := func(class int) ml.StageKind {
+		if class < 0 || class >= len(space) {
+			return ml.StageMixed
+		}
+		idx, single := space[class].IsSingle()
+		switch {
+		case single && idx == device.CPUIndex:
+			return ml.StageCPUOnly
+		case single:
+			return ml.StageGPUOnly
+		default:
+			return ml.StageMixed
+		}
+	}
+	cpuClass := classOf(space, partition.Single(3, device.CPUIndex))
+	gpuClass := classOf(space, partition.Single(3, 1))
+	return func() ml.Classifier {
+		return ml.NewTwoStage(kindOf, cpuClass, gpuClass,
+			func() ml.Classifier { return ml.NewMLP(16, 42) },
+			func() ml.Classifier { return ml.NewMLP(32, 43) })
+	}
+}
+
+// DynamicRow is one cell of the T8 dynamic-vs-learned comparison.
+type DynamicRow struct {
+	Program  string
+	Platform string
+	// Times in simulated seconds.
+	Dynamic float64 // StarPU-style greedy chunk scheduler (no training)
+	Oracle  float64 // best static partitioning (exhaustive)
+	CPUOnly float64
+	GPUOnly float64
+	// DynChunks is the scheduler's chunk count.
+	DynChunks int
+}
+
+// DynamicComparison runs T8: the dynamic baseline against the static
+// oracle for every requested program at its default size.
+func DynamicComparison(platformName string, programs []string, chunks int) ([]DynamicRow, error) {
+	plat, err := device.ByName(platformName)
+	if err != nil {
+		return nil, err
+	}
+	rt := runtime.New(plat)
+	var out []DynamicRow
+	for _, name := range programs {
+		p, err := bench.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		l, _, err := p.Build(p.DefaultSize)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := rt.Profile(l)
+		if err != nil {
+			return nil, err
+		}
+		dyn, err := rt.DynamicSchedule(l, prof, chunks)
+		if err != nil {
+			return nil, err
+		}
+		_, oracle, err := rt.Best(l, prof)
+		if err != nil {
+			return nil, err
+		}
+		cpu, _, err := rt.Price(l, prof, rt.CPUOnly())
+		if err != nil {
+			return nil, err
+		}
+		gpu, _, err := rt.Price(l, prof, rt.GPUOnly())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DynamicRow{
+			Program:   name,
+			Platform:  platformName,
+			Dynamic:   dyn.Makespan,
+			Oracle:    oracle,
+			CPUOnly:   cpu,
+			GPUOnly:   gpu,
+			DynChunks: dyn.Chunks,
+		})
+	}
+	return out, nil
+}
+
+// DynamicGeoMeans summarizes T8: geomean of dynamic/oracle and
+// bestDefault/oracle.
+func DynamicGeoMeans(rows []DynamicRow) (dynVsOracle, defaultVsOracle float64) {
+	if len(rows) == 0 {
+		return 0, 0
+	}
+	sd, sb := 0.0, 0.0
+	for _, r := range rows {
+		sd += math.Log(r.Dynamic / r.Oracle)
+		best := math.Min(r.CPUOnly, r.GPUOnly)
+		sb += math.Log(best / r.Oracle)
+	}
+	n := float64(len(rows))
+	return math.Exp(sd / n), math.Exp(sb / n)
+}

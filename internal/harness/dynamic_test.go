@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/ml"
+)
+
+func TestDynamicComparison(t *testing.T) {
+	rows, err := DynamicComparison("mc2", []string{"vecadd", "matmul"}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Dynamic <= 0 || r.Oracle <= 0 {
+			t.Errorf("%s: empty times", r.Program)
+		}
+		// The dynamic scheduler must beat the worst default (it adapts),
+		// and the static oracle must not lose to it by a large margin.
+		worst := r.CPUOnly
+		if r.GPUOnly > worst {
+			worst = r.GPUOnly
+		}
+		if r.Dynamic > worst {
+			t.Errorf("%s: dynamic %g worse than worst default %g", r.Program, r.Dynamic, worst)
+		}
+	}
+	dyn, def := DynamicGeoMeans(rows)
+	if dyn <= 0 || def <= 0 {
+		t.Error("geomeans empty")
+	}
+}
+
+func TestDynamicComparisonErrors(t *testing.T) {
+	if _, err := DynamicComparison("mc9", []string{"vecadd"}, 10); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if _, err := DynamicComparison("mc1", []string{"nope"}, 10); err == nil {
+		t.Error("unknown program accepted")
+	}
+}
+
+func TestTwoStageModelOnDB(t *testing.T) {
+	db := testDB(t)
+	data := db.Dataset("mc2", nil)
+	cv, err := ml.LeaveOneGroupOut(data, TwoStageModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.Folds) == 0 {
+		t.Fatal("no folds")
+	}
+	// Every prediction must be a valid class of the 66-way space.
+	for _, fold := range cv.Folds {
+		for _, p := range fold.Predicted {
+			if p < 0 || p >= 66 {
+				t.Fatalf("prediction %d outside partition space", p)
+			}
+		}
+	}
+}
+
+func TestFigure1WithTwoStage(t *testing.T) {
+	db := testDB(t)
+	res, err := Figure1(db, "mc1", TwoStageModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanOracleEff < 0.4 {
+		t.Errorf("two-stage oracle efficiency %.2f too low", res.MeanOracleEff)
+	}
+}

@@ -1,0 +1,263 @@
+package harness
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ml"
+)
+
+// testDB builds a small database once per test run: 8 diverse programs at
+// the first 3 problem sizes on both platforms.
+var testDBCache *DB
+
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	if testDBCache != nil {
+		return testDBCache
+	}
+	db, err := Generate(GenOptions{
+		Programs: []string{
+			"vecadd", "matmul", "blackscholes", "spmv",
+			"mandelbrot", "reduction", "stencil2d", "nbody",
+		},
+		MaxSizeIdx: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testDBCache = db
+	return db
+}
+
+func TestGenerateShape(t *testing.T) {
+	db := testDB(t)
+	// 8 programs x 3 sizes x 2 platforms.
+	if got := len(db.Records); got != 48 {
+		t.Fatalf("got %d records, want 48", got)
+	}
+	if len(db.Space) != 66 {
+		t.Fatalf("space size %d, want 66", len(db.Space))
+	}
+	for _, r := range db.Records {
+		if len(r.Times) != 66 {
+			t.Fatalf("%s: %d times", r.Program, len(r.Times))
+		}
+		if r.OracleTime <= 0 {
+			t.Errorf("%s/%s: zero oracle time", r.Program, r.SizeLabel)
+		}
+		for _, tm := range r.Times {
+			if tm < r.OracleTime*0.999999 {
+				t.Errorf("%s: time %g below oracle %g", r.Program, tm, r.OracleTime)
+			}
+		}
+		if r.BestPartition != db.Space[r.BestClass] {
+			t.Errorf("%s: label/partition mismatch", r.Program)
+		}
+		if r.CPUOnlyTime < r.OracleTime || r.GPUOnlyTime < r.OracleTime {
+			t.Errorf("%s: default beats oracle", r.Program)
+		}
+		if len(r.Features) != len(r.FeatureNames) {
+			t.Errorf("%s: feature shape mismatch", r.Program)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	db1, err := Generate(GenOptions{Programs: []string{"vecadd"}, MaxSizeIdx: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Generate(GenOptions{Programs: []string{"vecadd"}, MaxSizeIdx: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range db1.Records {
+		r1, r2 := db1.Records[i], db2.Records[i]
+		if r1.BestClass != r2.BestClass || r1.OracleTime != r2.OracleTime {
+			t.Fatal("Generate is not deterministic")
+		}
+		for j := range r1.Features {
+			if r1.Features[j] != r2.Features[j] {
+				t.Fatal("features differ between runs")
+			}
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := testDB(t)
+	path := filepath.Join(t.TempDir(), "db.json")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Records) != len(db.Records) {
+		t.Fatalf("loaded %d records, want %d", len(loaded.Records), len(db.Records))
+	}
+	if loaded.Records[3].BestPartition != db.Records[3].BestPartition {
+		t.Error("round trip lost labels")
+	}
+}
+
+func TestFigure1SmallDB(t *testing.T) {
+	db := testDB(t)
+	for _, plat := range []string{"mc1", "mc2"} {
+		res, err := Figure1(db, plat, FastModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 8 {
+			t.Fatalf("%s: %d rows, want 8", plat, len(res.Rows))
+		}
+		for _, row := range res.Rows {
+			if row.PredTime <= 0 {
+				t.Errorf("%s/%s: zero predicted time", plat, row.Program)
+			}
+			if row.OracleEfficie > 1.0000001 {
+				t.Errorf("%s/%s: oracle efficiency %g > 1", plat, row.Program, row.OracleEfficie)
+			}
+		}
+		// The predicted partitioning must not be catastrophically worse
+		// than the oracle on average even with the fast model.
+		if res.MeanOracleEff < 0.4 {
+			t.Errorf("%s: mean oracle efficiency %.2f too low", plat, res.MeanOracleEff)
+		}
+	}
+}
+
+func TestDefaultsAsymmetry(t *testing.T) {
+	db := testDB(t)
+	rows := DefaultsAsymmetry(db, []string{"mc1", "mc2"})
+	if len(rows) != 2 {
+		t.Fatal("want 2 platforms")
+	}
+	mc1, mc2 := rows[0], rows[1]
+	// Claim C2: CPU-only stronger on mc1 than on mc2, relatively.
+	if mc1.MeanCPUGPU <= mc2.MeanCPUGPU {
+		t.Errorf("defaults asymmetry inverted: mc1 %.2f, mc2 %.2f (want mc1 > mc2)",
+			mc1.MeanCPUGPU, mc2.MeanCPUGPU)
+	}
+	if mc1.CPUWins+mc1.GPUWins != 24 {
+		t.Errorf("mc1 covers %d records, want 24", mc1.CPUWins+mc1.GPUWins)
+	}
+}
+
+func TestSizeSensitivity(t *testing.T) {
+	db := testDB(t)
+	rows, err := SizeSensitivity(db, "mc2", []string{"matmul", "blackscholes", "mandelbrot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim C1: at least one program's oracle partitioning must change
+	// with the problem size.
+	changed := false
+	for _, row := range rows {
+		for i := 1; i < len(row.PerSize); i++ {
+			if row.PerSize[i] != row.PerSize[0] {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Error("no program's oracle partitioning changes with size (claim C1 not visible)")
+	}
+}
+
+func TestCompareModels(t *testing.T) {
+	db := testDB(t)
+	models := map[string]ml.NewModel{
+		"knn":    func() ml.Classifier { return ml.NewKNN(5) },
+		"dtree":  func() ml.Classifier { return ml.NewTree() },
+		"logreg": func() ml.Classifier { return ml.NewLogReg(42) },
+	}
+	rows, err := CompareModels(db, "mc2", models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.OracleEff <= 0 || row.OracleEff > 1.0000001 {
+			t.Errorf("%s: oracle efficiency %g out of (0,1]", row.Model, row.OracleEff)
+		}
+		if row.Accuracy < 0 || row.Accuracy > 1 {
+			t.Errorf("%s: accuracy %g", row.Model, row.Accuracy)
+		}
+	}
+}
+
+func TestFeatureAblation(t *testing.T) {
+	db := testDB(t)
+	rows, err := FeatureAblation(db, "mc2", FastModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Features] = r
+	}
+	// Static-only cannot distinguish problem sizes: for programs whose
+	// best partitioning is size-dependent it must not beat combined.
+	if byName["static-only"].OracleEff > byName["combined"].OracleEff+0.05 {
+		t.Errorf("static-only (%.3f) outperforms combined (%.3f)",
+			byName["static-only"].OracleEff, byName["combined"].OracleEff)
+	}
+}
+
+func TestOracleGap(t *testing.T) {
+	db := testDB(t)
+	for _, plat := range []string{"mc1", "mc2"} {
+		row := OracleGap(db, plat)
+		if row.MeanOracleVsBestSingle < 1 {
+			t.Errorf("%s: oracle worse than best single device (%.3f)", plat, row.MeanOracleVsBestSingle)
+		}
+		if row.FracSizeDependent == 0 {
+			t.Errorf("%s: no size-dependent programs", plat)
+		}
+	}
+}
+
+func TestStepAblation(t *testing.T) {
+	rows, err := StepAblation("mc2", []string{"vecadd"}, []int{4, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Finer grids can only match or improve the oracle.
+	bySteps := map[int]float64{}
+	for _, r := range rows {
+		bySteps[r.Steps] = r.OracleTime
+	}
+	if bySteps[20] > bySteps[10]*1.000001 || bySteps[10] > bySteps[4]*1.000001 {
+		t.Errorf("finer grid worsened oracle: %v", bySteps)
+	}
+	if rows[0].SpaceSize >= rows[1].SpaceSize {
+		t.Error("space size should grow with steps")
+	}
+}
+
+func TestDatasetFilter(t *testing.T) {
+	db := testDB(t)
+	all := db.Dataset("mc1", nil)
+	static := db.Dataset("mc1", func(n string) bool { return n[0] == 's' })
+	if static.Dim() >= all.Dim() {
+		t.Errorf("filtered dim %d not smaller than %d", static.Dim(), all.Dim())
+	}
+	if static.Len() != all.Len() {
+		t.Error("filter changed sample count")
+	}
+	if math.IsNaN(static.X[0][0]) {
+		t.Error("NaN in filtered dataset")
+	}
+}

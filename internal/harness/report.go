@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// table is a minimal text table writer for experiment reports.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// WriteFigure1 renders a Fig1Result as the paper's Figure 1 rows.
+func WriteFigure1(w io.Writer, res *Fig1Result) {
+	fmt.Fprintf(w, "Figure 1 — speedup of ML-guided partitioning (platform %s, default sizes)\n", res.Platform)
+	tb := newTable("program", "predicted", "oracle", "vs CPU-only", "vs GPU-only", "oracle-eff")
+	for _, r := range res.Rows {
+		tb.add(r.Program, r.Predicted, r.Oracle,
+			fmt.Sprintf("%.2fx", r.SpeedupVsCPU),
+			fmt.Sprintf("%.2fx", r.SpeedupVsGPU),
+			fmt.Sprintf("%.2f", r.OracleEfficie))
+	}
+	tb.add("GEOMEAN", "", "",
+		fmt.Sprintf("%.2fx", res.GeoMeanVsCPU),
+		fmt.Sprintf("%.2fx", res.GeoMeanVsGPU),
+		fmt.Sprintf("%.2f", res.MeanOracleEff))
+	tb.write(w)
+}
+
+// WriteDefaults renders the T2 defaults-asymmetry table.
+func WriteDefaults(w io.Writer, rows []DefaultsRow) {
+	fmt.Fprintln(w, "T2 — default strategy asymmetry (all programs x sizes)")
+	tb := newTable("platform", "CPU-only wins", "GPU-only wins", "geomean GPU/CPU time")
+	for _, r := range rows {
+		tb.add(r.Platform,
+			fmt.Sprintf("%d", r.CPUWins),
+			fmt.Sprintf("%d", r.GPUWins),
+			fmt.Sprintf("%.2f", r.MeanCPUGPU))
+	}
+	tb.write(w)
+	fmt.Fprintln(w, "  (>1: CPU-only faster on average; <1: GPU-only faster)")
+}
+
+// WriteSizeSensitivity renders the T3 oracle-partitioning-vs-size table.
+func WriteSizeSensitivity(w io.Writer, rows []SizeRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "T3 — oracle partitioning vs problem size (platform %s, CPU/GPU1/GPU2)\n", rows[0].Platform)
+	header := append([]string{"program"}, rows[0].SizeLabels...)
+	tb := newTable(header...)
+	for _, r := range rows {
+		tb.add(append([]string{r.Program}, r.PerSize...)...)
+	}
+	tb.write(w)
+}
+
+// WriteModels renders the T4 model-comparison table.
+func WriteModels(w io.Writer, rows []ModelRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "T4 — model comparison, leave-one-program-out (platform %s)\n", rows[0].Platform)
+	tb := newTable("model", "label accuracy", "oracle-eff", "vs CPU-only", "vs GPU-only")
+	for _, r := range rows {
+		tb.add(r.Model,
+			fmt.Sprintf("%.2f", r.Accuracy),
+			fmt.Sprintf("%.2f", r.OracleEff),
+			fmt.Sprintf("%.2fx", r.VsCPU),
+			fmt.Sprintf("%.2fx", r.VsGPU))
+	}
+	tb.write(w)
+}
+
+// WriteAblation renders the T5 feature-ablation table.
+func WriteAblation(w io.Writer, rows []AblationRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "T5 — feature-class ablation (platform %s)\n", rows[0].Platform)
+	tb := newTable("features", "label accuracy", "oracle-eff")
+	for _, r := range rows {
+		tb.add(r.Features, fmt.Sprintf("%.2f", r.Accuracy), fmt.Sprintf("%.2f", r.OracleEff))
+	}
+	tb.write(w)
+}
+
+// WriteOracleGap renders the T6 oracle-gap summary.
+func WriteOracleGap(w io.Writer, rows []OracleGapRow) {
+	fmt.Fprintln(w, "T6 — oracle headroom over the best single device")
+	tb := newTable("platform", "oracle vs best-single", "multi-device oracles", "size-dependent programs")
+	for _, r := range rows {
+		tb.add(r.Platform,
+			fmt.Sprintf("%.2fx", r.MeanOracleVsBestSingle),
+			fmt.Sprintf("%.0f%%", r.FracMultiDevice*100),
+			fmt.Sprintf("%.0f%%", r.FracSizeDependent*100))
+	}
+	tb.write(w)
+}
+
+// WriteDynamic renders the T8 dynamic-vs-learned comparison.
+func WriteDynamic(w io.Writer, rows []DynamicRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "T8 — dynamic chunk scheduler vs static oracle (platform %s, default sizes)\n", rows[0].Platform)
+	tb := newTable("program", "dynamic", "static oracle", "dyn/oracle", "CPU-only", "GPU-only")
+	for _, r := range rows {
+		tb.add(r.Program,
+			fmt.Sprintf("%.4g ms", r.Dynamic*1e3),
+			fmt.Sprintf("%.4g ms", r.Oracle*1e3),
+			fmt.Sprintf("%.2fx", r.Dynamic/r.Oracle),
+			fmt.Sprintf("%.4g ms", r.CPUOnly*1e3),
+			fmt.Sprintf("%.4g ms", r.GPUOnly*1e3))
+	}
+	dyn, def := DynamicGeoMeans(rows)
+	tb.add("GEOMEAN", "", "", fmt.Sprintf("%.2fx", dyn), "", fmt.Sprintf("best-default %.2fx", def))
+	tb.write(w)
+}
+
+// WriteSteps renders the T7 step-size ablation.
+func WriteSteps(w io.Writer, rows []StepRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "T7 — partition grid step ablation (platform %s, default sizes)\n", rows[0].Platform)
+	tb := newTable("program", "steps", "candidates", "oracle time")
+	for _, r := range rows {
+		tb.add(r.Program,
+			fmt.Sprintf("%d", r.Steps),
+			fmt.Sprintf("%d", r.SpaceSize),
+			fmt.Sprintf("%.4g ms", r.OracleTime*1e3))
+	}
+	tb.write(w)
+}

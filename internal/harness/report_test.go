@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ml"
+)
+
+func TestWriteFigure1Format(t *testing.T) {
+	db := testDB(t)
+	res, err := Figure1(db, "mc2", FastModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteFigure1(&sb, res)
+	out := sb.String()
+	for _, want := range []string{"Figure 1", "mc2", "GEOMEAN", "vs CPU-only", "vs GPU-only", "vecadd"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 1 output missing %q:\n%s", want, out)
+		}
+	}
+	// One row per program plus header, separator and geomean.
+	lines := strings.Count(out, "\n")
+	if lines < len(res.Rows)+3 {
+		t.Errorf("only %d lines for %d rows", lines, len(res.Rows))
+	}
+}
+
+func TestWriteTablesSmoke(t *testing.T) {
+	db := testDB(t)
+	var sb strings.Builder
+
+	WriteDefaults(&sb, DefaultsAsymmetry(db, []string{"mc1", "mc2"}))
+	if !strings.Contains(sb.String(), "T2") {
+		t.Error("T2 header missing")
+	}
+
+	sb.Reset()
+	rows, err := SizeSensitivity(db, "mc1", []string{"vecadd", "matmul"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteSizeSensitivity(&sb, rows)
+	if !strings.Contains(sb.String(), "oracle partitioning vs problem size") {
+		t.Error("T3 header missing")
+	}
+
+	sb.Reset()
+	ab, err := FeatureAblation(db, "mc1", FastModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteAblation(&sb, ab)
+	for _, want := range []string{"static-only", "runtime-only", "combined"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("T5 output missing %q", want)
+		}
+	}
+
+	sb.Reset()
+	WriteOracleGap(&sb, []OracleGapRow{OracleGap(db, "mc1")})
+	if !strings.Contains(sb.String(), "T6") {
+		t.Error("T6 header missing")
+	}
+
+	sb.Reset()
+	st, err := StepAblation("mc1", []string{"vecadd"}, []int{4, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteSteps(&sb, st)
+	if !strings.Contains(sb.String(), "T7") {
+		t.Error("T7 header missing")
+	}
+
+	sb.Reset()
+	dyn, err := DynamicComparison("mc1", []string{"vecadd"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteDynamic(&sb, dyn)
+	if !strings.Contains(sb.String(), "T8") {
+		t.Error("T8 header missing")
+	}
+
+	sb.Reset()
+	mr, err := CompareModels(db, "mc1", map[string]ml.NewModel{
+		"knn": func() ml.Classifier { return ml.NewKNN(3) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteModels(&sb, mr)
+	if !strings.Contains(sb.String(), "T4") {
+		t.Error("T4 header missing")
+	}
+}

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+// benchDefault returns the canonical default size index of a program.
+func benchDefault(program string) int {
+	p, err := bench.Get(program)
+	if err != nil {
+		return 0
+	}
+	return p.DefaultSize
+}
+
+// StepRow is one cell of the partition-step ablation (T7): the oracle
+// makespan achievable when the partition grid uses the given step count.
+type StepRow struct {
+	Program    string
+	Platform   string
+	Steps      int     // share units (10 = the paper's 10% step)
+	SpaceSize  int     // number of candidate partitionings
+	OracleTime float64 // best achievable makespan on that grid
+}
+
+// StepAblation reproduces T7: how much oracle quality depends on the
+// discretization step. Finer grids can only improve the oracle; the
+// experiment quantifies by how much, justifying the paper's 10% choice.
+// Sizes are evaluated at each program's default size.
+func StepAblation(platformName string, programs []string, stepsList []int) ([]StepRow, error) {
+	plat, err := device.ByName(platformName)
+	if err != nil {
+		return nil, err
+	}
+	rt := runtime.New(plat)
+	var out []StepRow
+	for _, name := range programs {
+		p, err := bench.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		l, _, err := p.Build(p.DefaultSize)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := rt.Profile(l)
+		if err != nil {
+			return nil, err
+		}
+		for _, steps := range stepsList {
+			if steps <= 0 {
+				return nil, fmt.Errorf("harness: invalid step count %d", steps)
+			}
+			space := partition.Space(plat.NumDevices(), steps)
+			best := -1.0
+			for _, part := range space {
+				tm, _, err := rt.Price(l, prof, part)
+				if err != nil {
+					return nil, err
+				}
+				if best < 0 || tm < best {
+					best = tm
+				}
+			}
+			out = append(out, StepRow{
+				Program:    name,
+				Platform:   platformName,
+				Steps:      steps,
+				SpaceSize:  len(space),
+				OracleTime: best,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,423 @@
+package inspire
+
+import "repro/internal/minicl"
+
+// This file implements the compile-time optimization passes the framework
+// runs before feature extraction and code generation, mirroring the
+// cleanup pipeline of a production source-to-source compiler:
+//
+//   - constant folding (arithmetic, comparisons, selects on constants)
+//   - algebraic simplification (x*1, x+0, x*0, x/1, double negation)
+//   - dead code elimination (branches with constant conditions, loops
+//     that provably never run, code after return/break/continue)
+//
+// Passes matter for the reproduction because static features must reflect
+// the code a backend would actually run: unfolded constants or dead
+// branches would otherwise skew operation mixes.
+
+// Optimize runs the standard pass pipeline over every function of the
+// unit, in place, until a fixed point (bounded by a small iteration cap).
+func Optimize(u *Unit) {
+	for _, f := range append(append([]*Function{}, u.Helpers...), u.Kernels...) {
+		for i := 0; i < 4; i++ {
+			changed := foldFunction(f)
+			if elim := eliminateDead(f); elim {
+				changed = true
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+}
+
+// --- constant folding and algebraic simplification ---
+
+// foldFunction folds expressions in every statement; reports change.
+func foldFunction(f *Function) bool {
+	changed := false
+	var foldStmt func(s Stmt)
+	foldExprP := func(e *Expr) {
+		if *e == nil {
+			return
+		}
+		folded, c := foldExpr(*e)
+		if c {
+			*e = folded
+			changed = true
+		}
+	}
+	foldStmt = func(s Stmt) {
+		switch st := s.(type) {
+		case *Block:
+			for _, inner := range st.Stmts {
+				foldStmt(inner)
+			}
+		case *Decl:
+			foldExprP(&st.Init)
+		case *StoreVar:
+			foldExprP(&st.Value)
+		case *StoreElem:
+			foldExprP(&st.Index)
+			foldExprP(&st.Value)
+		case *If:
+			foldExprP(&st.Cond)
+			foldStmt(st.Then)
+			if st.Else != nil {
+				foldStmt(st.Else)
+			}
+		case *For:
+			if st.Init != nil {
+				foldStmt(st.Init)
+			}
+			foldExprP(&st.Cond)
+			if st.Post != nil {
+				foldStmt(st.Post)
+			}
+			foldStmt(st.Body)
+		case *While:
+			foldExprP(&st.Cond)
+			foldStmt(st.Body)
+		case *Return:
+			foldExprP(&st.Value)
+		case *Eval:
+			foldExprP(&st.X)
+		}
+	}
+	foldStmt(f.Body)
+	return changed
+}
+
+// foldExpr rewrites an expression bottom-up, returning the (possibly new)
+// expression and whether anything changed.
+func foldExpr(e Expr) (Expr, bool) {
+	switch ex := e.(type) {
+	case *BinOp:
+		l, cl := foldExpr(ex.L)
+		r, cr := foldExpr(ex.R)
+		ex.L, ex.R = l, r
+		if out, ok := foldBinOp(ex); ok {
+			return out, true
+		}
+		return ex, cl || cr
+	case *UnOp:
+		x, c := foldExpr(ex.X)
+		ex.X = x
+		switch ex.Op {
+		case OpNeg:
+			switch v := x.(type) {
+			case *ConstInt:
+				return &ConstInt{Value: -v.Value, Typ: ex.Typ}, true
+			case *ConstFloat:
+				return &ConstFloat{Value: -v.Value}, true
+			case *UnOp:
+				if v.Op == OpNeg { // --x = x
+					return v.X, true
+				}
+			}
+		case OpLNot:
+			if v, ok := x.(*ConstBool); ok {
+				return &ConstBool{Value: !v.Value}, true
+			}
+			if v, ok := x.(*UnOp); ok && v.Op == OpLNot { // !!x = x
+				return v.X, true
+			}
+		}
+		return ex, c
+	case *Select:
+		cond, cc := foldExpr(ex.Cond)
+		then, ct := foldExpr(ex.Then)
+		els, ce := foldExpr(ex.Else)
+		ex.Cond, ex.Then, ex.Else = cond, then, els
+		if v, ok := cond.(*ConstBool); ok {
+			if v.Value {
+				return then, true
+			}
+			return els, true
+		}
+		return ex, cc || ct || ce
+	case *Cast:
+		x, c := foldExpr(ex.X)
+		ex.X = x
+		switch v := x.(type) {
+		case *ConstInt:
+			if ex.To.IsFloat() {
+				return &ConstFloat{Value: float64(v.Value)}, true
+			}
+			if ex.To.IsInteger() {
+				return &ConstInt{Value: v.Value, Typ: ex.To}, true
+			}
+		case *ConstFloat:
+			if ex.To.IsInteger() {
+				return &ConstInt{Value: int64(v.Value), Typ: ex.To}, true
+			}
+			if ex.To.IsFloat() {
+				return v, true
+			}
+		}
+		return ex, c
+	case *Load:
+		idx, c := foldExpr(ex.Index)
+		ex.Index = idx
+		return ex, c
+	case *CallBuiltin:
+		changed := false
+		for i := range ex.Args {
+			a, c := foldExpr(ex.Args[i])
+			ex.Args[i] = a
+			changed = changed || c
+		}
+		return ex, changed
+	case *CallFunc:
+		changed := false
+		for i := range ex.Args {
+			a, c := foldExpr(ex.Args[i])
+			ex.Args[i] = a
+			changed = changed || c
+		}
+		return ex, changed
+	case *WorkItem:
+		d, c := foldExpr(ex.Dim)
+		ex.Dim = d
+		return ex, c
+	}
+	return e, false
+}
+
+// foldBinOp handles constant and algebraic binary rewrites.
+func foldBinOp(ex *BinOp) (Expr, bool) {
+	li, lIsInt := ex.L.(*ConstInt)
+	ri, rIsInt := ex.R.(*ConstInt)
+	lf, lIsFloat := ex.L.(*ConstFloat)
+	rf, rIsFloat := ex.R.(*ConstFloat)
+	lb, lIsBool := ex.L.(*ConstBool)
+	rb, rIsBool := ex.R.(*ConstBool)
+
+	// Integer constant arithmetic.
+	if lIsInt && rIsInt {
+		if out, ok := foldIntInt(ex.Op, li.Value, ri.Value, ex.Typ); ok {
+			return out, true
+		}
+	}
+	// Float constant arithmetic.
+	if lIsFloat && rIsFloat {
+		if out, ok := foldFloatFloat(ex.Op, lf.Value, rf.Value); ok {
+			return out, true
+		}
+	}
+	// Logical constants.
+	if ex.Op == OpLAnd {
+		if lIsBool {
+			if !lb.Value {
+				return &ConstBool{Value: false}, true
+			}
+			return ex.R, true
+		}
+		if rIsBool && rb.Value {
+			return ex.L, true
+		}
+	}
+	if ex.Op == OpLOr {
+		if lIsBool {
+			if lb.Value {
+				return &ConstBool{Value: true}, true
+			}
+			return ex.R, true
+		}
+		if rIsBool && !rb.Value {
+			return ex.L, true
+		}
+	}
+
+	// Algebraic identities (numeric only; float identities below are safe
+	// for the values kernels produce: x+0, x*1, x*0 keep sign behaviour
+	// close enough for feature extraction and execution parity).
+	isZeroR := (rIsInt && ri.Value == 0) || (rIsFloat && rf.Value == 0)
+	isOneR := (rIsInt && ri.Value == 1) || (rIsFloat && rf.Value == 1)
+	isZeroL := (lIsInt && li.Value == 0) || (lIsFloat && lf.Value == 0)
+	isOneL := (lIsInt && li.Value == 1) || (lIsFloat && lf.Value == 1)
+	switch ex.Op {
+	case OpAdd:
+		if isZeroR {
+			return ex.L, true
+		}
+		if isZeroL {
+			return ex.R, true
+		}
+	case OpSub:
+		if isZeroR {
+			return ex.L, true
+		}
+	case OpMul:
+		if isOneR {
+			return ex.L, true
+		}
+		if isOneL {
+			return ex.R, true
+		}
+		if (isZeroR || isZeroL) && ex.Typ.IsInteger() {
+			return &ConstInt{Value: 0, Typ: ex.Typ}, true
+		}
+	case OpDiv:
+		if isOneR {
+			return ex.L, true
+		}
+	case OpShl, OpShr:
+		if isZeroR {
+			return ex.L, true
+		}
+	}
+	return nil, false
+}
+
+func foldIntInt(op Op, a, b int64, t minicl.Type) (Expr, bool) {
+	mk := func(v int64) Expr { return &ConstInt{Value: v, Typ: t} }
+	mkb := func(v bool) Expr { return &ConstBool{Value: v} }
+	switch op {
+	case OpAdd:
+		return mk(a + b), true
+	case OpSub:
+		return mk(a - b), true
+	case OpMul:
+		return mk(a * b), true
+	case OpDiv:
+		if b == 0 {
+			return nil, false // preserve the runtime fault
+		}
+		return mk(a / b), true
+	case OpMod:
+		if b == 0 {
+			return nil, false
+		}
+		return mk(a % b), true
+	case OpAnd:
+		return mk(a & b), true
+	case OpOr:
+		return mk(a | b), true
+	case OpXor:
+		return mk(a ^ b), true
+	case OpShl:
+		return mk(a << uint(b&63)), true
+	case OpShr:
+		return mk(a >> uint(b&63)), true
+	case OpLt:
+		return mkb(a < b), true
+	case OpLe:
+		return mkb(a <= b), true
+	case OpGt:
+		return mkb(a > b), true
+	case OpGe:
+		return mkb(a >= b), true
+	case OpEq:
+		return mkb(a == b), true
+	case OpNe:
+		return mkb(a != b), true
+	}
+	return nil, false
+}
+
+func foldFloatFloat(op Op, a, b float64) (Expr, bool) {
+	mk := func(v float64) Expr { return &ConstFloat{Value: v} }
+	mkb := func(v bool) Expr { return &ConstBool{Value: v} }
+	switch op {
+	case OpAdd:
+		return mk(a + b), true
+	case OpSub:
+		return mk(a - b), true
+	case OpMul:
+		return mk(a * b), true
+	case OpDiv:
+		if b == 0 {
+			return nil, false // keep Inf/NaN semantics at run time
+		}
+		return mk(a / b), true
+	case OpLt:
+		return mkb(a < b), true
+	case OpLe:
+		return mkb(a <= b), true
+	case OpGt:
+		return mkb(a > b), true
+	case OpGe:
+		return mkb(a >= b), true
+	case OpEq:
+		return mkb(a == b), true
+	case OpNe:
+		return mkb(a != b), true
+	}
+	return nil, false
+}
+
+// --- dead code elimination ---
+
+// eliminateDead removes statically dead statements; reports change.
+func eliminateDead(f *Function) bool {
+	changed := false
+	var cleanBlock func(b *Block)
+	cleanBlock = func(b *Block) {
+		if b == nil {
+			return
+		}
+		var out []Stmt
+		for _, s := range b.Stmts {
+			// Recurse first.
+			switch st := s.(type) {
+			case *Block:
+				cleanBlock(st)
+			case *If:
+				cleanBlock(st.Then)
+				cleanBlock(st.Else)
+			case *For:
+				cleanBlock(st.Body)
+			case *While:
+				cleanBlock(st.Body)
+			}
+			// Constant-condition branches.
+			if ifs, ok := s.(*If); ok {
+				if c, isConst := ifs.Cond.(*ConstBool); isConst {
+					changed = true
+					if c.Value {
+						out = append(out, ifs.Then)
+					} else if ifs.Else != nil {
+						out = append(out, ifs.Else)
+					}
+					continue
+				}
+			}
+			// while(false) never runs.
+			if ws, ok := s.(*While); ok {
+				if c, isConst := ws.Cond.(*ConstBool); isConst && !c.Value {
+					changed = true
+					continue
+				}
+			}
+			out = append(out, s)
+			// Everything after a terminator in the same block is dead.
+			if isTerminator(s) {
+				if len(out) < len(b.Stmts) {
+					changed = true
+				}
+				break
+			}
+		}
+		if len(out) != len(b.Stmts) {
+			changed = true
+		}
+		b.Stmts = out
+	}
+	cleanBlock(f.Body)
+	return changed
+}
+
+// isTerminator reports whether control cannot flow past the statement.
+func isTerminator(s Stmt) bool {
+	switch st := s.(type) {
+	case *Return, *Break, *Continue:
+		return true
+	case *Block:
+		if len(st.Stmts) == 0 {
+			return false
+		}
+		return isTerminator(st.Stmts[len(st.Stmts)-1])
+	}
+	return false
+}

@@ -1,0 +1,192 @@
+package inspire
+
+import (
+	"strings"
+	"testing"
+)
+
+func optimizeSrc(t *testing.T, src string) *Unit {
+	t.Helper()
+	u := mustLower(t, src)
+	Optimize(u)
+	if err := Verify(u); err != nil {
+		t.Fatalf("optimized IR fails verification: %v", err)
+	}
+	return u
+}
+
+func TestFoldConstantArithmetic(t *testing.T) {
+	u := optimizeSrc(t, `kernel void f(global float* o, global int* p) {
+		o[0] = 2.0 * 3.0 + 1.0;
+		p[0] = (4 + 4) * 2;
+		p[1] = 17 % 5;
+		p[2] = 1 << 4;
+	}`)
+	k := u.Kernel("f")
+	want := []struct {
+		idx  int
+		text string
+	}{
+		{0, "7"}, {1, "16"}, {2, "2"}, {3, "16"},
+	}
+	for i, w := range want {
+		se := k.Body.Stmts[i].(*StoreElem)
+		if got := ExprString(se.Value); got != w.text {
+			t.Errorf("stmt %d folded to %s, want %s", i, got, w.text)
+		}
+	}
+}
+
+func TestFoldAlgebraicIdentities(t *testing.T) {
+	u := optimizeSrc(t, `kernel void f(global float* o, float x, int n, global int* p) {
+		o[0] = x * 1.0;
+		o[1] = x + 0.0;
+		o[2] = x / 1.0;
+		p[0] = n * 0;
+		p[1] = n + 0;
+	}`)
+	k := u.Kernel("f")
+	if got := ExprString(k.Body.Stmts[0].(*StoreElem).Value); got != "x%1" {
+		t.Errorf("x*1 folded to %s", got)
+	}
+	if got := ExprString(k.Body.Stmts[1].(*StoreElem).Value); got != "x%1" {
+		t.Errorf("x+0 folded to %s", got)
+	}
+	if got := ExprString(k.Body.Stmts[3].(*StoreElem).Value); got != "0" {
+		t.Errorf("n*0 folded to %s", got)
+	}
+	if got := ExprString(k.Body.Stmts[4].(*StoreElem).Value); got != "n%2" {
+		t.Errorf("n+0 folded to %s", got)
+	}
+}
+
+func TestFoldPreservesFaults(t *testing.T) {
+	// Division by a constant zero must survive to run time, not fold.
+	u := optimizeSrc(t, `kernel void f(global int* p) { p[0] = 7 / 0; }`)
+	se := u.Kernel("f").Body.Stmts[0].(*StoreElem)
+	if _, isConst := se.Value.(*ConstInt); isConst {
+		t.Error("7/0 was constant-folded away")
+	}
+}
+
+func TestDeadBranchElimination(t *testing.T) {
+	u := optimizeSrc(t, `kernel void f(global int* p, int n) {
+		if (1 < 2) {
+			p[0] = 1;
+		} else {
+			p[0] = 2;
+		}
+		if (false) {
+			p[1] = 3;
+		}
+	}`)
+	txt := PrintFunction(u.Kernel("f"))
+	if strings.Contains(txt, "if") {
+		t.Errorf("constant branches survived:\n%s", txt)
+	}
+	if strings.Contains(txt, "= 2") || strings.Contains(txt, "= 3") {
+		t.Errorf("dead stores survived:\n%s", txt)
+	}
+	if !strings.Contains(txt, "= 1") {
+		t.Errorf("live store eliminated:\n%s", txt)
+	}
+}
+
+func TestDeadWhileElimination(t *testing.T) {
+	u := optimizeSrc(t, `kernel void f(global int* p) {
+		while (false) { p[0] = 9; }
+		p[1] = 1;
+	}`)
+	txt := PrintFunction(u.Kernel("f"))
+	if strings.Contains(txt, "while") {
+		t.Errorf("while(false) survived:\n%s", txt)
+	}
+}
+
+func TestCodeAfterReturnEliminated(t *testing.T) {
+	u := optimizeSrc(t, `kernel void f(global int* p) {
+		p[0] = 1;
+		return;
+		p[1] = 2;
+	}`)
+	k := u.Kernel("f")
+	if len(k.Body.Stmts) != 2 {
+		t.Errorf("got %d statements, want 2 (store + return):\n%s",
+			len(k.Body.Stmts), PrintFunction(k))
+	}
+}
+
+func TestSelectFolding(t *testing.T) {
+	u := optimizeSrc(t, `kernel void f(global float* o, float x) {
+		o[0] = true ? x : 99.0;
+		o[1] = 1 > 2 ? 99.0 : x;
+	}`)
+	k := u.Kernel("f")
+	for i := 0; i < 2; i++ {
+		se := k.Body.Stmts[i].(*StoreElem)
+		if got := ExprString(se.Value); got != "x%1" {
+			t.Errorf("select %d folded to %s, want x%%1", i, got)
+		}
+	}
+}
+
+func TestDoubleNegation(t *testing.T) {
+	u := optimizeSrc(t, `kernel void f(global float* o, float x, global int* p, bool b) {
+		o[0] = -(-x);
+		p[0] = !!b ? 1 : 0;
+	}`)
+	k := u.Kernel("f")
+	if got := ExprString(k.Body.Stmts[0].(*StoreElem).Value); got != "x%1" {
+		t.Errorf("--x folded to %s", got)
+	}
+}
+
+func TestCastFolding(t *testing.T) {
+	u := optimizeSrc(t, `kernel void f(global float* o, global int* p) {
+		o[0] = (float)3;
+		p[0] = (int)2.9;
+	}`)
+	k := u.Kernel("f")
+	if got := ExprString(k.Body.Stmts[0].(*StoreElem).Value); got != "3" {
+		t.Errorf("(float)3 folded to %s", got)
+	}
+	if got := ExprString(k.Body.Stmts[1].(*StoreElem).Value); got != "2" {
+		t.Errorf("(int)2.9 folded to %s", got)
+	}
+}
+
+func TestOptimizePreservesSemantics(t *testing.T) {
+	// The optimizer must not change analysis-visible behaviour of a real
+	// kernel: counts may shrink but the access classification stays.
+	src := `kernel void f(global const float* a, global float* b, int n) {
+		int i = get_global_id(0) * 1 + 0;
+		if (i < n && true) {
+			b[i] = a[i] * 1.0 + 0.0;
+		}
+	}`
+	u := optimizeSrc(t, src)
+	st := Analyze(u.Kernel("f"))
+	if st.Accesses[AccessCoalesced] != 2 {
+		t.Errorf("coalesced accesses = %d, want 2", st.Accesses[AccessCoalesced])
+	}
+	// The *1+0 arithmetic should be gone.
+	if st.FloatOps != 0 {
+		t.Errorf("float ops = %d, want 0 after folding", st.FloatOps)
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	src := `kernel void f(global float* o, int n) {
+		for (int i = 0; i < n; i++) {
+			o[i] = (2.0 + 3.0) * 1.0;
+		}
+	}`
+	u := mustLower(t, src)
+	Optimize(u)
+	first := Print(u)
+	Optimize(u)
+	second := Print(u)
+	if first != second {
+		t.Errorf("Optimize is not idempotent:\n%s\nvs\n%s", first, second)
+	}
+}

@@ -1,0 +1,92 @@
+package inspire
+
+// WalkStmts calls fn for every statement in the block tree, pre-order.
+// Returning false from fn stops descent into that statement's children.
+func WalkStmts(b *Block, fn func(Stmt) bool) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.Stmts {
+		walkStmt(s, fn)
+	}
+}
+
+func walkStmt(s Stmt, fn func(Stmt) bool) {
+	if s == nil || !fn(s) {
+		return
+	}
+	switch st := s.(type) {
+	case *Block:
+		for _, inner := range st.Stmts {
+			walkStmt(inner, fn)
+		}
+	case *If:
+		WalkStmts(st.Then, fn)
+		WalkStmts(st.Else, fn)
+	case *For:
+		walkStmt(st.Init, fn)
+		walkStmt(st.Post, fn)
+		WalkStmts(st.Body, fn)
+	case *While:
+		WalkStmts(st.Body, fn)
+	}
+}
+
+// WalkExprs calls fn for every expression reachable from the block tree,
+// pre-order, including sub-expressions.
+func WalkExprs(b *Block, fn func(Expr)) {
+	WalkStmts(b, func(s Stmt) bool {
+		switch st := s.(type) {
+		case *Decl:
+			walkExpr(st.Init, fn)
+		case *StoreVar:
+			walkExpr(st.Value, fn)
+		case *StoreElem:
+			walkExpr(st.Index, fn)
+			walkExpr(st.Value, fn)
+		case *If:
+			walkExpr(st.Cond, fn)
+		case *For:
+			walkExpr(st.Cond, fn)
+		case *While:
+			walkExpr(st.Cond, fn)
+		case *Return:
+			walkExpr(st.Value, fn)
+		case *Eval:
+			walkExpr(st.X, fn)
+		}
+		return true
+	})
+}
+
+func walkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch ex := e.(type) {
+	case *Load:
+		walkExpr(ex.Index, fn)
+	case *BinOp:
+		walkExpr(ex.L, fn)
+		walkExpr(ex.R, fn)
+	case *UnOp:
+		walkExpr(ex.X, fn)
+	case *Select:
+		walkExpr(ex.Cond, fn)
+		walkExpr(ex.Then, fn)
+		walkExpr(ex.Else, fn)
+	case *Cast:
+		walkExpr(ex.X, fn)
+	case *WorkItem:
+		walkExpr(ex.Dim, fn)
+	case *CallBuiltin:
+		for _, a := range ex.Args {
+			walkExpr(a, fn)
+		}
+	case *CallFunc:
+		for _, a := range ex.Args {
+			walkExpr(a, fn)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package minicl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Lexer turns MiniCL source text into a token stream.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Error is a front-end diagnostic carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token, or an error for malformed input.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: start}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		begin := l.off
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[begin:l.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: start}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: start}, nil
+	case isDigit(c) || (c == '.' && isDigit(l.peek2())):
+		return l.lexNumber(start)
+	}
+	l.advance()
+	two := func(next byte, k2, k1 Kind) Token {
+		if l.peek() == next {
+			l.advance()
+			return Token{Kind: k2, Text: string(c) + string(next), Pos: start}
+		}
+		return Token{Kind: k1, Text: string(c), Pos: start}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LParen, Text: "(", Pos: start}, nil
+	case ')':
+		return Token{Kind: RParen, Text: ")", Pos: start}, nil
+	case '{':
+		return Token{Kind: LBrace, Text: "{", Pos: start}, nil
+	case '}':
+		return Token{Kind: RBrace, Text: "}", Pos: start}, nil
+	case '[':
+		return Token{Kind: LBracket, Text: "[", Pos: start}, nil
+	case ']':
+		return Token{Kind: RBracket, Text: "]", Pos: start}, nil
+	case ',':
+		return Token{Kind: Comma, Text: ",", Pos: start}, nil
+	case ';':
+		return Token{Kind: Semicolon, Text: ";", Pos: start}, nil
+	case '?':
+		return Token{Kind: Question, Text: "?", Pos: start}, nil
+	case ':':
+		return Token{Kind: Colon, Text: ":", Pos: start}, nil
+	case '+':
+		if l.peek() == '+' {
+			l.advance()
+			return Token{Kind: PlusPlus, Text: "++", Pos: start}, nil
+		}
+		return two('=', PlusAssign, Plus), nil
+	case '-':
+		if l.peek() == '-' {
+			l.advance()
+			return Token{Kind: MinusMinus, Text: "--", Pos: start}, nil
+		}
+		return two('=', MinusAssign, Minus), nil
+	case '*':
+		return two('=', StarAssign, Star), nil
+	case '/':
+		return two('=', SlashAssign, Slash), nil
+	case '%':
+		return Token{Kind: Percent, Text: "%", Pos: start}, nil
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return Token{Kind: Shl, Text: "<<", Pos: start}, nil
+		}
+		return two('=', Le, Lt), nil
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return Token{Kind: Shr, Text: ">>", Pos: start}, nil
+		}
+		return two('=', Ge, Gt), nil
+	case '=':
+		return two('=', EqEq, Assign), nil
+	case '!':
+		return two('=', NotEq, Not), nil
+	case '&':
+		return two('&', AndAnd, Amp), nil
+	case '|':
+		return two('|', OrOr, Pipe), nil
+	case '^':
+		return Token{Kind: Caret, Text: "^", Pos: start}, nil
+	}
+	return Token{}, errf(start, "unexpected character %q", string(c))
+}
+
+func (l *Lexer) lexNumber(start Pos) (Token, error) {
+	begin := l.off
+	isFloat := false
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+		return Token{Kind: INTLIT, Text: l.src[begin:l.off], Pos: start}, nil
+	}
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.off
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if !isDigit(l.peek()) {
+			// Not an exponent after all (e.g. identifier suffix); back up.
+			l.off = save
+		} else {
+			isFloat = true
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+	}
+	text := l.src[begin:l.off]
+	if l.peek() == 'f' || l.peek() == 'F' {
+		l.advance()
+		isFloat = true
+	}
+	if isFloat {
+		return Token{Kind: FLOATLIT, Text: strings.TrimSuffix(text, "f"), Pos: start}, nil
+	}
+	return Token{Kind: INTLIT, Text: text, Pos: start}, nil
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// LexAll tokenizes the whole input, returning all tokens including the
+// trailing EOF token.
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

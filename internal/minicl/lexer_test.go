@@ -1,0 +1,154 @@
+package minicl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLexSimpleTokens(t *testing.T) {
+	toks, err := LexAll("kernel void f ( ) { }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwKernel, KwVoid, IDENT, LParen, RParen, LBrace, RBrace, EOF}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	cases := map[string]Kind{
+		"+": Plus, "-": Minus, "*": Star, "/": Slash, "%": Percent,
+		"+=": PlusAssign, "-=": MinusAssign, "*=": StarAssign, "/=": SlashAssign,
+		"<": Lt, ">": Gt, "<=": Le, ">=": Ge, "==": EqEq, "!=": NotEq,
+		"&&": AndAnd, "||": OrOr, "!": Not, "&": Amp, "|": Pipe, "^": Caret,
+		"<<": Shl, ">>": Shr, "?": Question, ":": Colon,
+		"++": PlusPlus, "--": MinusMinus, "=": Assign,
+	}
+	for src, want := range cases {
+		toks, err := LexAll(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if toks[0].Kind != want {
+			t.Errorf("%q lexed as %s, want %s", src, toks[0].Kind, want)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind Kind
+		text string
+	}{
+		{"42", INTLIT, "42"},
+		{"0", INTLIT, "0"},
+		{"0x1F", INTLIT, "0x1F"},
+		{"3.25", FLOATLIT, "3.25"},
+		{"1e6", FLOATLIT, "1e6"},
+		{"2.5e-3", FLOATLIT, "2.5e-3"},
+		{"1.0f", FLOATLIT, "1.0"},
+		{".5", FLOATLIT, ".5"},
+		{"7f", FLOATLIT, "7"},
+	}
+	for _, c := range cases {
+		toks, err := LexAll(c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if toks[0].Kind != c.kind || toks[0].Text != c.text {
+			t.Errorf("%q lexed as (%s,%q), want (%s,%q)", c.src, toks[0].Kind, toks[0].Text, c.kind, c.text)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+// a line comment
+int x; /* block
+comment */ float y;
+`
+	toks, err := LexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwInt, IDENT, Semicolon, KwFloat, IDENT, Semicolon, EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexUnterminatedComment(t *testing.T) {
+	if _, err := LexAll("int x; /* oops"); err == nil {
+		t.Fatal("want error for unterminated comment")
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	if _, err := LexAll("int @x;"); err == nil {
+		t.Fatal("want error for @")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("int\n  x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("int at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("x at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexKeywordAliases(t *testing.T) {
+	toks, err := LexAll("__kernel __global __local")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwKernel, KwGlobal, KwLocal}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+// Property: lexing never panics and always terminates with EOF for
+// identifier/number/operator soup built from safe characters.
+func TestLexNeverPanicsOnSafeInput(t *testing.T) {
+	alphabet := "abcxyz019. +-*/%<>=!&|^(){}[];,?:\n\t"
+	f := func(seed []byte) bool {
+		var sb strings.Builder
+		for _, b := range seed {
+			sb.WriteByte(alphabet[int(b)%len(alphabet)])
+		}
+		toks, err := LexAll(sb.String())
+		if err != nil {
+			return true // errors are fine; panics are not
+		}
+		return len(toks) > 0 && toks[len(toks)-1].Kind == EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindStringCoverage(t *testing.T) {
+	for k := EOF; k <= MinusMinus; k++ {
+		if s := k.String(); strings.HasPrefix(s, "Kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+}

@@ -1,0 +1,597 @@
+package minicl
+
+import "strconv"
+
+// Parser is a recursive-descent parser for MiniCL.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse tokenizes and parses src into a Program (without type checking; use
+// Check afterwards or the Compile convenience wrapper).
+func Parse(src string) (*Program, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseProgram()
+}
+
+// Compile parses and type-checks src, returning the checked program.
+func Compile(src string) (*Program, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if p.at(k) {
+		return p.next(), nil
+	}
+	return Token{}, errf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for !p.at(EOF) {
+		f, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs = append(prog.Funcs, f)
+	}
+	if len(prog.Funcs) == 0 {
+		return nil, errf(Pos{1, 1}, "empty program: no functions")
+	}
+	return prog, nil
+}
+
+// isTypeStart reports whether the current token can begin a type.
+func (p *Parser) isTypeStart() bool {
+	switch p.cur().Kind {
+	case KwVoid, KwInt, KwUint, KwFloat, KwBool, KwGlobal, KwLocal, KwConst:
+		return true
+	}
+	return false
+}
+
+// parseType parses [global|local] [const] basic [*].
+func (p *Parser) parseType() (Type, error) {
+	var t Type
+	switch p.cur().Kind {
+	case KwGlobal:
+		p.next()
+		t.Space = Global
+	case KwLocal:
+		p.next()
+		t.Space = Local
+	}
+	if p.accept(KwConst) {
+		t.Const = true
+	}
+	switch tok := p.next(); tok.Kind {
+	case KwVoid:
+		t.Basic = Void
+	case KwInt:
+		t.Basic = Int
+	case KwUint:
+		t.Basic = Uint
+	case KwFloat:
+		t.Basic = Float
+	case KwBool:
+		t.Basic = Bool
+	default:
+		return Type{}, errf(tok.Pos, "expected type, found %s", tok)
+	}
+	// const may also follow the base type (OpenCL allows both orders).
+	if p.accept(KwConst) {
+		t.Const = true
+	}
+	if p.accept(Star) {
+		t.Ptr = true
+		if t.Space == Private {
+			t.Space = Global // bare pointers default to global
+		}
+	} else if t.Space != Private {
+		return Type{}, errf(p.cur().Pos, "address space qualifier requires a pointer type")
+	}
+	return t, nil
+}
+
+func (p *Parser) parseFunc() (*FuncDecl, error) {
+	start := p.cur().Pos
+	isKernel := p.accept(KwKernel)
+	ret, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	var params []*Param
+	if !p.at(RParen) {
+		for {
+			pt, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			pn, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, &Param{Name: pn.Text, Type: pt, Pos: pn.Pos})
+			if !p.accept(Comma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{
+		Name: name.Text, IsKernel: isKernel, Params: params, Ret: ret,
+		Body: body, Pos: start,
+	}, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Pos: lb.Pos}
+	for !p.at(RBrace) {
+		if p.at(EOF) {
+			return nil, errf(lb.Pos, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.next() // consume }
+	return blk, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case LBrace:
+		return p.parseBlock()
+	case KwIf:
+		return p.parseIf()
+	case KwFor:
+		return p.parseFor()
+	case KwWhile:
+		return p.parseWhile()
+	case KwReturn:
+		tok := p.next()
+		var val Expr
+		if !p.at(Semicolon) {
+			var err error
+			val, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Value: val, Pos: tok.Pos}, nil
+	case KwBreak:
+		tok := p.next()
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: tok.Pos}, nil
+	case KwContinue:
+		tok := p.next()
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: tok.Pos}, nil
+	}
+	if p.isTypeStart() {
+		d, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	s, err := p.parseSimpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *Parser) parseDecl() (*DeclStmt, error) {
+	start := p.cur().Pos
+	t, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	var init Expr
+	if p.accept(Assign) {
+		init, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &DeclStmt{Name: name.Text, Type: t, Init: init, Pos: start}, nil
+}
+
+// parseSimpleStmt parses assignment, inc/dec, or expression statements
+// (without the trailing semicolon, so it can be reused by for-clauses).
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	start := p.cur().Pos
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign:
+		op := p.next().Kind
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Target: lhs, Op: op, Value: rhs, Pos: start}, nil
+	case PlusPlus:
+		p.next()
+		return &IncDecStmt{Target: lhs, Pos: start}, nil
+	case MinusMinus:
+		p.next()
+		return &IncDecStmt{Target: lhs, Dec: true, Pos: start}, nil
+	}
+	return &ExprStmt{X: lhs, Pos: start}, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	tok := p.next() // if
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlockOrSingle()
+	if err != nil {
+		return nil, err
+	}
+	var els Stmt
+	if p.accept(KwElse) {
+		if p.at(KwIf) {
+			els, err = p.parseIf()
+		} else {
+			els, err = p.parseBlockOrSingle()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &IfStmt{Cond: cond, Then: then, Else: els, Pos: tok.Pos}, nil
+}
+
+// parseBlockOrSingle allows single-statement bodies without braces.
+func (p *Parser) parseBlockOrSingle() (*BlockStmt, error) {
+	if p.at(LBrace) {
+		return p.parseBlock()
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &BlockStmt{Stmts: []Stmt{s}, Pos: s.NodePos()}, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	tok := p.next() // for
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	var init Stmt
+	var err error
+	if !p.at(Semicolon) {
+		if p.isTypeStart() {
+			init, err = p.parseDecl()
+		} else {
+			init, err = p.parseSimpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	var cond Expr
+	if !p.at(Semicolon) {
+		cond, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	var post Stmt
+	if !p.at(RParen) {
+		post, err = p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlockOrSingle()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{Init: init, Cond: cond, Post: post, Body: body, Pos: tok.Pos}, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	tok := p.next() // while
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlockOrSingle()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Pos: tok.Pos}, nil
+}
+
+// --- Expressions (precedence climbing) ---
+
+// Binary operator precedence, higher binds tighter.
+func precOf(k Kind) int {
+	switch k {
+	case OrOr:
+		return 1
+	case AndAnd:
+		return 2
+	case Pipe:
+		return 3
+	case Caret:
+		return 4
+	case Amp:
+		return 5
+	case EqEq, NotEq:
+		return 6
+	case Lt, Gt, Le, Ge:
+		return 7
+	case Shl, Shr:
+		return 8
+	case Plus, Minus:
+		return 9
+	case Star, Slash, Percent:
+		return 10
+	}
+	return 0
+}
+
+func (p *Parser) parseExpr() (Expr, error) {
+	return p.parseTernary()
+}
+
+func (p *Parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(Question) {
+		return cond, nil
+	}
+	q := p.next()
+	then, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Colon); err != nil {
+		return nil, err
+	}
+	els, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{Cond: cond, Then: then, Else: els, Pos: q.Pos}, nil
+}
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec := precOf(p.cur().Kind)
+		if prec < minPrec || prec == 0 {
+			return lhs, nil
+		}
+		op := p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op.Kind, L: lhs, R: rhs, Pos: op.Pos}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case Minus:
+		tok := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: Minus, X: x, Pos: tok.Pos}, nil
+	case Not:
+		tok := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: Not, X: x, Pos: tok.Pos}, nil
+	case LParen:
+		// Could be a cast "(int)expr" or a parenthesized expression.
+		if p.castAhead() {
+			tok := p.next() // (
+			t, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{To: t, X: x, Pos: tok.Pos}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+// castAhead reports whether the token after '(' begins a type followed by ')'.
+func (p *Parser) castAhead() bool {
+	if !p.at(LParen) {
+		return false
+	}
+	switch p.toks[p.pos+1].Kind {
+	case KwInt, KwUint, KwFloat, KwBool:
+		return p.toks[p.pos+2].Kind == RParen
+	}
+	return false
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(LBracket) {
+		lb := p.next()
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+		x = &Index{Base: x, Index: idx, Pos: lb.Pos}
+	}
+	return x, nil
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case INTLIT:
+		p.next()
+		v, err := strconv.ParseInt(tok.Text, 0, 64)
+		if err != nil {
+			return nil, errf(tok.Pos, "bad integer literal %q", tok.Text)
+		}
+		return &IntLit{Value: v, Pos: tok.Pos}, nil
+	case FLOATLIT:
+		p.next()
+		v, err := strconv.ParseFloat(tok.Text, 64)
+		if err != nil {
+			return nil, errf(tok.Pos, "bad float literal %q", tok.Text)
+		}
+		return &FloatLit{Value: v, Pos: tok.Pos}, nil
+	case KwTrue:
+		p.next()
+		return &BoolLit{Value: true, Pos: tok.Pos}, nil
+	case KwFalse:
+		p.next()
+		return &BoolLit{Value: false, Pos: tok.Pos}, nil
+	case IDENT:
+		p.next()
+		if p.at(LParen) {
+			p.next()
+			var args []Expr
+			if !p.at(RParen) {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(Comma) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+			return &CallExpr{Name: tok.Text, Args: args, Pos: tok.Pos}, nil
+		}
+		return &Ident{Name: tok.Text, Pos: tok.Pos}, nil
+	case LParen:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, errf(tok.Pos, "expected expression, found %s", tok)
+}

@@ -1,0 +1,92 @@
+package minicl
+
+import "testing"
+
+func TestTypeStrings(t *testing.T) {
+	cases := []struct {
+		ty   Type
+		want string
+	}{
+		{TypeVoid, "void"},
+		{TypeInt, "int"},
+		{TypeUint, "uint"},
+		{TypeFloat, "float"},
+		{TypeBool, "bool"},
+		{GlobalPtr(Float, true), "global const float*"},
+		{GlobalPtr(Int, false), "global int*"},
+		{LocalPtr(Float), "local float*"},
+	}
+	for _, c := range cases {
+		if got := c.ty.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTypePredicates(t *testing.T) {
+	if !TypeInt.IsNumeric() || !TypeFloat.IsNumeric() || TypeBool.IsNumeric() {
+		t.Error("IsNumeric wrong")
+	}
+	if !TypeInt.IsInteger() || !TypeUint.IsInteger() || TypeFloat.IsInteger() {
+		t.Error("IsInteger wrong")
+	}
+	if GlobalPtr(Float, false).IsNumeric() {
+		t.Error("pointer is not numeric")
+	}
+	if !TypeBool.IsBool() || TypeInt.IsBool() {
+		t.Error("IsBool wrong")
+	}
+}
+
+func TestTypeElemAndSize(t *testing.T) {
+	p := GlobalPtr(Float, true)
+	el := p.Elem()
+	if !el.IsFloat() || el.Ptr {
+		t.Errorf("Elem = %s", el)
+	}
+	if TypeFloat.Size() != 4 || TypeInt.Size() != 4 || TypeBool.Size() != 1 || TypeVoid.Size() != 0 {
+		t.Error("Size wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Elem on scalar should panic")
+		}
+	}()
+	TypeInt.Elem()
+}
+
+func TestTypeEqualIgnoresConst(t *testing.T) {
+	a := GlobalPtr(Float, true)
+	b := GlobalPtr(Float, false)
+	if !a.Equal(b) {
+		t.Error("const should not affect type identity")
+	}
+	if a.Equal(LocalPtr(Float)) {
+		t.Error("address spaces must distinguish pointer types")
+	}
+	if TypeInt.Equal(TypeFloat) {
+		t.Error("int == float")
+	}
+}
+
+func TestAddrSpaceString(t *testing.T) {
+	if Global.String() != "global" || Local.String() != "local" || Private.String() != "private" {
+		t.Error("AddrSpace.String wrong")
+	}
+}
+
+func TestPosString(t *testing.T) {
+	if (Pos{Line: 3, Col: 7}).String() != "3:7" {
+		t.Error("Pos.String wrong")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: IDENT, Text: "foo"}
+	if got := tok.String(); got != `identifier "foo"` {
+		t.Errorf("Token.String = %q", got)
+	}
+	if got := (Token{Kind: LParen}).String(); got != "(" {
+		t.Errorf("punct token String = %q", got)
+	}
+}

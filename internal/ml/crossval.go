@@ -1,0 +1,103 @@
+package ml
+
+import "fmt"
+
+// FoldResult is the outcome of one leave-one-group-out fold.
+type FoldResult struct {
+	Group     string
+	Predicted []int // per held-out sample
+	Actual    []int
+	TestIdx   []int // indices into the original dataset
+}
+
+// Accuracy returns the exact-label accuracy of the fold.
+func (f *FoldResult) Accuracy() float64 {
+	if len(f.Actual) == 0 {
+		return 0
+	}
+	hit := 0
+	for i := range f.Actual {
+		if f.Predicted[i] == f.Actual[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(f.Actual))
+}
+
+// CVResult aggregates all folds of a cross validation.
+type CVResult struct {
+	Folds []FoldResult
+}
+
+// Accuracy returns overall exact-label accuracy across folds.
+func (r *CVResult) Accuracy() float64 {
+	hit, total := 0, 0
+	for _, f := range r.Folds {
+		for i := range f.Actual {
+			total++
+			if f.Predicted[i] == f.Actual[i] {
+				hit++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}
+
+// NewModel constructs a fresh classifier; cross validation needs a new
+// model per fold.
+type NewModel func() Classifier
+
+// LeaveOneGroupOut runs leave-one-group-out cross validation: each group
+// (program) is held out in turn, the model is trained on the remaining
+// groups, and predictions are collected for the held-out samples. This is
+// the paper's deployment scenario — predicting partitionings for programs
+// never seen during training. Feature scaling is fit on each fold's
+// training split only (no leakage).
+func LeaveOneGroupOut(d *Dataset, mk NewModel) (*CVResult, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if len(d.Groups) == 0 {
+		return nil, fmt.Errorf("ml: dataset has no group labels")
+	}
+	res := &CVResult{}
+	for _, g := range d.GroupNames() {
+		trainIdx, testIdx := d.SplitByGroup(g)
+		if len(trainIdx) == 0 {
+			return nil, fmt.Errorf("ml: group %q is the entire dataset", g)
+		}
+		train := d.Subset(trainIdx)
+		scaler := FitScaler(train)
+		model := mk()
+		if err := model.Fit(scaler.TransformDataset(train)); err != nil {
+			return nil, fmt.Errorf("ml: fold %q: %w", g, err)
+		}
+		fold := FoldResult{Group: g, TestIdx: testIdx}
+		for _, ti := range testIdx {
+			fold.Predicted = append(fold.Predicted, model.Predict(scaler.Transform(d.X[ti])))
+			fold.Actual = append(fold.Actual, d.Y[ti])
+		}
+		res.Folds = append(res.Folds, fold)
+	}
+	return res, nil
+}
+
+// TrainFull fits a model (with scaling) on the whole dataset and returns a
+// predictor closure over raw (unscaled) feature vectors. This is the
+// deployment path: the shipped model is trained on the full training DB.
+func TrainFull(d *Dataset, mk NewModel) (func(x []float64) int, Classifier, error) {
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	scaler := FitScaler(d)
+	model := mk()
+	if err := model.Fit(scaler.TransformDataset(d)); err != nil {
+		return nil, nil, err
+	}
+	return func(x []float64) int {
+		return model.Predict(scaler.Transform(x))
+	}, model, nil
+}

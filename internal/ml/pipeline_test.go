@@ -1,0 +1,35 @@
+package ml
+
+import "testing"
+
+func TestPCAPipelineLearns(t *testing.T) {
+	d := synthDataset(400, 21)
+	m := NewPCAPipeline(2, 7, func() Classifier { return NewKNN(5) })
+	if got := m.Name(); got != "pca2+knn5" {
+		t.Errorf("Name = %q", got)
+	}
+	acc := trainAccuracy(t, m, d)
+	if acc < 0.9 {
+		t.Errorf("pipeline accuracy %.2f", acc)
+	}
+}
+
+func TestPCAPipelineCrossValidation(t *testing.T) {
+	d := synthDataset(400, 22)
+	res, err := LeaveOneGroupOut(d, func() Classifier {
+		return NewPCAPipeline(3, 9, func() Classifier { return NewLogReg(9) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.Accuracy(); acc < 0.8 {
+		t.Errorf("pipeline LOGO accuracy %.2f", acc)
+	}
+}
+
+func TestPCAPipelineEmptyFit(t *testing.T) {
+	m := NewPCAPipeline(2, 1, func() Classifier { return NewKNN(1) })
+	if err := m.Fit(&Dataset{Names: []string{"a"}}); err == nil {
+		t.Error("empty fit should fail")
+	}
+}

@@ -1,0 +1,122 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// stageDataset builds a problem with the two-stage structure: one feature
+// decides the regime (class 0 = "cpu", class 1 = "gpu", classes 2/3 =
+// mixed splits distinguished by a second feature).
+func stageDataset(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{Names: []string{"size", "mixness"}}
+	groups := []string{"p0", "p1", "p2", "p3"}
+	for i := 0; i < n; i++ {
+		size := rng.Float64()*4 - 2
+		mix := rng.Float64()*2 - 1
+		var y int
+		switch {
+		case size < -0.7:
+			y = 0 // cpu-only regime
+		case size > 0.7:
+			y = 1 // gpu-only regime
+		case mix > 0:
+			y = 2
+		default:
+			y = 3
+		}
+		d.X = append(d.X, []float64{size, mix})
+		d.Y = append(d.Y, y)
+		d.Groups = append(d.Groups, groups[i%len(groups)])
+	}
+	return d
+}
+
+func stageKind(class int) StageKind {
+	switch class {
+	case 0:
+		return StageCPUOnly
+	case 1:
+		return StageGPUOnly
+	default:
+		return StageMixed
+	}
+}
+
+func newStageModel() Classifier {
+	return NewTwoStage(stageKind, 0, 1,
+		func() Classifier { return NewKNN(5) },
+		func() Classifier { return NewKNN(5) })
+}
+
+func TestTwoStageLearnsRegimes(t *testing.T) {
+	d := stageDataset(400, 1)
+	m := newStageModel()
+	sc := FitScaler(d)
+	sd := sc.TransformDataset(d)
+	if err := m.Fit(sd); err != nil {
+		t.Fatal(err)
+	}
+	hit := 0
+	for i, x := range sd.X {
+		if m.Predict(x) == sd.Y[i] {
+			hit++
+		}
+	}
+	if acc := float64(hit) / float64(len(sd.X)); acc < 0.9 {
+		t.Errorf("two-stage accuracy %.2f, want >= 0.9", acc)
+	}
+}
+
+func TestTwoStageSingleDeviceLabels(t *testing.T) {
+	d := stageDataset(300, 2)
+	m := newStageModel()
+	if err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	// Deep in the CPU regime the prediction must be exactly CPUClass.
+	if got := m.Predict([]float64{-1.8, 0}); got != 0 {
+		t.Errorf("cpu regime predicted class %d, want 0", got)
+	}
+	if got := m.Predict([]float64{1.8, 0}); got != 1 {
+		t.Errorf("gpu regime predicted class %d, want 1", got)
+	}
+}
+
+func TestTwoStageNoMixedSamples(t *testing.T) {
+	// All training labels single-device: stage 2 must gracefully fall back.
+	d := &Dataset{
+		Names: []string{"f"},
+		X:     [][]float64{{-1}, {-0.9}, {1}, {0.9}},
+		Y:     []int{0, 0, 1, 1},
+	}
+	m := newStageModel()
+	if err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	// Any prediction must be a valid class.
+	for _, x := range [][]float64{{-1}, {0}, {1}} {
+		y := m.Predict(x)
+		if y < 0 {
+			t.Errorf("invalid prediction %d", y)
+		}
+	}
+}
+
+func TestTwoStageInCrossValidation(t *testing.T) {
+	d := stageDataset(400, 3)
+	res, err := LeaveOneGroupOut(d, newStageModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.Accuracy(); acc < 0.85 {
+		t.Errorf("two-stage LOGO accuracy %.2f", acc)
+	}
+}
+
+func TestTwoStageEmptyFit(t *testing.T) {
+	if err := newStageModel().Fit(&Dataset{Names: []string{"a"}}); err == nil {
+		t.Error("empty fit should fail")
+	}
+}

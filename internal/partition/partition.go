@@ -1,0 +1,195 @@
+// Package partition defines the discretized task-partitioning space of the
+// paper: the dim-0 iteration range of a kernel is split into contiguous
+// chunks, one per device, with per-device shares drawn from a grid with a
+// 10% step size (Section 2.1: "p is selected from a discretized
+// partitioning space with a stepsize of 10%").
+package partition
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// DefaultSteps is the number of share units: 10 units of 10% each.
+const DefaultSteps = 10
+
+// Partition assigns each device an integer number of share units.
+// Shares[i] units out of Steps() go to device i; the units map to
+// contiguous dim-0 chunks in device order.
+type Partition struct {
+	Shares []int
+}
+
+// Steps returns the total number of share units of the partition.
+func (p Partition) Steps() int {
+	s := 0
+	for _, v := range p.Shares {
+		s += v
+	}
+	return s
+}
+
+// Fraction returns device i's share as a fraction in [0,1].
+func (p Partition) Fraction(i int) float64 {
+	steps := p.Steps()
+	if steps == 0 {
+		return 0
+	}
+	return float64(p.Shares[i]) / float64(steps)
+}
+
+// IsSingle reports whether the whole range goes to one device, returning
+// its index.
+func (p Partition) IsSingle() (int, bool) {
+	idx := -1
+	for i, v := range p.Shares {
+		if v > 0 {
+			if idx >= 0 {
+				return -1, false
+			}
+			idx = i
+		}
+	}
+	return idx, idx >= 0
+}
+
+// ActiveDevices returns how many devices receive a non-zero share.
+func (p Partition) ActiveDevices() int {
+	n := 0
+	for _, v := range p.Shares {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the partition as "50/30/20".
+func (p Partition) String() string {
+	steps := p.Steps()
+	parts := make([]string, len(p.Shares))
+	for i, v := range p.Shares {
+		pct := 0
+		if steps > 0 {
+			pct = v * 100 / steps
+		}
+		parts[i] = strconv.Itoa(pct)
+	}
+	return strings.Join(parts, "/")
+}
+
+// Parse parses a "50/30/20" percentage string into a partition with
+// DefaultSteps share units.
+func Parse(s string) (Partition, error) {
+	fields := strings.Split(s, "/")
+	shares := make([]int, len(fields))
+	total := 0
+	for i, f := range fields {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return Partition{}, fmt.Errorf("partition: bad component %q", f)
+		}
+		if v < 0 || v > 100 {
+			return Partition{}, fmt.Errorf("partition: component %d out of range", v)
+		}
+		if v%(100/DefaultSteps) != 0 {
+			return Partition{}, fmt.Errorf("partition: %d%% not a multiple of the %d%% step", v, 100/DefaultSteps)
+		}
+		shares[i] = v / (100 / DefaultSteps)
+		total += v
+	}
+	if total != 100 {
+		return Partition{}, fmt.Errorf("partition: shares sum to %d%%, want 100%%", total)
+	}
+	return Partition{Shares: shares}, nil
+}
+
+// Single returns the partition giving everything to device idx.
+func Single(nDevices, idx int) Partition {
+	shares := make([]int, nDevices)
+	shares[idx] = DefaultSteps
+	return Partition{Shares: shares}
+}
+
+// Even returns the most even partition possible on the step grid.
+func Even(nDevices int) Partition {
+	shares := make([]int, nDevices)
+	base := DefaultSteps / nDevices
+	rem := DefaultSteps - base*nDevices
+	for i := range shares {
+		shares[i] = base
+		if i < rem {
+			shares[i]++
+		}
+	}
+	return Partition{Shares: shares}
+}
+
+// Space enumerates every partition of steps share units over nDevices
+// devices (all weak compositions), in deterministic lexicographic order.
+// With 3 devices and 10 steps this yields 66 candidate partitionings.
+func Space(nDevices, steps int) []Partition {
+	if nDevices <= 0 || steps <= 0 {
+		return nil
+	}
+	var out []Partition
+	shares := make([]int, nDevices)
+	var rec func(dev, left int)
+	rec = func(dev, left int) {
+		if dev == nDevices-1 {
+			shares[dev] = left
+			out = append(out, Partition{Shares: append([]int(nil), shares...)})
+			return
+		}
+		for v := 0; v <= left; v++ {
+			shares[dev] = v
+			rec(dev+1, left-v)
+		}
+	}
+	rec(0, steps)
+	return out
+}
+
+// SpaceSize returns the number of partitions Space(nDevices, steps) yields
+// (the number of weak compositions: C(steps+nDevices-1, nDevices-1)).
+func SpaceSize(nDevices, steps int) int {
+	n, k := steps+nDevices-1, nDevices-1
+	res := 1
+	for i := 1; i <= k; i++ {
+		res = res * (n - k + i) / i
+	}
+	return res
+}
+
+// Chunks maps the partition onto dim-0 range [0, global0), aligning chunk
+// boundaries down to multiples of align (the work-group size). Devices
+// with zero shares get empty chunks. The chunks exactly tile the range:
+// chunk[i] = [start_i, end_i) with end_i == start_{i+1}. Rounding may give
+// the last active device slightly more or less than its nominal share.
+func (p Partition) Chunks(global0, align int) [][2]int {
+	if align <= 0 {
+		align = 1
+	}
+	steps := p.Steps()
+	out := make([][2]int, len(p.Shares))
+	if steps == 0 || global0 == 0 {
+		return out
+	}
+	cum := 0
+	prevEnd := 0
+	for i, v := range p.Shares {
+		cum += v
+		end := global0 * cum / steps
+		end = end / align * align
+		if cum == steps {
+			end = global0
+		}
+		if end < prevEnd {
+			end = prevEnd
+		}
+		out[i] = [2]int{prevEnd, end}
+		prevEnd = end
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpaceSize(t *testing.T) {
+	cases := []struct{ dev, steps, want int }{
+		{3, 10, 66}, // the paper's space: 3 devices, 10% steps
+		{2, 10, 11},
+		{1, 10, 1},
+		{3, 20, 231},
+		{4, 10, 286},
+	}
+	for _, c := range cases {
+		got := Space(c.dev, c.steps)
+		if len(got) != c.want {
+			t.Errorf("len(Space(%d,%d)) = %d, want %d", c.dev, c.steps, len(got), c.want)
+		}
+		if sz := SpaceSize(c.dev, c.steps); sz != c.want {
+			t.Errorf("SpaceSize(%d,%d) = %d, want %d", c.dev, c.steps, sz, c.want)
+		}
+	}
+}
+
+func TestSpaceAllSumToSteps(t *testing.T) {
+	for _, p := range Space(3, 10) {
+		if p.Steps() != 10 {
+			t.Fatalf("partition %v sums to %d", p.Shares, p.Steps())
+		}
+	}
+}
+
+func TestSpaceDeterministicAndUnique(t *testing.T) {
+	a, b := Space(3, 10), Space(3, 10)
+	seen := map[string]bool{}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatal("Space is not deterministic")
+		}
+		key := a[i].String()
+		if seen[key] {
+			t.Fatalf("duplicate partition %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestSingleAndEven(t *testing.T) {
+	s := Single(3, 1)
+	if idx, ok := s.IsSingle(); !ok || idx != 1 {
+		t.Errorf("Single(3,1).IsSingle() = %d,%t", idx, ok)
+	}
+	if s.Fraction(1) != 1.0 || s.Fraction(0) != 0 {
+		t.Error("Single fractions wrong")
+	}
+	e := Even(3)
+	if e.Steps() != DefaultSteps {
+		t.Errorf("Even steps = %d", e.Steps())
+	}
+	if e.Shares[0] != 4 || e.Shares[1] != 3 || e.Shares[2] != 3 {
+		t.Errorf("Even(3) = %v, want [4 3 3]", e.Shares)
+	}
+	if e.ActiveDevices() != 3 {
+		t.Errorf("Even(3).ActiveDevices() = %d", e.ActiveDevices())
+	}
+}
+
+func TestStringAndParseRoundTrip(t *testing.T) {
+	for _, p := range Space(3, 10) {
+		s := p.String()
+		q, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		for i := range p.Shares {
+			if p.Shares[i] != q.Shares[i] {
+				t.Fatalf("round trip %q -> %v, want %v", s, q.Shares, p.Shares)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"50/30", "x/50/50", "110/0/-10", "55/25/20", "100/10/0"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestChunksTileExactly(t *testing.T) {
+	f := func(s0raw, s1raw uint8, g16 uint16, alignPow uint8) bool {
+		s0 := int(s0raw) % 11
+		s1 := int(s1raw) % (11 - s0)
+		p := Partition{Shares: []int{s0, s1, 10 - s0 - s1}}
+		align := 1 << (alignPow % 7) // 1..64
+		global := (int(g16)%2048 + 1) * align
+		chunks := p.Chunks(global, align)
+		prev := 0
+		for i, ch := range chunks {
+			if ch[0] != prev {
+				t.Logf("gap before chunk %d: %v", i, chunks)
+				return false
+			}
+			if ch[1] < ch[0] {
+				return false
+			}
+			if i < len(chunks)-1 && ch[1]%align != 0 {
+				return false
+			}
+			prev = ch[1]
+		}
+		return prev == global
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunksZeroShareEmpty(t *testing.T) {
+	p := Partition{Shares: []int{10, 0, 0}}
+	chunks := p.Chunks(1000, 64)
+	if chunks[0] != [2]int{0, 1000} {
+		t.Errorf("chunk 0 = %v", chunks[0])
+	}
+	for i := 1; i < 3; i++ {
+		if chunks[i][0] != chunks[i][1] {
+			t.Errorf("chunk %d not empty: %v", i, chunks[i])
+		}
+	}
+}
+
+func TestChunksShareProportions(t *testing.T) {
+	p := Partition{Shares: []int{5, 3, 2}}
+	chunks := p.Chunks(1000, 1)
+	if chunks[0] != [2]int{0, 500} || chunks[1] != [2]int{500, 800} || chunks[2] != [2]int{800, 1000} {
+		t.Errorf("chunks = %v", chunks)
+	}
+}
+
+func TestChunksAlignment(t *testing.T) {
+	p := Partition{Shares: []int{5, 5}}
+	chunks := p.Chunks(1000, 64)
+	// 500 rounds down to 448 (7*64).
+	if chunks[0][1]%64 != 0 {
+		t.Errorf("boundary %d not aligned", chunks[0][1])
+	}
+	if chunks[1][1] != 1000 {
+		t.Errorf("last chunk must end at global0, got %d", chunks[1][1])
+	}
+}
+
+func TestFractionZeroSteps(t *testing.T) {
+	p := Partition{Shares: []int{0, 0}}
+	if p.Fraction(0) != 0 {
+		t.Error("Fraction on zero partition should be 0")
+	}
+	if _, ok := p.IsSingle(); ok {
+		t.Error("zero partition is not single")
+	}
+}

@@ -1,0 +1,184 @@
+// Package runtime is the multi-device execution engine: the counterpart of
+// the paper's Insieme runtime system. Given a compiled kernel, a backend
+// plan and a task partitioning, it executes each device's contiguous dim-0
+// chunk against the shared host buffers (preserving single-device
+// semantics) and prices the launch on the platform's device models,
+// including all host-device transfers.
+//
+// It also implements the two default strategies the paper compares
+// against — CPU-only and (single-)GPU-only — and the oracle search over
+// the full 10%-step partition space used to label training data.
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/backend"
+	"repro/internal/device"
+	"repro/internal/exec"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+// Launch bundles everything needed to run one benchmark kernel.
+type Launch struct {
+	Kernel *exec.Compiled
+	Plan   *backend.Plan
+	Args   []exec.Arg
+	ND     exec.NDRange
+	// Iterations is the number of times the application launches the
+	// kernel (iterative solvers). Buffers stay device-resident between
+	// launches, so transfers are charged once while compute scales.
+	Iterations int
+}
+
+// iterations returns the effective launch count.
+func (l *Launch) iterations() int {
+	if l.Iterations < 1 {
+		return 1
+	}
+	return l.Iterations
+}
+
+// Result reports one partitioned execution.
+type Result struct {
+	Partition  partition.Partition
+	Makespan   float64 // simulated seconds
+	Breakdowns []sim.Breakdown
+	Profile    *exec.Profile
+}
+
+// Runtime executes launches on one simulated platform.
+type Runtime struct {
+	Platform *device.Platform
+	Opts     sim.Options
+}
+
+// New creates a runtime for the platform.
+func New(plat *device.Platform) *Runtime { return &Runtime{Platform: plat} }
+
+// align returns the dim-0 work-group size used for chunk alignment.
+func (l *Launch) align() (int, error) {
+	nd, err := l.ND.Normalized()
+	if err != nil {
+		return 0, err
+	}
+	return nd.Local[0], nil
+}
+
+// checkPartition validates the partition against the platform.
+func (r *Runtime) checkPartition(p partition.Partition) error {
+	if len(p.Shares) != r.Platform.NumDevices() {
+		return fmt.Errorf("runtime: partition over %d devices on a %d-device platform",
+			len(p.Shares), r.Platform.NumDevices())
+	}
+	if p.Steps() == 0 {
+		return fmt.Errorf("runtime: empty partition")
+	}
+	return nil
+}
+
+// Execute runs the launch under the given partitioning: every device's
+// chunk is executed against the shared host buffers (so outputs are real
+// and verifiable) and the launch is priced on the device models. The
+// returned profile covers the full NDRange and can be re-priced for other
+// partitionings with Price.
+func (r *Runtime) Execute(l Launch, part partition.Partition) (*Result, error) {
+	if err := r.checkPartition(part); err != nil {
+		return nil, err
+	}
+	align, err := l.align()
+	if err != nil {
+		return nil, err
+	}
+	nd, err := l.ND.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	full := &exec.Profile{Global0: nd.Global[0], Buckets: make([]exec.Counts, exec.DefaultBuckets)}
+	if len(full.Buckets) > full.Global0 {
+		full.Buckets = make([]exec.Counts, full.Global0)
+	}
+	chunks := part.Chunks(nd.Global[0], align)
+	for _, ch := range chunks {
+		if ch[1] <= ch[0] {
+			continue
+		}
+		prof, err := l.Kernel.Run(l.Args, nd, exec.RunOptions{Lo: ch[0], Hi: ch[1], Buckets: len(full.Buckets)})
+		if err != nil {
+			return nil, err
+		}
+		for i := range prof.Buckets {
+			full.Buckets[i].Add(&prof.Buckets[i])
+		}
+	}
+	makespan, bds, err := r.price(l, full, part, align)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Partition: part, Makespan: makespan, Breakdowns: bds, Profile: full}, nil
+}
+
+// Profile executes the full NDRange once (on the host) and returns the
+// dynamic profile, without pricing. Training uses this single execution to
+// price every candidate partitioning analytically.
+func (r *Runtime) Profile(l Launch) (*exec.Profile, error) {
+	nd, err := l.ND.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	return l.Kernel.Run(l.Args, nd, exec.RunOptions{})
+}
+
+// Price computes the simulated makespan of a partitioning from an
+// existing profile, without executing anything.
+func (r *Runtime) Price(l Launch, prof *exec.Profile, part partition.Partition) (float64, []sim.Breakdown, error) {
+	if err := r.checkPartition(part); err != nil {
+		return 0, nil, err
+	}
+	align, err := l.align()
+	if err != nil {
+		return 0, nil, err
+	}
+	return r.price(l, prof, part, align)
+}
+
+func (r *Runtime) price(l Launch, prof *exec.Profile, part partition.Partition, align int) (float64, []sim.Breakdown, error) {
+	works := l.Plan.DeviceWorks(prof, l.Args, part, align, l.iterations())
+	return sim.Makespan(r.Platform, works, r.Opts)
+}
+
+// Best exhaustively searches the 10%-step partition space for the
+// minimum-makespan partitioning (the oracle used to label training data).
+// Ties break toward the earlier partition in enumeration order, which is
+// deterministic.
+func (r *Runtime) Best(l Launch, prof *exec.Profile) (partition.Partition, float64, error) {
+	space := partition.Space(r.Platform.NumDevices(), partition.DefaultSteps)
+	var best partition.Partition
+	bestTime := -1.0
+	for _, p := range space {
+		t, _, err := r.Price(l, prof, p)
+		if err != nil {
+			return partition.Partition{}, 0, err
+		}
+		if bestTime < 0 || t < bestTime {
+			best, bestTime = p, t
+		}
+	}
+	return best, bestTime, nil
+}
+
+// CPUOnly is the first default strategy: everything on the CPU device.
+func (r *Runtime) CPUOnly() partition.Partition {
+	return partition.Single(r.Platform.NumDevices(), device.CPUIndex)
+}
+
+// GPUOnly is the second default strategy: everything on a single GPU
+// (the paper compares against "a single CPU and a single GPU only").
+func (r *Runtime) GPUOnly() partition.Partition {
+	gpus := r.Platform.GPUIndices()
+	if len(gpus) == 0 {
+		return r.CPUOnly()
+	}
+	return partition.Single(r.Platform.NumDevices(), gpus[0])
+}
