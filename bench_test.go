@@ -263,6 +263,111 @@ func BenchmarkPartitionPricing(b *testing.B) {
 	}
 }
 
+// --- sequential vs parallel scheduling-core benchmarks ---
+//
+// Each pair runs the same hot path with Workers=1 (fully sequential: one
+// worker at every level, including inside kernel execution) and Workers=0
+// (the scheduler's full worker budget). Both produce identical results;
+// the ratio of their ns/op is the end-to-end speedup the concurrent
+// scheduling core delivers on this machine.
+
+// BenchmarkOracleSearch measures the exhaustive oracle search over the
+// partition space — the training phase's hot path. "fine" uses a 5%-step
+// grid (231 candidates) to show how the gap widens with search-space size.
+func BenchmarkOracleSearch(b *testing.B) {
+	p, err := bench.Get("matmul")
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, _, err := p.Build(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := runtime.New(device.MC1())
+	prof, err := rt.Profile(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fineSpace := partition.Space(3, 20)
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			rt := runtime.New(device.MC1())
+			rt.Workers = cfg.workers
+			for i := 0; i < b.N; i++ {
+				if _, _, err := rt.Best(l, prof); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(cfg.name+"-fine", func(b *testing.B) {
+			rt := runtime.New(device.MC1())
+			rt.Workers = cfg.workers
+			for i := 0; i < b.N; i++ {
+				if _, _, err := rt.BestIn(l, prof, fineSpace); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkChunkedExecution measures a partitioned execution whose
+// per-device chunks run in dedicated workers.
+func BenchmarkChunkedExecution(b *testing.B) {
+	p, err := bench.Get("nbody")
+	if err != nil {
+		b.Fatal(err)
+	}
+	part := partition.Partition{Shares: []int{4, 3, 3}}
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			rt := runtime.New(device.MC2())
+			rt.Workers = cfg.workers
+			for i := 0; i < b.N; i++ {
+				l, _, err := p.Build(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := rt.Execute(l, part); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTrainingSweep measures training-database generation — the full
+// profile-and-price pipeline fanned out over (program, size) cells. A
+// fresh profile cache per iteration keeps every kernel execution inside
+// the measurement.
+func BenchmarkTrainingSweep(b *testing.B) {
+	progs := []string{"vecadd", "matmul", "blackscholes", "mandelbrot", "spmv", "nbody"}
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := harness.Generate(harness.GenOptions{
+					Programs:   progs,
+					MaxSizeIdx: 2,
+					Workers:    cfg.workers,
+					Cache:      harness.NewProfileCache(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkModelTraining measures fitting the default MLP on the database.
 func BenchmarkModelTraining(b *testing.B) {
 	db := benchDB(b)

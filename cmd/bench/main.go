@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bench [-db training_db.json] [-fast] fig1|defaults|sizes|models|ablation|oracle|steps|all
+//	bench [-db training_db.json] [-fast] [-parallel 8] fig1|defaults|sizes|models|ablation|oracle|steps|all
 //
 // If the database file does not exist it is generated first (several
 // minutes for the full suite).
@@ -17,12 +17,15 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/ml"
+	"repro/internal/sched"
 )
 
 func main() {
 	dbPath := flag.String("db", "training_db.json", "training database path (generated if missing)")
 	fast := flag.Bool("fast", false, "use the fast kNN model instead of the MLP")
+	parallel := flag.Int("parallel", 0, "worker goroutines for sweeps, oracle search and CV folds (0 = GOMAXPROCS)")
 	flag.Parse()
+	sched.SetDefaultWorkers(*parallel)
 	what := flag.Arg(0)
 	if what == "" {
 		what = "all"

@@ -19,13 +19,16 @@ import (
 	"repro/internal/core"
 	"repro/internal/features"
 	"repro/internal/inspire"
+	"repro/internal/sched"
 )
 
 func main() {
 	kernel := flag.String("kernel", "", "kernel name (default: first kernel)")
 	showIR := flag.Bool("ir", false, "print the INSPIRE IR")
 	benchmark := flag.String("benchmark", "", "inspect a built-in benchmark instead of a file")
+	parallel := flag.Int("parallel", 0, "worker goroutines for any profiled execution (0 = GOMAXPROCS)")
 	flag.Parse()
+	sched.SetDefaultWorkers(*parallel)
 
 	var name, src string
 	switch {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	train -out training_db.json [-programs vecadd,matmul] [-maxsize 5] [-quiet]
+//	train -out training_db.json [-programs vecadd,matmul] [-maxsize 5] [-parallel 8] [-quiet]
 package main
 
 import (
@@ -17,19 +17,25 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/sched"
 )
 
 func main() {
 	out := flag.String("out", "training_db.json", "output database path")
 	programs := flag.String("programs", "", "comma-separated program subset (default: all 23)")
 	maxSize := flag.Int("maxsize", 5, "largest problem size index to measure (0-5)")
+	parallel := flag.Int("parallel", 0, "worker goroutines for the sweep and oracle search (0 = GOMAXPROCS)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
+	sched.SetDefaultWorkers(*parallel)
 
 	var log io.Writer = os.Stderr
 	if *quiet {
 		log = nil
 	}
+	// -parallel flows through the scheduler's process-wide default
+	// (SetDefaultWorkers above); Workers stays 0 so there is one source
+	// of truth.
 	opts := harness.GenOptions{MaxSizeIdx: *maxSize, Log: log}
 	if *programs != "" {
 		opts.Programs = strings.Split(*programs, ",")

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/backend"
 	"repro/internal/exec"
@@ -60,13 +61,18 @@ type Program struct {
 	setup  func(n int, rng *rand.Rand) *Instance
 	verify func(inst *Instance, n int) error
 
+	mu       sync.Mutex // guards lazy compilation
 	unit     *inspire.Unit
 	compiled *exec.Compiled
 	plan     *backend.Plan
 }
 
-// compile lazily compiles the program's kernel and plan.
+// compile lazily compiles the program's kernel and plan. It is safe to
+// call from concurrent sweep workers; the first caller compiles, the rest
+// wait and reuse the result.
 func (p *Program) compile() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.compiled != nil {
 		return nil
 	}

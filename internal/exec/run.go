@@ -2,11 +2,11 @@ package exec
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/minicl"
+	"repro/internal/sched"
 )
 
 // RunOptions controls a kernel launch.
@@ -19,7 +19,8 @@ type RunOptions struct {
 	Lo, Hi int
 	// Buckets is the profile resolution along dim 0 (default DefaultBuckets).
 	Buckets int
-	// Workers caps host parallelism (default GOMAXPROCS).
+	// Workers caps host parallelism (default: the scheduler's
+	// process-wide worker budget, GOMAXPROCS unless overridden).
 	Workers int
 }
 
@@ -65,10 +66,7 @@ func (c *Compiled) Run(args []Arg, nd NDRange, opts RunOptions) (*Profile, error
 	groupsDim0 := g0hi - g0lo
 	totalGroups := groupsDim0 * int(ngrp[1]) * int(ngrp[2])
 
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := sched.Workers(opts.Workers)
 	if workers > totalGroups {
 		workers = totalGroups
 	}

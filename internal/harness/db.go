@@ -14,18 +14,22 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"sync"
 
 	"repro/internal/bench"
 	"repro/internal/device"
 	"repro/internal/features"
+	"repro/internal/inspire"
 	"repro/internal/ml"
 	"repro/internal/partition"
 	"repro/internal/runtime"
+	"repro/internal/sched"
 )
 
 // Record is one training pattern: "the static features of a program, its
@@ -82,11 +86,28 @@ type GenOptions struct {
 	MaxSizeIdx int
 	// Log receives progress lines (nil = silent).
 	Log io.Writer
+	// Workers bounds the sweep's total parallelism: the budget is divided
+	// between the (program, size) cell fan-out and kernel-level profiling
+	// within each cell (0 = the scheduler's process-wide default, 1 =
+	// fully sequential). The resulting database is identical for every
+	// setting.
+	Workers int
+	// Cache supplies memoized profiled executions so repeated sweeps stop
+	// re-profiling (nil = the package-wide shared cache).
+	Cache *ProfileCache
 }
 
-func (o *GenOptions) logf(format string, args ...any) {
-	if o.Log != nil {
-		fmt.Fprintf(o.Log, format+"\n", args...)
+// genLogger serializes progress lines from concurrent sweep workers.
+type genLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (g *genLogger) logf(format string, args ...any) {
+	if g.w != nil {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		fmt.Fprintf(g.w, format+"\n", args...)
 	}
 }
 
@@ -94,12 +115,20 @@ func (o *GenOptions) logf(format string, args ...any) {
 // (program, size), priced under every candidate partitioning on every
 // platform. Profiles are platform-independent, so each kernel runs only
 // once per size regardless of platform count.
+//
+// The sweep fans out over (program, size) cells on the scheduler's worker
+// pool; each cell prices all platforms. Cell results are joined back in
+// sweep order, so the database is byte-identical to a sequential run
+// regardless of the worker count.
 func Generate(opts GenOptions) (*DB, error) {
 	if len(opts.Platforms) == 0 {
 		opts.Platforms = device.Platforms()
 	}
 	if opts.MaxSizeIdx <= 0 || opts.MaxSizeIdx > 5 {
 		opts.MaxSizeIdx = 5
+	}
+	if opts.Cache == nil {
+		opts.Cache = sharedProfiles
 	}
 	progs := bench.All()
 	if len(opts.Programs) > 0 {
@@ -115,6 +144,28 @@ func Generate(opts GenOptions) (*DB, error) {
 	space := partition.Space(3, partition.DefaultSteps)
 	db := &DB{Space: spaceStrings()}
 
+	type cell struct {
+		prog *bench.Program
+		st   *inspire.StaticCounts
+		sz   int
+	}
+	var cells []cell
+	for _, p := range progs {
+		// Static features depend only on the kernel, not the size:
+		// compute them once per program, not once per cell.
+		st, err := p.Static()
+		if err != nil {
+			return nil, err
+		}
+		for sz := 0; sz <= opts.MaxSizeIdx && sz < len(p.Sizes); sz++ {
+			cells = append(cells, cell{prog: p, st: st, sz: sz})
+		}
+	}
+
+	// Divide the budget between the cell fan-out and kernel-level
+	// profiling within a cell, so total parallelism stays within the
+	// budget (Workers=1 is sequential at every level).
+	outer, inner := splitBudget(opts.Workers, len(cells))
 	runtimes := make([]*runtime.Runtime, len(opts.Platforms))
 	for i, plat := range opts.Platforms {
 		if err := plat.Validate(); err != nil {
@@ -122,18 +173,19 @@ func Generate(opts GenOptions) (*DB, error) {
 		}
 		runtimes[i] = runtime.New(plat)
 	}
+	// Only runtimes[0] executes kernels (profiles are platform-
+	// independent); the rest just price, which uses no workers.
+	runtimes[0].Workers = inner
 
-	for _, p := range progs {
-		st, err := p.Static()
-		if err != nil {
-			return nil, err
-		}
-		for sz := 0; sz <= opts.MaxSizeIdx && sz < len(p.Sizes); sz++ {
+	log := &genLogger{w: opts.Log}
+	cellRecords, err := sched.Map(context.Background(), len(cells), outer,
+		func(_ context.Context, ci int) ([]Record, error) {
+			p, st, sz := cells[ci].prog, cells[ci].st, cells[ci].sz
 			l, _, err := p.Build(sz)
 			if err != nil {
 				return nil, err
 			}
-			prof, err := runtimes[0].Profile(l)
+			prof, err := opts.Cache.Profile(runtimes[0], p.Name, sz, l)
 			if err != nil {
 				return nil, fmt.Errorf("harness: profiling %s/%s: %w", p.Name, p.Sizes[sz].Label, err)
 			}
@@ -143,8 +195,9 @@ func Generate(opts GenOptions) (*DB, error) {
 				Args:       l.Args,
 				Iterations: l.Iterations,
 			})
-			opts.logf("profiled %-14s %s (%d items)", p.Name, p.Sizes[sz].Label, prof.Total().Items)
+			log.logf("profiled %-14s %s (%d items)", p.Name, p.Sizes[sz].Label, prof.Total().Items)
 
+			recs := make([]Record, 0, len(runtimes))
 			for pi, rt := range runtimes {
 				rec := Record{
 					Program:      p.Name,
@@ -175,9 +228,15 @@ func Generate(opts GenOptions) (*DB, error) {
 				gpuClass := classOf(space, rt.GPUOnly())
 				rec.CPUOnlyTime = rec.Times[cpuClass]
 				rec.GPUOnlyTime = rec.Times[gpuClass]
-				db.Records = append(db.Records, rec)
+				recs = append(recs, rec)
 			}
-		}
+			return recs, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, recs := range cellRecords {
+		db.Records = append(db.Records, recs...)
 	}
 	return db, nil
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/bench"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/partition"
 	"repro/internal/runtime"
+	"repro/internal/sched"
 )
 
 // TwoStageModel builds the hierarchical predictor (gate: CPU-only /
@@ -52,54 +54,62 @@ type DynamicRow struct {
 }
 
 // DynamicComparison runs T8: the dynamic baseline against the static
-// oracle for every requested program at its default size.
+// oracle for every requested program at its default size. Programs are
+// processed by concurrent workers (profiles come from the shared cache)
+// and rows are joined in input order, matching a sequential run.
 func DynamicComparison(platformName string, programs []string, chunks int) ([]DynamicRow, error) {
 	plat, err := device.ByName(platformName)
 	if err != nil {
 		return nil, err
 	}
+	// Divide the worker budget between the program-level fan-out and the
+	// inner stages (profiling, oracle search): with few programs the
+	// inner parallelism fills the idle budget; with many programs the
+	// fan-out saturates it and inner stages run sequentially.
 	rt := runtime.New(plat)
-	var out []DynamicRow
-	for _, name := range programs {
-		p, err := bench.Get(name)
-		if err != nil {
-			return nil, err
-		}
-		l, _, err := p.Build(p.DefaultSize)
-		if err != nil {
-			return nil, err
-		}
-		prof, err := rt.Profile(l)
-		if err != nil {
-			return nil, err
-		}
-		dyn, err := rt.DynamicSchedule(l, prof, chunks)
-		if err != nil {
-			return nil, err
-		}
-		_, oracle, err := rt.Best(l, prof)
-		if err != nil {
-			return nil, err
-		}
-		cpu, _, err := rt.Price(l, prof, rt.CPUOnly())
-		if err != nil {
-			return nil, err
-		}
-		gpu, _, err := rt.Price(l, prof, rt.GPUOnly())
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, DynamicRow{
-			Program:   name,
-			Platform:  platformName,
-			Dynamic:   dyn.Makespan,
-			Oracle:    oracle,
-			CPUOnly:   cpu,
-			GPUOnly:   gpu,
-			DynChunks: dyn.Chunks,
+	outer, inner := splitBudget(0, len(programs))
+	rt.Workers = inner
+	return sched.Map(context.Background(), len(programs), outer,
+		func(_ context.Context, i int) (DynamicRow, error) {
+			name := programs[i]
+			p, err := bench.Get(name)
+			if err != nil {
+				return DynamicRow{}, err
+			}
+			l, _, err := p.Build(p.DefaultSize)
+			if err != nil {
+				return DynamicRow{}, err
+			}
+			prof, err := sharedProfiles.Profile(rt, name, p.DefaultSize, l)
+			if err != nil {
+				return DynamicRow{}, err
+			}
+			dyn, err := rt.DynamicSchedule(l, prof, chunks)
+			if err != nil {
+				return DynamicRow{}, err
+			}
+			_, oracle, err := rt.Best(l, prof)
+			if err != nil {
+				return DynamicRow{}, err
+			}
+			cpu, _, err := rt.Price(l, prof, rt.CPUOnly())
+			if err != nil {
+				return DynamicRow{}, err
+			}
+			gpu, _, err := rt.Price(l, prof, rt.GPUOnly())
+			if err != nil {
+				return DynamicRow{}, err
+			}
+			return DynamicRow{
+				Program:   name,
+				Platform:  platformName,
+				Dynamic:   dyn.Makespan,
+				Oracle:    oracle,
+				CPUOnly:   cpu,
+				GPUOnly:   gpu,
+				DynChunks: dyn.Chunks,
+			}, nil
 		})
-	}
-	return out, nil
 }
 
 // DynamicGeoMeans summarizes T8: geomean of dynamic/oracle and

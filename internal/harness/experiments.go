@@ -25,14 +25,14 @@ func FastModel() ml.NewModel {
 
 // Fig1Row is one program's bars in Figure 1 for one platform.
 type Fig1Row struct {
-	Program       string
-	Predicted     string  // predicted partition (CPU/GPU1/GPU2 percentages)
-	Oracle        string  // oracle partition
-	PredTime      float64 // simulated seconds under the predicted partitioning
-	OracleTime    float64
-	SpeedupVsCPU  float64 // CPUOnlyTime / PredTime
-	SpeedupVsGPU  float64 // GPUOnlyTime / PredTime
-	OracleEfficie float64 // OracleTime / PredTime (1 = perfect prediction)
+	Program      string
+	Predicted    string  // predicted partition (CPU/GPU1/GPU2 percentages)
+	Oracle       string  // oracle partition
+	PredTime     float64 // simulated seconds under the predicted partitioning
+	OracleTime   float64
+	SpeedupVsCPU float64 // CPUOnlyTime / PredTime
+	SpeedupVsGPU float64 // GPUOnlyTime / PredTime
+	OracleEff    float64 // OracleTime / PredTime (1 = perfect prediction)
 }
 
 // Fig1Result is Figure 1 for one platform.
@@ -80,14 +80,14 @@ func Figure1(db *DB, platform string, mk ml.NewModel) (*Fig1Result, error) {
 			}
 			predTime := r.Times[cls]
 			row = &Fig1Row{
-				Program:       r.Program,
-				Predicted:     db.Space[cls],
-				Oracle:        r.BestPartition,
-				PredTime:      predTime,
-				OracleTime:    r.OracleTime,
-				SpeedupVsCPU:  r.CPUOnlyTime / predTime,
-				SpeedupVsGPU:  r.GPUOnlyTime / predTime,
-				OracleEfficie: r.OracleTime / predTime,
+				Program:      r.Program,
+				Predicted:    db.Space[cls],
+				Oracle:       r.BestPartition,
+				PredTime:     predTime,
+				OracleTime:   r.OracleTime,
+				SpeedupVsCPU: r.CPUOnlyTime / predTime,
+				SpeedupVsGPU: r.GPUOnlyTime / predTime,
+				OracleEff:    r.OracleTime / predTime,
 			}
 			res.SizeLabel = r.SizeLabel
 		}
@@ -97,7 +97,7 @@ func Figure1(db *DB, platform string, mk ml.NewModel) (*Fig1Result, error) {
 		res.Rows = append(res.Rows, *row)
 		gmCPU += math.Log(row.SpeedupVsCPU)
 		gmGPU += math.Log(row.SpeedupVsGPU)
-		effSum += row.OracleEfficie
+		effSum += row.OracleEff
 	}
 	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].Program < res.Rows[j].Program })
 	n := float64(len(res.Rows))

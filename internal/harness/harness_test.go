@@ -118,8 +118,8 @@ func TestFigure1SmallDB(t *testing.T) {
 			if row.PredTime <= 0 {
 				t.Errorf("%s/%s: zero predicted time", plat, row.Program)
 			}
-			if row.OracleEfficie > 1.0000001 {
-				t.Errorf("%s/%s: oracle efficiency %g > 1", plat, row.Program, row.OracleEfficie)
+			if row.OracleEff > 1.0000001 {
+				t.Errorf("%s/%s: oracle efficiency %g > 1", plat, row.Program, row.OracleEff)
 			}
 		}
 		// The predicted partitioning must not be catastrophically worse

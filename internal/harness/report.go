@@ -54,7 +54,7 @@ func WriteFigure1(w io.Writer, res *Fig1Result) {
 		tb.add(r.Program, r.Predicted, r.Oracle,
 			fmt.Sprintf("%.2fx", r.SpeedupVsCPU),
 			fmt.Sprintf("%.2fx", r.SpeedupVsGPU),
-			fmt.Sprintf("%.2f", r.OracleEfficie))
+			fmt.Sprintf("%.2f", r.OracleEff))
 	}
 	tb.add("GEOMEAN", "", "",
 		fmt.Sprintf("%.2fx", res.GeoMeanVsCPU),

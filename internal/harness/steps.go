@@ -1,12 +1,14 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bench"
 	"repro/internal/device"
 	"repro/internal/partition"
 	"repro/internal/runtime"
+	"repro/internal/sched"
 )
 
 // benchDefault returns the canonical default size index of a program.
@@ -31,50 +33,65 @@ type StepRow struct {
 // StepAblation reproduces T7: how much oracle quality depends on the
 // discretization step. Finer grids can only improve the oracle; the
 // experiment quantifies by how much, justifying the paper's 10% choice.
-// Sizes are evaluated at each program's default size.
+// Sizes are evaluated at each program's default size. Programs are
+// processed by concurrent workers (profiles come from the shared cache,
+// the oracle search itself is parallel) and rows are joined in input
+// order, so the output matches a sequential run.
 func StepAblation(platformName string, programs []string, stepsList []int) ([]StepRow, error) {
 	plat, err := device.ByName(platformName)
 	if err != nil {
 		return nil, err
 	}
+	for _, steps := range stepsList {
+		if steps <= 0 {
+			return nil, fmt.Errorf("harness: invalid step count %d", steps)
+		}
+	}
+	// Divide the worker budget between the program-level fan-out and the
+	// inner stages (profiling, oracle search): with few programs the
+	// inner parallelism fills the idle budget; with many programs the
+	// fan-out saturates it and inner stages run sequentially.
 	rt := runtime.New(plat)
-	var out []StepRow
-	for _, name := range programs {
-		p, err := bench.Get(name)
-		if err != nil {
-			return nil, err
-		}
-		l, _, err := p.Build(p.DefaultSize)
-		if err != nil {
-			return nil, err
-		}
-		prof, err := rt.Profile(l)
-		if err != nil {
-			return nil, err
-		}
-		for _, steps := range stepsList {
-			if steps <= 0 {
-				return nil, fmt.Errorf("harness: invalid step count %d", steps)
+	outer, inner := splitBudget(0, len(programs))
+	rt.Workers = inner
+	perProgram, err := sched.Map(context.Background(), len(programs), outer,
+		func(_ context.Context, i int) ([]StepRow, error) {
+			name := programs[i]
+			p, err := bench.Get(name)
+			if err != nil {
+				return nil, err
 			}
-			space := partition.Space(plat.NumDevices(), steps)
-			best := -1.0
-			for _, part := range space {
-				tm, _, err := rt.Price(l, prof, part)
+			l, _, err := p.Build(p.DefaultSize)
+			if err != nil {
+				return nil, err
+			}
+			prof, err := sharedProfiles.Profile(rt, name, p.DefaultSize, l)
+			if err != nil {
+				return nil, err
+			}
+			var out []StepRow
+			for _, steps := range stepsList {
+				space := partition.Space(plat.NumDevices(), steps)
+				_, best, err := rt.BestIn(l, prof, space)
 				if err != nil {
 					return nil, err
 				}
-				if best < 0 || tm < best {
-					best = tm
-				}
+				out = append(out, StepRow{
+					Program:    name,
+					Platform:   platformName,
+					Steps:      steps,
+					SpaceSize:  len(space),
+					OracleTime: best,
+				})
 			}
-			out = append(out, StepRow{
-				Program:    name,
-				Platform:   platformName,
-				Steps:      steps,
-				SpaceSize:  len(space),
-				OracleTime: best,
-			})
-		}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []StepRow
+	for _, rows := range perProgram {
+		out = append(out, rows...)
 	}
 	return out, nil
 }

@@ -1,6 +1,11 @@
 package ml
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/sched"
+)
 
 // FoldResult is the outcome of one leave-one-group-out fold.
 type FoldResult struct {
@@ -56,6 +61,11 @@ type NewModel func() Classifier
 // the paper's deployment scenario — predicting partitionings for programs
 // never seen during training. Feature scaling is fit on each fold's
 // training split only (no leakage).
+//
+// Folds are independent (each trains a freshly constructed, explicitly
+// seeded model on its own scaled copy of the data), so they run on the
+// scheduler's worker pool; fold results keep group order, making the
+// output identical to a sequential sweep.
 func LeaveOneGroupOut(d *Dataset, mk NewModel) (*CVResult, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -63,26 +73,31 @@ func LeaveOneGroupOut(d *Dataset, mk NewModel) (*CVResult, error) {
 	if len(d.Groups) == 0 {
 		return nil, fmt.Errorf("ml: dataset has no group labels")
 	}
-	res := &CVResult{}
-	for _, g := range d.GroupNames() {
-		trainIdx, testIdx := d.SplitByGroup(g)
-		if len(trainIdx) == 0 {
-			return nil, fmt.Errorf("ml: group %q is the entire dataset", g)
-		}
-		train := d.Subset(trainIdx)
-		scaler := FitScaler(train)
-		model := mk()
-		if err := model.Fit(scaler.TransformDataset(train)); err != nil {
-			return nil, fmt.Errorf("ml: fold %q: %w", g, err)
-		}
-		fold := FoldResult{Group: g, TestIdx: testIdx}
-		for _, ti := range testIdx {
-			fold.Predicted = append(fold.Predicted, model.Predict(scaler.Transform(d.X[ti])))
-			fold.Actual = append(fold.Actual, d.Y[ti])
-		}
-		res.Folds = append(res.Folds, fold)
+	groups := d.GroupNames()
+	folds, err := sched.Map(context.Background(), len(groups), 0,
+		func(_ context.Context, gi int) (FoldResult, error) {
+			g := groups[gi]
+			trainIdx, testIdx := d.SplitByGroup(g)
+			if len(trainIdx) == 0 {
+				return FoldResult{}, fmt.Errorf("ml: group %q is the entire dataset", g)
+			}
+			train := d.Subset(trainIdx)
+			scaler := FitScaler(train)
+			model := mk()
+			if err := model.Fit(scaler.TransformDataset(train)); err != nil {
+				return FoldResult{}, fmt.Errorf("ml: fold %q: %w", g, err)
+			}
+			fold := FoldResult{Group: g, TestIdx: testIdx}
+			for _, ti := range testIdx {
+				fold.Predicted = append(fold.Predicted, model.Predict(scaler.Transform(d.X[ti])))
+				fold.Actual = append(fold.Actual, d.Y[ti])
+			}
+			return fold, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &CVResult{Folds: folds}, nil
 }
 
 // TrainFull fits a model (with scaling) on the whole dataset and returns a

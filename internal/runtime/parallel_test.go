@@ -1,0 +1,135 @@
+package runtime
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/exec"
+	"repro/internal/partition"
+)
+
+// heavyLaunch builds a compute-bound launch with its own fresh buffers so
+// sequential and parallel executions never share state.
+func heavyLaunch(t *testing.T, n int) (Launch, *exec.Buffer) {
+	t.Helper()
+	in, out := exec.NewFloatBuffer(n), exec.NewFloatBuffer(n)
+	for i := 0; i < n; i++ {
+		in.F[i] = float32(i%97) / 97
+	}
+	l := makeLaunch(t, heavySrc, "heavy",
+		[]exec.Arg{exec.BufArg(in), exec.BufArg(out), exec.IntArg(40)}, exec.ND1(n))
+	return l, out
+}
+
+// TestBestParallelMatchesSequential is the golden determinism check for
+// the oracle search: the parallel search must return the bit-identical
+// partition and makespan the sequential loop returns.
+func TestBestParallelMatchesSequential(t *testing.T) {
+	for _, plat := range []*device.Platform{device.MC1(), device.MC2()} {
+		l, _ := vecaddLaunch(t, 4096)
+		seq := New(plat)
+		seq.Workers = 1
+		prof, err := seq.Profile(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPart, wantTime, err := seq.Best(l, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			par := New(plat)
+			par.Workers = workers
+			gotPart, gotTime, err := par.Best(l, prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotPart, wantPart) || gotTime != wantTime {
+				t.Fatalf("%s workers=%d: Best = (%v, %v), sequential = (%v, %v)",
+					plat.Name, workers, gotPart, gotTime, wantPart, wantTime)
+			}
+		}
+	}
+}
+
+// TestBestInFinerGrid checks the parallel search on a non-default space.
+func TestBestInFinerGrid(t *testing.T) {
+	l, _ := vecaddLaunch(t, 4096)
+	seq := New(device.MC2())
+	seq.Workers = 1
+	prof, err := seq.Profile(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := partition.Space(3, 20)
+	wantPart, wantTime, err := seq.BestIn(l, prof, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := New(device.MC2())
+	par.Workers = 8
+	gotPart, gotTime, err := par.BestIn(l, prof, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotPart, wantPart) || gotTime != wantTime {
+		t.Fatalf("BestIn parallel (%v, %v) != sequential (%v, %v)", gotPart, gotTime, wantPart, wantTime)
+	}
+}
+
+// TestExecuteParallelMatchesSequential is the golden determinism check for
+// chunked execution: per-device chunks executed concurrently must produce
+// the same output buffers, profile and makespan as sequential chunk
+// execution.
+func TestExecuteParallelMatchesSequential(t *testing.T) {
+	parts := []partition.Partition{
+		{Shares: []int{4, 3, 3}},
+		{Shares: []int{0, 10, 0}},
+		{Shares: []int{1, 1, 8}},
+	}
+	for _, part := range parts {
+		seqL, seqOut := heavyLaunch(t, 2048)
+		seq := New(device.MC1())
+		seq.Workers = 1
+		seqRes, err := seq.Execute(seqL, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		parL, parOut := heavyLaunch(t, 2048)
+		par := New(device.MC1())
+		par.Workers = 8
+		parRes, err := par.Execute(parL, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if !reflect.DeepEqual(seqOut.F, parOut.F) {
+			t.Fatalf("partition %v: output buffers differ between sequential and parallel execution", part)
+		}
+		if seqRes.Makespan != parRes.Makespan {
+			t.Fatalf("partition %v: makespan %v != %v", part, parRes.Makespan, seqRes.Makespan)
+		}
+		if !reflect.DeepEqual(seqRes.Profile, parRes.Profile) {
+			t.Fatalf("partition %v: profiles differ between sequential and parallel execution", part)
+		}
+		if !reflect.DeepEqual(seqRes.Breakdowns, parRes.Breakdowns) {
+			t.Fatalf("partition %v: breakdowns differ between sequential and parallel execution", part)
+		}
+	}
+}
+
+// TestExecuteParallelError checks error propagation through the worker
+// pool: an invalid chunk alignment must surface as an error, not a hang or
+// a partial result.
+func TestExecuteParallelError(t *testing.T) {
+	l, _ := vecaddLaunch(t, 1024)
+	l.ND.Local[0] = 64
+	rt := New(device.MC2())
+	rt.Workers = 8
+	// 7 devices on a 3-device platform: checkPartition must reject it.
+	if _, err := rt.Execute(l, partition.Partition{Shares: []int{1, 1, 1, 1, 1, 1, 4}}); err == nil {
+		t.Fatal("expected partition mismatch error")
+	}
+}

@@ -11,12 +11,14 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/backend"
 	"repro/internal/device"
 	"repro/internal/exec"
 	"repro/internal/partition"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -52,6 +54,11 @@ type Result struct {
 type Runtime struct {
 	Platform *device.Platform
 	Opts     sim.Options
+	// Workers bounds the host parallelism of the oracle search (Best) and
+	// of chunked execution (Execute). 0 uses the scheduler's process-wide
+	// default (GOMAXPROCS unless overridden by -parallel); 1 forces the
+	// sequential path. Results are identical for every setting.
+	Workers int
 }
 
 // New creates a runtime for the platform.
@@ -99,14 +106,49 @@ func (r *Runtime) Execute(l Launch, part partition.Partition) (*Result, error) {
 	if len(full.Buckets) > full.Global0 {
 		full.Buckets = make([]exec.Counts, full.Global0)
 	}
+	// Each device's disjoint dim-0 chunk runs in its own worker. Chunks
+	// write disjoint work items, the per-chunk profiles are merged in
+	// device order after the join, and every Counts field is an integer
+	// sum (or max), so the result is byte-identical to sequential chunk
+	// execution.
+	//
+	// Each chunk's kernel-level worker count is proportional to its
+	// share of the work: skewed partitions (shares up to 10:1) don't
+	// starve the large chunk, while total parallelism stays within the
+	// budget up to rounding (at most one extra worker per device).
 	chunks := part.Chunks(nd.Global[0], align)
+	active, totalItems := 0, 0
 	for _, ch := range chunks {
-		if ch[1] <= ch[0] {
-			continue
+		if ch[1] > ch[0] {
+			active++
+			totalItems += ch[1] - ch[0]
 		}
-		prof, err := l.Kernel.Run(l.Args, nd, exec.RunOptions{Lo: ch[0], Hi: ch[1], Buckets: len(full.Buckets)})
-		if err != nil {
-			return nil, err
+	}
+	budget := sched.Workers(r.Workers)
+	outer := budget
+	if outer > active {
+		outer = active
+	}
+	profs, err := sched.Map(context.Background(), len(chunks), outer,
+		func(_ context.Context, i int) (*exec.Profile, error) {
+			ch := chunks[i]
+			if ch[1] <= ch[0] {
+				return nil, nil
+			}
+			w := budget * (ch[1] - ch[0]) / totalItems
+			if w < 1 {
+				w = 1
+			}
+			return l.Kernel.Run(l.Args, nd, exec.RunOptions{
+				Lo: ch[0], Hi: ch[1], Buckets: len(full.Buckets), Workers: w,
+			})
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, prof := range profs {
+		if prof == nil {
+			continue
 		}
 		for i := range prof.Buckets {
 			full.Buckets[i].Add(&prof.Buckets[i])
@@ -127,7 +169,7 @@ func (r *Runtime) Profile(l Launch) (*exec.Profile, error) {
 	if err != nil {
 		return nil, err
 	}
-	return l.Kernel.Run(l.Args, nd, exec.RunOptions{})
+	return l.Kernel.Run(l.Args, nd, exec.RunOptions{Workers: r.Workers})
 }
 
 // Price computes the simulated makespan of a partitioning from an
@@ -153,19 +195,33 @@ func (r *Runtime) price(l Launch, prof *exec.Profile, part partition.Partition, 
 // Ties break toward the earlier partition in enumeration order, which is
 // deterministic.
 func (r *Runtime) Best(l Launch, prof *exec.Profile) (partition.Partition, float64, error) {
-	space := partition.Space(r.Platform.NumDevices(), partition.DefaultSteps)
-	var best partition.Partition
-	bestTime := -1.0
-	for _, p := range space {
-		t, _, err := r.Price(l, prof, p)
-		if err != nil {
-			return partition.Partition{}, 0, err
-		}
-		if bestTime < 0 || t < bestTime {
-			best, bestTime = p, t
+	return r.BestIn(l, prof, partition.Space(r.Platform.NumDevices(), partition.DefaultSteps))
+}
+
+// BestIn prices every candidate partitioning in parallel (pricing is
+// read-only over the profile, so the search is embarrassingly parallel)
+// and returns the minimum-makespan one. The reduction runs over the priced
+// times in enumeration order, so ties break toward the earlier candidate
+// exactly like the sequential loop.
+func (r *Runtime) BestIn(l Launch, prof *exec.Profile, space []partition.Partition) (partition.Partition, float64, error) {
+	if len(space) == 0 {
+		return partition.Partition{}, 0, fmt.Errorf("runtime: empty partition space")
+	}
+	times, err := sched.Map(context.Background(), len(space), r.Workers,
+		func(_ context.Context, i int) (float64, error) {
+			t, _, err := r.Price(l, prof, space[i])
+			return t, err
+		})
+	if err != nil {
+		return partition.Partition{}, 0, err
+	}
+	best := 0
+	for i, t := range times {
+		if t < times[best] {
+			best = i
 		}
 	}
-	return best, bestTime, nil
+	return space[best], times[best], nil
 }
 
 // CPUOnly is the first default strategy: everything on the CPU device.

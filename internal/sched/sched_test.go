@@ -1,0 +1,178 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		out, err := Map(context.Background(), 100, workers, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: got %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapMatchesSequential(t *testing.T) {
+	fn := func(_ context.Context, i int) (float64, error) { return float64(i) * 1.5, nil }
+	seq, err := Map(context.Background(), 257, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(context.Background(), 257, 8, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("index %d: sequential %v vs parallel %v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	_, err := Map(context.Background(), 64, workers, func(_ context.Context, i int) (int, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent calls, want <= %d", p, workers)
+	}
+}
+
+func TestMapErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), 50, workers, func(_ context.Context, i int) (int, error) {
+			if i == 17 {
+				return 0, fmt.Errorf("item %d: %w", i, boom)
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want wrapped boom", workers, err)
+		}
+	}
+}
+
+// TestMapLowestIndexError checks that when several items fail, the
+// reported error is the one with the smallest index among those observed —
+// matching a sequential loop when fn is deterministic.
+func TestMapLowestIndexError(t *testing.T) {
+	var started sync.WaitGroup
+	started.Add(4)
+	release := make(chan struct{})
+	go func() {
+		started.Wait()
+		close(release)
+	}()
+	_, err := Map(context.Background(), 4, 4, func(_ context.Context, i int) (int, error) {
+		started.Done()
+		<-release
+		return 0, fmt.Errorf("fail-%d", i)
+	})
+	if err == nil || err.Error() != "fail-0" {
+		t.Fatalf("err = %v, want fail-0", err)
+	}
+}
+
+func TestMapStopsClaimingAfterError(t *testing.T) {
+	var calls atomic.Int64
+	_, err := Map(context.Background(), 10000, 2, func(_ context.Context, i int) (int, error) {
+		calls.Add(1)
+		if i == 0 {
+			return 0, errors.New("early")
+		}
+		time.Sleep(100 * time.Microsecond)
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if c := calls.Load(); c > 100 {
+		t.Fatalf("%d calls ran after an index-0 error; pool did not stop claiming", c)
+	}
+}
+
+func TestMapContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := Map(ctx, 10000, 2, func(ctx context.Context, i int) (int, error) {
+			if calls.Add(1) == 10 {
+				cancel()
+			}
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Map did not return after cancellation")
+	}
+	if c := calls.Load(); c > 10000 {
+		t.Fatalf("calls = %d", c)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 0, 4, func(_ context.Context, i int) (int, error) {
+		t.Fatal("fn called for empty input")
+		return 0, nil
+	})
+	if err != nil || out != nil {
+		t.Fatalf("got (%v, %v), want (nil, nil)", out, err)
+	}
+}
+
+func TestWorkersDefaults(t *testing.T) {
+	if w := Workers(7); w != 7 {
+		t.Fatalf("Workers(7) = %d", w)
+	}
+	if w := Workers(0); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", w)
+	}
+	SetDefaultWorkers(3)
+	defer SetDefaultWorkers(0)
+	if w := Workers(0); w != 3 {
+		t.Fatalf("Workers(0) with default 3 = %d", w)
+	}
+	if w := Workers(5); w != 5 {
+		t.Fatalf("Workers(5) with default 3 = %d", w)
+	}
+}
