@@ -368,6 +368,102 @@ func BenchmarkTrainingSweep(b *testing.B) {
 	}
 }
 
+// --- pricing and barrier-execution micro-benchmarks ---
+
+// BenchmarkPricePartition measures aggregating the three device chunks of
+// one candidate partitioning from a profile — the innermost operation of
+// oracle labeling — with the O(buckets) naive scan ("naive") and the O(1)
+// prefix-indexed query ("prefix"). The ratio is the per-candidate pricing
+// speedup of the prefix index.
+func BenchmarkPricePartition(b *testing.B) {
+	p, err := bench.Get("matmul")
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, _, err := p.Build(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := runtime.New(device.MC1())
+	prof, err := rt.Profile(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nd, err := l.ND.Normalized()
+	if err != nil {
+		b.Fatal(err)
+	}
+	part := partition.Partition{Shares: []int{4, 3, 3}}
+	chunks := part.Chunks(prof.Global0, nd.Local[0])
+	prof.Precompute()
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, ch := range chunks {
+				_ = prof.RangeNaive(ch[0], ch[1])
+			}
+		}
+	})
+	b.Run("prefix", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, ch := range chunks {
+				_ = prof.Range(ch[0], ch[1])
+			}
+		}
+	})
+	// Full candidate pricing (chunk layout + transfers + device models)
+	// through the production path, for the end-to-end per-candidate cost.
+	b.Run("price", func(b *testing.B) {
+		b.ReportAllocs()
+		space := []partition.Partition{part}
+		times := make([]float64, 1)
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.PriceAll(l, prof, space, times); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBarrierKernel measures a barrier-synchronized kernel (dotprod:
+// 64-item work groups, one barrier per reduction level) under the three
+// barrier execution paths: the legacy goroutine-per-item-per-group path
+// ("spawn"), the persistent reused item pool ("pooled"), and the default
+// single-goroutine lockstep executor ("lockstep"). All three produce
+// byte-identical buffers and profiles; the spawn/lockstep ratio is the
+// barrier-execution speedup of this PR.
+func BenchmarkBarrierKernel(b *testing.B) {
+	p, err := bench.Get("dotprod")
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, _, err := p.Build(2) // 64K items = 1024 groups of 64
+	if err != nil {
+		b.Fatal(err)
+	}
+	nd, err := l.ND.Normalized()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !l.Kernel.LockstepEligible() {
+		b.Fatal("dotprod should be lockstep-eligible")
+	}
+	for _, cfg := range []struct {
+		name string
+		mode exec.BarrierMode
+	}{{"spawn", exec.BarrierSpawn}, {"pooled", exec.BarrierPooled}, {"lockstep", exec.BarrierAuto}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := l.Kernel.Run(l.Args, nd, exec.RunOptions{Barrier: cfg.mode})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkModelTraining measures fitting the default MLP on the database.
 func BenchmarkModelTraining(b *testing.B) {
 	db := benchDB(b)

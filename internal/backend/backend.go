@@ -213,8 +213,25 @@ func (pl *Plan) TransferBytes(args []exec.Arg, global0, lo, hi int) (in, out int
 // kernel but keep buffers resident, so transfers are charged once).
 func (pl *Plan) DeviceWorks(prof *exec.Profile, args []exec.Arg, part partition.Partition,
 	align int, launches int) []sim.Work {
-	chunks := part.Chunks(prof.Global0, align)
-	works := make([]sim.Work, len(chunks))
+	works, _ := pl.DeviceWorksInto(nil, nil, prof, args, part, align, launches)
+	return works
+}
+
+// DeviceWorksInto is DeviceWorks with caller-supplied storage: dst receives
+// the works and chunkScratch the chunk layout, both reused when their
+// capacity suffices. The chunk counts come from the profile's O(1) range
+// query; every computed value is identical to DeviceWorks'. It returns the
+// works plus the chunk scratch for reuse on the next candidate.
+func (pl *Plan) DeviceWorksInto(dst []sim.Work, chunkScratch [][2]int, prof *exec.Profile,
+	args []exec.Arg, part partition.Partition, align int, launches int) ([]sim.Work, [][2]int) {
+	chunks := part.ChunksInto(chunkScratch, prof.Global0, align)
+	var works []sim.Work
+	if cap(dst) >= len(chunks) {
+		works = dst[:len(chunks)]
+		clear(works)
+	} else {
+		works = make([]sim.Work, len(chunks))
+	}
 	for d, ch := range chunks {
 		if ch[1] <= ch[0] {
 			continue
@@ -230,7 +247,7 @@ func (pl *Plan) DeviceWorks(prof *exec.Profile, args []exec.Arg, part partition.
 			Launches:    launches,
 		}
 	}
-	return works
+	return works, chunks
 }
 
 // scaleCounts multiplies dynamic counts by the launch count (profiles are

@@ -1,11 +1,13 @@
 package backend
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/exec"
 	"repro/internal/inspire"
 	"repro/internal/partition"
+	"repro/internal/sim"
 )
 
 func planFor(t *testing.T, src, kernel string) *Plan {
@@ -224,5 +226,40 @@ func TestDeviceWorksLaunchScaling(t *testing.T) {
 func TestAnalyzeNilKernel(t *testing.T) {
 	if _, err := Analyze(nil); err == nil {
 		t.Error("Analyze(nil) should fail")
+	}
+}
+
+func TestDeviceWorksIntoMatchesDeviceWorks(t *testing.T) {
+	pl := planFor(t, `kernel void vecadd(global const float* a, global const float* b,
+		global float* c, int n) {
+		int i = get_global_id(0);
+		if (i < n) { c[i] = a[i] + b[i]; }
+	}`, "vecadd")
+	n := 1000
+	prof := &exec.Profile{Global0: n, Buckets: make([]exec.Counts, 10)}
+	for i := range prof.Buckets {
+		prof.Buckets[i] = exec.Counts{Items: 100, FloatOps: 100 + int64(i), GlobalLoads: 200, GlobalStores: 100, MaxItemOps: int64(4 + i%3)}
+	}
+	args := []exec.Arg{
+		exec.BufArg(exec.NewFloatBuffer(n)),
+		exec.BufArg(exec.NewFloatBuffer(n)),
+		exec.BufArg(exec.NewFloatBuffer(n)),
+		exec.IntArg(n),
+	}
+	var works []sim.Work
+	var chunks [][2]int
+	// Reuse the same scratch across several candidates (the oracle-search
+	// pattern): every result must match the allocating path exactly,
+	// including stale-state clearing for empty chunks.
+	for _, part := range []partition.Partition{
+		{Shares: []int{5, 3, 2}},
+		{Shares: []int{0, 10, 0}},
+		{Shares: []int{7, 0, 3}},
+	} {
+		want := pl.DeviceWorks(prof, args, part, 64, 3)
+		works, chunks = pl.DeviceWorksInto(works, chunks, prof, args, part, 64, 3)
+		if !reflect.DeepEqual(works, want) {
+			t.Fatalf("partition %s: DeviceWorksInto %+v != DeviceWorks %+v", part, works, want)
+		}
 	}
 }

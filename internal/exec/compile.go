@@ -73,6 +73,7 @@ type Compiled struct {
 	body       stmtFn
 	hasBarrier bool
 	usesLocal  bool
+	lockstep   gStmt // nil when barriers are not provably uniform
 
 	nInts, nFloats  int
 	nGlobal, nLocal int
@@ -84,6 +85,12 @@ type Compiled struct {
 // HasBarrier reports whether the kernel (including helpers) executes
 // work-group barriers and therefore needs synchronous group execution.
 func (c *Compiled) HasBarrier() bool { return c.hasBarrier }
+
+// LockstepEligible reports whether the kernel's barriers were proven to
+// sit under group-uniform control flow, enabling the single-goroutine
+// lockstep group executor (the default barrier path). Ineligible kernels
+// run groups on the blocking worker-pool path instead.
+func (c *Compiled) LockstepEligible() bool { return c.lockstep != nil }
 
 // compiler compiles one function (kernel or helper).
 type compiler struct {
@@ -124,6 +131,9 @@ func compileWith(fn *inspire.Function, helpers map[*inspire.Function]*Compiled) 
 	})
 	out.body = cc.block(fn.Body)
 	out.retIsFloat = fn.Ret.IsFloat()
+	if fn.Kernel && out.hasBarrier {
+		out.lockstep = cc.lockstepCompile(fn)
+	}
 	return out
 }
 

@@ -1,0 +1,425 @@
+package exec
+
+// Lockstep group execution.
+//
+// The OpenCL execution model requires work-group barriers to be reached by
+// every item of the group under group-uniform control flow. When the
+// compiler can prove that property statically, a whole work group can run
+// on a single goroutine: the statement tree is walked once per group, with
+// barrier-free segments executed item-by-item through the ordinary
+// per-item closures and barriers degenerating to sequencing points. This
+// removes every goroutine park the blocking barrier path pays (one per
+// item per barrier generation), which dominates barrier-kernel cost on the
+// host.
+//
+// Counts are byte-identical to the blocking paths because the exact same
+// per-item closures run the exact same number of times per item: loop and
+// branch conditions are still evaluated (and counted) on every active
+// frame, and the group-level decision is taken from the first active frame
+// with a divergence check. Kernels the analysis cannot prove uniform fall
+// back to the pooled blocking path.
+
+import (
+	"repro/internal/inspire"
+)
+
+// groupExec is the per-group context of a lockstep execution: the group's
+// frames plus the active mask (items that returned early stop executing,
+// mirroring a goroutine item that left the barrier).
+type groupExec struct {
+	frames []*frame
+	active []bool
+}
+
+// gStmt executes one statement across all active items of a group.
+// It returns group-level control flow (break/continue of uniform loops).
+type gStmt func(g *groupExec) ctrl
+
+// uniformInfo is the per-function variable uniformity map: vars[v] is true
+// when v provably holds the same value in every work item of a group.
+type uniformInfo struct {
+	vars map[*inspire.Var]bool
+}
+
+// exprUniform reports whether e evaluates to the same value on every item
+// of a work group.
+func (u *uniformInfo) exprUniform(e inspire.Expr) bool {
+	switch ex := e.(type) {
+	case nil:
+		return true
+	case *inspire.ConstInt, *inspire.ConstFloat, *inspire.ConstBool:
+		return true
+	case *inspire.VarRef:
+		return u.vars[ex.Var]
+	case *inspire.BinOp:
+		return u.exprUniform(ex.L) && u.exprUniform(ex.R)
+	case *inspire.UnOp:
+		return u.exprUniform(ex.X)
+	case *inspire.Select:
+		return u.exprUniform(ex.Cond) && u.exprUniform(ex.Then) && u.exprUniform(ex.Else)
+	case *inspire.Cast:
+		return u.exprUniform(ex.X)
+	case *inspire.WorkItem:
+		switch ex.Query {
+		case inspire.GlobalSize, inspire.LocalSize, inspire.NumGroups, inspire.GroupID:
+			return u.exprUniform(ex.Dim)
+		}
+		return false
+	case *inspire.CallBuiltin:
+		for _, a := range ex.Args {
+			if !u.exprUniform(a) {
+				return false
+			}
+		}
+		return true
+	}
+	// Loads (memory may diverge) and helper calls: conservative.
+	return false
+}
+
+// analyzeUniform computes variable uniformity to a fixpoint: a variable is
+// uniform when every assignment to it has a uniform right-hand side AND
+// executes under group-uniform control flow.
+func analyzeUniform(fn *inspire.Function) *uniformInfo {
+	u := &uniformInfo{vars: map[*inspire.Var]bool{}}
+	for _, p := range fn.Params {
+		if !p.Type.Ptr {
+			u.vars[p] = true
+		}
+	}
+	inspire.WalkStmts(fn.Body, func(s inspire.Stmt) bool {
+		if d, ok := s.(*inspire.Decl); ok {
+			u.vars[d.Var] = true // optimistic start; fixpoint demotes
+		}
+		return true
+	})
+	var visit func(s inspire.Stmt, ctxUniform bool) bool
+	changed := false
+	demote := func(v *inspire.Var) {
+		if u.vars[v] {
+			u.vars[v] = false
+			changed = true
+		}
+	}
+	visitBlock := func(b *inspire.Block, ctx bool) {
+		if b == nil {
+			return
+		}
+		for _, s := range b.Stmts {
+			ctx = visit(s, ctx) && ctx
+		}
+	}
+	visit = func(s inspire.Stmt, ctx bool) bool {
+		switch st := s.(type) {
+		case *inspire.Block:
+			visitBlock(st, ctx)
+		case *inspire.Decl:
+			if st.Init != nil && (!ctx || !u.exprUniform(st.Init)) {
+				demote(st.Var)
+			}
+		case *inspire.StoreVar:
+			if !ctx || !u.exprUniform(st.Value) {
+				demote(st.Var)
+			}
+		case *inspire.If:
+			inner := ctx && u.exprUniform(st.Cond)
+			visitBlock(st.Then, inner)
+			visitBlock(st.Else, inner)
+		case *inspire.For:
+			if st.Init != nil {
+				visit(st.Init, ctx)
+			}
+			inner := ctx && (st.Cond == nil || u.exprUniform(st.Cond))
+			visitBlock(st.Body, inner)
+			if st.Post != nil {
+				visit(st.Post, inner)
+			}
+		case *inspire.While:
+			inner := ctx && u.exprUniform(st.Cond)
+			visitBlock(st.Body, inner)
+		}
+		return true
+	}
+	for {
+		changed = false
+		visitBlock(fn.Body, true)
+		if !changed {
+			return u
+		}
+	}
+}
+
+// stmtHasBarrier reports whether the statement subtree executes a barrier,
+// including through helper calls.
+func (cc *compiler) stmtHasBarrier(s inspire.Stmt) bool {
+	found := false
+	b := &inspire.Block{Stmts: []inspire.Stmt{s}}
+	inspire.WalkStmts(b, func(st inspire.Stmt) bool {
+		if _, ok := st.(*inspire.Barrier); ok {
+			found = true
+		}
+		return true
+	})
+	if found {
+		return true
+	}
+	inspire.WalkExprs(b, func(e inspire.Expr) {
+		if call, ok := e.(*inspire.CallFunc); ok {
+			if cc.calleeHasBarrier(call.Callee, map[*inspire.Function]bool{}) {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+func (cc *compiler) calleeHasBarrier(fn *inspire.Function, seen map[*inspire.Function]bool) bool {
+	if seen[fn] {
+		return false
+	}
+	seen[fn] = true
+	found := false
+	inspire.WalkStmts(fn.Body, func(st inspire.Stmt) bool {
+		if _, ok := st.(*inspire.Barrier); ok {
+			found = true
+		}
+		return true
+	})
+	inspire.WalkExprs(fn.Body, func(e inspire.Expr) {
+		if call, ok := e.(*inspire.CallFunc); ok && cc.calleeHasBarrier(call.Callee, seen) {
+			found = true
+		}
+	})
+	return found
+}
+
+// escapesBC reports whether the barrier-free subtree can yield a break or
+// continue that escapes it (returns are fine — they deactivate the item).
+func escapesBC(s inspire.Stmt) bool {
+	switch st := s.(type) {
+	case *inspire.Break, *inspire.Continue:
+		return true
+	case *inspire.Block:
+		for _, c := range st.Stmts {
+			if escapesBC(c) {
+				return true
+			}
+		}
+	case *inspire.If:
+		for _, b := range []*inspire.Block{st.Then, st.Else} {
+			if b == nil {
+				continue
+			}
+			for _, c := range b.Stmts {
+				if escapesBC(c) {
+					return true
+				}
+			}
+		}
+	}
+	// For/While consume their own break/continue.
+	return false
+}
+
+// lockstepCompile builds the group-lockstep executor for a barrier kernel,
+// or returns nil when the kernel's barriers are not provably under
+// group-uniform control flow.
+func (cc *compiler) lockstepCompile(fn *inspire.Function) gStmt {
+	u := analyzeUniform(fn)
+	g, ok := cc.gBlock(fn.Body, u)
+	if !ok {
+		return nil
+	}
+	return g
+}
+
+// gSeg runs a barrier-free per-item statement closure over every active
+// frame, deactivating items that return.
+func gSeg(sf stmtFn) gStmt {
+	return func(g *groupExec) ctrl {
+		for i, f := range g.frames {
+			if !g.active[i] {
+				continue
+			}
+			if sf(f) == ctrlReturn {
+				g.active[i] = false
+			}
+		}
+		return ctrlNext
+	}
+}
+
+// gCond evaluates a uniform condition on every active frame (counting a
+// branch per frame, exactly like the per-item closures) and returns the
+// group decision plus whether any item is still active.
+func gCond(g *groupExec, cond boolFn) (dec, any bool) {
+	for i, f := range g.frames {
+		if !g.active[i] {
+			continue
+		}
+		f.cnt.Branches++
+		v := cond(f)
+		if !any {
+			dec, any = v, true
+		} else if v != dec {
+			throwf("exec: divergent control flow at uniform condition")
+		}
+	}
+	return dec, any
+}
+
+func (cc *compiler) gBlock(b *inspire.Block, u *uniformInfo) (gStmt, bool) {
+	if b == nil || len(b.Stmts) == 0 {
+		return func(*groupExec) ctrl { return ctrlNext }, true
+	}
+	var steps []gStmt
+	for _, s := range b.Stmts {
+		gs, ok := cc.gStmtCompile(s, u)
+		if !ok {
+			return nil, false
+		}
+		steps = append(steps, gs)
+	}
+	if len(steps) == 1 {
+		return steps[0], true
+	}
+	return func(g *groupExec) ctrl {
+		for _, st := range steps {
+			if c := st(g); c != ctrlNext {
+				return c
+			}
+		}
+		return ctrlNext
+	}, true
+}
+
+func (cc *compiler) gStmtCompile(s inspire.Stmt, u *uniformInfo) (gStmt, bool) {
+	// Uniform structural break/continue: execution only reaches a
+	// lockstep block uniformly, so these apply to the whole group.
+	switch s.(type) {
+	case *inspire.Break:
+		return func(*groupExec) ctrl { return ctrlBreak }, true
+	case *inspire.Continue:
+		return func(*groupExec) ctrl { return ctrlContinue }, true
+	}
+	if !cc.stmtHasBarrier(s) {
+		if escapesBC(s) {
+			return nil, false
+		}
+		return gSeg(cc.stmt(s)), true
+	}
+	switch st := s.(type) {
+	case *inspire.Barrier:
+		// The per-item closure with a nil frame barrier: counts the
+		// barrier and synchronizes by construction (segments sequence).
+		return gSeg(cc.stmt(st)), true
+	case *inspire.Block:
+		return cc.gBlock(st, u)
+	case *inspire.If:
+		if !u.exprUniform(st.Cond) {
+			return nil, false
+		}
+		cond := cc.boolExpr(st.Cond)
+		gThen, ok := cc.gBlock(st.Then, u)
+		if !ok {
+			return nil, false
+		}
+		var gElse gStmt
+		if st.Else != nil {
+			if gElse, ok = cc.gBlock(st.Else, u); !ok {
+				return nil, false
+			}
+		}
+		return func(g *groupExec) ctrl {
+			dec, any := gCond(g, cond)
+			if !any {
+				return ctrlNext
+			}
+			if dec {
+				return gThen(g)
+			}
+			if gElse != nil {
+				return gElse(g)
+			}
+			return ctrlNext
+		}, true
+	case *inspire.For:
+		if st.Cond != nil && !u.exprUniform(st.Cond) {
+			return nil, false
+		}
+		var init, post gStmt
+		if st.Init != nil {
+			if cc.stmtHasBarrier(st.Init) || escapesBC(st.Init) {
+				return nil, false
+			}
+			init = gSeg(cc.stmt(st.Init))
+		}
+		var cond boolFn
+		if st.Cond != nil {
+			cond = cc.boolExpr(st.Cond)
+		}
+		if st.Post != nil {
+			if cc.stmtHasBarrier(st.Post) || escapesBC(st.Post) {
+				return nil, false
+			}
+			post = gSeg(cc.stmt(st.Post))
+		}
+		body, ok := cc.gBlock(st.Body, u)
+		if !ok {
+			return nil, false
+		}
+		return func(g *groupExec) ctrl {
+			if init != nil {
+				init(g)
+			}
+			for {
+				if cond != nil {
+					dec, any := gCond(g, cond)
+					if !any || !dec {
+						return ctrlNext
+					}
+				} else if !g.anyActive() {
+					return ctrlNext
+				}
+				if c := body(g); c == ctrlBreak {
+					return ctrlNext
+				}
+				if post != nil {
+					post(g)
+				}
+			}
+		}, true
+	case *inspire.While:
+		if !u.exprUniform(st.Cond) {
+			return nil, false
+		}
+		cond := cc.boolExpr(st.Cond)
+		body, ok := cc.gBlock(st.Body, u)
+		if !ok {
+			return nil, false
+		}
+		return func(g *groupExec) ctrl {
+			for {
+				dec, any := gCond(g, cond)
+				if !any || !dec {
+					return ctrlNext
+				}
+				if c := body(g); c == ctrlBreak {
+					return ctrlNext
+				}
+			}
+		}, true
+	}
+	// A barrier reached through a helper call in a value position:
+	// cannot be segmented.
+	return nil, false
+}
+
+func (g *groupExec) anyActive() bool {
+	for _, a := range g.active {
+		if a {
+			return true
+		}
+	}
+	return false
+}

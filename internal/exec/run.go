@@ -22,6 +22,51 @@ type RunOptions struct {
 	// Workers caps host parallelism (default: the scheduler's
 	// process-wide worker budget, GOMAXPROCS unless overridden).
 	Workers int
+	// DestBuckets, when non-nil with length equal to the resolved bucket
+	// count, is zeroed and used as the returned profile's bucket storage
+	// instead of a fresh allocation. Callers that merge and discard chunk
+	// profiles (runtime.Execute) recycle these buffers across launches.
+	DestBuckets []Counts
+	// Barrier selects the barrier-group execution path (default
+	// BarrierAuto). All modes produce byte-identical buffers and profiles;
+	// the explicit modes exist so benchmarks and tests can compare them.
+	Barrier BarrierMode
+}
+
+// BarrierMode selects how work groups of barrier kernels execute.
+type BarrierMode int
+
+const (
+	// BarrierAuto runs groups in single-goroutine lockstep when the
+	// kernel's barriers are provably under group-uniform control flow,
+	// and on the pooled blocking path otherwise.
+	BarrierAuto BarrierMode = iota
+	// BarrierPooled forces the blocking path backed by the persistent
+	// per-runner item pool (goroutines reused across all groups).
+	BarrierPooled
+	// BarrierSpawn forces the legacy path that spawns one goroutine per
+	// work item per group.
+	BarrierSpawn
+)
+
+// countsPool recycles worker-local bucket slices across launches so
+// steady-state profiling allocates nothing per run.
+var countsPool sync.Pool
+
+func getCounts(n int) []Counts {
+	if v := countsPool.Get(); v != nil {
+		s := *v.(*[]Counts)
+		if cap(s) >= n {
+			s = s[:n]
+			clear(s)
+			return s
+		}
+	}
+	return make([]Counts, n)
+}
+
+func putCounts(s []Counts) {
+	countsPool.Put(&s)
 }
 
 // Run executes the kernel over the NDRange and returns its dynamic profile.
@@ -51,7 +96,13 @@ func (c *Compiled) Run(args []Arg, nd NDRange, opts RunOptions) (*Profile, error
 	if nb > nd.Global[0] {
 		nb = nd.Global[0]
 	}
-	prof := &Profile{Global0: nd.Global[0], Buckets: make([]Counts, nb)}
+	profBuckets := opts.DestBuckets
+	if len(profBuckets) == nb {
+		clear(profBuckets)
+	} else {
+		profBuckets = make([]Counts, nb)
+	}
+	prof := &Profile{Global0: nd.Global[0], Buckets: profBuckets}
 	if lo == hi {
 		return prof, nil
 	}
@@ -78,7 +129,12 @@ func (c *Compiled) Run(args []Arg, nd NDRange, opts RunOptions) (*Profile, error
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		buckets := make([]Counts, nb)
+		// A single worker accumulates straight into the profile; extra
+		// workers get pooled scratch buckets merged after the join.
+		buckets := prof.Buckets
+		if workers > 1 {
+			buckets = getCounts(nb)
+		}
 		workerBuckets[w] = buckets
 		go func() {
 			defer wg.Done()
@@ -91,7 +147,8 @@ func (c *Compiled) Run(args []Arg, nd NDRange, opts RunOptions) (*Profile, error
 					panic(r)
 				}
 			}()
-			rt := newGroupRunner(c, args, nd, ngrp, buckets)
+			rt := newGroupRunner(c, args, nd, ngrp, buckets, opts.Barrier)
+			defer rt.close()
 			for {
 				g := nextGroup.Add(1) - 1
 				if g >= int64(totalGroups) {
@@ -109,11 +166,19 @@ func (c *Compiled) Run(args []Arg, nd NDRange, opts RunOptions) (*Profile, error
 	wg.Wait()
 	close(errCh)
 	if err := <-errCh; err != nil {
+		if workers > 1 {
+			for _, wb := range workerBuckets {
+				putCounts(wb)
+			}
+		}
 		return nil, err
 	}
-	for _, wb := range workerBuckets {
-		for i := range wb {
-			prof.Buckets[i].Add(&wb[i])
+	if workers > 1 {
+		for _, wb := range workerBuckets {
+			for i := range wb {
+				prof.Buckets[i].Add(&wb[i])
+			}
+			putCounts(wb)
 		}
 	}
 	return prof, nil
@@ -159,9 +224,25 @@ type groupRunner struct {
 	ngr      [3]int64
 	barrier  bool
 	itemsPer int
+
+	// bucketByL0[l0] is the profile bucket of dim-0 local index l0 within
+	// the current group, refreshed once per group so finishItem performs
+	// no division per work item.
+	bucketByL0 []int32
+
+	// Persistent barrier-group item pool: itemsPer goroutines created on
+	// the first barrier group and reused for every subsequent group of
+	// this runner. mode selects lockstep/pooled/spawn execution.
+	mode      BarrierMode
+	lockstep  bool
+	gctx      groupExec
+	bar       *groupBarrier
+	poolStart chan int
+	poolDone  sync.WaitGroup
+	poolPanic atomic.Value
 }
 
-func newGroupRunner(c *Compiled, args []Arg, nd NDRange, ngrp [3]int64, buckets []Counts) *groupRunner {
+func newGroupRunner(c *Compiled, args []Arg, nd NDRange, ngrp [3]int64, buckets []Counts, mode BarrierMode) *groupRunner {
 	r := &groupRunner{
 		c: c, nd: nd, buckets: buckets, nb: len(buckets), global0: nd.Global[0],
 		lsz: [3]int64{int64(nd.Local[0]), int64(nd.Local[1]), int64(nd.Local[2])},
@@ -170,6 +251,14 @@ func newGroupRunner(c *Compiled, args []Arg, nd NDRange, ngrp [3]int64, buckets 
 	}
 	r.itemsPer = nd.Local[0] * nd.Local[1] * nd.Local[2]
 	r.barrier = c.hasBarrier && r.itemsPer > 1
+	r.mode = mode
+	r.lockstep = mode == BarrierAuto && c.lockstep != nil
+	if r.barrier && !r.lockstep && mode != BarrierSpawn {
+		// Only the pooled path reuses one barrier across groups; the
+		// spawn path creates a fresh barrier per group.
+		r.bar = newGroupBarrier(r.itemsPer)
+	}
+	r.bucketByL0 = make([]int32, nd.Local[0])
 
 	// Per-group local buffers (shared by all frames of the group).
 	r.locals = make([]*Buffer, c.nLocal)
@@ -214,12 +303,42 @@ func newGroupRunner(c *Compiled, args []Arg, nd NDRange, ngrp [3]int64, buckets 
 		}
 		r.frames[i] = f
 	}
+	if r.barrier && r.lockstep {
+		r.gctx = groupExec{frames: r.frames, active: make([]bool, r.itemsPer)}
+	}
 	return r
 }
 
-// runGroup executes one work group, either sequentially or, when the
-// kernel contains barriers, with one goroutine per work item synchronized
-// on a cyclic barrier.
+// close releases the runner's persistent item pool, if one was started.
+func (r *groupRunner) close() {
+	if r.poolStart != nil {
+		close(r.poolStart)
+		r.poolStart = nil
+	}
+}
+
+// refreshBuckets recomputes bucketByL0 for the group at dim-0 group index
+// g0. Buckets are nondecreasing and step by at most one per item (the
+// bucket count never exceeds the dim-0 extent), so one division seeds the
+// scan and the rest is carried incrementally.
+func (r *groupRunner) refreshBuckets(g0 int) {
+	base := g0 * int(r.lsz[0])
+	b := base * r.nb / r.global0
+	acc := base*r.nb - b*r.global0
+	for l0 := range r.bucketByL0 {
+		r.bucketByL0[l0] = int32(b)
+		acc += r.nb
+		for acc >= r.global0 {
+			acc -= r.global0
+			b++
+		}
+	}
+}
+
+// runGroup executes one work group: sequentially when the kernel has no
+// barriers; in single-goroutine lockstep when the barriers are provably
+// uniform; otherwise with one pooled goroutine per work item synchronized
+// on a cyclic barrier (or freshly spawned goroutines in legacy mode).
 func (r *groupRunner) runGroup(g0, g1, g2 int) {
 	// Zero local buffers between groups so groups are independent.
 	for _, lb := range r.locals {
@@ -232,6 +351,7 @@ func (r *groupRunner) runGroup(g0, g1, g2 int) {
 			clear(lb.I)
 		}
 	}
+	r.refreshBuckets(g0)
 	if !r.barrier {
 		li := 0
 		for l2 := 0; l2 < int(r.lsz[2]); l2++ {
@@ -247,7 +367,98 @@ func (r *groupRunner) runGroup(g0, g1, g2 int) {
 		}
 		return
 	}
+	if r.lockstep {
+		r.runGroupLockstep(g0, g1, g2)
+		return
+	}
+	if r.mode == BarrierSpawn {
+		r.runGroupSpawn(g0, g1, g2)
+		return
+	}
 
+	r.bar.reset(r.itemsPer)
+	li := 0
+	for l2 := 0; l2 < int(r.lsz[2]); l2++ {
+		for l1 := 0; l1 < int(r.lsz[1]); l1++ {
+			for l0 := 0; l0 < int(r.lsz[0]); l0++ {
+				f := r.frames[li]
+				li++
+				r.setupItem(f, g0, g1, g2, l0, l1, l2)
+				f.bar = r.bar
+			}
+		}
+	}
+	r.ensurePool()
+	r.poolDone.Add(r.itemsPer)
+	for i := 0; i < r.itemsPer; i++ {
+		r.poolStart <- i
+	}
+	r.poolDone.Wait()
+	if pv := r.poolPanic.Load(); pv != nil {
+		panic(pv)
+	}
+	for _, f := range r.frames {
+		f.bar = nil
+		r.finishItem(f)
+	}
+}
+
+// runGroupLockstep executes one barrier group entirely on the calling
+// goroutine: the lockstep program walks the barrier-segmented statement
+// tree across all items, so no goroutine ever parks at a barrier. Frame
+// barriers stay nil — the Barrier closure just counts, and segment
+// sequencing provides the synchronization.
+func (r *groupRunner) runGroupLockstep(g0, g1, g2 int) {
+	li := 0
+	for l2 := 0; l2 < int(r.lsz[2]); l2++ {
+		for l1 := 0; l1 < int(r.lsz[1]); l1++ {
+			for l0 := 0; l0 < int(r.lsz[0]); l0++ {
+				r.setupItem(r.frames[li], g0, g1, g2, l0, l1, l2)
+				li++
+			}
+		}
+	}
+	for i := range r.gctx.active {
+		r.gctx.active[i] = true
+	}
+	r.c.lockstep(&r.gctx)
+	for _, f := range r.frames {
+		r.finishItem(f)
+	}
+}
+
+// ensurePool starts the persistent item goroutines on first use. Each
+// waits for a frame index, executes that work item, and parks again; the
+// pool is torn down by close when the runner finishes its launch.
+func (r *groupRunner) ensurePool() {
+	if r.poolStart != nil {
+		return
+	}
+	r.poolStart = make(chan int, r.itemsPer)
+	for w := 0; w < r.itemsPer; w++ {
+		go func() {
+			for li := range r.poolStart {
+				r.runPoolItem(li)
+			}
+		}()
+	}
+}
+
+func (r *groupRunner) runPoolItem(li int) {
+	defer r.poolDone.Done()
+	defer r.bar.leave()
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.poolPanic.CompareAndSwap(nil, rec)
+		}
+	}()
+	r.c.body(r.frames[li])
+}
+
+// runGroupSpawn is the pre-pool barrier path: one fresh goroutine per work
+// item per group. Retained behind RunOptions.BarrierSpawn so benchmarks
+// can measure what goroutine reuse saves.
+func (r *groupRunner) runGroupSpawn(g0, g1, g2 int) {
 	bar := newGroupBarrier(r.itemsPer)
 	var wg sync.WaitGroup
 	li := 0
@@ -294,9 +505,10 @@ func (r *groupRunner) setupItem(f *frame, g0, g1, g2, l0, l1, l2 int) {
 	*f.cnt = Counts{}
 }
 
-// finishItem folds the item's counts into its dim-0 profile bucket.
+// finishItem folds the item's counts into its dim-0 profile bucket (looked
+// up from the per-group table — no division here).
 func (r *groupRunner) finishItem(f *frame) {
-	b := int(f.wi.gid[0]) * r.nb / r.global0
+	b := r.bucketByL0[f.wi.lid[0]]
 	c := f.cnt
 	c.Items = 1
 	c.MaxItemOps = c.totalOps()
@@ -319,6 +531,16 @@ func newGroupBarrier(n int) *groupBarrier {
 	b := &groupBarrier{n: n}
 	b.cond = sync.NewCond(&b.mu)
 	return b
+}
+
+// reset re-arms the barrier for the next group's n participants. It must
+// only be called while no goroutine is inside wait (the runner calls it
+// between groups, after the pool join).
+func (b *groupBarrier) reset(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n = n
+	b.count = 0
 }
 
 func (b *groupBarrier) wait() {

@@ -57,7 +57,15 @@ func (c *ProfileCache) Profile(rt *runtime.Runtime, program string, sizeIdx int,
 		c.m[key] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.prof, e.err = rt.Profile(l) })
+	e.once.Do(func() {
+		e.prof, e.err = rt.Profile(l)
+		if e.err == nil {
+			// Build the O(1) range index once here so every sweep cell
+			// pricing this profile shares the prefix structure instead of
+			// racing to construct it.
+			e.prof.Precompute()
+		}
+	})
 	return e.prof, e.err
 }
 

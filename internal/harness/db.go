@@ -68,7 +68,7 @@ type DB struct {
 
 // spaceStrings renders the canonical 3-device 10%-step space.
 func spaceStrings() []string {
-	ps := partition.Space(3, partition.DefaultSteps)
+	ps := partition.SharedSpace(3, partition.DefaultSteps)
 	out := make([]string, len(ps))
 	for i, p := range ps {
 		out[i] = p.String()
@@ -141,7 +141,10 @@ func Generate(opts GenOptions) (*DB, error) {
 			progs = append(progs, p)
 		}
 	}
-	space := partition.Space(3, partition.DefaultSteps)
+	// The candidate space and every profile's range index are shared
+	// across all (program, size) cells: the space is memoized process-wide
+	// and the profile cache hands out prefix-indexed profiles.
+	space := partition.SharedSpace(3, partition.DefaultSteps)
 	db := &DB{Space: spaceStrings()}
 
 	type cell struct {
@@ -172,10 +175,15 @@ func Generate(opts GenOptions) (*DB, error) {
 			return nil, err
 		}
 		runtimes[i] = runtime.New(plat)
+		// Pricing inside a cell stays sequential (Workers=1): the cell
+		// fan-out already saturates the budget, and per-candidate pricing
+		// is too cheap to shard further.
+		runtimes[i].Workers = 1
 	}
-	// Only runtimes[0] executes kernels (profiles are platform-
-	// independent); the rest just price, which uses no workers.
-	runtimes[0].Workers = inner
+	// Only the profiling runtime executes kernels (profiles are
+	// platform-independent); it gets the budget left over by the fan-out.
+	profRT := runtime.New(opts.Platforms[0])
+	profRT.Workers = inner
 
 	log := &genLogger{w: opts.Log}
 	cellRecords, err := sched.Map(context.Background(), len(cells), outer,
@@ -185,7 +193,7 @@ func Generate(opts GenOptions) (*DB, error) {
 			if err != nil {
 				return nil, err
 			}
-			prof, err := opts.Cache.Profile(runtimes[0], p.Name, sz, l)
+			prof, err := opts.Cache.Profile(profRT, p.Name, sz, l)
 			if err != nil {
 				return nil, fmt.Errorf("harness: profiling %s/%s: %w", p.Name, p.Sizes[sz].Label, err)
 			}
@@ -210,14 +218,15 @@ func Generate(opts GenOptions) (*DB, error) {
 					Features:     fv.Values,
 					Times:        make([]float64, len(space)),
 				}
-				best, bestTime := -1, 0.0
-				for ci, part := range space {
-					tm, _, err := rt.Price(l, prof, part)
-					if err != nil {
-						return nil, err
-					}
-					rec.Times[ci] = tm
-					if best < 0 || tm < bestTime {
+				// One scratch-reusing pass prices the whole space; the
+				// tie-break (strict less, earlier candidate wins) matches
+				// the per-candidate loop it replaces.
+				if _, err := rt.PriceAll(l, prof, space, rec.Times); err != nil {
+					return nil, err
+				}
+				best, bestTime := 0, rec.Times[0]
+				for ci, tm := range rec.Times {
+					if tm < bestTime {
 						best, bestTime = ci, tm
 					}
 				}

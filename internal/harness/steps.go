@@ -71,7 +71,9 @@ func StepAblation(platformName string, programs []string, stepsList []int) ([]St
 			}
 			var out []StepRow
 			for _, steps := range stepsList {
-				space := partition.Space(plat.NumDevices(), steps)
+				// Every program prices the same grids; share the memoized
+				// enumerations instead of re-generating them per cell.
+				space := partition.SharedSpace(plat.NumDevices(), steps)
 				_, best, err := rt.BestIn(l, prof, space)
 				if err != nil {
 					return nil, err

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // DefaultSteps is the number of share units: 10 units of 10% each.
@@ -151,6 +152,26 @@ func Space(nDevices, steps int) []Partition {
 	return out
 }
 
+// spaceCache memoizes Space per (devices, steps): the enumeration is
+// re-requested for every oracle search and every training cell, and the
+// grid never changes within a process.
+var spaceCache sync.Map // spaceKey -> []Partition
+
+type spaceKey struct{ devices, steps int }
+
+// SharedSpace returns the memoized canonical enumeration of
+// Space(nDevices, steps). The slice and the partitions it holds are shared
+// by every caller in the process and must be treated as read-only; callers
+// that need to mutate the enumeration should call Space instead.
+func SharedSpace(nDevices, steps int) []Partition {
+	key := spaceKey{nDevices, steps}
+	if v, ok := spaceCache.Load(key); ok {
+		return v.([]Partition)
+	}
+	v, _ := spaceCache.LoadOrStore(key, Space(nDevices, steps))
+	return v.([]Partition)
+}
+
 // SpaceSize returns the number of partitions Space(nDevices, steps) yields
 // (the number of weak compositions: C(steps+nDevices-1, nDevices-1)).
 func SpaceSize(nDevices, steps int) int {
@@ -168,12 +189,25 @@ func SpaceSize(nDevices, steps int) int {
 // chunk[i] = [start_i, end_i) with end_i == start_{i+1}. Rounding may give
 // the last active device slightly more or less than its nominal share.
 func (p Partition) Chunks(global0, align int) [][2]int {
+	return p.ChunksInto(nil, global0, align)
+}
+
+// ChunksInto is Chunks with caller-supplied storage: dst is reused when its
+// capacity suffices, so hot pricing loops (the oracle search) compute chunk
+// layouts without allocating per candidate.
+func (p Partition) ChunksInto(dst [][2]int, global0, align int) [][2]int {
 	if align <= 0 {
 		align = 1
 	}
 	steps := p.Steps()
-	out := make([][2]int, len(p.Shares))
+	var out [][2]int
+	if cap(dst) >= len(p.Shares) {
+		out = dst[:len(p.Shares)]
+	} else {
+		out = make([][2]int, len(p.Shares))
+	}
 	if steps == 0 || global0 == 0 {
+		clear(out)
 		return out
 	}
 	cum := 0

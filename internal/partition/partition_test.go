@@ -161,3 +161,49 @@ func TestFractionZeroSteps(t *testing.T) {
 		t.Error("zero partition is not single")
 	}
 }
+
+func TestSharedSpaceMatchesSpace(t *testing.T) {
+	for _, cfg := range []struct{ dev, steps int }{{2, 10}, {3, 10}, {3, 20}} {
+		want := Space(cfg.dev, cfg.steps)
+		got := SharedSpace(cfg.dev, cfg.steps)
+		if len(got) != len(want) {
+			t.Fatalf("(%d,%d): %d partitions, want %d", cfg.dev, cfg.steps, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].String() != want[i].String() {
+				t.Fatalf("(%d,%d)[%d]: %s != %s", cfg.dev, cfg.steps, i, got[i], want[i])
+			}
+		}
+		// The memo must hand out one canonical slice.
+		if again := SharedSpace(cfg.dev, cfg.steps); &again[0] != &got[0] {
+			t.Errorf("(%d,%d): SharedSpace not memoized", cfg.dev, cfg.steps)
+		}
+	}
+}
+
+func TestChunksIntoReuse(t *testing.T) {
+	p := Partition{Shares: []int{5, 3, 2}}
+	scratch := make([][2]int, 0, 3)
+	got := p.ChunksInto(scratch, 1000, 64)
+	want := p.Chunks(1000, 64)
+	if len(got) != len(want) {
+		t.Fatalf("len %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chunk %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Error("ChunksInto did not reuse the scratch backing array")
+	}
+	// A dirty reused scratch must be fully overwritten, including the
+	// zero-share early-out path.
+	dirty := [][2]int{{7, 8}, {9, 10}}
+	empty := Partition{Shares: []int{0, 0}}.ChunksInto(dirty, 100, 1)
+	for i, ch := range empty {
+		if ch != [2]int{} {
+			t.Errorf("empty partition chunk %d = %v, want zero", i, ch)
+		}
+	}
+}

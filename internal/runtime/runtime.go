@@ -13,6 +13,7 @@ package runtime
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/backend"
 	"repro/internal/device"
@@ -59,6 +60,30 @@ type Runtime struct {
 	// default (GOMAXPROCS unless overridden by -parallel); 1 forces the
 	// sequential path. Results are identical for every setting.
 	Workers int
+
+	// chunkBufs recycles per-chunk profile bucket slices across Execute
+	// calls (sync.Pool: safe under the concurrent Runtime sharing the
+	// harness sweeps rely on).
+	chunkBufs sync.Pool
+}
+
+// priceScratch is the per-worker buffer set of the oracle search: chunk
+// layout, device works and breakdowns are reused across every candidate a
+// worker prices, so the steady-state search allocates nothing.
+type priceScratch struct {
+	chunks [][2]int
+	works  []sim.Work
+	bds    []sim.Breakdown
+}
+
+// priceInto prices one partitioning using the scratch buffers. It computes
+// exactly what price computes, without allocating.
+func (r *Runtime) priceInto(sc *priceScratch, l Launch, prof *exec.Profile,
+	part partition.Partition, align int) (float64, error) {
+	sc.works, sc.chunks = l.Plan.DeviceWorksInto(sc.works, sc.chunks, prof, l.Args, part, align, l.iterations())
+	t, bds, err := sim.MakespanInto(sc.bds, r.Platform, sc.works, r.Opts)
+	sc.bds = bds
+	return t, err
 }
 
 // New creates a runtime for the platform.
@@ -141,6 +166,7 @@ func (r *Runtime) Execute(l Launch, part partition.Partition) (*Result, error) {
 			}
 			return l.Kernel.Run(l.Args, nd, exec.RunOptions{
 				Lo: ch[0], Hi: ch[1], Buckets: len(full.Buckets), Workers: w,
+				DestBuckets: r.getChunkBuf(len(full.Buckets)),
 			})
 		})
 	if err != nil {
@@ -153,6 +179,7 @@ func (r *Runtime) Execute(l Launch, part partition.Partition) (*Result, error) {
 		for i := range prof.Buckets {
 			full.Buckets[i].Add(&prof.Buckets[i])
 		}
+		r.putChunkBuf(prof.Buckets)
 	}
 	makespan, bds, err := r.price(l, full, part, align)
 	if err != nil {
@@ -160,6 +187,22 @@ func (r *Runtime) Execute(l Launch, part partition.Partition) (*Result, error) {
 	}
 	return &Result{Partition: part, Makespan: makespan, Breakdowns: bds, Profile: full}, nil
 }
+
+// getChunkBuf returns a recycled per-chunk bucket slice (Run zeroes its
+// DestBuckets, so stale contents are harmless).
+func (r *Runtime) getChunkBuf(n int) []exec.Counts {
+	if v := r.chunkBufs.Get(); v != nil {
+		b := *v.(*[]exec.Counts)
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]exec.Counts, n)
+}
+
+// putChunkBuf returns a chunk bucket slice to the pool after its counts
+// have been merged into the launch-wide profile.
+func (r *Runtime) putChunkBuf(b []exec.Counts) { r.chunkBufs.Put(&b) }
 
 // Profile executes the full NDRange once (on the host) and returns the
 // dynamic profile, without pricing. Training uses this single execution to
@@ -193,25 +236,21 @@ func (r *Runtime) price(l Launch, prof *exec.Profile, part partition.Partition, 
 // Best exhaustively searches the 10%-step partition space for the
 // minimum-makespan partitioning (the oracle used to label training data).
 // Ties break toward the earlier partition in enumeration order, which is
-// deterministic.
+// deterministic. The space enumeration is memoized process-wide per
+// (devices, steps), so repeated searches share one canonical slice.
 func (r *Runtime) Best(l Launch, prof *exec.Profile) (partition.Partition, float64, error) {
-	return r.BestIn(l, prof, partition.Space(r.Platform.NumDevices(), partition.DefaultSteps))
+	return r.BestIn(l, prof, partition.SharedSpace(r.Platform.NumDevices(), partition.DefaultSteps))
 }
 
 // BestIn prices every candidate partitioning in parallel (pricing is
 // read-only over the profile, so the search is embarrassingly parallel)
-// and returns the minimum-makespan one. The reduction runs over the priced
-// times in enumeration order, so ties break toward the earlier candidate
-// exactly like the sequential loop.
+// and returns the minimum-makespan one. Each worker prices a contiguous
+// shard of the space with its own scratch buffers, so the steady-state
+// search performs zero allocations per candidate. The reduction runs over
+// the priced times in enumeration order, so ties break toward the earlier
+// candidate exactly like the sequential loop.
 func (r *Runtime) BestIn(l Launch, prof *exec.Profile, space []partition.Partition) (partition.Partition, float64, error) {
-	if len(space) == 0 {
-		return partition.Partition{}, 0, fmt.Errorf("runtime: empty partition space")
-	}
-	times, err := sched.Map(context.Background(), len(space), r.Workers,
-		func(_ context.Context, i int) (float64, error) {
-			t, _, err := r.Price(l, prof, space[i])
-			return t, err
-		})
+	times, err := r.priceSpace(l, prof, space, make([]float64, len(space)))
 	if err != nil {
 		return partition.Partition{}, 0, err
 	}
@@ -222,6 +261,59 @@ func (r *Runtime) BestIn(l Launch, prof *exec.Profile, space []partition.Partiti
 		}
 	}
 	return space[best], times[best], nil
+}
+
+// PriceAll prices every candidate in the space from one profile and
+// returns the per-candidate makespans in enumeration order. dst is reused
+// when its length matches (training sweeps hand in the record's Times
+// slice). The times are identical to calling Price per candidate.
+func (r *Runtime) PriceAll(l Launch, prof *exec.Profile, space []partition.Partition, dst []float64) ([]float64, error) {
+	if len(dst) != len(space) {
+		dst = make([]float64, len(space))
+	}
+	return r.priceSpace(l, prof, space, dst)
+}
+
+// priceSpace fills dst with the makespan of every candidate. Candidates
+// are validated up front (deterministic errors), the profile's O(1) range
+// index is built once, and the space is sharded contiguously over the
+// worker budget with per-worker scratch.
+func (r *Runtime) priceSpace(l Launch, prof *exec.Profile, space []partition.Partition, dst []float64) ([]float64, error) {
+	if len(space) == 0 {
+		return nil, fmt.Errorf("runtime: empty partition space")
+	}
+	for _, p := range space {
+		if err := r.checkPartition(p); err != nil {
+			return nil, err
+		}
+	}
+	align, err := l.align()
+	if err != nil {
+		return nil, err
+	}
+	prof.Precompute()
+	workers := sched.Workers(r.Workers)
+	if workers > len(space) {
+		workers = len(space)
+	}
+	_, err = sched.Map(context.Background(), workers, workers,
+		func(_ context.Context, s int) (struct{}, error) {
+			lo := len(space) * s / workers
+			hi := len(space) * (s + 1) / workers
+			var sc priceScratch
+			for i := lo; i < hi; i++ {
+				t, err := r.priceInto(&sc, l, prof, space[i], align)
+				if err != nil {
+					return struct{}{}, err
+				}
+				dst[i] = t
+			}
+			return struct{}{}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
 }
 
 // CPUOnly is the first default strategy: everything on the CPU device.

@@ -195,6 +195,13 @@ func DeviceTime(d *device.Profile, w Work, opts Options) Breakdown {
 // zero items contribute nothing. Shared-link platforms divide transfer
 // bandwidth among the discrete devices that actually move data.
 func Makespan(plat *device.Platform, works []Work, opts Options) (float64, []Breakdown, error) {
+	return MakespanInto(nil, plat, works, opts)
+}
+
+// MakespanInto is Makespan with caller-supplied breakdown storage: dst is
+// reused when its capacity suffices, so the oracle search prices candidates
+// without allocating. The computed times are identical to Makespan's.
+func MakespanInto(dst []Breakdown, plat *device.Platform, works []Work, opts Options) (float64, []Breakdown, error) {
 	if len(works) != len(plat.Devices) {
 		return 0, nil, fmt.Errorf("sim: %d works for %d devices", len(works), len(plat.Devices))
 	}
@@ -206,7 +213,12 @@ func Makespan(plat *device.Platform, works []Work, opts Options) (float64, []Bre
 			}
 		}
 	}
-	breakdowns := make([]Breakdown, len(works))
+	var breakdowns []Breakdown
+	if cap(dst) >= len(works) {
+		breakdowns = dst[:len(works)]
+	} else {
+		breakdowns = make([]Breakdown, len(works))
+	}
 	var makespan float64
 	for i, w := range works {
 		o := opts

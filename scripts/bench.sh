@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# Runs the tracked performance benchmarks and writes BENCH.json with their
+# ns/op, so successive PRs accumulate a machine-readable perf trajectory.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 1s; use 1x for a smoke run)
+#
+# Compare two revisions with benchstat:
+#   go test -run='^$' -bench="$PATTERN" -count=10 . > old.txt   (on main)
+#   go test -run='^$' -bench="$PATTERN" -count=10 . > new.txt   (on the PR)
+#   benchstat old.txt new.txt
+set -eu
+
+OUT="${1:-BENCH.json}"
+BENCHTIME="${BENCHTIME:-1s}"
+
+# The tracked set: pricing (naive vs prefix range queries, full-space
+# pricing), barrier execution (spawn vs pooled vs lockstep), and the
+# end-to-end scheduling-core paths.
+PATTERN='BenchmarkPricePartition|BenchmarkBarrierKernel|BenchmarkPartitionPricing|BenchmarkKernelExecution|BenchmarkOracleSearch|BenchmarkChunkedExecution'
+
+cd "$(dirname "$0")/.."
+
+go test -run='^$' -bench="$PATTERN" -benchtime="$BENCHTIME" . |
+	awk -v out="$OUT" '
+	/^Benchmark/ && / ns\/op/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)           # strip -GOMAXPROCS suffix
+		for (i = 2; i <= NF; i++) {
+			if ($(i) == "ns/op") { ns = $(i - 1) }
+		}
+		entries[++n] = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s}", name, ns)
+	}
+	/^(goos|goarch|cpu):/ { meta[$1] = substr($0, index($0, " ") + 1) }
+	END {
+		if (n == 0) { print "bench.sh: no benchmark results parsed" > "/dev/stderr"; exit 1 }
+		printf "{\n" > out
+		printf "  \"goos\": \"%s\",\n", meta["goos:"] >> out
+		printf "  \"goarch\": \"%s\",\n", meta["goarch:"] >> out
+		printf "  \"cpu\": \"%s\",\n", meta["cpu:"] >> out
+		printf "  \"benchmarks\": [\n" >> out
+		for (i = 1; i <= n; i++) {
+			printf "%s%s\n", entries[i], (i < n ? "," : "") >> out
+		}
+		printf "  ]\n}\n" >> out
+		print "wrote " out " (" n " benchmarks)"
+	}'
