@@ -1,12 +1,18 @@
-// Command predict runs the deployment phase for one benchmark: it trains
-// the default model on the other 22 programs (leave-one-out, the unseen-
-// program scenario), predicts the task partitioning for the requested
-// problem size, and compares the prediction against the default strategies
-// and the oracle.
+// Command predict runs the deployment phase for one benchmark: it
+// predicts the task partitioning for the requested problem size and
+// compares the prediction against the default strategies and the oracle.
+//
+// By default the prediction is leave-one-program-out (the unseen-program
+// scenario): the model is trained on the other programs. With -models the
+// command first looks for a matching model artifact (written by a
+// previous run with -save-model, or by cmd/train -model-out for the
+// full-model case) and only falls back to training on the fly when none
+// exists.
 //
 // Usage:
 //
 //	predict -db training_db.json -platform mc2 -program matmul -size 4
+//	        [-models models/] [-save-model] [-full]
 package main
 
 import (
@@ -14,9 +20,8 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/bench"
+	"repro/internal/engine"
 	"repro/internal/harness"
-	"repro/internal/ml"
 )
 
 func main() {
@@ -24,44 +29,62 @@ func main() {
 	platform := flag.String("platform", "mc2", "target platform: mc1 or mc2")
 	program := flag.String("program", "matmul", "benchmark program name")
 	sizeIdx := flag.Int("size", -1, "problem size index 0-5 (default: program default)")
+	models := flag.String("models", "", "model artifact directory (loaded before training on the fly)")
+	saveModel := flag.Bool("save-model", false, "persist a freshly trained model into -models for reuse")
+	full := flag.Bool("full", false, "use the full model (target program in the training set) instead of leave-one-out")
 	flag.Parse()
 
+	if *saveModel && *models == "" {
+		fail(fmt.Errorf("-save-model requires -models to name the artifact directory"))
+	}
 	db, err := harness.LoadDB(*dbPath)
 	if err != nil {
 		fail(fmt.Errorf("%w (run cmd/train first)", err))
 	}
-	p, err := bench.Get(*program)
+	eng, err := engine.New(engine.Options{
+		Platform:    *platform,
+		DB:          db,
+		ArtifactDir: *models,
+		Model:       harness.DefaultModel(),
+		SaveTrained: *saveModel,
+	})
 	if err != nil {
 		fail(err)
 	}
-	if *sizeIdx < 0 {
-		*sizeIdx = p.DefaultSize
-	}
-	rec := db.Find(*platform, *program, *sizeIdx)
-	if rec == nil {
-		fail(fmt.Errorf("no record for %s/%s size %d", *platform, *program, *sizeIdx))
-	}
 
-	// Leave-one-program-out: train on everything except the target.
-	data := db.Dataset(*platform, nil)
-	trainIdx, _ := data.SplitByGroup(*program)
-	train := data.Subset(trainIdx)
-	scaler := ml.FitScaler(train)
-	model := harness.DefaultModel()()
-	if err := model.Fit(scaler.TransformDataset(train)); err != nil {
+	p, err := eng.Predict(engine.Request{Program: *program, SizeIdx: *sizeIdx, LeaveOut: !*full})
+	if err != nil {
 		fail(err)
 	}
-	cls := model.Predict(scaler.Transform(rec.Features))
-	if cls < 0 || cls >= len(rec.Times) {
-		cls = 0
+	if p.Clamped {
+		// Surface the fault instead of silently mispricing: the model
+		// answered a class outside the partition space and the serving
+		// path substituted class 0 (CPU-only).
+		fmt.Fprintf(os.Stderr,
+			"predict: warning: model predicted out-of-range class %d (partition space has %d classes); serving class 0 (%s) instead\n",
+			p.RawClass, len(db.Space), p.Partition)
 	}
 
-	fmt.Printf("program %s, size %s (N=%d), platform %s\n", *program, rec.SizeLabel, rec.SizeN, *platform)
-	fmt.Printf("  predicted partitioning (CPU/GPU1/GPU2): %s  -> %.4g ms\n", db.Space[cls], rec.Times[cls]*1e3)
-	fmt.Printf("  oracle partitioning:                    %s  -> %.4g ms\n", rec.BestPartition, rec.OracleTime*1e3)
-	fmt.Printf("  CPU-only: %.4g ms   GPU-only: %.4g ms\n", rec.CPUOnlyTime*1e3, rec.GPUOnlyTime*1e3)
-	fmt.Printf("  speedup vs CPU-only %.2fx, vs GPU-only %.2fx, oracle efficiency %.2f\n",
-		rec.CPUOnlyTime/rec.Times[cls], rec.GPUOnlyTime/rec.Times[cls], rec.OracleTime/rec.Times[cls])
+	artifactPath := engine.ArtifactPath(*models, *platform, p.LeftOut)
+	source := "trained on the fly"
+	switch p.ModelSource {
+	case engine.ModelFromArtifact:
+		source = "loaded from " + artifactPath
+	case engine.ModelTrainedSaved:
+		source = "trained on the fly, saved to " + artifactPath
+	case engine.ModelTrainedSaveFailed:
+		source = "trained on the fly; could not persist artifact"
+		fmt.Fprintf(os.Stderr, "predict: warning: failed to save model artifact to %s (next run will retrain)\n", artifactPath)
+	}
+	fmt.Printf("program %s, size %s (N=%d), platform %s\n", p.Program, p.SizeLabel, p.SizeN, p.Platform)
+	fmt.Printf("  model %s (left-out %q, %s)\n", p.Model, p.LeftOut, source)
+	fmt.Printf("  predicted partitioning (CPU/GPU1/GPU2): %s  -> %.4g ms\n", p.Partition, p.PredictedTime*1e3)
+	if p.OracleTime > 0 {
+		fmt.Printf("  oracle partitioning:                    %s  -> %.4g ms\n", p.OraclePartition, p.OracleTime*1e3)
+		fmt.Printf("  CPU-only: %.4g ms   GPU-only: %.4g ms\n", p.CPUOnlyTime*1e3, p.GPUOnlyTime*1e3)
+		fmt.Printf("  speedup vs CPU-only %.2fx, vs GPU-only %.2fx, oracle efficiency %.2f\n",
+			p.CPUOnlyTime/p.PredictedTime, p.GPUOnlyTime/p.PredictedTime, p.OracleTime/p.PredictedTime)
+	}
 }
 
 func fail(err error) {

@@ -1,0 +1,225 @@
+// Command serve exposes the deployment engine as an HTTP JSON API: a
+// long-lived process that loads (or trains once) the partitioning model,
+// keeps compiled programs and feature profiles warm, and answers
+// prediction and execution requests until shut down.
+//
+// Endpoints:
+//
+//	GET  /healthz                                  liveness + uptime
+//	GET  /predict?program=P[&size=N][&leaveout=1]  predicted partitioning
+//	POST /execute?program=P[&size=N]               run partitioned, verify
+//	GET  /stats                                    engine cache/work counters
+//
+// Usage:
+//
+//	serve -addr :8090 -db training_db.json -platform mc2 \
+//	      [-models models/] [-model mlp] [-save-trained] \
+//	      [-warm vecadd,matmul] [-parallel 8]
+//
+// SIGINT/SIGTERM drain in-flight requests and exit cleanly.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/harness"
+	"repro/internal/sched"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	dbPath := flag.String("db", "training_db.json", "training database (from cmd/train)")
+	platform := flag.String("platform", "mc2", "target platform: mc1 or mc2")
+	models := flag.String("models", "", "model artifact directory (from cmd/train -model-out)")
+	modelName := flag.String("model", "mlp", fmt.Sprintf("fallback model family: %s", strings.Join(harness.ModelNames(), ", ")))
+	saveTrained := flag.Bool("save-trained", false, "persist models trained on the fly into -models")
+	warm := flag.String("warm", "", "comma-separated programs to pre-warm (compile, profile, predict) at startup")
+	parallel := flag.Int("parallel", 0, "worker goroutines for execution and oracle search (0 = GOMAXPROCS)")
+	flag.Parse()
+	sched.SetDefaultWorkers(*parallel)
+
+	if *saveTrained && *models == "" {
+		fail(fmt.Errorf("-save-trained requires -models to name the artifact directory"))
+	}
+	mk, err := harness.ModelByName(*modelName)
+	if err != nil {
+		fail(err)
+	}
+	db, err := harness.LoadDB(*dbPath)
+	if err != nil {
+		fail(fmt.Errorf("%w (run cmd/train first)", err))
+	}
+	eng, err := engine.New(engine.Options{
+		Platform:    *platform,
+		DB:          db,
+		ArtifactDir: *models,
+		Model:       mk,
+		SaveTrained: *saveTrained,
+	})
+	if err != nil {
+		fail(err)
+	}
+	srv := &server{eng: eng, start: time.Now(), platform: *platform}
+
+	if *warm != "" {
+		for _, prog := range strings.Split(*warm, ",") {
+			if _, err := eng.Predict(engine.Request{Program: prog, SizeIdx: -1}); err != nil {
+				fail(fmt.Errorf("warmup %s: %w", prog, err))
+			}
+			log.Printf("warmed %s", prog)
+		}
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", srv.handleHealthz)
+	mux.HandleFunc("/predict", srv.handlePredict)
+	mux.HandleFunc("/execute", srv.handleExecute)
+	mux.HandleFunc("/stats", srv.handleStats)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving %s on %s (db %s, models %q)", *platform, *addr, *dbPath, *models)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fail(err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fail(err)
+	}
+	log.Printf("shutdown complete (%d predictions, %d executions served)",
+		eng.Stats().PredictRequests, eng.Stats().Executions)
+}
+
+type server struct {
+	eng      *engine.Engine
+	start    time.Time
+	platform string
+}
+
+// parseRequest builds an engine request from query parameters (any
+// method) or a JSON body (POST with a body).
+func parseRequest(r *http.Request) (engine.Request, error) {
+	req := engine.Request{SizeIdx: -1}
+	if r.Method == http.MethodPost {
+		// Decode regardless of Content-Length: chunked bodies report -1.
+		// An empty body (io.EOF) just means "parameters are in the query".
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			return req, fmt.Errorf("invalid JSON body: %w", err)
+		}
+	}
+	q := r.URL.Query()
+	if v := q.Get("program"); v != "" {
+		req.Program = v
+	}
+	if v := q.Get("size"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return req, fmt.Errorf("invalid size %q", v)
+		}
+		req.SizeIdx = n
+	}
+	if v := q.Get("leaveout"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return req, fmt.Errorf("invalid leaveout %q", v)
+		}
+		req.LeaveOut = b
+	}
+	if req.Program == "" {
+		return req, fmt.Errorf("missing required parameter: program")
+	}
+	return req, nil
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"platform":      s.platform,
+		"uptimeSeconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	req, err := parseRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := s.eng.Predict(req)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("execute requires POST"))
+		return
+	}
+	req, err := parseRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.eng.Execute(req)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptimeSeconds": time.Since(s.start).Seconds(),
+		"engine":        s.eng.Stats(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("serve: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "serve:", err)
+	os.Exit(1)
+}

@@ -4,9 +4,14 @@
 // database, and reports leave-one-program-out quality of the default
 // model.
 //
+// With -model-out it additionally emits one trained model artifact per
+// platform alongside the database; deployment tools (cmd/predict,
+// cmd/serve) load these artifacts instead of retraining.
+//
 // Usage:
 //
-//	train -out training_db.json [-programs vecadd,matmul] [-maxsize 5] [-parallel 8] [-quiet]
+//	train -out training_db.json [-model-out models/] [-model mlp]
+//	      [-programs vecadd,matmul] [-maxsize 5] [-parallel 8] [-quiet]
 package main
 
 import (
@@ -16,12 +21,18 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/engine"
 	"repro/internal/harness"
+	"repro/internal/ml"
 	"repro/internal/sched"
 )
 
 func main() {
 	out := flag.String("out", "training_db.json", "output database path")
+	modelOut := flag.String("model-out", "", "directory for trained model artifacts (one per platform; empty = skip)")
+	modelName := flag.String("model", "mlp", fmt.Sprintf("model family for artifacts: %s", strings.Join(harness.ModelNames(), ", ")))
 	programs := flag.String("programs", "", "comma-separated program subset (default: all 23)")
 	maxSize := flag.Int("maxsize", 5, "largest problem size index to measure (0-5)")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the sweep and oracle search (0 = GOMAXPROCS)")
@@ -29,6 +40,10 @@ func main() {
 	flag.Parse()
 	sched.SetDefaultWorkers(*parallel)
 
+	mk, err := harness.ModelByName(*modelName)
+	if err != nil {
+		fail(err)
+	}
 	var log io.Writer = os.Stderr
 	if *quiet {
 		log = nil
@@ -43,26 +58,44 @@ func main() {
 
 	db, err := harness.Generate(opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "train:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if err := db.Save(*out); err != nil {
-		fmt.Fprintln(os.Stderr, "train:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Printf("training database: %d records (%d programs x sizes x 2 platforms) -> %s\n",
 		len(db.Records), len(db.Programs()), *out)
 
-	for _, plat := range []string{"mc1", "mc2"} {
-		if len(db.PlatformRecords(plat)) == 0 {
+	for _, plat := range device.Platforms() {
+		if len(db.PlatformRecords(plat.Name)) == 0 {
 			continue
 		}
-		res, err := harness.Figure1(db, plat, harness.DefaultModel())
+		// Deployment artifact: the full model, trained on every program.
+		if *modelOut != "" {
+			fw, err := core.New(plat)
+			if err != nil {
+				fail(err)
+			}
+			if err := fw.Train(db, mk); err != nil {
+				fail(err)
+			}
+			path := engine.ArtifactPath(*modelOut, plat.Name, "")
+			if err := ml.SaveArtifact(path, fw.Artifact()); err != nil {
+				fail(err)
+			}
+			fmt.Printf("%s: model artifact (%s) -> %s\n", plat.Name, fw.ModelName(), path)
+		}
+		// Training-quality report: leave-one-program-out cross validation.
+		res, err := harness.Figure1(db, plat.Name, mk)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "train:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("%s: leave-one-program-out geomean speedup vs CPU-only %.2fx, vs GPU-only %.2fx, oracle efficiency %.2f\n",
-			plat, res.GeoMeanVsCPU, res.GeoMeanVsGPU, res.MeanOracleEff)
+			plat.Name, res.GeoMeanVsCPU, res.GeoMeanVsGPU, res.MeanOracleEff)
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "train:", err)
+	os.Exit(1)
 }

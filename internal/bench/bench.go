@@ -105,20 +105,32 @@ func (p *Program) Static() (*inspire.StaticCounts, error) {
 	return inspire.Analyze(p.unit.Kernel(p.Kernel)), nil
 }
 
-// Build creates a launch for size index szIdx with deterministic input
-// data, plus the instance for verification.
-func (p *Program) Build(szIdx int) (runtime.Launch, *Instance, error) {
-	if err := p.compile(); err != nil {
-		return runtime.Launch{}, nil, err
-	}
+// Instance builds the deterministic input instance (arguments and launch
+// geometry) for size index szIdx without compiling the kernel. Callers
+// that bring their own compiled program (the deployment engine's
+// registry) combine it with the instance to form a launch.
+func (p *Program) Instance(szIdx int) (*Instance, error) {
 	if szIdx < 0 || szIdx >= len(p.Sizes) {
-		return runtime.Launch{}, nil, fmt.Errorf("bench %s: size index %d out of range", p.Name, szIdx)
+		return nil, fmt.Errorf("bench %s: size index %d out of range", p.Name, szIdx)
 	}
 	n := p.Sizes[szIdx].N
 	rng := rand.New(rand.NewSource(int64(szIdx)*1315423911 + int64(len(p.Name))*2654435761 + 12345))
 	inst := p.setup(n, rng)
 	if p.LocalSize > 0 {
 		inst.ND.Local[0] = p.LocalSize
+	}
+	return inst, nil
+}
+
+// Build creates a launch for size index szIdx with deterministic input
+// data, plus the instance for verification.
+func (p *Program) Build(szIdx int) (runtime.Launch, *Instance, error) {
+	if err := p.compile(); err != nil {
+		return runtime.Launch{}, nil, err
+	}
+	inst, err := p.Instance(szIdx)
+	if err != nil {
+		return runtime.Launch{}, nil, err
 	}
 	l := runtime.Launch{
 		Kernel:     p.compiled,

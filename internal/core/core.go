@@ -94,9 +94,8 @@ type Framework struct {
 	Platform *device.Platform
 	Runtime  *runtime.Runtime
 
-	space     []partition.Partition
-	predictor func(x []float64) int
-	model     ml.Classifier
+	space    []partition.Partition
+	artifact *ml.Artifact
 }
 
 // New creates an untrained framework for the platform.
@@ -112,30 +111,79 @@ func New(plat *device.Platform) (*Framework, error) {
 }
 
 // Train fits the prediction model from a harness database (offline
-// training phase). Records for other platforms are ignored.
+// training phase). Records for other platforms are ignored. The trained
+// model is kept as a serializable artifact (see Artifact) so deployment
+// engines can persist it and skip retraining on later runs.
 func (f *Framework) Train(db *harness.DB, mk ml.NewModel) error {
 	data := db.Dataset(f.Platform.Name, nil)
 	if data.Len() == 0 {
 		return fmt.Errorf("core: database has no records for %q", f.Platform.Name)
 	}
-	pred, model, err := ml.TrainFull(data, mk)
+	a, err := ml.TrainArtifact(data, mk)
 	if err != nil {
 		return err
 	}
-	f.predictor = pred
-	f.model = model
+	a.Platform = f.Platform.Name
+	a.Space = append([]string{}, db.Space...)
+	// A database whose class space differs from the framework's
+	// partition space would train a model whose classes map to the
+	// wrong partitions; reject it like any other incompatible artifact.
+	if err := f.CheckArtifact(a); err != nil {
+		return err
+	}
+	f.artifact = a
+	return nil
+}
+
+// Artifact returns the trained model artifact (nil before Train or
+// UseArtifact). Save it with ml.SaveArtifact to make training survive the
+// process.
+func (f *Framework) Artifact() *ml.Artifact { return f.artifact }
+
+// CheckArtifact validates that an artifact can serve predictions on this
+// framework's platform: the platform must match and the artifact's class
+// space (when recorded) must be exactly the framework's partition space,
+// or its class indices would silently map to the wrong partitions. Every
+// artifact load path (UseArtifact, the deployment engine) runs this.
+func (f *Framework) CheckArtifact(a *ml.Artifact) error {
+	if a == nil || a.Model == nil {
+		return fmt.Errorf("core: artifact has no model")
+	}
+	if a.Platform != "" && a.Platform != f.Platform.Name {
+		return fmt.Errorf("core: artifact trained for platform %q, framework is %q", a.Platform, f.Platform.Name)
+	}
+	if len(a.Space) != 0 {
+		if len(a.Space) != len(f.space) {
+			return fmt.Errorf("core: artifact class space has %d partitions, framework has %d", len(a.Space), len(f.space))
+		}
+		for i, s := range a.Space {
+			if s != f.space[i].String() {
+				return fmt.Errorf("core: artifact class %d is partition %q, framework has %q", i, s, f.space[i])
+			}
+		}
+	}
+	return nil
+}
+
+// UseArtifact installs a previously trained (typically loaded) model
+// artifact as the framework's predictor, skipping training entirely.
+func (f *Framework) UseArtifact(a *ml.Artifact) error {
+	if err := f.CheckArtifact(a); err != nil {
+		return err
+	}
+	f.artifact = a
 	return nil
 }
 
 // Trained reports whether a model has been fitted.
-func (f *Framework) Trained() bool { return f.predictor != nil }
+func (f *Framework) Trained() bool { return f.artifact != nil }
 
 // ModelName names the fitted model family, or "none".
 func (f *Framework) ModelName() string {
-	if f.model == nil {
+	if f.artifact == nil {
 		return "none"
 	}
-	return f.model.Name()
+	return f.artifact.Model.Name()
 }
 
 // Features compiles the feature vector for a program at a problem size.
@@ -157,6 +205,28 @@ func (f *Framework) Features(p *Program, spec LaunchSpec) (features.Vector, *exe
 	return fv, prof, nil
 }
 
+// PredictClass returns the model's raw class for a feature vector plus
+// the in-range class actually served (out-of-range predictions clamp to
+// class 0; callers that care inspect raw != served).
+func (f *Framework) PredictClass(x []float64) (served, raw int, err error) {
+	if !f.Trained() {
+		return 0, 0, fmt.Errorf("core: framework is not trained")
+	}
+	raw = f.artifact.Predict(x)
+	served = raw
+	if served < 0 || served >= len(f.space) {
+		served = 0
+	}
+	return served, raw, nil
+}
+
+// ClassPartition maps a served class index to its partition.
+func (f *Framework) ClassPartition(cls int) partition.Partition { return f.space[cls] }
+
+// NumClasses returns the size of the framework's partition space — the
+// one source of truth for the valid class range [0, NumClasses).
+func (f *Framework) NumClasses() int { return len(f.space) }
+
 // Predict returns the model's partitioning for a program at a problem
 // size, along with the profile used for feature extraction.
 func (f *Framework) Predict(p *Program, spec LaunchSpec) (partition.Partition, *exec.Profile, error) {
@@ -167,9 +237,9 @@ func (f *Framework) Predict(p *Program, spec LaunchSpec) (partition.Partition, *
 	if err != nil {
 		return partition.Partition{}, nil, err
 	}
-	cls := f.predictor(fv.Values)
-	if cls < 0 || cls >= len(f.space) {
-		cls = 0
+	cls, _, err := f.PredictClass(fv.Values)
+	if err != nil {
+		return partition.Partition{}, nil, err
 	}
 	return f.space[cls], prof, nil
 }

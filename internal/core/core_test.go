@@ -155,3 +155,62 @@ func TestTrainWrongPlatform(t *testing.T) {
 		t.Error("training on a database lacking the platform should fail")
 	}
 }
+
+func TestUseArtifact(t *testing.T) {
+	db := smallDB(t)
+	fw, err := New(device.MC2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Train(db, func() ml.Classifier { return ml.NewKNN(5) }); err != nil {
+		t.Fatal(err)
+	}
+	art := fw.Artifact()
+	if art == nil || art.Platform != "mc2" || len(art.Space) != 66 {
+		t.Fatalf("trained artifact metadata: %+v", art)
+	}
+
+	// A fresh framework adopts the artifact without training and
+	// predicts identically.
+	fw2, err := New(device.MC2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw2.UseArtifact(art); err != nil {
+		t.Fatal(err)
+	}
+	if !fw2.Trained() || fw2.ModelName() != "knn5" {
+		t.Errorf("trained=%t model=%s", fw2.Trained(), fw2.ModelName())
+	}
+	for _, rec := range db.PlatformRecords("mc2") {
+		a, rawA, err := fw.PredictClass(rec.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, rawB, err := fw2.PredictClass(rec.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b || rawA != rawB {
+			t.Fatalf("%s: trained predicts %d/%d, adopted artifact %d/%d", rec.Program, a, rawA, b, rawB)
+		}
+	}
+
+	// Incompatible artifacts are rejected.
+	fwMC1, err := New(device.MC1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fwMC1.UseArtifact(art); err == nil {
+		t.Error("mc2 artifact accepted on mc1 framework")
+	}
+	bad := *art
+	bad.Space = append([]string{}, art.Space...)
+	bad.Space[3] = "1/2/3"
+	if err := fw2.UseArtifact(&bad); err == nil {
+		t.Error("artifact with mismatched class space accepted")
+	}
+	if err := fw2.UseArtifact(&ml.Artifact{}); err == nil {
+		t.Error("artifact without model accepted")
+	}
+}

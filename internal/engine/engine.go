@@ -1,0 +1,510 @@
+// Package engine is the persistent deployment half of the pipeline: a
+// long-lived serving engine built on core.Framework.
+//
+// The paper splits the system into an offline training phase and an
+// online deployment phase. Training produces a database and model
+// artifacts; this engine owns everything the deployment phase needs to
+// answer prediction and execution requests under sustained traffic
+// without redoing offline work:
+//
+//   - a compiled-program registry (each benchmark kernel is compiled
+//     once per process),
+//   - a trained-model artifact cache keyed by (platform, left-out
+//     program), backed by artifact files on disk with a train-on-the-fly
+//     fallback,
+//   - a per-(program, size) feature/profile cache, so the one profiled
+//     execution that runtime feature collection requires happens once.
+//
+// All three caches deduplicate concurrent identical requests through
+// sched.Memo: two clients asking for the same cold entry share one
+// computation. A warm engine answers repeat requests with zero
+// retraining and zero recompilation (pinned by tests and benchmarks).
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/exec"
+	"repro/internal/features"
+	"repro/internal/harness"
+	"repro/internal/ml"
+	"repro/internal/runtime"
+	"repro/internal/sched"
+)
+
+// Options configures a deployment engine.
+type Options struct {
+	// Platform is the target platform name ("mc1" or "mc2").
+	Platform string
+	// DB supplies reference times for responses and the training data
+	// for the train-on-the-fly fallback. Optional if every requested
+	// model resolves from ArtifactDir.
+	DB *harness.DB
+	// ArtifactDir holds model artifact files (see ArtifactPath).
+	// Artifacts found there are served without retraining.
+	ArtifactDir string
+	// Model constructs the fallback model family when no artifact
+	// exists (default: the harness default, an MLP).
+	Model ml.NewModel
+	// SaveTrained persists models trained by the fallback path into
+	// ArtifactDir, so the next process skips training entirely.
+	SaveTrained bool
+}
+
+// ArtifactPath names the artifact file for (platform, leftOut) inside
+// dir. Train-phase writers and the engine's loader agree through this
+// function.
+func ArtifactPath(dir, platform, leftOut string) string {
+	if leftOut == "" {
+		return filepath.Join(dir, platform+".json")
+	}
+	return filepath.Join(dir, platform+"-loo-"+leftOut+".json")
+}
+
+// Engine is a long-lived deployment engine for one platform. All methods
+// are safe for concurrent use.
+type Engine struct {
+	fw   *core.Framework
+	opts Options
+
+	programs sched.Memo[string, *programEntry]
+	models   sched.Memo[string, modelEntry] // key = left-out program ("" = full)
+	features sched.Memo[featureKey, *featureEntry]
+
+	stats engineCounters
+}
+
+// programEntry is one registry slot: the benchmark definition plus the
+// framework-compiled program.
+type programEntry struct {
+	bench *bench.Program
+	prog  *core.Program
+}
+
+// Model provenance values reported in Prediction.ModelSource.
+const (
+	// ModelFromArtifact: loaded from an artifact file in ArtifactDir.
+	ModelFromArtifact = "artifact"
+	// ModelTrained: trained on the fly from the database.
+	ModelTrained = "trained"
+	// ModelTrainedSaved: trained on the fly and persisted to ArtifactDir.
+	ModelTrainedSaved = "trained+saved"
+	// ModelTrainedSaveFailed: trained on the fly; persisting it failed
+	// (the model still serves — persistence is an optimization).
+	ModelTrainedSaveFailed = "trained+save-failed"
+)
+
+// modelEntry is one resolved model with its provenance.
+type modelEntry struct {
+	art    *ml.Artifact
+	source string
+}
+
+// featureKey identifies one feature/profile computation.
+type featureKey struct {
+	program string
+	sizeIdx int
+}
+
+// featureEntry caches the result of runtime feature collection: the
+// combined feature vector, the profile it came from, and the launch the
+// profile was collected on (reused to price candidate partitionings).
+type featureEntry struct {
+	fv     features.Vector
+	prof   *exec.Profile
+	launch runtime.Launch
+}
+
+// engineCounters are the engine's monotonically increasing stats.
+type engineCounters struct {
+	predictRequests atomic.Uint64
+	executeRequests atomic.Uint64
+	executions      atomic.Uint64
+	compiles        atomic.Uint64
+	featureComputes atomic.Uint64
+	trainings       atomic.Uint64
+	artifactLoads   atomic.Uint64
+	saveFailures    atomic.Uint64
+	clamped         atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of the engine's counters and cache
+// sizes. Warmness is visible here: a warm engine serves repeat requests
+// without Compiles, FeatureComputes, Trainings or ArtifactLoads moving.
+type Stats struct {
+	Platform           string `json:"platform"`
+	PredictRequests    uint64 `json:"predictRequests"`
+	ExecuteRequests    uint64 `json:"executeRequests"`
+	Executions         uint64 `json:"executions"`
+	Compiles           uint64 `json:"compiles"`
+	FeatureComputes    uint64 `json:"featureComputes"`
+	Trainings          uint64 `json:"trainings"`
+	ArtifactLoads      uint64 `json:"artifactLoads"`
+	ArtifactSaveFails  uint64 `json:"artifactSaveFailures"`
+	ClampedPredictions uint64 `json:"clampedPredictions"`
+	CachedPrograms     int    `json:"cachedPrograms"`
+	CachedModels       int    `json:"cachedModels"`
+	CachedFeatures     int    `json:"cachedFeatures"`
+}
+
+// New builds an engine for the platform named in opts.
+func New(opts Options) (*Engine, error) {
+	plat, err := device.ByName(opts.Platform)
+	if err != nil {
+		return nil, err
+	}
+	fw, err := core.New(plat)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Model == nil {
+		opts.Model = harness.DefaultModel()
+	}
+	return &Engine{fw: fw, opts: opts}, nil
+}
+
+// Framework exposes the underlying core framework (runtime access for
+// callers that need pricing or reference strategies).
+func (e *Engine) Framework() *core.Framework { return e.fw }
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Platform:           e.opts.Platform,
+		PredictRequests:    e.stats.predictRequests.Load(),
+		ExecuteRequests:    e.stats.executeRequests.Load(),
+		Executions:         e.stats.executions.Load(),
+		Compiles:           e.stats.compiles.Load(),
+		FeatureComputes:    e.stats.featureComputes.Load(),
+		Trainings:          e.stats.trainings.Load(),
+		ArtifactLoads:      e.stats.artifactLoads.Load(),
+		ArtifactSaveFails:  e.stats.saveFailures.Load(),
+		ClampedPredictions: e.stats.clamped.Load(),
+		CachedPrograms:     e.programs.Len(),
+		CachedModels:       e.models.Len(),
+		CachedFeatures:     e.features.Len(),
+	}
+}
+
+// Request identifies one prediction or execution request.
+type Request struct {
+	// Program is the benchmark program name.
+	Program string `json:"program"`
+	// SizeIdx is the problem size index; negative selects the program's
+	// default size.
+	SizeIdx int `json:"size"`
+	// LeaveOut holds the requested program out of the training set
+	// (evaluation mode: the paper's unseen-program scenario). The full
+	// model is used otherwise.
+	LeaveOut bool `json:"leaveOut,omitempty"`
+}
+
+// Prediction is the engine's answer to one predict request.
+type Prediction struct {
+	Program   string `json:"program"`
+	Platform  string `json:"platform"`
+	SizeIdx   int    `json:"size"`
+	SizeLabel string `json:"sizeLabel"`
+	SizeN     int    `json:"sizeN"`
+
+	// Class is the served class; RawClass is the model's unclamped
+	// output. Clamped marks a prediction outside the partition space,
+	// served as class 0.
+	Class    int  `json:"class"`
+	RawClass int  `json:"rawClass"`
+	Clamped  bool `json:"clamped,omitempty"`
+
+	// Partition is the served partitioning (CPU/GPU1/GPU2 percentages).
+	Partition string `json:"partition"`
+	Model     string `json:"model"`
+	// ModelSource is the model's provenance: ModelFromArtifact,
+	// ModelTrained, ModelTrainedSaved or ModelTrainedSaveFailed.
+	ModelSource string `json:"modelSource"`
+	LeftOut     string `json:"leftOut,omitempty"`
+
+	// PredictedTime is the simulated makespan under the served
+	// partitioning. The remaining reference times come from the
+	// training database when available.
+	PredictedTime   float64 `json:"predictedTime"`
+	OracleTime      float64 `json:"oracleTime,omitempty"`
+	OraclePartition string  `json:"oraclePartition,omitempty"`
+	CPUOnlyTime     float64 `json:"cpuOnlyTime,omitempty"`
+	GPUOnlyTime     float64 `json:"gpuOnlyTime,omitempty"`
+}
+
+// Execution is the engine's answer to one execute request: the
+// prediction plus the result of actually running the kernel partitioned
+// across the platform's devices.
+type Execution struct {
+	Prediction
+	// Makespan is the simulated wall time of the partitioned execution.
+	Makespan float64 `json:"makespan"`
+	// Verified reports whether the outputs matched the program's Go
+	// reference implementation.
+	Verified    bool   `json:"verified"`
+	VerifyError string `json:"verifyError,omitempty"`
+}
+
+// program resolves the registry entry for name, compiling the kernel on
+// first use. The name is validated against the benchmark registry BEFORE
+// touching the memo: requests for unknown programs (attacker-chosen
+// input on the serving path) must not grow the cache.
+func (e *Engine) program(name string) (*programEntry, error) {
+	bp, err := bench.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.programs.Do(name, func() (*programEntry, error) {
+		cp, err := core.CompileSource(bp.Name, bp.Source, bp.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		e.stats.compiles.Add(1)
+		return &programEntry{bench: bp, prog: cp}, nil
+	})
+}
+
+// featuresFor resolves the feature/profile cache entry for (program,
+// size), profiling one execution on first use.
+func (e *Engine) featuresFor(pe *programEntry, sizeIdx int) (*featureEntry, error) {
+	return e.features.Do(featureKey{program: pe.bench.Name, sizeIdx: sizeIdx}, func() (*featureEntry, error) {
+		inst, err := pe.bench.Instance(sizeIdx)
+		if err != nil {
+			return nil, err
+		}
+		spec := core.LaunchSpec{Args: inst.Args, ND: inst.ND, Iterations: pe.bench.Iterations}
+		fv, prof, err := e.fw.Features(pe.prog, spec)
+		if err != nil {
+			return nil, err
+		}
+		prof.Precompute()
+		e.stats.featureComputes.Add(1)
+		return &featureEntry{fv: fv, prof: prof, launch: e.launch(pe, inst)}, nil
+	})
+}
+
+// launch assembles a runtime launch from the registry's compiled program
+// and a benchmark instance.
+func (e *Engine) launch(pe *programEntry, inst *bench.Instance) runtime.Launch {
+	return runtime.Launch{
+		Kernel:     pe.prog.Compiled,
+		Plan:       pe.prog.Plan,
+		Args:       inst.Args,
+		ND:         inst.ND,
+		Iterations: pe.bench.Iterations,
+	}
+}
+
+// Model resolves the artifact for the given left-out program (empty =
+// the full model): memory first, then an artifact file in ArtifactDir,
+// then training from the database. Concurrent requests for the same
+// cold model share one resolution. Failures are not cached
+// (sched.Memo.DoRetryable): a transient load error — corrupt file
+// mid-deploy, fd exhaustion — must not poison the key until restart.
+func (e *Engine) Model(leftOut string) (*ml.Artifact, error) {
+	ent, err := e.resolveModel(leftOut)
+	if err != nil {
+		return nil, err
+	}
+	return ent.art, nil
+}
+
+func (e *Engine) resolveModel(leftOut string) (modelEntry, error) {
+	return e.models.DoRetryable(leftOut, func() (modelEntry, error) {
+		if e.opts.ArtifactDir != "" {
+			path := ArtifactPath(e.opts.ArtifactDir, e.opts.Platform, leftOut)
+			if _, err := os.Stat(path); err == nil {
+				a, err := ml.LoadArtifact(path)
+				if err != nil {
+					return modelEntry{}, err
+				}
+				if err := e.checkArtifact(a, leftOut); err != nil {
+					return modelEntry{}, fmt.Errorf("engine: artifact %s: %w", path, err)
+				}
+				e.stats.artifactLoads.Add(1)
+				return modelEntry{art: a, source: ModelFromArtifact}, nil
+			}
+		}
+		return e.train(leftOut)
+	})
+}
+
+// checkArtifact validates a loaded artifact against the engine's
+// platform, partition space (via the framework's shared check) and the
+// requested left-out program.
+func (e *Engine) checkArtifact(a *ml.Artifact, leftOut string) error {
+	if err := e.fw.CheckArtifact(a); err != nil {
+		return err
+	}
+	if a.LeftOut != leftOut {
+		return fmt.Errorf("trained with left-out program %q, request needs %q", a.LeftOut, leftOut)
+	}
+	return nil
+}
+
+// train is the fallback path: fit a fresh model from the database.
+func (e *Engine) train(leftOut string) (modelEntry, error) {
+	if e.opts.DB == nil {
+		return modelEntry{}, fmt.Errorf("engine: no artifact for (%s, leftOut=%q) and no training database", e.opts.Platform, leftOut)
+	}
+	data := e.opts.DB.Dataset(e.opts.Platform, nil)
+	if data.Len() == 0 {
+		return modelEntry{}, fmt.Errorf("engine: database has no records for %q", e.opts.Platform)
+	}
+	if leftOut != "" {
+		trainIdx, _ := data.SplitByGroup(leftOut)
+		if len(trainIdx) == 0 {
+			return modelEntry{}, fmt.Errorf("engine: leaving out %q empties the training set", leftOut)
+		}
+		data = data.Subset(trainIdx)
+	}
+	a, err := ml.TrainArtifact(data, e.opts.Model)
+	if err != nil {
+		return modelEntry{}, err
+	}
+	a.Platform = e.opts.Platform
+	a.LeftOut = leftOut
+	a.Space = append([]string{}, e.opts.DB.Space...)
+	// The database's class space must be the framework's partition
+	// space, or the trained model's class indices would map to the
+	// wrong partitions — same check the artifact load path runs.
+	if err := e.fw.CheckArtifact(a); err != nil {
+		return modelEntry{}, fmt.Errorf("engine: training database: %w", err)
+	}
+	e.stats.trainings.Add(1)
+	ent := modelEntry{art: a, source: ModelTrained}
+	if e.opts.SaveTrained && e.opts.ArtifactDir != "" {
+		// Persistence is an optimization: a failed write (disk full,
+		// read-only dir) must not discard the trained model or poison
+		// this model's cache entry with the error.
+		path := ArtifactPath(e.opts.ArtifactDir, e.opts.Platform, leftOut)
+		if err := ml.SaveArtifact(path, a); err != nil {
+			e.stats.saveFailures.Add(1)
+			ent.source = ModelTrainedSaveFailed
+		} else {
+			ent.source = ModelTrainedSaved
+		}
+	}
+	return ent, nil
+}
+
+// Predict answers one prediction request. Repeat requests on a warm
+// engine touch only caches: no retraining, no recompilation, no
+// re-profiling.
+func (e *Engine) Predict(req Request) (*Prediction, error) {
+	e.stats.predictRequests.Add(1)
+	return e.predict(req)
+}
+
+func (e *Engine) predict(req Request) (*Prediction, error) {
+	pe, err := e.program(req.Program)
+	if err != nil {
+		return nil, err
+	}
+	sz := req.SizeIdx
+	if sz < 0 {
+		sz = pe.bench.DefaultSize
+	}
+	if sz >= len(pe.bench.Sizes) {
+		return nil, fmt.Errorf("engine: %s has %d sizes, requested index %d", req.Program, len(pe.bench.Sizes), sz)
+	}
+	fe, err := e.featuresFor(pe, sz)
+	if err != nil {
+		return nil, err
+	}
+	leftOut := ""
+	if req.LeaveOut {
+		leftOut = req.Program
+	}
+	ent, err := e.resolveModel(leftOut)
+	if err != nil {
+		return nil, err
+	}
+	art := ent.art
+	// The artifact's recorded feature schema must be exactly the schema
+	// this binary extracts — same names, same order — or the scaler's
+	// per-position statistics would apply to the wrong features.
+	if len(art.FeatureNames) > 0 {
+		if len(art.FeatureNames) != len(fe.fv.Names) {
+			return nil, fmt.Errorf("engine: artifact expects %d features, program yields %d", len(art.FeatureNames), len(fe.fv.Names))
+		}
+		for i, name := range art.FeatureNames {
+			if name != fe.fv.Names[i] {
+				return nil, fmt.Errorf("engine: artifact feature %d is %q, this binary extracts %q", i, name, fe.fv.Names[i])
+			}
+		}
+	}
+
+	raw := art.Predict(fe.fv.Values)
+	served, clamped := raw, false
+	if nc := e.fw.NumClasses(); served < 0 || served >= nc {
+		served, clamped = 0, true
+		e.stats.clamped.Add(1)
+	}
+	part := e.fw.ClassPartition(served)
+	predTime, _, err := e.fw.Runtime.Price(fe.launch, fe.prof, part)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Prediction{
+		Program:       req.Program,
+		Platform:      e.opts.Platform,
+		SizeIdx:       sz,
+		SizeLabel:     pe.bench.Sizes[sz].Label,
+		SizeN:         pe.bench.Sizes[sz].N,
+		Class:         served,
+		RawClass:      raw,
+		Clamped:       clamped,
+		Partition:     part.String(),
+		Model:         art.ModelName,
+		ModelSource:   ent.source,
+		LeftOut:       leftOut,
+		PredictedTime: predTime,
+	}
+	if e.opts.DB != nil {
+		if rec := e.opts.DB.Find(e.opts.Platform, req.Program, sz); rec != nil {
+			p.OracleTime = rec.OracleTime
+			p.OraclePartition = rec.BestPartition
+			p.CPUOnlyTime = rec.CPUOnlyTime
+			p.GPUOnlyTime = rec.GPUOnlyTime
+		}
+	}
+	return p, nil
+}
+
+// Execute answers one execution request: predict, then run the kernel
+// partitioned across the platform's devices on a fresh deterministic
+// instance, and verify the outputs against the Go reference.
+func (e *Engine) Execute(req Request) (*Execution, error) {
+	e.stats.executeRequests.Add(1)
+	pred, err := e.predict(req)
+	if err != nil {
+		return nil, err
+	}
+	pe, err := e.program(req.Program)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := pe.bench.Instance(pred.SizeIdx)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.fw.Runtime.Execute(e.launch(pe, inst), e.fw.ClassPartition(pred.Class))
+	if err != nil {
+		return nil, err
+	}
+	e.stats.executions.Add(1)
+	out := &Execution{Prediction: *pred, Makespan: res.Makespan, Verified: true}
+	if err := pe.bench.Verify(inst, pred.SizeIdx); err != nil {
+		out.Verified = false
+		out.VerifyError = err.Error()
+	}
+	return out, nil
+}

@@ -1,8 +1,6 @@
 package harness
 
 import (
-	"sync"
-
 	"repro/internal/exec"
 	"repro/internal/runtime"
 	"repro/internal/sched"
@@ -18,27 +16,19 @@ type profileKey struct {
 	ND      exec.NDRange
 }
 
-// profileEntry holds one cached profile; once collapses concurrent misses
-// for the same key into a single execution.
-type profileEntry struct {
-	once sync.Once
-	prof *exec.Profile
-	err  error
-}
-
 // ProfileCache memoizes profiled kernel executions keyed by (program,
 // size, NDRange), so repeated sweeps — training-database generation, the
 // step ablation, the dynamic-scheduler comparison, benchmark reruns —
-// stop re-executing kernels they have already profiled. It is safe for
-// concurrent use by sweep workers.
+// stop re-executing kernels they have already profiled. Concurrent
+// requests for the same key share one execution (sched.Memo); it is safe
+// for concurrent use by sweep workers and serving-path callers alike.
 type ProfileCache struct {
-	mu sync.Mutex
-	m  map[profileKey]*profileEntry
+	memo sched.Memo[profileKey, *exec.Profile]
 }
 
 // NewProfileCache returns an empty cache.
 func NewProfileCache() *ProfileCache {
-	return &ProfileCache{m: map[profileKey]*profileEntry{}}
+	return &ProfileCache{}
 }
 
 // sharedProfiles is the package-wide cache used when callers do not
@@ -50,31 +40,21 @@ var sharedProfiles = NewProfileCache()
 // key block until the single execution finishes.
 func (c *ProfileCache) Profile(rt *runtime.Runtime, program string, sizeIdx int, l runtime.Launch) (*exec.Profile, error) {
 	key := profileKey{Program: program, SizeIdx: sizeIdx, ND: l.ND}
-	c.mu.Lock()
-	e := c.m[key]
-	if e == nil {
-		e = &profileEntry{}
-		c.m[key] = e
-	}
-	c.mu.Unlock()
-	e.once.Do(func() {
-		e.prof, e.err = rt.Profile(l)
-		if e.err == nil {
-			// Build the O(1) range index once here so every sweep cell
-			// pricing this profile shares the prefix structure instead of
-			// racing to construct it.
-			e.prof.Precompute()
+	return c.memo.Do(key, func() (*exec.Profile, error) {
+		prof, err := rt.Profile(l)
+		if err != nil {
+			return nil, err
 		}
+		// Build the O(1) range index once here so every sweep cell
+		// pricing this profile shares the prefix structure instead of
+		// racing to construct it.
+		prof.Precompute()
+		return prof, nil
 	})
-	return e.prof, e.err
 }
 
 // Len reports how many profiles the cache holds.
-func (c *ProfileCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.m)
-}
+func (c *ProfileCache) Len() int { return c.memo.Len() }
 
 // splitBudget divides a worker budget (0 = the scheduler's process-wide
 // default) between an outer fan-out over n items and the inner work each

@@ -58,12 +58,61 @@ type Record struct {
 	GPUOnlyTime   float64 `json:"gpuOnlyTime"`
 }
 
-// DB is the training database.
+// DB is the training database. It is append-only during Generate and
+// read-only afterwards; lookup indexes are built lazily on first use.
 type DB struct {
 	// Space is the canonical partition space ("100/0/0", ...), in the
 	// class-index order used by BestClass.
 	Space   []string `json:"space"`
 	Records []Record `json:"records"`
+
+	// idx maps (platform, program, sizeIdx) to the record's position,
+	// built once on the first Find. Serving paths hit Find per request;
+	// a linear scan over every record per lookup does not survive heavy
+	// traffic. maxSize tracks the largest size index present per
+	// (platform, program).
+	idxOnce sync.Once
+	idx     map[recordKey]int
+	maxSize map[progKey]int
+}
+
+// recordKey identifies one record for O(1) lookup.
+type recordKey struct {
+	platform string
+	program  string
+	sizeIdx  int
+}
+
+// progKey identifies one program's records on one platform.
+type progKey struct {
+	platform string
+	program  string
+}
+
+// buildIndex fills the lookup maps; first occurrence wins, matching the
+// linear scan it replaces.
+func (db *DB) buildIndex() {
+	db.idx = make(map[recordKey]int, len(db.Records))
+	db.maxSize = map[progKey]int{}
+	for i := range db.Records {
+		r := &db.Records[i]
+		k := recordKey{platform: r.Platform, program: r.Program, sizeIdx: r.SizeIdx}
+		if _, ok := db.idx[k]; !ok {
+			db.idx[k] = i
+		}
+		pk := progKey{platform: r.Platform, program: r.Program}
+		if m, ok := db.maxSize[pk]; !ok || r.SizeIdx > m {
+			db.maxSize[pk] = r.SizeIdx
+		}
+	}
+}
+
+// MaxSizeIdx returns the largest size index recorded for the program on
+// the platform, and whether any record exists.
+func (db *DB) MaxSizeIdx(platform, program string) (int, bool) {
+	db.idxOnce.Do(db.buildIndex)
+	m, ok := db.maxSize[progKey{platform: platform, program: program}]
+	return m, ok
 }
 
 // spaceStrings renders the canonical 3-device 10%-step space.
@@ -303,13 +352,13 @@ func (db *DB) PlatformRecords(platform string) []Record {
 	return out
 }
 
-// Find returns the record for (platform, program, size), or nil.
+// Find returns the record for (platform, program, size), or nil. The
+// first call builds a lookup index; subsequent calls are O(1). Safe for
+// concurrent use once the database is fully generated or loaded.
 func (db *DB) Find(platform, program string, sizeIdx int) *Record {
-	for i := range db.Records {
-		r := &db.Records[i]
-		if r.Platform == platform && r.Program == program && r.SizeIdx == sizeIdx {
-			return r
-		}
+	db.idxOnce.Do(db.buildIndex)
+	if i, ok := db.idx[recordKey{platform: platform, program: program, sizeIdx: sizeIdx}]; ok {
+		return &db.Records[i]
 	}
 	return nil
 }

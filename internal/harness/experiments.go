@@ -67,7 +67,7 @@ func Figure1(db *DB, platform string, mk ml.NewModel) (*Fig1Result, error) {
 		var row *Fig1Row
 		for fi, ti := range fold.TestIdx {
 			r := recs[ti]
-			def, err := defaultSizeIdx(db, r.Program)
+			def, err := defaultSizeIdx(db, platform, r.Program)
 			if err != nil {
 				return nil, err
 			}
@@ -108,29 +108,18 @@ func Figure1(db *DB, platform string, mk ml.NewModel) (*Fig1Result, error) {
 }
 
 // defaultSizeIdx returns the benchmark's default size index, capped to the
-// sizes actually present in the database (reduced test databases).
-func defaultSizeIdx(db *DB, program string) (int, error) {
-	maxIdx := -1
-	def := -1
-	for _, r := range db.Records {
-		if r.Program != program {
-			continue
-		}
-		if r.SizeIdx > maxIdx {
-			maxIdx = r.SizeIdx
-		}
+// sizes actually present in the database (reduced test databases). Both
+// lookups go through the database's O(1) index.
+func defaultSizeIdx(db *DB, platform, program string) (int, error) {
+	maxIdx, ok := db.MaxSizeIdx(platform, program)
+	if !ok {
+		return 0, fmt.Errorf("harness: program %q not in database for %q", program, platform)
 	}
-	if maxIdx < 0 {
-		return 0, fmt.Errorf("harness: program %q not in database", program)
+	if def := benchDefault(program); db.Find(platform, program, def) != nil {
+		return def, nil
 	}
-	def = maxIdx // prefer the largest generated size if the canonical default is missing
-	for _, r := range db.Records {
-		if r.Program == program && r.SizeIdx == benchDefault(program) {
-			def = benchDefault(program)
-			break
-		}
-	}
-	return def, nil
+	// Prefer the largest generated size if the canonical default is missing.
+	return maxIdx, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+)
+
+// findNaive is the linear scan Find replaced; the index must agree with
+// it on every key, present or absent.
+func findNaive(db *DB, platform, program string, sizeIdx int) *Record {
+	for i := range db.Records {
+		r := &db.Records[i]
+		if r.Platform == platform && r.Program == program && r.SizeIdx == sizeIdx {
+			return r
+		}
+	}
+	return nil
+}
+
+func TestFindIndexMatchesLinearScan(t *testing.T) {
+	db := testDB(t)
+	platforms := []string{"mc1", "mc2", "nope"}
+	programs := append(db.Programs(), "missing")
+	for _, plat := range platforms {
+		for _, prog := range programs {
+			for sz := -1; sz <= 6; sz++ {
+				want := findNaive(db, plat, prog, sz)
+				got := db.Find(plat, prog, sz)
+				if want != got {
+					t.Fatalf("Find(%s,%s,%d) = %v, want %v", plat, prog, sz, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFindIndexConcurrent(t *testing.T) {
+	// Lazy index construction must be safe under concurrent first use
+	// (the serving engine hits Find from many request goroutines).
+	db := testDB(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, prog := range db.Programs() {
+				for sz := 0; sz <= 2; sz++ {
+					if db.Find("mc2", prog, sz) == nil {
+						t.Errorf("Find(mc2,%s,%d) = nil", prog, sz)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestMaxSizeIdx(t *testing.T) {
+	db := testDB(t)
+	if m, ok := db.MaxSizeIdx("mc2", "vecadd"); !ok || m != 2 {
+		t.Errorf("MaxSizeIdx(mc2, vecadd) = %d, %t; want 2, true", m, ok)
+	}
+	if _, ok := db.MaxSizeIdx("mc2", "missing"); ok {
+		t.Error("MaxSizeIdx reported a record for a missing program")
+	}
+}

@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ml"
+)
+
+// modelFamilies maps CLI-facing family names to constructors with the
+// canonical hyperparameters used across the experiments.
+var modelFamilies = map[string]ml.NewModel{
+	"mlp":    DefaultModel(),
+	"knn":    FastModel(),
+	"tree":   func() ml.Classifier { return ml.NewTree() },
+	"forest": func() ml.Classifier { return ml.NewForest(50, 42) },
+	"logreg": func() ml.Classifier { return ml.NewLogReg(42) },
+}
+
+// ModelByName resolves a CLI model family name ("mlp", "knn", "tree",
+// "forest", "logreg") to its constructor.
+func ModelByName(name string) (ml.NewModel, error) {
+	if mk, ok := modelFamilies[name]; ok {
+		return mk, nil
+	}
+	return nil, fmt.Errorf("harness: unknown model family %q (have %v)", name, ModelNames())
+}
+
+// ModelNames lists the known model family names, sorted.
+func ModelNames() []string {
+	var out []string
+	for name := range modelFamilies {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -103,16 +103,12 @@ func LeaveOneGroupOut(d *Dataset, mk NewModel) (*CVResult, error) {
 // TrainFull fits a model (with scaling) on the whole dataset and returns a
 // predictor closure over raw (unscaled) feature vectors. This is the
 // deployment path: the shipped model is trained on the full training DB.
+// It is TrainArtifact without the wrapping — one training recipe, so
+// artifact-based predictions can never diverge from closure-based ones.
 func TrainFull(d *Dataset, mk NewModel) (func(x []float64) int, Classifier, error) {
-	if err := d.Validate(); err != nil {
+	a, err := TrainArtifact(d, mk)
+	if err != nil {
 		return nil, nil, err
 	}
-	scaler := FitScaler(d)
-	model := mk()
-	if err := model.Fit(scaler.TransformDataset(d)); err != nil {
-		return nil, nil, err
-	}
-	return func(x []float64) int {
-		return model.Predict(scaler.Transform(x))
-	}, model, nil
+	return a.Predict, a.Model, nil
 }

@@ -23,7 +23,16 @@ func NewPCAPipeline(k int, seed int64, inner NewModel) *PCAPipeline {
 
 // Name implements Classifier.
 func (m *PCAPipeline) Name() string {
-	return fmt.Sprintf("pca%d+%s", m.K, m.NewInner().Name())
+	// A deserialized pipeline has no constructor, only the fitted inner
+	// model; name whichever is available.
+	switch {
+	case m.inner != nil:
+		return fmt.Sprintf("pca%d+%s", m.K, m.inner.Name())
+	case m.NewInner != nil:
+		return fmt.Sprintf("pca%d+%s", m.K, m.NewInner().Name())
+	default:
+		return fmt.Sprintf("pca%d", m.K)
+	}
 }
 
 // Fit implements Classifier.

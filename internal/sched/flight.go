@@ -1,0 +1,77 @@
+package sched
+
+import "sync"
+
+// Memo is a generic request-deduplicating memo table: the first call for a
+// key runs fn exactly once and every caller — including concurrent callers
+// that arrive while fn is still running — receives that single result.
+// This is the serving-path companion of Map: where Map fans one request
+// out over many workers, Memo collapses many identical requests into one
+// computation.
+//
+// Results (including errors) are cached for the lifetime of the Memo; it
+// is intended for deterministic computations such as kernel compilation,
+// profiled executions and model training, where a repeat request must not
+// redo the work. The zero value is ready to use.
+type Memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Do returns the memoized result for key, running fn to produce it on the
+// first request. Concurrent requests for the same key block until the
+// single in-flight fn finishes; requests for distinct keys never block
+// each other while fn runs.
+func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	e := m.entry(key)
+	e.once.Do(func() { e.val, e.err = fn() })
+	return e.val, e.err
+}
+
+// DoRetryable is Do for computations whose failures may be transient
+// (artifact reads, say): an error result is not memoized — the failed
+// entry is dropped so a later request retries — while concurrent
+// requests still share the one in-flight attempt. The drop is
+// identity-checked, so a stale failure never evicts a newer entry that a
+// subsequent request is already computing.
+func (m *Memo[K, V]) DoRetryable(key K, fn func() (V, error)) (V, error) {
+	e := m.entry(key)
+	e.once.Do(func() { e.val, e.err = fn() })
+	if e.err != nil {
+		m.mu.Lock()
+		if m.m[key] == e {
+			delete(m.m, key)
+		}
+		m.mu.Unlock()
+	}
+	return e.val, e.err
+}
+
+// entry returns (creating if needed) the current entry for key.
+func (m *Memo[K, V]) entry(key K) *memoEntry[V] {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.m == nil {
+		m.m = map[K]*memoEntry[V]{}
+	}
+	e := m.m[key]
+	if e == nil {
+		e = &memoEntry[V]{}
+		m.m[key] = e
+	}
+	return e
+}
+
+// Len reports how many keys have been requested (computed or in flight).
+func (m *Memo[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.m)
+}
+

@@ -1,0 +1,140 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMemoComputesOnce(t *testing.T) {
+	var m Memo[string, int]
+	var calls atomic.Int64
+	for i := 0; i < 5; i++ {
+		v, err := m.Do("k", func() (int, error) {
+			calls.Add(1)
+			return 42, nil
+		})
+		if err != nil || v != 42 {
+			t.Fatalf("Do = %d, %v", v, err)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls.Load())
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestMemoConcurrentDedup(t *testing.T) {
+	var m Memo[int, string]
+	var calls atomic.Int64
+	const keys, per = 8, 16
+	var wg sync.WaitGroup
+	errs := make(chan error, keys*per)
+	for k := 0; k < keys; k++ {
+		for g := 0; g < per; g++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				v, err := m.Do(k, func() (string, error) {
+					calls.Add(1)
+					return fmt.Sprintf("v%d", k), nil
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if want := fmt.Sprintf("v%d", k); v != want {
+					errs <- fmt.Errorf("key %d: got %q, want %q", k, v, want)
+				}
+			}(k)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if calls.Load() != keys {
+		t.Fatalf("fn ran %d times, want %d", calls.Load(), keys)
+	}
+}
+
+func TestMemoCachesErrors(t *testing.T) {
+	var m Memo[string, int]
+	boom := errors.New("boom")
+	var calls int
+	for i := 0; i < 3; i++ {
+		_, err := m.Do("k", func() (int, error) {
+			calls++
+			return 0, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want boom", err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("failing fn ran %d times, want 1 (errors are cached)", calls)
+	}
+}
+
+func TestMemoDoRetryableDropsFailures(t *testing.T) {
+	var m Memo[string, int]
+	boom := errors.New("boom")
+	calls := 0
+	fail := func() (int, error) { calls++; return 0, boom }
+	if _, err := m.DoRetryable("k", fail); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("failed entry retained: Len = %d", m.Len())
+	}
+	v, err := m.DoRetryable("k", func() (int, error) { calls++; return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry = %d, %v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("fn ran %d times, want 2", calls)
+	}
+	// Success IS memoized.
+	if _, err := m.DoRetryable("k", fail); err != nil {
+		t.Fatalf("memoized success re-ran fn: %v", err)
+	}
+	if calls != 2 || m.Len() != 1 {
+		t.Fatalf("calls=%d Len=%d, want 2/1", calls, m.Len())
+	}
+}
+
+func TestMemoDoRetryableConcurrentSharesAttempt(t *testing.T) {
+	var m Memo[int, int]
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	const clients = 16
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Every client's failure is the shared first attempt; the
+			// stale-failure cleanup must be idempotent under concurrency.
+			if _, err := m.DoRetryable(1, func() (int, error) {
+				calls.Add(1)
+				return 0, boom
+			}); !errors.Is(err, boom) {
+				t.Errorf("err = %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	// Concurrent callers shared in-flight attempts: far fewer runs than
+	// clients, and at least one; afterwards the key is retryable.
+	if n := calls.Load(); n < 1 || n > clients {
+		t.Fatalf("fn ran %d times", n)
+	}
+	if v, err := m.DoRetryable(1, func() (int, error) { return 9, nil }); err != nil || v != 9 {
+		t.Fatalf("retry after concurrent failures = %d, %v", v, err)
+	}
+}

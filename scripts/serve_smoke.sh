@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end deployment smoke test: train a tiny
+# database with model artifacts, launch cmd/serve against it, exercise
+# /healthz, /predict, /execute and /stats, then verify clean shutdown on
+# SIGTERM. Used by CI and runnable locally:
+#
+#   scripts/serve_smoke.sh [port]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+port="${1:-18090}"
+work="$(mktemp -d)"
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/train" ./cmd/train
+go build -o "$work/serve" ./cmd/serve
+
+echo "== training tiny database + artifacts =="
+"$work/train" -out "$work/db.json" -model-out "$work/models" -model knn \
+  -programs vecadd,matmul -maxsize 1 -quiet
+
+test -f "$work/models/mc2.json" || { echo "FAIL: no mc2 model artifact"; exit 1; }
+
+echo "== launching serve =="
+"$work/serve" -addr "127.0.0.1:$port" -db "$work/db.json" -platform mc2 \
+  -models "$work/models" -model knn -warm vecadd &
+pid=$!
+
+base="http://127.0.0.1:$port"
+for i in $(seq 1 100); do
+  curl -fsS "$base/healthz" >/dev/null 2>&1 && break
+  kill -0 "$pid" 2>/dev/null || { echo "FAIL: serve died during startup"; exit 1; }
+  sleep 0.1
+done
+
+echo "== healthz =="
+curl -fsS "$base/healthz" | tee "$work/healthz.json"
+grep -q '"status": "ok"' "$work/healthz.json"
+
+echo "== predict =="
+curl -fsS "$base/predict?program=vecadd&size=1" | tee "$work/predict.json"
+grep -q '"partition"' "$work/predict.json"
+grep -q '"model": "knn5"' "$work/predict.json"
+
+echo "== predict (repeat, warm) =="
+curl -fsS "$base/predict?program=vecadd&size=1" >/dev/null
+
+echo "== execute =="
+curl -fsS -X POST "$base/execute?program=matmul&size=0" | tee "$work/execute.json"
+grep -q '"verified": true' "$work/execute.json"
+
+echo "== execute (JSON body) =="
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"program":"vecadd","size":0}' "$base/execute" | grep -q '"verified": true'
+
+echo "== stats: artifact loaded, zero trainings, warm caches =="
+curl -fsS "$base/stats" | tee "$work/stats.json"
+grep -q '"trainings": 0' "$work/stats.json"
+grep -q '"artifactLoads": 1' "$work/stats.json"
+
+echo "== bad request handling =="
+code=$(curl -s -o /dev/null -w '%{http_code}' "$base/predict")
+[ "$code" = "400" ] || { echo "FAIL: missing program returned $code"; exit 1; }
+
+echo "== graceful shutdown =="
+kill -TERM "$pid"
+for i in $(seq 1 100); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+  echo "FAIL: serve did not exit within 10s of SIGTERM"
+  exit 1
+fi
+wait "$pid" || { echo "FAIL: serve exited non-zero"; exit 1; }
+pid=""
+echo "PASS: serve smoke"
