@@ -3,18 +3,31 @@
 // keeps compiled programs and feature profiles warm, and answers
 // prediction and execution requests until shut down.
 //
+// With -obs it records every execution into a durable observation log,
+// and with -adaptive it closes the loop: a background retrainer merges
+// the observations with the seed database, trains candidates, gates them
+// against the live model (no-regression on a held-out slice) and
+// hot-swaps validated versions into service — no restart.
+//
 // Endpoints:
 //
 //	GET  /healthz                                  liveness + uptime
 //	GET  /predict?program=P[&size=N][&leaveout=1]  predicted partitioning
 //	POST /execute?program=P[&size=N]               run partitioned, verify
 //	GET  /stats                                    engine cache/work counters
+//	GET  /models                                   model versions + lineage
+//	POST /models                                   {"rollback": N} switch version
+//	GET  /retrain                                  retrainer status
+//	POST /retrain                                  trigger a retrain now
+//	GET  /observations                             observation log stats
 //
 // Usage:
 //
 //	serve -addr :8090 -db training_db.json -platform mc2 \
 //	      [-models models/] [-model mlp] [-save-trained] \
-//	      [-warm vecadd,matmul] [-parallel 8]
+//	      [-warm vecadd,matmul] [-parallel 8] [-cache-limit 0] \
+//	      [-obs obslog/] [-adaptive] [-retrain-interval 1m] \
+//	      [-retrain-min 5] [-oracle-sample 1]
 //
 // SIGINT/SIGTERM drain in-flight requests and exit cleanly.
 package main
@@ -37,8 +50,14 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
+
+// maxBodyBytes bounds every POST body: request parameters are tiny, so
+// anything larger is a mistake or an attack, and must not reach the JSON
+// decoder unbounded.
+const maxBodyBytes = 1 << 20
 
 func main() {
 	addr := flag.String("addr", ":8090", "listen address")
@@ -46,14 +65,23 @@ func main() {
 	platform := flag.String("platform", "mc2", "target platform: mc1 or mc2")
 	models := flag.String("models", "", "model artifact directory (from cmd/train -model-out)")
 	modelName := flag.String("model", "mlp", fmt.Sprintf("fallback model family: %s", strings.Join(harness.ModelNames(), ", ")))
-	saveTrained := flag.Bool("save-trained", false, "persist models trained on the fly into -models")
+	saveTrained := flag.Bool("save-trained", false, "persist models trained on the fly (and promoted by -adaptive) into -models")
 	warm := flag.String("warm", "", "comma-separated programs to pre-warm (compile, profile, predict) at startup")
 	parallel := flag.Int("parallel", 0, "worker goroutines for execution and oracle search (0 = GOMAXPROCS)")
+	cacheLimit := flag.Int("cache-limit", 0, "max entries per engine cache, LRU-ish eviction (0 = unbounded)")
+	obsDir := flag.String("obs", "", "observation log directory (empty = do not record executions)")
+	adaptive := flag.Bool("adaptive", false, "run the background retrainer over the observation log (requires -obs)")
+	retrainInterval := flag.Duration("retrain-interval", time.Minute, "how often the background retrainer checks for new observations")
+	retrainMin := flag.Int("retrain-min", 5, "labeled observations required since the last attempt before retraining")
+	oracleSample := flag.Int("oracle-sample", 1, "label every Nth execution with its measured-best class (1 = all, negative = never)")
 	flag.Parse()
 	sched.SetDefaultWorkers(*parallel)
 
 	if *saveTrained && *models == "" {
 		fail(fmt.Errorf("-save-trained requires -models to name the artifact directory"))
+	}
+	if *adaptive && *obsDir == "" {
+		fail(fmt.Errorf("-adaptive requires -obs to name the observation log directory"))
 	}
 	mk, err := harness.ModelByName(*modelName)
 	if err != nil {
@@ -63,17 +91,27 @@ func main() {
 	if err != nil {
 		fail(fmt.Errorf("%w (run cmd/train first)", err))
 	}
+	var obsLog *obs.Log
+	if *obsDir != "" {
+		if obsLog, err = obs.Open(obs.Options{Dir: *obsDir}); err != nil {
+			fail(err)
+		}
+		defer obsLog.Close()
+	}
 	eng, err := engine.New(engine.Options{
-		Platform:    *platform,
-		DB:          db,
-		ArtifactDir: *models,
-		Model:       mk,
-		SaveTrained: *saveTrained,
+		Platform:          *platform,
+		DB:                db,
+		ArtifactDir:       *models,
+		Model:             mk,
+		SaveTrained:       *saveTrained,
+		ObsLog:            obsLog,
+		OracleSampleEvery: *oracleSample,
+		CacheLimit:        *cacheLimit,
 	})
 	if err != nil {
 		fail(err)
 	}
-	srv := &server{eng: eng, start: time.Now(), platform: *platform}
+	srv := &server{eng: eng, obsLog: obsLog, start: time.Now(), platform: *platform}
 
 	if *warm != "" {
 		for _, prog := range strings.Split(*warm, ",") {
@@ -83,17 +121,28 @@ func main() {
 			log.Printf("warmed %s", prog)
 		}
 	}
+	if *adaptive {
+		stopRetrain, err := eng.StartRetrainer(*retrainInterval, *retrainMin)
+		if err != nil {
+			fail(err)
+		}
+		defer stopRetrain()
+		log.Printf("adaptive retrainer running (interval %s, threshold %d labeled observations)", *retrainInterval, *retrainMin)
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", srv.handleHealthz)
 	mux.HandleFunc("/predict", srv.handlePredict)
 	mux.HandleFunc("/execute", srv.handleExecute)
 	mux.HandleFunc("/stats", srv.handleStats)
+	mux.HandleFunc("/models", srv.handleModels)
+	mux.HandleFunc("/retrain", srv.handleRetrain)
+	mux.HandleFunc("/observations", srv.handleObservations)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("serving %s on %s (db %s, models %q)", *platform, *addr, *dbPath, *models)
+		log.Printf("serving %s on %s (db %s, models %q, obs %q)", *platform, *addr, *dbPath, *models, *obsDir)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -119,20 +168,45 @@ func main() {
 
 type server struct {
 	eng      *engine.Engine
+	obsLog   *obs.Log
 	start    time.Time
 	platform string
 }
 
+// allowMethods enforces the endpoint's method set: anything else gets
+// 405 with an Allow header listing what would have worked. Returns false
+// when the request was already answered.
+func allowMethods(w http.ResponseWriter, r *http.Request, methods ...string) bool {
+	for _, m := range methods {
+		if r.Method == m {
+			return true
+		}
+	}
+	w.Header().Set("Allow", strings.Join(methods, ", "))
+	writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed (allow: %s)", r.Method, strings.Join(methods, ", ")))
+	return false
+}
+
+// decodeBody decodes an optional JSON POST body into v, bounded by
+// maxBodyBytes. An empty body is fine (parameters may be in the query).
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	if r.Method != http.MethodPost {
+		return nil
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	// Decode regardless of Content-Length: chunked bodies report -1.
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	return nil
+}
+
 // parseRequest builds an engine request from query parameters (any
 // method) or a JSON body (POST with a body).
-func parseRequest(r *http.Request) (engine.Request, error) {
+func parseRequest(w http.ResponseWriter, r *http.Request) (engine.Request, error) {
 	req := engine.Request{SizeIdx: -1}
-	if r.Method == http.MethodPost {
-		// Decode regardless of Content-Length: chunked bodies report -1.
-		// An empty body (io.EOF) just means "parameters are in the query".
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-			return req, fmt.Errorf("invalid JSON body: %w", err)
-		}
+	if err := decodeBody(w, r, &req); err != nil {
+		return req, err
 	}
 	q := r.URL.Query()
 	if v := q.Get("program"); v != "" {
@@ -159,6 +233,9 @@ func parseRequest(r *http.Request) (engine.Request, error) {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet, http.MethodHead) {
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":        "ok",
 		"platform":      s.platform,
@@ -167,7 +244,10 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	req, err := parseRequest(r)
+	if !allowMethods(w, r, http.MethodGet, http.MethodPost) {
+		return
+	}
+	req, err := parseRequest(w, r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -181,11 +261,10 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("execute requires POST"))
+	if !allowMethods(w, r, http.MethodPost) {
 		return
 	}
-	req, err := parseRequest(r)
+	req, err := parseRequest(w, r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -199,9 +278,82 @@ func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet) {
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptimeSeconds": time.Since(s.start).Seconds(),
 		"engine":        s.eng.Stats(),
+	})
+}
+
+// modelsRequest is the POST /models body.
+type modelsRequest struct {
+	// Rollback names the version to make current again.
+	Rollback int `json:"rollback"`
+}
+
+func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet, http.MethodPost) {
+		return
+	}
+	if r.Method == http.MethodPost {
+		var req modelsRequest
+		if err := decodeBody(w, r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Rollback <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("missing or invalid rollback version"))
+			return
+		}
+		if _, err := s.eng.Rollback(req.Rollback); err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+	}
+	current, versions, err := s.eng.ModelVersions("")
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"platform": s.platform,
+		"current":  current,
+		"versions": versions,
+	})
+}
+
+func (s *server) handleRetrain(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet, http.MethodPost) {
+		return
+	}
+	if r.Method == http.MethodGet {
+		writeJSON(w, http.StatusOK, s.eng.RetrainStatus())
+		return
+	}
+	res, err := s.eng.Retrain()
+	switch {
+	case errors.Is(err, engine.ErrRetrainInProgress):
+		writeError(w, http.StatusConflict, err)
+	case err != nil:
+		writeError(w, http.StatusUnprocessableEntity, err)
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+func (s *server) handleObservations(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet) {
+		return
+	}
+	if s.obsLog == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled": true,
+		"log":     s.obsLog.Stats(),
 	})
 }
 

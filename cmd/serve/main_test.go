@@ -1,0 +1,239 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/harness"
+	"repro/internal/obs"
+)
+
+var (
+	srvOnce sync.Once
+	srvVal  *server
+	srvErr  error
+)
+
+// testServer builds one adaptive server over a tiny database for every
+// handler test.
+func testServer(t *testing.T) *server {
+	t.Helper()
+	srvOnce.Do(func() {
+		db, err := harness.Generate(harness.GenOptions{
+			Programs: []string{"vecadd", "matmul"}, MaxSizeIdx: 1,
+		})
+		if err != nil {
+			srvErr = err
+			return
+		}
+		// Not t.TempDir(): the server outlives the first test that builds
+		// it, so its log directory must not be tied to that test's
+		// cleanup.
+		dir, err := os.MkdirTemp("", "serve-obs-*")
+		if err != nil {
+			srvErr = err
+			return
+		}
+		log, err := obs.Open(obs.Options{Dir: dir})
+		if err != nil {
+			srvErr = err
+			return
+		}
+		eng, err := engine.New(engine.Options{
+			Platform: "mc2", DB: db, Model: harness.FastModel(), ObsLog: log,
+		})
+		if err != nil {
+			srvErr = err
+			return
+		}
+		srvVal = &server{eng: eng, obsLog: log, start: time.Now(), platform: "mc2"}
+	})
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	return srvVal
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/execute", s.handleExecute)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/models", s.handleModels)
+	mux.HandleFunc("/retrain", s.handleRetrain)
+	mux.HandleFunc("/observations", s.handleObservations)
+	return mux
+}
+
+func doReq(t *testing.T, s *server, method, target string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body != nil {
+		r = httptest.NewRequest(method, target, bytes.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, target, nil)
+	}
+	w := httptest.NewRecorder()
+	s.mux().ServeHTTP(w, r)
+	return w
+}
+
+// TestHandlersRejectWrongMethodsWith405 sweeps every endpoint with a
+// method outside its set: all must answer 405 AND name the allowed
+// methods in the Allow header.
+func TestHandlersRejectWrongMethodsWith405(t *testing.T) {
+	s := testServer(t)
+	cases := []struct {
+		method, target string
+		wantAllow      string
+	}{
+		{http.MethodPost, "/healthz", "GET, HEAD"},
+		{http.MethodDelete, "/predict", "GET, POST"},
+		{http.MethodGet, "/execute", "POST"},
+		{http.MethodPost, "/stats", "GET"},
+		{http.MethodPut, "/models", "GET, POST"},
+		{http.MethodDelete, "/retrain", "GET, POST"},
+		{http.MethodPost, "/observations", "GET"},
+	}
+	for _, c := range cases {
+		w := doReq(t, s, c.method, c.target, nil)
+		if w.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s = %d, want 405", c.method, c.target, w.Code)
+		}
+		if got := w.Header().Get("Allow"); got != c.wantAllow {
+			t.Errorf("%s %s Allow = %q, want %q", c.method, c.target, got, c.wantAllow)
+		}
+	}
+}
+
+func TestExecuteBodyIsBounded(t *testing.T) {
+	s := testServer(t)
+	// A body over maxBodyBytes must be rejected as a bad request, not
+	// buffered into the JSON decoder.
+	huge := []byte(`{"program":"vecadd","junk":"` + strings.Repeat("x", maxBodyBytes+1024) + `"}`)
+	w := doReq(t, s, http.MethodPost, "/execute", huge)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("oversized body = %d, want 400", w.Code)
+	}
+	// A sane body still works end to end.
+	w = doReq(t, s, http.MethodPost, "/execute", []byte(`{"program":"vecadd","size":0}`))
+	if w.Code != http.StatusOK {
+		t.Fatalf("execute = %d: %s", w.Code, w.Body.String())
+	}
+	var ex engine.Execution
+	if err := json.Unmarshal(w.Body.Bytes(), &ex); err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Verified || ex.ModelVersion != 1 {
+		t.Fatalf("execution: %+v", ex)
+	}
+}
+
+func TestAdaptiveEndpointsRoundTrip(t *testing.T) {
+	s := testServer(t)
+	// Feed one execution so the log has something to report.
+	if w := doReq(t, s, http.MethodPost, "/execute?program=vecadd&size=0", nil); w.Code != http.StatusOK {
+		t.Fatalf("execute = %d", w.Code)
+	}
+
+	w := doReq(t, s, http.MethodGet, "/observations", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("observations = %d", w.Code)
+	}
+	var obsResp struct {
+		Enabled bool      `json:"enabled"`
+		Log     obs.Stats `json:"log"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &obsResp); err != nil {
+		t.Fatal(err)
+	}
+	if !obsResp.Enabled || obsResp.Log.Total < 1 || obsResp.Log.Labeled < 1 {
+		t.Fatalf("observations: %+v", obsResp)
+	}
+
+	// Retrain status then trigger.
+	if w := doReq(t, s, http.MethodGet, "/retrain", nil); w.Code != http.StatusOK {
+		t.Fatalf("retrain status = %d", w.Code)
+	}
+	w = doReq(t, s, http.MethodPost, "/retrain", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("retrain = %d: %s", w.Code, w.Body.String())
+	}
+	var res engine.RetrainResult
+	if err := json.Unmarshal(w.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Promoted || res.NewVersion < 2 {
+		t.Fatalf("retrain result: %+v", res)
+	}
+
+	// The registry lists the promoted version with lineage.
+	w = doReq(t, s, http.MethodGet, "/models", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("models = %d", w.Code)
+	}
+	var models struct {
+		Current  int                   `json:"current"`
+		Versions []engine.ModelVersion `json:"versions"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &models); err != nil {
+		t.Fatal(err)
+	}
+	if models.Current != res.NewVersion || len(models.Versions) < 2 {
+		t.Fatalf("models: %+v", models)
+	}
+	if v := models.Versions[len(models.Versions)-1]; v.Source != engine.ModelRetrained || v.Parent == 0 {
+		t.Fatalf("promoted version lineage: %+v", v)
+	}
+
+	// Rollback via POST /models, then a bogus rollback.
+	w = doReq(t, s, http.MethodPost, "/models", []byte(`{"rollback":1}`))
+	if w.Code != http.StatusOK {
+		t.Fatalf("rollback = %d: %s", w.Code, w.Body.String())
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &models); err != nil {
+		t.Fatal(err)
+	}
+	if models.Current != 1 {
+		t.Fatalf("post-rollback current = %d", models.Current)
+	}
+	if w := doReq(t, s, http.MethodPost, "/models", []byte(`{"rollback":99}`)); w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("bogus rollback = %d", w.Code)
+	}
+	if w := doReq(t, s, http.MethodPost, "/models", []byte(`{}`)); w.Code != http.StatusBadRequest {
+		t.Fatalf("empty rollback = %d", w.Code)
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	s := testServer(t)
+	if w := doReq(t, s, http.MethodGet, "/predict", nil); w.Code != http.StatusBadRequest {
+		t.Errorf("missing program = %d, want 400", w.Code)
+	}
+	if w := doReq(t, s, http.MethodGet, "/predict?program=vecadd&size=zap", nil); w.Code != http.StatusBadRequest {
+		t.Errorf("bad size = %d, want 400", w.Code)
+	}
+	if w := doReq(t, s, http.MethodGet, "/predict?program=nope", nil); w.Code != http.StatusUnprocessableEntity {
+		t.Errorf("unknown program = %d, want 422", w.Code)
+	}
+	w := doReq(t, s, http.MethodGet, "/predict?program=vecadd&size=1", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("predict = %d", w.Code)
+	}
+	var p engine.Prediction
+	if err := json.Unmarshal(w.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Partition == "" || p.ModelVersion < 1 {
+		t.Fatalf("prediction: %+v", p)
+	}
+}

@@ -8,10 +8,17 @@
 // platform alongside the database; deployment tools (cmd/predict,
 // cmd/serve) load these artifacts instead of retraining.
 //
+// With -from-observations it folds a serving deployment's observation
+// log (cmd/serve -obs) into the database before training: labeled
+// observations become first-class training records, so models trained
+// here benefit from every oracle label production traffic produced —
+// the offline half of the adaptive loop.
+//
 // Usage:
 //
 //	train -out training_db.json [-model-out models/] [-model mlp]
 //	      [-programs vecadd,matmul] [-maxsize 5] [-parallel 8] [-quiet]
+//	      [-from-observations obslog/]
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -36,6 +44,7 @@ func main() {
 	programs := flag.String("programs", "", "comma-separated program subset (default: all 23)")
 	maxSize := flag.Int("maxsize", 5, "largest problem size index to measure (0-5)")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the sweep and oracle search (0 = GOMAXPROCS)")
+	fromObs := flag.String("from-observations", "", "observation log directory (cmd/serve -obs) to merge into the database before training")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
 	sched.SetDefaultWorkers(*parallel)
@@ -59,6 +68,20 @@ func main() {
 	db, err := harness.Generate(opts)
 	if err != nil {
 		fail(err)
+	}
+	if *fromObs != "" {
+		log, err := obs.Open(obs.Options{Dir: *fromObs})
+		if err != nil {
+			fail(err)
+		}
+		snap, err := log.Snapshot()
+		log.Close()
+		if err != nil {
+			fail(err)
+		}
+		added, skipped := db.AppendObservations(snap)
+		fmt.Printf("observation log %s: merged %d labeled records (%d skipped: unlabeled, unverified or mismatched schema)\n",
+			*fromObs, added, skipped)
 	}
 	if err := db.Save(*out); err != nil {
 		fail(err)

@@ -26,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -34,6 +35,8 @@ import (
 	"repro/internal/features"
 	"repro/internal/harness"
 	"repro/internal/ml"
+	"repro/internal/obs"
+	"repro/internal/partition"
 	"repro/internal/runtime"
 	"repro/internal/sched"
 )
@@ -52,9 +55,30 @@ type Options struct {
 	// Model constructs the fallback model family when no artifact
 	// exists (default: the harness default, an MLP).
 	Model ml.NewModel
-	// SaveTrained persists models trained by the fallback path into
-	// ArtifactDir, so the next process skips training entirely.
+	// SaveTrained persists models trained by the fallback path — and
+	// models promoted by the retrainer — into ArtifactDir, so the next
+	// process skips training entirely.
 	SaveTrained bool
+
+	// ObsLog, when set, records every executed request into the durable
+	// observation store: the adaptive loop's raw material. Nil disables
+	// observation (the engine behaves exactly as before).
+	ObsLog *obs.Log
+	// OracleSampleEvery labels every Nth execution with its measured-best
+	// class (the full candidate space is priced on the already-measured
+	// profile — the same oracle labeling the offline sweep performs).
+	// 0 and 1 label every execution; negative disables labeling.
+	// Unlabeled observations still feed traffic statistics but cannot
+	// train.
+	OracleSampleEvery int
+	// HoldoutFrac is the fraction of the merged training set the
+	// no-regression gate holds out for the live-vs-candidate comparison
+	// (default 0.25, clamped to [0, 0.5]).
+	HoldoutFrac float64
+	// CacheLimit caps the compiled-program and feature/profile caches
+	// with LRU-ish eviction (0 = unbounded, the right default for batch
+	// tools; long-lived serve processes set a cap).
+	CacheLimit int
 }
 
 // ArtifactPath names the artifact file for (platform, leftOut) inside
@@ -74,10 +98,20 @@ type Engine struct {
 	opts Options
 
 	programs sched.Memo[string, *programEntry]
-	models   sched.Memo[string, modelEntry] // key = left-out program ("" = full)
+	models   sched.Memo[string, *registry] // key = left-out program ("" = full)
 	features sched.Memo[featureKey, *featureEntry]
 
-	stats engineCounters
+	// space / spaceStrs mirror the framework's partition space; cpuClass
+	// and gpuClass are the reference strategies' class indices. All are
+	// fixed at construction — observation labeling reads them per
+	// execution.
+	space     []partition.Partition
+	spaceStrs []string
+	cpuClass  int
+	gpuClass  int
+
+	stats   engineCounters
+	retrain retrainState
 }
 
 // programEntry is one registry slot: the benchmark definition plus the
@@ -98,13 +132,10 @@ const (
 	// ModelTrainedSaveFailed: trained on the fly; persisting it failed
 	// (the model still serves — persistence is an optimization).
 	ModelTrainedSaveFailed = "trained+save-failed"
+	// ModelRetrained: promoted by the adaptive retrainer after passing
+	// the no-regression gate.
+	ModelRetrained = "retrained"
 )
-
-// modelEntry is one resolved model with its provenance.
-type modelEntry struct {
-	art    *ml.Artifact
-	source string
-}
 
 // featureKey identifies one feature/profile computation.
 type featureKey struct {
@@ -132,6 +163,14 @@ type engineCounters struct {
 	artifactLoads   atomic.Uint64
 	saveFailures    atomic.Uint64
 	clamped         atomic.Uint64
+
+	observations    atomic.Uint64
+	observedLabeled atomic.Uint64
+	observeFails    atomic.Uint64
+	retrainAttempts atomic.Uint64
+	retrainPromoted atomic.Uint64
+	retrainRejected atomic.Uint64
+	rollbacks       atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of the engine's counters and cache
@@ -151,6 +190,16 @@ type Stats struct {
 	CachedPrograms     int    `json:"cachedPrograms"`
 	CachedModels       int    `json:"cachedModels"`
 	CachedFeatures     int    `json:"cachedFeatures"`
+
+	// Adaptive-loop counters (all zero when no observation log is
+	// configured).
+	Observations        uint64 `json:"observations"`
+	ObservationsLabeled uint64 `json:"observationsLabeled"`
+	ObserveFailures     uint64 `json:"observeFailures"`
+	RetrainAttempts     uint64 `json:"retrainAttempts"`
+	RetrainPromotions   uint64 `json:"retrainPromotions"`
+	RetrainRejections   uint64 `json:"retrainRejections"`
+	Rollbacks           uint64 `json:"rollbacks"`
 }
 
 // New builds an engine for the platform named in opts.
@@ -166,7 +215,37 @@ func New(opts Options) (*Engine, error) {
 	if opts.Model == nil {
 		opts.Model = harness.DefaultModel()
 	}
-	return &Engine{fw: fw, opts: opts}, nil
+	e := &Engine{fw: fw, opts: opts}
+	e.space = partition.SharedSpace(plat.NumDevices(), partition.DefaultSteps)
+	e.spaceStrs = make([]string, len(e.space))
+	for i, p := range e.space {
+		e.spaceStrs[i] = p.String()
+	}
+	e.cpuClass = e.classOf(fw.Runtime.CPUOnly())
+	e.gpuClass = e.classOf(fw.Runtime.GPUOnly())
+	if opts.CacheLimit > 0 {
+		e.programs.SetLimit(opts.CacheLimit)
+		e.features.SetLimit(opts.CacheLimit)
+	}
+	return e, nil
+}
+
+// classOf finds the class index of a partition in the engine's space
+// (-1 if absent — cannot happen for the reference strategies).
+func (e *Engine) classOf(p partition.Partition) int {
+	for i, q := range e.space {
+		same := true
+		for d := range q.Shares {
+			if q.Shares[d] != p.Shares[d] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return i
+		}
+	}
+	return -1
 }
 
 // Framework exposes the underlying core framework (runtime access for
@@ -189,6 +268,14 @@ func (e *Engine) Stats() Stats {
 		CachedPrograms:     e.programs.Len(),
 		CachedModels:       e.models.Len(),
 		CachedFeatures:     e.features.Len(),
+
+		Observations:        e.stats.observations.Load(),
+		ObservationsLabeled: e.stats.observedLabeled.Load(),
+		ObserveFailures:     e.stats.observeFails.Load(),
+		RetrainAttempts:     e.stats.retrainAttempts.Load(),
+		RetrainPromotions:   e.stats.retrainPromoted.Load(),
+		RetrainRejections:   e.stats.retrainRejected.Load(),
+		Rollbacks:           e.stats.rollbacks.Load(),
 	}
 }
 
@@ -224,9 +311,14 @@ type Prediction struct {
 	Partition string `json:"partition"`
 	Model     string `json:"model"`
 	// ModelSource is the model's provenance: ModelFromArtifact,
-	// ModelTrained, ModelTrainedSaved or ModelTrainedSaveFailed.
+	// ModelTrained, ModelTrainedSaved, ModelTrainedSaveFailed or
+	// ModelRetrained.
 	ModelSource string `json:"modelSource"`
-	LeftOut     string `json:"leftOut,omitempty"`
+	// ModelVersion is the registry version that served this prediction;
+	// it moves when the retrainer promotes a gated candidate (or an
+	// operator rolls back) without a restart.
+	ModelVersion int    `json:"modelVersion"`
+	LeftOut      string `json:"leftOut,omitempty"`
 
 	// PredictedTime is the simulated makespan under the served
 	// partitioning. The remaining reference times come from the
@@ -301,38 +393,92 @@ func (e *Engine) launch(pe *programEntry, inst *bench.Instance) runtime.Launch {
 	}
 }
 
-// Model resolves the artifact for the given left-out program (empty =
-// the full model): memory first, then an artifact file in ArtifactDir,
-// then training from the database. Concurrent requests for the same
-// cold model share one resolution. Failures are not cached
-// (sched.Memo.DoRetryable): a transient load error — corrupt file
-// mid-deploy, fd exhaustion — must not poison the key until restart.
+// Model resolves the artifact currently serving the given left-out
+// program (empty = the full model): registry first, then an artifact
+// file in ArtifactDir, then training from the database. Concurrent
+// requests for the same cold model share one resolution. Failures are
+// not cached (sched.Memo.DoRetryable): a transient load error — corrupt
+// file mid-deploy, fd exhaustion — must not poison the key until
+// restart.
 func (e *Engine) Model(leftOut string) (*ml.Artifact, error) {
-	ent, err := e.resolveModel(leftOut)
+	v, err := e.resolveModel(leftOut)
 	if err != nil {
 		return nil, err
 	}
-	return ent.art, nil
+	return v.art, nil
 }
 
-func (e *Engine) resolveModel(leftOut string) (modelEntry, error) {
-	return e.models.DoRetryable(leftOut, func() (modelEntry, error) {
+// resolveModel returns the serving version for leftOut — the per-request
+// path: one memo hit plus one atomic load on a warm engine.
+func (e *Engine) resolveModel(leftOut string) (*ModelVersion, error) {
+	reg, err := e.registryFor(leftOut)
+	if err != nil {
+		return nil, err
+	}
+	return reg.current(), nil
+}
+
+// registryFor resolves (creating on first use) the version registry for
+// leftOut. Version 1 comes from an artifact file when one exists,
+// otherwise from training on the database.
+func (e *Engine) registryFor(leftOut string) (*registry, error) {
+	return e.models.DoRetryable(leftOut, func() (*registry, error) {
 		if e.opts.ArtifactDir != "" {
 			path := ArtifactPath(e.opts.ArtifactDir, e.opts.Platform, leftOut)
 			if _, err := os.Stat(path); err == nil {
 				a, err := ml.LoadArtifact(path)
 				if err != nil {
-					return modelEntry{}, err
+					return nil, err
 				}
 				if err := e.checkArtifact(a, leftOut); err != nil {
-					return modelEntry{}, fmt.Errorf("engine: artifact %s: %w", path, err)
+					return nil, fmt.Errorf("engine: artifact %s: %w", path, err)
 				}
 				e.stats.artifactLoads.Add(1)
-				return modelEntry{art: a, source: ModelFromArtifact}, nil
+				return newRegistry(a, ModelFromArtifact), nil
 			}
 		}
-		return e.train(leftOut)
+		art, source, err := e.train(leftOut)
+		if err != nil {
+			return nil, err
+		}
+		return newRegistry(art, source), nil
 	})
+}
+
+// ModelVersions lists the registry for leftOut: the serving version
+// number plus every version's lineage, oldest first.
+func (e *Engine) ModelVersions(leftOut string) (current int, versions []ModelVersion, err error) {
+	reg, err := e.registryFor(leftOut)
+	if err != nil {
+		return 0, nil, err
+	}
+	current, versions = reg.list()
+	return current, versions, nil
+}
+
+// Rollback makes an earlier version of the full model current again.
+// In-flight requests see the swap atomically, exactly like a promotion.
+// With SaveTrained, the rolled-back version is also re-persisted to
+// ArtifactDir — promotions overwrite the on-disk artifact, so without
+// this a restart would silently reinstate the model the operator just
+// rejected.
+func (e *Engine) Rollback(version int) (ModelVersion, error) {
+	reg, err := e.registryFor("")
+	if err != nil {
+		return ModelVersion{}, err
+	}
+	v, err := reg.rollback(version)
+	if err != nil {
+		return ModelVersion{}, err
+	}
+	e.stats.rollbacks.Add(1)
+	if e.opts.SaveTrained && e.opts.ArtifactDir != "" {
+		path := ArtifactPath(e.opts.ArtifactDir, e.opts.Platform, "")
+		if err := ml.SaveArtifact(path, v.art); err != nil {
+			e.stats.saveFailures.Add(1)
+		}
+	}
+	return *v, nil
 }
 
 // checkArtifact validates a loaded artifact against the engine's
@@ -349,24 +495,24 @@ func (e *Engine) checkArtifact(a *ml.Artifact, leftOut string) error {
 }
 
 // train is the fallback path: fit a fresh model from the database.
-func (e *Engine) train(leftOut string) (modelEntry, error) {
+func (e *Engine) train(leftOut string) (*ml.Artifact, string, error) {
 	if e.opts.DB == nil {
-		return modelEntry{}, fmt.Errorf("engine: no artifact for (%s, leftOut=%q) and no training database", e.opts.Platform, leftOut)
+		return nil, "", fmt.Errorf("engine: no artifact for (%s, leftOut=%q) and no training database", e.opts.Platform, leftOut)
 	}
 	data := e.opts.DB.Dataset(e.opts.Platform, nil)
 	if data.Len() == 0 {
-		return modelEntry{}, fmt.Errorf("engine: database has no records for %q", e.opts.Platform)
+		return nil, "", fmt.Errorf("engine: database has no records for %q", e.opts.Platform)
 	}
 	if leftOut != "" {
 		trainIdx, _ := data.SplitByGroup(leftOut)
 		if len(trainIdx) == 0 {
-			return modelEntry{}, fmt.Errorf("engine: leaving out %q empties the training set", leftOut)
+			return nil, "", fmt.Errorf("engine: leaving out %q empties the training set", leftOut)
 		}
 		data = data.Subset(trainIdx)
 	}
 	a, err := ml.TrainArtifact(data, e.opts.Model)
 	if err != nil {
-		return modelEntry{}, err
+		return nil, "", err
 	}
 	a.Platform = e.opts.Platform
 	a.LeftOut = leftOut
@@ -375,10 +521,10 @@ func (e *Engine) train(leftOut string) (modelEntry, error) {
 	// space, or the trained model's class indices would map to the
 	// wrong partitions — same check the artifact load path runs.
 	if err := e.fw.CheckArtifact(a); err != nil {
-		return modelEntry{}, fmt.Errorf("engine: training database: %w", err)
+		return nil, "", fmt.Errorf("engine: training database: %w", err)
 	}
 	e.stats.trainings.Add(1)
-	ent := modelEntry{art: a, source: ModelTrained}
+	source := ModelTrained
 	if e.opts.SaveTrained && e.opts.ArtifactDir != "" {
 		// Persistence is an optimization: a failed write (disk full,
 		// read-only dir) must not discard the trained model or poison
@@ -386,12 +532,12 @@ func (e *Engine) train(leftOut string) (modelEntry, error) {
 		path := ArtifactPath(e.opts.ArtifactDir, e.opts.Platform, leftOut)
 		if err := ml.SaveArtifact(path, a); err != nil {
 			e.stats.saveFailures.Add(1)
-			ent.source = ModelTrainedSaveFailed
+			source = ModelTrainedSaveFailed
 		} else {
-			ent.source = ModelTrainedSaved
+			source = ModelTrainedSaved
 		}
 	}
-	return ent, nil
+	return a, source, nil
 }
 
 // Predict answers one prediction request. Repeat requests on a warm
@@ -422,11 +568,11 @@ func (e *Engine) predict(req Request) (*Prediction, error) {
 	if req.LeaveOut {
 		leftOut = req.Program
 	}
-	ent, err := e.resolveModel(leftOut)
+	ver, err := e.resolveModel(leftOut)
 	if err != nil {
 		return nil, err
 	}
-	art := ent.art
+	art := ver.art
 	// The artifact's recorded feature schema must be exactly the schema
 	// this binary extracts — same names, same order — or the scaler's
 	// per-position statistics would apply to the wrong features.
@@ -464,7 +610,8 @@ func (e *Engine) predict(req Request) (*Prediction, error) {
 		Clamped:       clamped,
 		Partition:     part.String(),
 		Model:         art.ModelName,
-		ModelSource:   ent.source,
+		ModelSource:   ver.Source,
+		ModelVersion:  ver.Version,
 		LeftOut:       leftOut,
 		PredictedTime: predTime,
 	}
@@ -481,7 +628,10 @@ func (e *Engine) predict(req Request) (*Prediction, error) {
 
 // Execute answers one execution request: predict, then run the kernel
 // partitioned across the platform's devices on a fresh deterministic
-// instance, and verify the outputs against the Go reference.
+// instance, and verify the outputs against the Go reference. When an
+// observation log is configured, every execution is recorded — the
+// closed loop's data collection — and a recording failure never fails
+// the request (counted in ObserveFailures instead).
 func (e *Engine) Execute(req Request) (*Execution, error) {
 	e.stats.executeRequests.Add(1)
 	pred, err := e.predict(req)
@@ -506,5 +656,72 @@ func (e *Engine) Execute(req Request) (*Execution, error) {
 		out.Verified = false
 		out.VerifyError = err.Error()
 	}
+	if e.opts.ObsLog != nil {
+		if err := e.observe(pe, out, res); err != nil {
+			e.stats.observeFails.Add(1)
+		}
+	}
 	return out, nil
+}
+
+// observe appends one execution to the observation log. Every OracleSampleEvery-th
+// observation (per engine, counted across all programs) is labeled: the
+// full candidate space is priced against the already-measured profile —
+// O(classes) constant-time range queries, no extra kernel execution —
+// and the measured-best class recorded, which is exactly the oracle
+// label the offline sweep produces.
+func (e *Engine) observe(pe *programEntry, ex *Execution, res *runtime.Result) error {
+	fe, err := e.featuresFor(pe, ex.SizeIdx)
+	if err != nil {
+		return err
+	}
+	n := e.stats.observations.Add(1)
+	o := obs.Observation{
+		Time:         time.Now().UnixNano(),
+		Platform:     e.opts.Platform,
+		Program:      pe.bench.Name,
+		Suite:        pe.bench.Suite,
+		SizeIdx:      ex.SizeIdx,
+		SizeLabel:    ex.SizeLabel,
+		SizeN:        ex.SizeN,
+		FeatureNames: fe.fv.Names,
+		Features:     fe.fv.Values,
+		Class:        ex.Class,
+		Partition:    ex.Partition,
+		Makespan:     ex.Makespan,
+		Verified:     ex.Verified,
+	}
+	for _, b := range res.Breakdowns {
+		o.DeviceTimes = append(o.DeviceTimes, b.Total)
+	}
+	every := e.opts.OracleSampleEvery
+	if every == 0 {
+		every = 1
+	}
+	if every > 0 && (n-1)%uint64(every) == 0 {
+		times := make([]float64, len(e.space))
+		if _, err := e.fw.Runtime.PriceAll(fe.launch, fe.prof, e.space, times); err != nil {
+			return err
+		}
+		best := 0
+		for c, tm := range times {
+			if tm < times[best] {
+				best = c
+			}
+		}
+		o.Labeled = true
+		o.BestClass = best
+		o.BestPartition = e.spaceStrs[best]
+		o.OracleTime = times[best]
+		o.Times = times
+		if e.cpuClass >= 0 {
+			o.CPUOnlyTime = times[e.cpuClass]
+		}
+		if e.gpuClass >= 0 {
+			o.GPUOnlyTime = times[e.gpuClass]
+		}
+		e.stats.observedLabeled.Add(1)
+	}
+	_, err = e.opts.ObsLog.Append(o)
+	return err
 }

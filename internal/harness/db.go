@@ -58,20 +58,25 @@ type Record struct {
 	GPUOnlyTime   float64 `json:"gpuOnlyTime"`
 }
 
-// DB is the training database. It is append-only during Generate and
-// read-only afterwards; lookup indexes are built lazily on first use.
+// DB is the training database. Generate builds it append-only; the
+// adaptive loop keeps appending afterwards (Append, AppendObservations),
+// so the lazily built lookup indexes are invalidated incrementally under
+// a lock. Point lookups (Find, MaxSizeIdx) are safe concurrently with
+// Append; bulk readers (Dataset, PlatformRecords, Save) take a coherent
+// snapshot of the record slice under the same lock.
 type DB struct {
 	// Space is the canonical partition space ("100/0/0", ...), in the
 	// class-index order used by BestClass.
 	Space   []string `json:"space"`
 	Records []Record `json:"records"`
 
-	// idx maps (platform, program, sizeIdx) to the record's position,
-	// built once on the first Find. Serving paths hit Find per request;
-	// a linear scan over every record per lookup does not survive heavy
-	// traffic. maxSize tracks the largest size index present per
-	// (platform, program).
-	idxOnce sync.Once
+	// mu guards Records growth and the lazy lookup maps. idx maps
+	// (platform, program, sizeIdx) to the record's position, built on
+	// the first Find and updated in place by Append. Serving paths hit
+	// Find per request; a linear scan over every record per lookup does
+	// not survive heavy traffic. maxSize tracks the largest size index
+	// present per (platform, program).
+	mu      sync.RWMutex
 	idx     map[recordKey]int
 	maxSize map[progKey]int
 }
@@ -89,20 +94,57 @@ type progKey struct {
 	program  string
 }
 
-// buildIndex fills the lookup maps; first occurrence wins, matching the
-// linear scan it replaces.
-func (db *DB) buildIndex() {
+// buildIndexLocked fills the lookup maps; first occurrence wins, matching
+// the linear scan it replaces. Callers hold db.mu for writing.
+func (db *DB) buildIndexLocked() {
 	db.idx = make(map[recordKey]int, len(db.Records))
 	db.maxSize = map[progKey]int{}
 	for i := range db.Records {
-		r := &db.Records[i]
-		k := recordKey{platform: r.Platform, program: r.Program, sizeIdx: r.SizeIdx}
-		if _, ok := db.idx[k]; !ok {
-			db.idx[k] = i
-		}
-		pk := progKey{platform: r.Platform, program: r.Program}
-		if m, ok := db.maxSize[pk]; !ok || r.SizeIdx > m {
-			db.maxSize[pk] = r.SizeIdx
+		db.indexRecordLocked(i)
+	}
+}
+
+// indexRecordLocked folds Records[i] into the lookup maps.
+func (db *DB) indexRecordLocked(i int) {
+	r := &db.Records[i]
+	k := recordKey{platform: r.Platform, program: r.Program, sizeIdx: r.SizeIdx}
+	if _, ok := db.idx[k]; !ok {
+		db.idx[k] = i
+	}
+	pk := progKey{platform: r.Platform, program: r.Program}
+	if m, ok := db.maxSize[pk]; !ok || r.SizeIdx > m {
+		db.maxSize[pk] = r.SizeIdx
+	}
+}
+
+// ensureIndex builds the lookup maps if they do not exist yet and leaves
+// the database read-locked; the caller must RUnlock.
+func (db *DB) ensureIndexRLocked() {
+	db.mu.RLock()
+	if db.idx != nil {
+		return
+	}
+	db.mu.RUnlock()
+	db.mu.Lock()
+	if db.idx == nil {
+		db.buildIndexLocked()
+	}
+	db.mu.Unlock()
+	db.mu.RLock()
+}
+
+// Append adds records to the database, keeping the lookup indexes
+// coherent: an already-built index is extended in place (first
+// occurrence still wins for Find), an unbuilt one stays lazy. Safe
+// concurrently with Find/MaxSizeIdx — the adaptive serving path appends
+// harvested observations while request handlers keep reading.
+func (db *DB) Append(recs ...Record) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, r := range recs {
+		db.Records = append(db.Records, r)
+		if db.idx != nil {
+			db.indexRecordLocked(len(db.Records) - 1)
 		}
 	}
 }
@@ -110,7 +152,8 @@ func (db *DB) buildIndex() {
 // MaxSizeIdx returns the largest size index recorded for the program on
 // the platform, and whether any record exists.
 func (db *DB) MaxSizeIdx(platform, program string) (int, bool) {
-	db.idxOnce.Do(db.buildIndex)
+	db.ensureIndexRLocked()
+	defer db.mu.RUnlock()
 	m, ok := db.maxSize[progKey{platform: platform, program: program}]
 	return m, ok
 }
@@ -323,6 +366,8 @@ func (db *DB) Save(path string) error {
 		return err
 	}
 	defer f.Close()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	enc := json.NewEncoder(f)
 	return enc.Encode(db)
 }
@@ -341,8 +386,11 @@ func LoadDB(path string) (*DB, error) {
 	return db, nil
 }
 
-// PlatformRecords returns the records measured on the named platform.
+// PlatformRecords returns a copy of the records measured on the named
+// platform — a coherent snapshot even while Append runs concurrently.
 func (db *DB) PlatformRecords(platform string) []Record {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var out []Record
 	for _, r := range db.Records {
 		if r.Platform == platform {
@@ -354,9 +402,11 @@ func (db *DB) PlatformRecords(platform string) []Record {
 
 // Find returns the record for (platform, program, size), or nil. The
 // first call builds a lookup index; subsequent calls are O(1). Safe for
-// concurrent use once the database is fully generated or loaded.
+// concurrent use, including concurrently with Append; records are never
+// mutated once appended, so the returned pointer stays valid.
 func (db *DB) Find(platform, program string, sizeIdx int) *Record {
-	db.idxOnce.Do(db.buildIndex)
+	db.ensureIndexRLocked()
+	defer db.mu.RUnlock()
 	if i, ok := db.idx[recordKey{platform: platform, program: program, sizeIdx: sizeIdx}]; ok {
 		return &db.Records[i]
 	}
@@ -416,6 +466,8 @@ func softLabels(times []float64, oracle float64) []float64 {
 
 // Programs returns the distinct program names in the database.
 func (db *DB) Programs() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	seen := map[string]bool{}
 	var out []string
 	for _, r := range db.Records {

@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// obsDB builds a small two-record database with a 3-class space.
+func obsDB() *DB {
+	names := []string{"s_a", "r_b"}
+	return &DB{
+		Space: []string{"100/0/0", "50/50/0", "0/100/0"},
+		Records: []Record{
+			{Program: "p1", Platform: "mc2", SizeIdx: 0, FeatureNames: names,
+				Features: []float64{1, 2}, Times: []float64{3, 2, 1}, BestClass: 2,
+				BestPartition: "0/100/0", OracleTime: 1, CPUOnlyTime: 3, GPUOnlyTime: 1},
+			{Program: "p1", Platform: "mc2", SizeIdx: 1, FeatureNames: names,
+				Features: []float64{1, 4}, Times: []float64{6, 4, 2}, BestClass: 2,
+				BestPartition: "0/100/0", OracleTime: 2, CPUOnlyTime: 6, GPUOnlyTime: 2},
+		},
+	}
+}
+
+func labeledObs(program string, sizeIdx int) obs.Observation {
+	return obs.Observation{
+		Platform: "mc2", Program: program, SizeIdx: sizeIdx,
+		FeatureNames: []string{"s_a", "r_b"}, Features: []float64{9, 9},
+		Class: 1, Makespan: 4, Verified: true,
+		Labeled: true, BestClass: 0, BestPartition: "100/0/0",
+		OracleTime: 1.5, CPUOnlyTime: 1.5, GPUOnlyTime: 5,
+		Times: []float64{1.5, 4, 5},
+	}
+}
+
+func TestDBAppendInvalidatesIndex(t *testing.T) {
+	db := obsDB()
+	// Build the index first, then append: Find must see the new record.
+	if db.Find("mc2", "p2", 0) != nil {
+		t.Fatal("phantom record")
+	}
+	if _, ok := db.MaxSizeIdx("mc2", "p1"); !ok {
+		t.Fatal("existing record not indexed")
+	}
+	rec, err := ObservationRecord(db.Space, labeledObs("p2", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Append(rec)
+	got := db.Find("mc2", "p2", 3)
+	if got == nil || got.BestClass != 0 || got.BestPartition != "100/0/0" {
+		t.Fatalf("appended record not indexed: %+v", got)
+	}
+	if m, ok := db.MaxSizeIdx("mc2", "p2"); !ok || m != 3 {
+		t.Fatalf("MaxSizeIdx after append = %d, %v", m, ok)
+	}
+	// Appending a duplicate cell must not displace the original (first
+	// occurrence wins, same as the linear scan and lazy build).
+	dup := rec
+	dup.SizeIdx = 0
+	dup.Program = "p1"
+	db.Append(dup)
+	if r := db.Find("mc2", "p1", 0); r.BestClass != 2 {
+		t.Fatalf("duplicate displaced original: %+v", r)
+	}
+	// An append before any lookup leaves the index lazy and correct.
+	db2 := obsDB()
+	db2.Append(rec)
+	if r := db2.Find("mc2", "p2", 3); r == nil {
+		t.Fatal("lazy index missed appended record")
+	}
+}
+
+func TestObservationRecordValidation(t *testing.T) {
+	space := []string{"100/0/0", "50/50/0", "0/100/0"}
+	good := labeledObs("p", 0)
+	if _, err := ObservationRecord(space, good); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(*obs.Observation){
+		"unlabeled":       func(o *obs.Observation) { o.Labeled = false },
+		"unverified":      func(o *obs.Observation) { o.Verified = false },
+		"short times":     func(o *obs.Observation) { o.Times = o.Times[:2] },
+		"bad best class":  func(o *obs.Observation) { o.BestClass = 7 },
+		"no features":     func(o *obs.Observation) { o.FeatureNames = nil },
+		"ragged features": func(o *obs.Observation) { o.Features = o.Features[:1] },
+	}
+	for name, mut := range cases {
+		o := labeledObs("p", 0)
+		mut(&o)
+		if _, err := ObservationRecord(space, o); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestAppendObservations(t *testing.T) {
+	db := obsDB()
+	other := labeledObs("p3", 1)
+	other.Platform = "mc1" // fine: platform is carried per record
+	mismatch := labeledObs("p4", 0)
+	mismatch.FeatureNames = []string{"s_a", "r_DIFFERENT"}
+	unlabeled := labeledObs("p5", 0)
+	unlabeled.Labeled = false
+
+	added, skipped := db.AppendObservations([]obs.Observation{
+		labeledObs("p2", 2), other, mismatch, unlabeled,
+	})
+	if added != 2 || skipped != 2 {
+		t.Fatalf("added=%d skipped=%d, want 2/2", added, skipped)
+	}
+	if db.Find("mc2", "p2", 2) == nil || db.Find("mc1", "p3", 1) == nil {
+		t.Fatal("appended observations not findable")
+	}
+	// The merged records participate in datasets like sweep records.
+	ds := db.Dataset("mc2", nil)
+	if ds.Len() != 3 {
+		t.Fatalf("dataset has %d rows, want 3", ds.Len())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Soft) != 3 {
+		t.Fatalf("observation records lack soft labels: %d", len(ds.Soft))
+	}
+}
+
+// TestDBAppendConcurrentWithFind is the -race witness for the adaptive
+// serving path: request handlers call Find while the retrainer appends.
+func TestDBAppendConcurrentWithFind(t *testing.T) {
+	db := obsDB()
+	const writers, readers, per = 4, 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rec, err := ObservationRecord(db.Space, labeledObs("px", w*per+i+10))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				db.Append(rec)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if rec := db.Find("mc2", "p1", 0); rec == nil || rec.BestClass != 2 {
+					t.Error("stable record lost during appends")
+					return
+				}
+				db.MaxSizeIdx("mc2", "px")
+				db.PlatformRecords("mc2")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(db.PlatformRecords("mc2")); got != 2+writers*per {
+		t.Fatalf("record count = %d, want %d", got, 2+writers*per)
+	}
+}

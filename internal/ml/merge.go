@@ -1,0 +1,119 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// MergeDatasets concatenates two datasets with identical feature schemas
+// — the adaptive loop's "seed database + harvested observations"
+// composition. Group labels are preserved so leave-one-program-out
+// evaluation keeps working on merged data. Soft (cost-sensitive) labels
+// survive only when BOTH inputs carry them for every sample; a partial
+// distribution target would silently bias models that consume Soft, so a
+// mixed merge drops them and every model falls back to the hard labels.
+func MergeDatasets(base, extra *Dataset) (*Dataset, error) {
+	if base == nil || extra == nil {
+		return nil, fmt.Errorf("ml: merge with nil dataset")
+	}
+	if extra.Len() == 0 {
+		return base, nil
+	}
+	if base.Len() == 0 {
+		return extra, nil
+	}
+	if len(base.Names) != len(extra.Names) {
+		return nil, fmt.Errorf("ml: merging %d-feature dataset with %d-feature dataset", len(base.Names), len(extra.Names))
+	}
+	for i, n := range base.Names {
+		if extra.Names[i] != n {
+			return nil, fmt.Errorf("ml: feature %d is %q in base, %q in extra", i, n, extra.Names[i])
+		}
+	}
+	out := &Dataset{Names: base.Names}
+	out.X = append(append(out.X, base.X...), extra.X...)
+	out.Y = append(append(out.Y, base.Y...), extra.Y...)
+	if len(base.Groups) == len(base.X) && len(extra.Groups) == len(extra.X) {
+		out.Groups = append(append(out.Groups, base.Groups...), extra.Groups...)
+	}
+	if len(base.Soft) == len(base.X) && len(extra.Soft) == len(extra.X) {
+		// Distribution targets must span the same class space.
+		if len(base.Soft[0]) == len(extra.Soft[0]) {
+			out.Soft = append(append(out.Soft, base.Soft...), extra.Soft...)
+		}
+	}
+	return out, nil
+}
+
+// StratifiedHoldout deterministically splits sample indices into a
+// training set and a held-out slice of roughly frac of the data,
+// stratified by class label so every class that can afford to give up a
+// sample is represented in the holdout. This is the no-regression gate's
+// evaluation slice: candidate and live model are compared on exactly
+// these samples.
+//
+// Per class: n samples give up round(frac*n) (at least 1 when n >= 2,
+// never all n). Singleton classes stay entirely in training — a gate
+// cannot learn anything from a class it would then be unable to train
+// on. Both returned index lists are sorted ascending; the split is a
+// pure function of (labels, frac, seed).
+func StratifiedHoldout(d *Dataset, frac float64, seed int64) (train, hold []int) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 0.5 {
+		frac = 0.5
+	}
+	byClass := map[int][]int{}
+	var classes []int
+	for i, y := range d.Y {
+		if _, ok := byClass[y]; !ok {
+			classes = append(classes, y)
+		}
+		byClass[y] = append(byClass[y], i)
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		idx := byClass[c]
+		n := len(idx)
+		nHold := int(frac*float64(n) + 0.5)
+		if n >= 2 && nHold == 0 && frac > 0 {
+			nHold = 1
+		}
+		if nHold >= n {
+			nHold = n - 1
+		}
+		if nHold <= 0 {
+			train = append(train, idx...)
+			continue
+		}
+		// A per-class deterministic shuffle decorrelates the holdout from
+		// insertion order (the seed DB comes sorted by program).
+		rng := rand.New(rand.NewSource(seed + int64(c)*1_000_003))
+		shuffled := append([]int{}, idx...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		hold = append(hold, shuffled[:nHold]...)
+		train = append(train, shuffled[nHold:]...)
+	}
+	sort.Ints(train)
+	sort.Ints(hold)
+	return train, hold
+}
+
+// AccuracyOn evaluates the artifact's exact-label accuracy over the given
+// sample indices of a raw (unscaled) dataset. This is the gate metric:
+// both sides of a no-regression comparison run through it on the same
+// held-out slice.
+func (a *Artifact) AccuracyOn(d *Dataset, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, i := range idx {
+		if a.Predict(d.X[i]) == d.Y[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(idx))
+}

@@ -1,0 +1,183 @@
+package ml
+
+import (
+	"reflect"
+	"testing"
+)
+
+func mkDataset(names []string, rows int, group string, soft bool) *Dataset {
+	d := &Dataset{Names: names}
+	for i := 0; i < rows; i++ {
+		x := make([]float64, len(names))
+		for j := range x {
+			x[j] = float64(i*len(names) + j)
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, i%3)
+		d.Groups = append(d.Groups, group)
+		if soft {
+			s := []float64{0, 0, 0}
+			s[i%3] = 1
+			d.Soft = append(d.Soft, s)
+		}
+	}
+	return d
+}
+
+func TestMergeDatasets(t *testing.T) {
+	names := []string{"a", "b"}
+	base := mkDataset(names, 4, "p1", true)
+	extra := mkDataset(names, 3, "p2", true)
+	m, err := MergeDatasets(base, extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 7 || len(m.Groups) != 7 || len(m.Soft) != 7 {
+		t.Fatalf("merged: len=%d groups=%d soft=%d", m.Len(), len(m.Groups), len(m.Soft))
+	}
+	if !reflect.DeepEqual(m.X[4], extra.X[0]) || m.Groups[4] != "p2" {
+		t.Fatalf("extra rows misplaced: %+v", m.X[4])
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mixed soft labels are dropped entirely, never partially present.
+	noSoft := mkDataset(names, 2, "p3", false)
+	m2, err := MergeDatasets(base, noSoft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Soft) != 0 {
+		t.Fatalf("partial soft labels survived the merge: %d rows", len(m2.Soft))
+	}
+
+	// Empty sides pass through.
+	if m3, err := MergeDatasets(base, &Dataset{Names: names}); err != nil || m3.Len() != 4 {
+		t.Fatalf("empty extra: %v len=%d", err, m3.Len())
+	}
+
+	// Schema mismatches are errors, not silent misalignment.
+	if _, err := MergeDatasets(base, mkDataset([]string{"a", "zzz"}, 2, "p", false)); err == nil {
+		t.Error("renamed feature accepted")
+	}
+	if _, err := MergeDatasets(base, mkDataset([]string{"a"}, 2, "p", false)); err == nil {
+		t.Error("narrower schema accepted")
+	}
+	if _, err := MergeDatasets(nil, base); err == nil {
+		t.Error("nil base accepted")
+	}
+}
+
+func TestStratifiedHoldout(t *testing.T) {
+	// 30 samples over 3 classes (10 each), plus a singleton class.
+	d := &Dataset{}
+	for i := 0; i < 30; i++ {
+		d.X = append(d.X, []float64{float64(i)})
+		d.Y = append(d.Y, i%3)
+	}
+	d.X = append(d.X, []float64{99})
+	d.Y = append(d.Y, 7) // singleton class
+
+	train, hold := StratifiedHoldout(d, 0.25, 42)
+	if len(train)+len(hold) != 31 {
+		t.Fatalf("split loses samples: %d + %d", len(train), len(hold))
+	}
+	// Every index appears exactly once across the two sides.
+	seen := map[int]int{}
+	for _, i := range train {
+		seen[i]++
+	}
+	for _, i := range hold {
+		seen[i]++
+	}
+	for i := 0; i < 31; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("index %d appears %d times", i, seen[i])
+		}
+	}
+	// Stratification: each 10-sample class yields round(2.5) = 3 holdout
+	// samples; the singleton class yields none.
+	perClass := map[int]int{}
+	for _, i := range hold {
+		perClass[d.Y[i]]++
+	}
+	if perClass[0] != 3 || perClass[1] != 3 || perClass[2] != 3 || perClass[7] != 0 {
+		t.Fatalf("holdout per class = %v", perClass)
+	}
+	// Deterministic: same inputs, same split.
+	train2, hold2 := StratifiedHoldout(d, 0.25, 42)
+	if !reflect.DeepEqual(train, train2) || !reflect.DeepEqual(hold, hold2) {
+		t.Fatal("split is not deterministic")
+	}
+	// A different seed moves the slice (with overwhelming probability).
+	_, hold3 := StratifiedHoldout(d, 0.25, 1)
+	if reflect.DeepEqual(hold, hold3) {
+		t.Log("warning: different seeds produced the same holdout (possible but unlikely)")
+	}
+	// Degenerate fractions stay safe.
+	tAll, hNone := StratifiedHoldout(d, 0, 42)
+	if len(hNone) != 0 || len(tAll) != 31 {
+		t.Fatalf("frac=0 split: %d/%d", len(tAll), len(hNone))
+	}
+	tHalf, hHalf := StratifiedHoldout(d, 0.9, 42) // clamped to 0.5
+	if len(hHalf) >= len(tHalf) {
+		t.Fatalf("clamp failed: train %d, hold %d", len(tHalf), len(hHalf))
+	}
+}
+
+func TestArtifactLineageRoundTrip(t *testing.T) {
+	d := synthDataset(80, 5)
+	a, err := TrainArtifact(d, func() Classifier { return NewKNN(3) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Platform = "mc2"
+	a.Lineage = &Lineage{
+		ModelVersion: 3, Parent: 2,
+		SeedRecords: 80, ObsRecords: 12,
+		GateLive: 0.5, GateCandidate: 0.75, HoldoutSize: 20,
+	}
+	dir := t.TempDir()
+	if err := SaveArtifact(dir+"/a.json", a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadArtifact(dir + "/a.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lineage == nil || !reflect.DeepEqual(*b.Lineage, *a.Lineage) {
+		t.Fatalf("lineage did not round-trip: %+v", b.Lineage)
+	}
+	// Artifacts without lineage keep omitting it (golden-format safety).
+	a.Lineage = nil
+	if err := SaveArtifact(dir+"/b.json", a); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadArtifact(dir + "/b.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Lineage != nil {
+		t.Fatalf("nil lineage round-tripped as %+v", c.Lineage)
+	}
+}
+
+func TestAccuracyOn(t *testing.T) {
+	d := synthDataset(60, 9)
+	a, err := TrainArtifact(d, func() Classifier { return NewKNN(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, d.Len())
+	for i := range all {
+		all[i] = i
+	}
+	// 1-NN on its own training set is exact.
+	if acc := a.AccuracyOn(d, all); acc != 1 {
+		t.Fatalf("train accuracy = %g, want 1", acc)
+	}
+	if acc := a.AccuracyOn(d, nil); acc != 0 {
+		t.Fatalf("empty slice accuracy = %g", acc)
+	}
+}

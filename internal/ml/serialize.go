@@ -369,6 +369,35 @@ func unflattenTree(specs []treeNodeSpec) (*treeNode, error) {
 // a migration path for existing artifacts.
 const ArtifactVersion = 1
 
+// Lineage records where a retrained model came from: its position in the
+// version chain, the composition of its training set, and the
+// no-regression gate scores that admitted it. The adaptive loop
+// (internal/engine) stamps one onto every artifact it promotes, so a
+// model file is self-describing — an operator can read back why any
+// serving model exists.
+type Lineage struct {
+	// ModelVersion is the registry version number (1 = the seed model).
+	ModelVersion int `json:"modelVersion"`
+	// Parent is the version this model was gated against (0 = none).
+	Parent int `json:"parent,omitempty"`
+	// SeedRecords and ObsRecords are the training-set composition: rows
+	// from the offline training database vs. rows harvested from the
+	// observation log.
+	SeedRecords int `json:"seedRecords,omitempty"`
+	ObsRecords  int `json:"obsRecords,omitempty"`
+	// GateLive and GateCandidate are the held-out-slice accuracies of
+	// the then-live configuration (seed data only) and this candidate's
+	// configuration (seed + observations), each refit without the
+	// holdout, at promotion time; the gate requires GateCandidate >=
+	// GateLive over HoldoutSize samples.
+	GateLive      float64 `json:"gateLive,omitempty"`
+	GateCandidate float64 `json:"gateCandidate,omitempty"`
+	HoldoutSize   int     `json:"holdoutSize,omitempty"`
+	// TrainedAtUnix is the promotion wall clock in Unix seconds (0 when
+	// the trainer wants deterministic artifacts, e.g. tests).
+	TrainedAtUnix int64 `json:"trainedAt,omitempty"`
+}
+
 // Artifact bundles a trained model with its feature scaler and the
 // metadata a deployment engine needs to serve it: which platform it was
 // trained for, which program (if any) was held out of training, the
@@ -387,6 +416,9 @@ type Artifact struct {
 	FeatureNames []string `json:"featureNames,omitempty"`
 	// Space is the class space: Space[class] is the partition string.
 	Space []string `json:"space,omitempty"`
+	// Lineage is the adaptive-loop provenance (nil for offline-trained
+	// artifacts, which predate the version chain).
+	Lineage *Lineage `json:"lineage,omitempty"`
 	// Scaler standardizes raw feature vectors before prediction.
 	Scaler *Scaler `json:"scaler"`
 	// Model is the fitted classifier.
@@ -401,6 +433,7 @@ type artifactJSON struct {
 	LeftOut      string        `json:"leftOut,omitempty"`
 	FeatureNames []string      `json:"featureNames,omitempty"`
 	Space        []string      `json:"space,omitempty"`
+	Lineage      *Lineage      `json:"lineage,omitempty"`
 	Scaler       *Scaler       `json:"scaler"`
 	ModelSpec    modelEnvelope `json:"modelSpec"`
 }
@@ -416,7 +449,7 @@ func (a *Artifact) MarshalJSON() ([]byte, error) {
 	}
 	return json.Marshal(artifactJSON{
 		Version: a.Version, Platform: a.Platform, ModelName: a.ModelName, LeftOut: a.LeftOut,
-		FeatureNames: a.FeatureNames, Space: a.Space, Scaler: a.Scaler, ModelSpec: env,
+		FeatureNames: a.FeatureNames, Space: a.Space, Lineage: a.Lineage, Scaler: a.Scaler, ModelSpec: env,
 	})
 }
 
@@ -432,7 +465,7 @@ func (a *Artifact) UnmarshalJSON(data []byte) error {
 	}
 	*a = Artifact{
 		Version: s.Version, Platform: s.Platform, ModelName: s.ModelName, LeftOut: s.LeftOut,
-		FeatureNames: s.FeatureNames, Space: s.Space, Scaler: s.Scaler, Model: model,
+		FeatureNames: s.FeatureNames, Space: s.Space, Lineage: s.Lineage, Scaler: s.Scaler, Model: model,
 	}
 	return nil
 }

@@ -1,0 +1,385 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden observation log")
+
+// goldenObservations is a fixed set spanning the format: an unlabeled
+// observation, a labeled one with the full oracle vector, and a failed
+// verification. Time is zero so the golden bytes are deterministic.
+func goldenObservations() []Observation {
+	return []Observation{
+		{
+			Platform: "mc2", Program: "vecadd", Suite: "micro",
+			SizeIdx: 1, SizeLabel: "S", SizeN: 2048,
+			FeatureNames: []string{"s_ops", "r_items"},
+			Features:     []float64{12, 2048},
+			Class:        3, Partition: "70/30/0", Makespan: 0.125,
+			DeviceTimes: []float64{0.125, 0.08, 0},
+			Verified:    true,
+		},
+		{
+			Platform: "mc2", Program: "matmul", Suite: "linalg",
+			SizeIdx: 0, SizeLabel: "XS", SizeN: 64,
+			FeatureNames: []string{"s_ops", "r_items"},
+			Features:     []float64{48, 64},
+			Class:        0, Partition: "100/0/0", Makespan: 0.5,
+			Verified: true,
+			Labeled:  true, BestClass: 2, BestPartition: "80/20/0",
+			OracleTime: 0.25, CPUOnlyTime: 0.5, GPUOnlyTime: 0.75,
+			Times: []float64{0.5, 0.375, 0.25},
+		},
+		{
+			Platform: "mc1", Program: "nbody", SizeIdx: 2,
+			Class: 5, Makespan: 1.75, Verified: false,
+		},
+	}
+}
+
+// TestObservationGoldenFormat pins the JSONL wire format: a fixed append
+// sequence must produce byte-identical segment contents. Any field
+// rename, reorder or encoding change shows up here before it corrupts a
+// production log.
+func TestObservationGoldenFormat(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range goldenObservations() {
+		if _, err := l.Append(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "obs-00000000.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "observations.golden.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("observation JSONL format drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLogAppendSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := goldenObservations()
+	for i, o := range in {
+		seq, err := l.Append(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("seq = %d, want %d", seq, i)
+		}
+	}
+	snap, err := l.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != len(in) {
+		t.Fatalf("snapshot has %d observations, want %d", len(snap), len(in))
+	}
+	for i := range snap {
+		if snap[i].Seq != uint64(i) {
+			t.Fatalf("snapshot[%d].Seq = %d", i, snap[i].Seq)
+		}
+		if snap[i].Program != in[i].Program || snap[i].Class != in[i].Class ||
+			snap[i].Labeled != in[i].Labeled || snap[i].Makespan != in[i].Makespan {
+			t.Fatalf("snapshot[%d] = %+v, want %+v", i, snap[i], in[i])
+		}
+	}
+	st := l.Stats()
+	if st.Total != 3 || st.Labeled != 1 || st.Unverified != 1 || st.Cells != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ByProgram["vecadd"] != 1 || st.ByProgram["matmul"] != 1 {
+		t.Fatalf("byProgram = %v", st.ByProgram)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: sequence numbering and stats must resume.
+	l2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	seq, err := l2.Append(Observation{Platform: "mc2", Program: "vecadd", Class: 1, Verified: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 {
+		t.Fatalf("resumed seq = %d, want 3", seq)
+	}
+	if st := l2.Stats(); st.Total != 4 {
+		t.Fatalf("resumed stats = %+v", st)
+	}
+}
+
+func TestLogSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	// A tiny budget forces rotation every couple of records.
+	l, err := Open(Options{Dir: dir, MaxSegmentBytes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 25
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(Observation{Platform: "mc2", Program: fmt.Sprintf("p%d", i), Class: i, Verified: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("expected rotation to produce multiple segments, got %d", st.Segments)
+	}
+	snap, err := l.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != n {
+		t.Fatalf("snapshot across segments has %d records, want %d", len(snap), n)
+	}
+	for i := range snap {
+		if snap[i].Seq != uint64(i) {
+			t.Fatalf("snapshot out of order at %d: seq %d", i, snap[i].Seq)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen across many segments.
+	l2, err := Open(Options{Dir: dir, MaxSegmentBytes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if seq, err := l2.Append(Observation{Platform: "mc2", Program: "x", Verified: true}); err != nil || seq != n {
+		t.Fatalf("seq after reopen = %d (%v), want %d", seq, err, n)
+	}
+}
+
+func TestLogCompact(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, MaxSegmentBytes: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 repeats of the same cell (5 labeled, 5 not) + one other cell.
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(Observation{
+			Platform: "mc2", Program: "vecadd", SizeIdx: 1, Class: i,
+			Verified: true, Labeled: i%2 == 0, Times: []float64{1, 2, 3},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Append(Observation{Platform: "mc2", Program: "matmul", SizeIdx: 0, Verified: true}); err != nil {
+		t.Fatal(err)
+	}
+	kept, dropped, err := l.Compact(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Survivors: newest labeled + newest unlabeled of the vecadd cell,
+	// plus the matmul observation.
+	if kept != 3 || dropped != 8 {
+		t.Fatalf("compact kept %d dropped %d, want 3/8", kept, dropped)
+	}
+	snap, err := l.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 3 {
+		t.Fatalf("post-compact snapshot has %d records", len(snap))
+	}
+	// The newest of each kind survived (classes 8 labeled, 9 unlabeled).
+	var classes []int
+	for _, o := range snap {
+		if o.Program == "vecadd" {
+			classes = append(classes, o.Class)
+		}
+	}
+	if len(classes) != 2 || classes[0] != 8 || classes[1] != 9 {
+		t.Fatalf("surviving vecadd classes = %v, want [8 9]", classes)
+	}
+	if st := l.Stats(); st.Total != 3 || st.Labeled != 1 {
+		t.Fatalf("post-compact stats = %+v", st)
+	}
+	// Appends continue with preserved numbering, and a reopen agrees.
+	if seq, err := l.Append(Observation{Platform: "mc2", Program: "new", Verified: true}); err != nil || seq != 11 {
+		t.Fatalf("post-compact seq = %d (%v), want 11", seq, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if st := l2.Stats(); st.Total != 4 {
+		t.Fatalf("reopened post-compact stats = %+v", st)
+	}
+}
+
+// TestLogConcurrentAppend hammers one log from many writers; every
+// record must land exactly once with a unique sequence number. Run under
+// -race in CI.
+func TestLogConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, MaxSegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const writers, each = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := l.Append(Observation{
+					Platform: "mc2", Program: fmt.Sprintf("w%d", w), SizeIdx: i, Verified: true,
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap, err := l.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != writers*each {
+		t.Fatalf("snapshot has %d records, want %d", len(snap), writers*each)
+	}
+	seen := map[uint64]bool{}
+	for _, o := range snap {
+		if seen[o.Seq] {
+			t.Fatalf("duplicate seq %d", o.Seq)
+		}
+		seen[o.Seq] = true
+	}
+	if st := l.Stats(); st.Total != writers*each {
+		t.Fatalf("stats total = %d", st.Total)
+	}
+}
+
+func TestLogErrors(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Error("empty dir accepted")
+	}
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Observation{}); err == nil {
+		t.Error("append on closed log succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	// A COMPLETE but invalid line is real corruption and must fail
+	// loudly on open, not silently drop data. (A torn trailing line
+	// without its newline is different: that is crash recovery, covered
+	// by TestLogRecoversFromTornTail.)
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, "obs-00000000.jsonl"), []byte("{corrupt but complete}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: bad}); err == nil {
+		t.Error("corrupt segment accepted")
+	}
+}
+
+// TestLogRecoversFromTornTail simulates a crash mid-Append: the active
+// segment ends in a partial record without its newline. Open must drop
+// the torn (never-acknowledged) record, keep everything before it, and
+// resume appending cleanly.
+func TestLogRecoversFromTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(Observation{Platform: "mc2", Program: "p", SizeIdx: i, Verified: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: a partial record with no trailing newline.
+	seg := filepath.Join(dir, "obs-00000000.jsonl")
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"platform":"mc2","prog`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("torn tail made the log unopenable: %v", err)
+	}
+	defer l2.Close()
+	snap, err := l2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(snap))
+	}
+	// New appends land after the complete records, not glued to torn
+	// bytes (seq 3 was never acknowledged, so its number is reused).
+	if seq, err := l2.Append(Observation{Platform: "mc2", Program: "p", SizeIdx: 9, Verified: true}); err != nil || seq != 3 {
+		t.Fatalf("post-recovery append: seq=%d err=%v", seq, err)
+	}
+	snap, err = l2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 4 || snap[3].SizeIdx != 9 {
+		t.Fatalf("post-recovery snapshot: %+v", snap)
+	}
+}

@@ -1,6 +1,9 @@
 package sched
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Memo is a generic request-deduplicating memo table: the first call for a
 // key runs fn exactly once and every caller — including concurrent callers
@@ -12,16 +15,27 @@ import "sync"
 // Results (including errors) are cached for the lifetime of the Memo; it
 // is intended for deterministic computations such as kernel compilation,
 // profiled executions and model training, where a repeat request must not
-// redo the work. The zero value is ready to use.
+// redo the work. The zero value is ready to use and unbounded; a
+// long-lived serving process can cap the table with SetLimit, which turns
+// the memo into an LRU-ish cache (least-recently-used completed entries
+// are evicted first; in-flight computations are never evicted).
 type Memo[K comparable, V any] struct {
-	mu sync.Mutex
-	m  map[K]*memoEntry[V]
+	mu    sync.Mutex
+	m     map[K]*memoEntry[V]
+	limit int    // 0 = unbounded
+	clock uint64 // recency counter; each access stamps the entry
 }
 
 type memoEntry[V any] struct {
 	once sync.Once
 	val  V
 	err  error
+	// done is set after the entry's computation finishes; eviction skips
+	// in-flight entries (concurrent callers hold references to them).
+	done atomic.Bool
+	// lastUse is the memo clock at the entry's most recent access,
+	// guarded by Memo.mu.
+	lastUse uint64
 }
 
 // Do returns the memoized result for key, running fn to produce it on the
@@ -30,7 +44,10 @@ type memoEntry[V any] struct {
 // each other while fn runs.
 func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 	e := m.entry(key)
-	e.once.Do(func() { e.val, e.err = fn() })
+	e.once.Do(func() {
+		e.val, e.err = fn()
+		e.done.Store(true)
+	})
 	return e.val, e.err
 }
 
@@ -42,7 +59,10 @@ func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 // subsequent request is already computing.
 func (m *Memo[K, V]) DoRetryable(key K, fn func() (V, error)) (V, error) {
 	e := m.entry(key)
-	e.once.Do(func() { e.val, e.err = fn() })
+	e.once.Do(func() {
+		e.val, e.err = fn()
+		e.done.Store(true)
+	})
 	if e.err != nil {
 		m.mu.Lock()
 		if m.m[key] == e {
@@ -53,7 +73,8 @@ func (m *Memo[K, V]) DoRetryable(key K, fn func() (V, error)) (V, error) {
 	return e.val, e.err
 }
 
-// entry returns (creating if needed) the current entry for key.
+// entry returns (creating if needed) the current entry for key, stamping
+// its recency and evicting over-limit entries.
 func (m *Memo[K, V]) entry(key K) *memoEntry[V] {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -65,13 +86,55 @@ func (m *Memo[K, V]) entry(key K) *memoEntry[V] {
 		e = &memoEntry[V]{}
 		m.m[key] = e
 	}
+	m.clock++
+	e.lastUse = m.clock
+	m.evictLocked(e)
 	return e
 }
 
-// Len reports how many keys have been requested (computed or in flight).
+// SetLimit caps the table at n entries (0 restores unbounded growth) and
+// immediately evicts down to the cap. Concurrent-safe; the cap bounds
+// completed entries — a burst of distinct in-flight computations can
+// transiently exceed it, since evicting an entry callers are still
+// waiting on would rerun its computation.
+func (m *Memo[K, V]) SetLimit(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	m.limit = n
+	m.evictLocked(nil)
+}
+
+// evictLocked drops least-recently-used completed entries until the table
+// is within the limit. keep (the entry just accessed) is never evicted
+// even if its computation has not started yet.
+func (m *Memo[K, V]) evictLocked(keep *memoEntry[V]) {
+	if m.limit <= 0 {
+		return
+	}
+	for len(m.m) > m.limit {
+		var victim K
+		var victimE *memoEntry[V]
+		for k, e := range m.m {
+			if e == keep || !e.done.Load() {
+				continue
+			}
+			if victimE == nil || e.lastUse < victimE.lastUse {
+				victim, victimE = k, e
+			}
+		}
+		if victimE == nil {
+			return // everything else is in flight; let the burst drain
+		}
+		delete(m.m, victim)
+	}
+}
+
+// Len reports how many keys are currently cached (computed or in flight).
 func (m *Memo[K, V]) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.m)
 }
-

@@ -138,3 +138,110 @@ func TestMemoDoRetryableConcurrentSharesAttempt(t *testing.T) {
 		t.Fatalf("retry after concurrent failures = %d, %v", v, err)
 	}
 }
+
+func TestMemoLimitEvictsLRU(t *testing.T) {
+	var m Memo[string, int]
+	m.SetLimit(2)
+	calls := map[string]int{}
+	get := func(k string) int {
+		v, err := m.Do(k, func() (int, error) { calls[k]++; return len(k), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	get("a")
+	get("b")
+	get("a")  // a is now more recent than b
+	get("cc") // over limit: b (LRU) is evicted
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	get("a") // still cached
+	if calls["a"] != 1 {
+		t.Fatalf("a recomputed: %d calls", calls["a"])
+	}
+	get("b") // evicted: recomputes, evicting cc (LRU after a's touch)
+	if calls["b"] != 2 {
+		t.Fatalf("b ran %d times, want 2 (evicted then recomputed)", calls["b"])
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+}
+
+func TestMemoSetLimitShrinksExisting(t *testing.T) {
+	var m Memo[int, int]
+	for k := 0; k < 10; k++ {
+		if _, err := m.Do(k, func() (int, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.SetLimit(3)
+	if m.Len() != 3 {
+		t.Fatalf("Len after shrink = %d, want 3", m.Len())
+	}
+	// The three most recently used keys (7, 8, 9) survive.
+	var calls atomic.Int64
+	for k := 7; k < 10; k++ {
+		if _, err := m.Do(k, func() (int, error) { calls.Add(1); return 0, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("recent keys were evicted: %d recomputes", calls.Load())
+	}
+	// 0 restores unbounded growth.
+	m.SetLimit(0)
+	for k := 100; k < 120; k++ {
+		if _, err := m.Do(k, func() (int, error) { return 0, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Len() != 23 {
+		t.Fatalf("unbounded Len = %d, want 23", m.Len())
+	}
+}
+
+// TestMemoLimitNeverEvictsInFlight pins the safety property: a capped
+// memo under a burst of distinct concurrent computations may transiently
+// exceed the cap, but never drops an entry other callers are waiting on.
+func TestMemoLimitNeverEvictsInFlight(t *testing.T) {
+	var m Memo[int, int]
+	m.SetLimit(1)
+	const clients = 8
+	release := make(chan struct{})
+	started := make(chan struct{}, clients)
+	var wg sync.WaitGroup
+	var calls atomic.Int64
+	for k := 0; k < clients; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			v, err := m.Do(k, func() (int, error) {
+				calls.Add(1)
+				started <- struct{}{}
+				<-release // hold every computation in flight simultaneously
+				return k * 10, nil
+			})
+			if err != nil || v != k*10 {
+				t.Errorf("key %d: got %d, %v", k, v, err)
+			}
+		}(k)
+	}
+	for k := 0; k < clients; k++ {
+		<-started
+	}
+	close(release)
+	wg.Wait()
+	if calls.Load() != clients {
+		t.Fatalf("fn ran %d times, want %d (no in-flight entry dropped)", calls.Load(), clients)
+	}
+	// Once drained, a fresh access shrinks the table back to the cap.
+	if _, err := m.Do(0, func() (int, error) { return 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len after drain = %d, want 1", m.Len())
+	}
+}

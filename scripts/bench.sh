@@ -1,6 +1,9 @@
 #!/usr/bin/env sh
-# Runs the tracked performance benchmarks and writes BENCH.json with their
-# ns/op, so successive PRs accumulate a machine-readable perf trajectory.
+# Runs the tracked performance benchmarks and writes their ns/op as JSON,
+# so successive PRs accumulate a machine-readable perf trajectory. The
+# default output name is dated (BENCH_<UTC timestamp>.json): each run
+# adds a new point instead of overwriting the last one — pass an explicit
+# path (as CI does) to pin the name.
 #
 # Usage:
 #   scripts/bench.sh [output.json]
@@ -14,7 +17,7 @@
 #   benchstat old.txt new.txt
 set -eu
 
-OUT="${1:-BENCH.json}"
+OUT="${1:-BENCH_$(date -u +%Y%m%d-%H%M%S).json}"
 BENCHTIME="${BENCHTIME:-1s}"
 
 # The tracked set: pricing (naive vs prefix range queries, full-space
@@ -25,7 +28,7 @@ PATTERN='BenchmarkPricePartition|BenchmarkBarrierKernel|BenchmarkPartitionPricin
 cd "$(dirname "$0")/.."
 
 go test -run='^$' -bench="$PATTERN" -benchtime="$BENCHTIME" . |
-	awk -v out="$OUT" '
+	awk -v out="$OUT" -v ts="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 	/^Benchmark/ && / ns\/op/ {
 		name = $1
 		sub(/-[0-9]+$/, "", name)           # strip -GOMAXPROCS suffix
@@ -38,6 +41,7 @@ go test -run='^$' -bench="$PATTERN" -benchtime="$BENCHTIME" . |
 	END {
 		if (n == 0) { print "bench.sh: no benchmark results parsed" > "/dev/stderr"; exit 1 }
 		printf "{\n" > out
+		printf "  \"timestamp\": \"%s\",\n", ts >> out
 		printf "  \"goos\": \"%s\",\n", meta["goos:"] >> out
 		printf "  \"goarch\": \"%s\",\n", meta["goarch:"] >> out
 		printf "  \"cpu\": \"%s\",\n", meta["cpu:"] >> out

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # serve_smoke.sh — end-to-end deployment smoke test: train a tiny
-# database with model artifacts, launch cmd/serve against it, exercise
-# /healthz, /predict, /execute and /stats, then verify clean shutdown on
-# SIGTERM. Used by CI and runnable locally:
+# database with model artifacts, launch cmd/serve against it in adaptive
+# mode, exercise /healthz, /predict, /execute and /stats, then drive the
+# closed loop — executions for a size ABSENT from the seed database are
+# observed (/observations), retrained (/retrain), and the promoted model
+# version serves subsequent predictions (/models, modelVersion) without
+# a restart — and finally verify clean shutdown on SIGTERM. Used by CI
+# and runnable locally:
 #
 #   scripts/serve_smoke.sh [port]
 set -euo pipefail
@@ -26,9 +30,10 @@ echo "== training tiny database + artifacts =="
 
 test -f "$work/models/mc2.json" || { echo "FAIL: no mc2 model artifact"; exit 1; }
 
-echo "== launching serve =="
+echo "== launching serve (adaptive) =="
 "$work/serve" -addr "127.0.0.1:$port" -db "$work/db.json" -platform mc2 \
-  -models "$work/models" -model knn -warm vecadd &
+  -models "$work/models" -model knn -warm vecadd \
+  -obs "$work/obslog" -adaptive -retrain-interval 1h -retrain-min 1 &
 pid=$!
 
 base="http://127.0.0.1:$port"
@@ -66,6 +71,43 @@ grep -q '"artifactLoads": 1' "$work/stats.json"
 echo "== bad request handling =="
 code=$(curl -s -o /dev/null -w '%{http_code}' "$base/predict")
 [ "$code" = "400" ] || { echo "FAIL: missing program returned $code"; exit 1; }
+
+echo "== 405 with Allow header =="
+curl -s -i -X POST "$base/stats" -o "$work/405.txt"
+grep -q "^HTTP/1.1 405" "$work/405.txt" || { echo "FAIL: POST /stats not 405"; exit 1; }
+grep -qi "^Allow: GET" "$work/405.txt" || { echo "FAIL: 405 without Allow header"; exit 1; }
+
+echo "== closed loop: execute a size ABSENT from the seed DB (maxsize 1, so size 2) =="
+for i in 1 2 3; do
+  curl -fsS -X POST "$base/execute?program=vecadd&size=2" >/dev/null
+done
+curl -fsS "$base/observations" | tee "$work/obs.json"
+grep -q '"enabled": true' "$work/obs.json"
+grep -q '"labeled": ' "$work/obs.json"
+
+echo "== trigger retrain: candidate must pass the no-regression gate =="
+curl -fsS -X POST "$base/retrain" | tee "$work/retrain.json"
+grep -q '"promoted": true' "$work/retrain.json"
+grep -q '"newVersion": 2' "$work/retrain.json"
+
+echo "== models: the promoted version is current, lineage recorded =="
+curl -fsS "$base/models" | tee "$work/models.json"
+grep -q '"current": 2' "$work/models.json"
+grep -q '"source": "retrained"' "$work/models.json"
+grep -q '"obsRecords"' "$work/models.json"
+
+echo "== the new version serves immediately, no restart =="
+curl -fsS "$base/predict?program=vecadd&size=2" | tee "$work/predict2.json"
+grep -q '"modelVersion": 2' "$work/predict2.json"
+grep -q '"modelSource": "retrained"' "$work/predict2.json"
+
+echo "== rollback to v1 and back via POST /models =="
+curl -fsS -X POST -d '{"rollback":1}' "$base/models" | grep -q '"current": 1'
+curl -fsS "$base/predict?program=vecadd&size=2" | grep -q '"modelVersion": 1'
+curl -fsS -X POST -d '{"rollback":2}' "$base/models" | grep -q '"current": 2'
+
+echo "== observation log survives on disk =="
+test -s "$work"/obslog/obs-*.jsonl || { echo "FAIL: no observation segments"; exit 1; }
 
 echo "== graceful shutdown =="
 kill -TERM "$pid"
