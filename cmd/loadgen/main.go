@@ -1,0 +1,263 @@
+// Command loadgen is a closed-loop load generator for cmd/serve: N
+// concurrent workers each issue one request, wait for the full response,
+// and immediately issue the next, for a fixed duration. It reports
+// sustained QPS and latency percentiles (p50/p95/p99) as JSON, which
+// scripts/bench.sh folds into the repo's BENCH_<timestamp>.json perf
+// trajectory.
+//
+// Closed-loop (as opposed to open-loop, fixed-rate) generation measures
+// the server's sustainable throughput under back-pressure: each worker
+// models one synchronous client, so QPS = workers / mean latency.
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8090 [-endpoint /predict] \
+//	        [-program vecadd] [-size -1] [-workers 8] [-duration 5s] \
+//	        [-batch 0] [-out metrics.json]
+//
+// With -batch N > 0 the workers POST /predict/batch bodies carrying N
+// copies of the point instead of single GET /predict requests, and the
+// report additionally contains points/s (QPS x batch).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// result aggregates one worker's closed loop.
+type result struct {
+	lats []time.Duration
+	errs int
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Endpoint        string  `json:"endpoint"`
+	Program         string  `json:"program"`
+	SizeIdx         int     `json:"size"`
+	Workers         int     `json:"workers"`
+	Batch           int     `json:"batch,omitempty"`
+	DurationSeconds float64 `json:"durationSeconds"`
+	Requests        int     `json:"requests"`
+	Errors          int     `json:"errors"`
+	QPS             float64 `json:"qps"`
+	PointsPerSecond float64 `json:"pointsPerSecond,omitempty"`
+	LatencyMicros   struct {
+		Mean float64 `json:"mean"`
+		P50  float64 `json:"p50"`
+		P95  float64 `json:"p95"`
+		P99  float64 `json:"p99"`
+		Max  float64 `json:"max"`
+	} `json:"latencyMicros"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8090", "base URL of the serve process")
+	endpoint := flag.String("endpoint", "/predict", "endpoint to drive: /predict or /execute (-batch selects /predict/batch)")
+	program := flag.String("program", "vecadd", "program to request")
+	size := flag.Int("size", -1, "problem size index (-1 = program default)")
+	workers := flag.Int("workers", 8, "concurrent closed-loop clients")
+	duration := flag.Duration("duration", 5*time.Second, "measurement window")
+	batch := flag.Int("batch", 0, "points per request via /predict/batch (0 = single-point requests)")
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	warmup := flag.Duration("warmup", 200*time.Millisecond, "closed-loop warmup excluded from the measurement")
+	flag.Parse()
+	if *workers < 1 {
+		fail(fmt.Errorf("need at least 1 worker"))
+	}
+
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        *workers * 2,
+			MaxIdleConnsPerHost: *workers * 2,
+		},
+	}
+
+	// Build the request shape once. Closed-loop workers re-issue it.
+	var (
+		method = http.MethodGet
+		target = fmt.Sprintf("%s%s?program=%s&size=%d", *addr, *endpoint, *program, *size)
+		body   []byte
+	)
+	switch {
+	case *batch > 0:
+		method = http.MethodPost
+		target = *addr + "/predict/batch"
+		one := fmt.Sprintf(`{"program":%q,"size":%d}`, *program, *size)
+		reqs := make([]string, *batch)
+		for i := range reqs {
+			reqs[i] = one
+		}
+		body = []byte(`{"requests":[` + strings.Join(reqs, ",") + `]}`)
+	case *endpoint == "/execute":
+		method = http.MethodPost
+	}
+
+	issue := func() error {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, target, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		if *batch > 0 {
+			// /predict/batch answers 200 even when individual points
+			// fail; a report built from failed points would publish
+			// fiction into the benchmark trajectory.
+			var br struct {
+				Errors int `json:"errors"`
+			}
+			err := json.NewDecoder(resp.Body).Decode(&br)
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("status %d", resp.StatusCode)
+			}
+			if err != nil {
+				return fmt.Errorf("batch response: %w", err)
+			}
+			if br.Errors > 0 {
+				return fmt.Errorf("batch response reported %d failed points", br.Errors)
+			}
+			return nil
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+
+	// One request up front: fail fast (and with a useful error) when the
+	// server is absent or the program unknown, before spawning workers.
+	if err := issue(); err != nil {
+		fail(fmt.Errorf("%s %s: %w", method, target, err))
+	}
+
+	// Warm every worker's connection and the server's caches outside the
+	// measurement window.
+	warmDeadline := time.Now().Add(*warmup)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(warmDeadline) {
+				_ = issue()
+			}
+		}()
+	}
+	wg.Wait()
+
+	results := make([]result, *workers)
+	start := time.Now()
+	deadline := start.Add(*duration)
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(res *result) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				if err := issue(); err != nil {
+					res.errs++
+					// Back off instead of busy-spinning against a dead
+					// server: failed dials return in microseconds and
+					// would otherwise peg the CPU being benchmarked.
+					time.Sleep(10 * time.Millisecond)
+					continue
+				}
+				res.lats = append(res.lats, time.Since(t0))
+			}
+		}(&results[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	errs := 0
+	for _, r := range results {
+		all = append(all, r.lats...)
+		errs += r.errs
+	}
+	if len(all) == 0 {
+		fail(fmt.Errorf("no successful requests in %s (%d errors)", elapsed, errs))
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	rep := Report{
+		Endpoint:        *endpoint,
+		Program:         *program,
+		SizeIdx:         *size,
+		Workers:         *workers,
+		Batch:           *batch,
+		DurationSeconds: elapsed.Seconds(),
+		Requests:        len(all),
+		Errors:          errs,
+		QPS:             float64(len(all)) / elapsed.Seconds(),
+	}
+	if *batch > 0 {
+		rep.Endpoint = "/predict/batch"
+		rep.PointsPerSecond = rep.QPS * float64(*batch)
+	}
+	micros := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+	rep.LatencyMicros.Mean = micros(sum / time.Duration(len(all)))
+	rep.LatencyMicros.P50 = micros(percentile(all, 0.50))
+	rep.LatencyMicros.P95 = micros(percentile(all, 0.95))
+	rep.LatencyMicros.P99 = micros(percentile(all, 0.99))
+	rep.LatencyMicros.Max = micros(all[len(all)-1])
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("loadgen: %d requests, %.0f req/s, p50 %.1fµs p99 %.1fµs -> %s\n",
+		rep.Requests, rep.QPS, rep.LatencyMicros.P50, rep.LatencyMicros.P99, *out)
+}
+
+// percentile returns the p-quantile by nearest-rank on the sorted
+// latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

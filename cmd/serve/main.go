@@ -13,6 +13,7 @@
 //
 //	GET  /healthz                                  liveness + uptime
 //	GET  /predict?program=P[&size=N][&leaveout=1]  predicted partitioning
+//	POST /predict/batch                            {"requests":[...]} price N points at once
 //	POST /execute?program=P[&size=N]               run partitioned, verify
 //	GET  /stats                                    engine cache/work counters
 //	GET  /models                                   model versions + lineage
@@ -25,14 +26,21 @@
 //
 //	serve -addr :8090 -db training_db.json -platform mc2 \
 //	      [-models models/] [-model mlp] [-save-trained] \
-//	      [-warm vecadd,matmul] [-parallel 8] [-cache-limit 0] \
-//	      [-obs obslog/] [-adaptive] [-retrain-interval 1m] \
-//	      [-retrain-min 5] [-oracle-sample 1]
+//	      [-warm vecadd,matmul] [-parallel 8] [-cache-limit 0] [-strict] \
+//	      [-obs obslog/] [-obs-buffer 1024] [-adaptive] \
+//	      [-retrain-interval 1m] [-retrain-min 5] [-oracle-sample 1]
+//
+// The serving path is allocation-conscious end to end: request structs,
+// response structs and JSON encoders are pooled, predictions are filled
+// in place (engine.PredictInto performs zero heap allocations warm), and
+// observation recording is asynchronous (a bounded ring drained by a
+// background flusher — see -obs-buffer).
 //
 // SIGINT/SIGTERM drain in-flight requests and exit cleanly.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -45,6 +53,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -59,6 +68,11 @@ import (
 // decoder unbounded.
 const maxBodyBytes = 1 << 20
 
+// maxBatch bounds one /predict/batch request: large enough to amortize
+// per-request overhead thoroughly, small enough that one request cannot
+// monopolize the process.
+const maxBatch = 1024
+
 func main() {
 	addr := flag.String("addr", ":8090", "listen address")
 	dbPath := flag.String("db", "training_db.json", "training database (from cmd/train)")
@@ -69,7 +83,9 @@ func main() {
 	warm := flag.String("warm", "", "comma-separated programs to pre-warm (compile, profile, predict) at startup")
 	parallel := flag.Int("parallel", 0, "worker goroutines for execution and oracle search (0 = GOMAXPROCS)")
 	cacheLimit := flag.Int("cache-limit", 0, "max entries per engine cache, LRU-ish eviction (0 = unbounded)")
+	strict := flag.Bool("strict", false, "reject JSON bodies containing unknown fields")
 	obsDir := flag.String("obs", "", "observation log directory (empty = do not record executions)")
+	obsBuffer := flag.Int("obs-buffer", 0, "async observation ring capacity (0 = default 1024, negative = record synchronously)")
 	adaptive := flag.Bool("adaptive", false, "run the background retrainer over the observation log (requires -obs)")
 	retrainInterval := flag.Duration("retrain-interval", time.Minute, "how often the background retrainer checks for new observations")
 	retrainMin := flag.Int("retrain-min", 5, "labeled observations required since the last attempt before retraining")
@@ -107,11 +123,16 @@ func main() {
 		ObsLog:            obsLog,
 		OracleSampleEvery: *oracleSample,
 		CacheLimit:        *cacheLimit,
+		ObsQueue:          *obsBuffer,
 	})
 	if err != nil {
 		fail(err)
 	}
-	srv := &server{eng: eng, obsLog: obsLog, start: time.Now(), platform: *platform}
+	// Close after the HTTP server has drained (deferred before obsLog's
+	// Close, so it runs first): the final flush lands every observation
+	// enqueued by completed requests.
+	defer eng.Close()
+	srv := &server{eng: eng, obsLog: obsLog, start: time.Now(), platform: *platform, strict: *strict}
 
 	if *warm != "" {
 		for _, prog := range strings.Split(*warm, ",") {
@@ -133,6 +154,7 @@ func main() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", srv.handleHealthz)
 	mux.HandleFunc("/predict", srv.handlePredict)
+	mux.HandleFunc("/predict/batch", srv.handlePredictBatch)
 	mux.HandleFunc("/execute", srv.handleExecute)
 	mux.HandleFunc("/stats", srv.handleStats)
 	mux.HandleFunc("/models", srv.handleModels)
@@ -146,21 +168,32 @@ func main() {
 		errc <- httpSrv.ListenAndServe()
 	}()
 
+	// fail() exits without running defers; once the server has been
+	// serving, every error exit must drain the async observation ring
+	// first so executions that already answered stay durable.
+	failServing := func(err error) {
+		eng.Close()
+		if obsLog != nil {
+			obsLog.Close()
+		}
+		fail(err)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
 	case err := <-errc:
-		fail(err)
+		failServing(err)
 	case <-ctx.Done():
 	}
 	log.Printf("shutting down: draining in-flight requests")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		fail(err)
+		failServing(err)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fail(err)
+		failServing(err)
 	}
 	log.Printf("shutdown complete (%d predictions, %d executions served)",
 		eng.Stats().PredictRequests, eng.Stats().Executions)
@@ -171,6 +204,9 @@ type server struct {
 	obsLog   *obs.Log
 	start    time.Time
 	platform string
+	// strict rejects JSON bodies with unknown fields (schema typos fail
+	// loudly instead of being silently ignored).
+	strict bool
 }
 
 // allowMethods enforces the endpoint's method set: anything else gets
@@ -188,24 +224,38 @@ func allowMethods(w http.ResponseWriter, r *http.Request, methods ...string) boo
 }
 
 // decodeBody decodes an optional JSON POST body into v, bounded by
-// maxBodyBytes. An empty body is fine (parameters may be in the query).
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+// maxBodyBytes. An empty body is fine (parameters may be in the query),
+// but anything after the first JSON value is not: trailing garbage means
+// the client built the request wrong (or something is smuggling data),
+// and silently ignoring it would mask the bug. With -strict, unknown
+// fields are rejected too.
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	if r.Method != http.MethodPost {
 		return nil
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	// Decode regardless of Content-Length: chunked bodies report -1.
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil && !errors.Is(err, io.EOF) {
+	dec := json.NewDecoder(r.Body)
+	if s.strict {
+		dec.DisallowUnknownFields()
+	}
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil // empty body
+		}
 		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("invalid JSON body: trailing data after the request object")
 	}
 	return nil
 }
 
 // parseRequest builds an engine request from query parameters (any
 // method) or a JSON body (POST with a body).
-func parseRequest(w http.ResponseWriter, r *http.Request) (engine.Request, error) {
+func (s *server) parseRequest(w http.ResponseWriter, r *http.Request) (engine.Request, error) {
 	req := engine.Request{SizeIdx: -1}
-	if err := decodeBody(w, r, &req); err != nil {
+	if err := s.decodeBody(w, r, &req); err != nil {
 		return req, err
 	}
 	q := r.URL.Query()
@@ -243,28 +293,115 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// predPool recycles response structs across /predict requests: the
+// engine fills them in place (zero allocations warm), so the handler's
+// per-request garbage is just the JSON bytes.
+var predPool = sync.Pool{New: func() any { return new(engine.Prediction) }}
+
 func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !allowMethods(w, r, http.MethodGet, http.MethodPost) {
 		return
 	}
-	req, err := parseRequest(w, r)
+	req, err := s.parseRequest(w, r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	p, err := s.eng.Predict(req)
-	if err != nil {
+	p := predPool.Get().(*engine.Prediction)
+	defer predPool.Put(p)
+	if err := s.eng.PredictInto(req, p); err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, p)
 }
 
+// batchRequest is the POST /predict/batch body.
+type batchRequest struct {
+	// Requests lists the points to price; each element accepts the same
+	// fields as /predict's body ("program", "size", "leaveOut"). Raw
+	// messages are kept so every element gets /predict's defaulting
+	// (omitted size = the program's default size).
+	Requests []json.RawMessage `json:"requests"`
+}
+
+// batchResult is one element of the batch response: a prediction, or a
+// per-point error (one bad point does not fail its siblings).
+type batchResult struct {
+	engine.Prediction
+	Error string `json:"error,omitempty"`
+}
+
+// batchPool recycles the per-request result slices.
+var batchPool = sync.Pool{New: func() any { return new([]batchResult) }}
+
+// handlePredictBatch prices N points in one request through the
+// engine's scratch API, amortizing HTTP, decoding and encoding overhead
+// across the whole batch.
+func (s *server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodPost) {
+		return
+	}
+	var breq batchRequest
+	if err := s.decodeBody(w, r, &breq); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(breq.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing or empty requests array"))
+		return
+	}
+	if len(breq.Requests) > maxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds the %d-point limit", len(breq.Requests), maxBatch))
+		return
+	}
+	resultsp := batchPool.Get().(*[]batchResult)
+	defer func() {
+		// Same capacity discipline as jsonPool: a maximal batch must not
+		// pin its result slice behind every future small request.
+		if cap(*resultsp) <= 256 {
+			batchPool.Put(resultsp)
+		}
+	}()
+	results := (*resultsp)[:0]
+	errs := 0
+	for i, raw := range breq.Requests {
+		results = append(results, batchResult{})
+		res := &results[len(results)-1]
+		req := engine.Request{SizeIdx: -1}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		if s.strict {
+			dec.DisallowUnknownFields()
+		}
+		if err := dec.Decode(&req); err != nil {
+			res.Error = fmt.Sprintf("request %d: invalid JSON: %v", i, err)
+			errs++
+			continue
+		}
+		if req.Program == "" {
+			res.Error = fmt.Sprintf("request %d: missing required parameter: program", i)
+			errs++
+			continue
+		}
+		if err := s.eng.PredictInto(req, &res.Prediction); err != nil {
+			res.Prediction = engine.Prediction{}
+			res.Error = fmt.Sprintf("request %d: %v", i, err)
+			errs++
+		}
+	}
+	*resultsp = results
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":   len(results),
+		"errors":  errs,
+		"results": results,
+	})
+}
+
 func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	if !allowMethods(w, r, http.MethodPost) {
 		return
 	}
-	req, err := parseRequest(w, r)
+	req, err := s.parseRequest(w, r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -299,7 +436,7 @@ func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
 	}
 	if r.Method == http.MethodPost {
 		var req modelsRequest
-		if err := decodeBody(w, r, &req); err != nil {
+		if err := s.decodeBody(w, r, &req); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -351,19 +488,56 @@ func (s *server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
 		return
 	}
+	// Read-your-writes for operators: drain the async ring so the stats
+	// reflect every execution that has already answered. Bounded — a
+	// stalled flusher degrades this endpoint to slightly stale stats
+	// (flushed=false plus a pending count), never to a hung handler.
+	flushed := s.eng.TryFlushObservations(2 * time.Second)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"enabled": true,
+		"flushed": flushed,
+		"pending": s.eng.Stats().ObservationsPending,
 		"log":     s.obsLog.Stats(),
 	})
 }
 
+// jsonWriter pairs a reusable buffer with an encoder bound to it, so
+// responses are rendered without allocating a fresh encoder (and an
+// encoding failure is detected before the status line is committed).
+type jsonWriter struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonPool = sync.Pool{New: func() any {
+	jw := &jsonWriter{}
+	jw.enc = json.NewEncoder(&jw.buf)
+	jw.enc.SetIndent("", "  ")
+	return jw
+}}
+
+// maxPooledResponse caps the buffer capacity a writer may carry back
+// into the pool: one huge /predict/batch response must not permanently
+// pin megabytes behind every future /healthz.
+const maxPooledResponse = 64 << 10
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	jw := jsonPool.Get().(*jsonWriter)
+	defer func() {
+		if jw.buf.Cap() <= maxPooledResponse {
+			jsonPool.Put(jw)
+		}
+	}()
+	jw.buf.Reset()
+	if err := jw.enc.Encode(v); err != nil {
+		log.Printf("serve: encoding response: %v", err)
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		log.Printf("serve: encoding response: %v", err)
+	if _, err := w.Write(jw.buf.Bytes()); err != nil {
+		log.Printf("serve: writing response: %v", err)
 	}
 }
 

@@ -66,6 +66,7 @@ func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/predict/batch", s.handlePredictBatch)
 	mux.HandleFunc("/execute", s.handleExecute)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/models", s.handleModels)
@@ -98,6 +99,7 @@ func TestHandlersRejectWrongMethodsWith405(t *testing.T) {
 	}{
 		{http.MethodPost, "/healthz", "GET, HEAD"},
 		{http.MethodDelete, "/predict", "GET, POST"},
+		{http.MethodGet, "/predict/batch", "POST"},
 		{http.MethodGet, "/execute", "POST"},
 		{http.MethodPost, "/stats", "GET"},
 		{http.MethodPut, "/models", "GET, POST"},
@@ -211,6 +213,120 @@ func TestAdaptiveEndpointsRoundTrip(t *testing.T) {
 	}
 	if w := doReq(t, s, http.MethodPost, "/models", []byte(`{}`)); w.Code != http.StatusBadRequest {
 		t.Fatalf("empty rollback = %d", w.Code)
+	}
+}
+
+// batchResponse mirrors the /predict/batch reply for assertions.
+type batchResponse struct {
+	Count   int           `json:"count"`
+	Errors  int           `json:"errors"`
+	Results []batchResult `json:"results"`
+}
+
+func TestPredictBatch(t *testing.T) {
+	s := testServer(t)
+	body := []byte(`{"requests":[
+		{"program":"vecadd","size":0},
+		{"program":"vecadd","size":1},
+		{"program":"matmul"},
+		{"program":"nope"},
+		{"size":1}
+	]}`)
+	w := doReq(t, s, http.MethodPost, "/predict/batch", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch = %d: %s", w.Code, w.Body.String())
+	}
+	var resp batchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 5 || resp.Errors != 2 || len(resp.Results) != 5 {
+		t.Fatalf("batch response: count=%d errors=%d len=%d", resp.Count, resp.Errors, len(resp.Results))
+	}
+	// Valid points priced; each matches the single-point endpoint.
+	for i, target := range []string{"/predict?program=vecadd&size=0", "/predict?program=vecadd&size=1", "/predict?program=matmul"} {
+		if resp.Results[i].Error != "" {
+			t.Fatalf("point %d errored: %s", i, resp.Results[i].Error)
+		}
+		single := doReq(t, s, http.MethodGet, target, nil)
+		var p engine.Prediction
+		if err := json.Unmarshal(single.Body.Bytes(), &p); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Results[i].Prediction != p {
+			t.Fatalf("point %d: batch %+v != single %+v", i, resp.Results[i].Prediction, p)
+		}
+	}
+	// Bad points carry their own errors without failing the siblings.
+	if resp.Results[3].Error == "" || resp.Results[4].Error == "" {
+		t.Fatalf("bad points did not error: %+v", resp.Results[3:])
+	}
+
+	// An omitted size resolves to the program's default, like /predict.
+	if resp.Results[2].SizeIdx < 0 {
+		t.Fatalf("omitted size not defaulted: %+v", resp.Results[2])
+	}
+
+	// Empty and oversized batches are rejected.
+	if w := doReq(t, s, http.MethodPost, "/predict/batch", []byte(`{"requests":[]}`)); w.Code != http.StatusBadRequest {
+		t.Errorf("empty batch = %d, want 400", w.Code)
+	}
+	big := bytes.Repeat([]byte(`{"program":"vecadd"},`), maxBatch+1)
+	huge := []byte(`{"requests":[` + strings.TrimSuffix(string(big), ",") + `]}`)
+	if w := doReq(t, s, http.MethodPost, "/predict/batch", huge); w.Code != http.StatusBadRequest {
+		t.Errorf("oversized batch = %d, want 400", w.Code)
+	}
+}
+
+// TestDecodeRejectsTrailingGarbage: anything after the first JSON value
+// in a POST body is a malformed request, not ignorable noise.
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	s := testServer(t)
+	for _, c := range []struct{ target, body string }{
+		{"/execute", `{"program":"vecadd","size":0}{"program":"matmul"}`},
+		{"/execute", `{"program":"vecadd","size":0} trailing`},
+		{"/predict", `{"program":"vecadd"}[1,2,3]`},
+		{"/predict/batch", `{"requests":[{"program":"vecadd"}]}goodbye`},
+		{"/models", `{"rollback":1}{"rollback":2}`},
+	} {
+		w := doReq(t, s, http.MethodPost, c.target, []byte(c.body))
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("POST %s with trailing garbage = %d, want 400: %s", c.target, w.Code, w.Body.String())
+		}
+	}
+	// A clean body still parses.
+	if w := doReq(t, s, http.MethodPost, "/predict", []byte(`{"program":"vecadd","size":0}`)); w.Code != http.StatusOK {
+		t.Errorf("clean body = %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// TestStrictModeRejectsUnknownFields: with -strict, schema typos fail
+// loudly; without it they are tolerated (backward compatible default).
+func TestStrictModeRejectsUnknownFields(t *testing.T) {
+	lax := testServer(t)
+	body := []byte(`{"program":"vecadd","siez":1}`)
+	if w := doReq(t, lax, http.MethodPost, "/predict", body); w.Code != http.StatusOK {
+		t.Fatalf("lax server rejected unknown field: %d", w.Code)
+	}
+	strict := &server{eng: lax.eng, obsLog: lax.obsLog, start: lax.start, platform: lax.platform, strict: true}
+	if w := doReq(t, strict, http.MethodPost, "/predict", body); w.Code != http.StatusBadRequest {
+		t.Fatalf("strict server accepted unknown field: %d", w.Code)
+	}
+	if w := doReq(t, strict, http.MethodPost, "/predict/batch",
+		[]byte(`{"requests":[{"program":"vecadd","siez":1}]}`)); w.Code != http.StatusOK {
+		t.Fatalf("strict batch = %d", w.Code)
+	} else {
+		var resp batchResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Errors != 1 || resp.Results[0].Error == "" {
+			t.Fatalf("strict batch did not flag the unknown field: %+v", resp)
+		}
+	}
+	// Valid bodies still work in strict mode.
+	if w := doReq(t, strict, http.MethodPost, "/predict", []byte(`{"program":"vecadd","size":1}`)); w.Code != http.StatusOK {
+		t.Fatalf("strict server rejected a valid body: %d", w.Code)
 	}
 }
 

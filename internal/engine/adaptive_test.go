@@ -55,9 +55,15 @@ func TestEngineAdaptiveClosedLoop(t *testing.T) {
 			t.Fatalf("execution %d failed verification: %s", i, ex.VerifyError)
 		}
 	}
+	// Recording is asynchronous: the flush barrier makes every enqueued
+	// observation durable before the assertions read the log.
+	eng.FlushObservations()
 	st := eng.Stats()
 	if st.Observations != executes || st.ObservationsLabeled != executes {
 		t.Fatalf("observations = %d labeled = %d, want %d/%d", st.Observations, st.ObservationsLabeled, executes, executes)
+	}
+	if st.ObservationsPending != 0 || st.ObservationsDropped != 0 {
+		t.Fatalf("after flush: pending = %d dropped = %d, want 0/0", st.ObservationsPending, st.ObservationsDropped)
 	}
 	snap, err := log.Snapshot()
 	if err != nil {
@@ -129,7 +135,7 @@ func TestEngineRetrainRejectsWithoutLabels(t *testing.T) {
 	if _, err := eng.Execute(Request{Program: "vecadd", SizeIdx: 0}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Retrain()
+	res, err := eng.Retrain() // flushes pending observations itself
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,6 +344,7 @@ func TestEngineHotSwapUnderConcurrentServing(t *testing.T) {
 	if swaps == 0 {
 		t.Fatal("no promotion happened; the hammer never crossed a swap")
 	}
+	eng.FlushObservations()
 	if s := eng.Stats(); s.ObserveFailures != 0 {
 		t.Fatalf("observation failures under load: %+v", s)
 	}

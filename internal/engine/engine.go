@@ -79,7 +79,23 @@ type Options struct {
 	// with LRU-ish eviction (0 = unbounded, the right default for batch
 	// tools; long-lived serve processes set a cap).
 	CacheLimit int
+	// ObsQueue sizes the asynchronous observation ring buffer between
+	// /execute requests and the background flusher (rounded up to a power
+	// of two). 0 uses DefaultObsQueue; a negative value disables the
+	// flusher and records observations synchronously inside Execute (the
+	// pre-async behavior — useful for tools that exit immediately).
+	ObsQueue int
+
+	// obsGate, when set (tests only), makes the flusher receive from the
+	// channel before processing each dequeued observation, so tests can
+	// hold the durable append back and prove Execute never waits on it.
+	obsGate chan struct{}
 }
+
+// DefaultObsQueue is the observation ring capacity when Options leaves
+// ObsQueue zero: deep enough to absorb bursts of concurrent executes,
+// small enough that a stalled flusher caps memory at a few MB.
+const DefaultObsQueue = 1024
 
 // ArtifactPath names the artifact file for (platform, leftOut) inside
 // dir. Train-phase writers and the engine's loader agree through this
@@ -112,6 +128,7 @@ type Engine struct {
 
 	stats   engineCounters
 	retrain retrainState
+	obsq    obsQueue
 }
 
 // programEntry is one registry slot: the benchmark definition plus the
@@ -167,6 +184,7 @@ type engineCounters struct {
 	observations    atomic.Uint64
 	observedLabeled atomic.Uint64
 	observeFails    atomic.Uint64
+	observeDropped  atomic.Uint64
 	retrainAttempts atomic.Uint64
 	retrainPromoted atomic.Uint64
 	retrainRejected atomic.Uint64
@@ -192,9 +210,15 @@ type Stats struct {
 	CachedFeatures     int    `json:"cachedFeatures"`
 
 	// Adaptive-loop counters (all zero when no observation log is
-	// configured).
+	// configured). Observations counts records the background flusher has
+	// durably appended; ObservationsPending counts executions still
+	// queued in the async ring; ObservationsDropped counts executions the
+	// full ring rejected under overload (the deliberate shed: responses
+	// never stall on the log).
 	Observations        uint64 `json:"observations"`
 	ObservationsLabeled uint64 `json:"observationsLabeled"`
+	ObservationsPending uint64 `json:"observationsPending"`
+	ObservationsDropped uint64 `json:"observationsDropped"`
 	ObserveFailures     uint64 `json:"observeFailures"`
 	RetrainAttempts     uint64 `json:"retrainAttempts"`
 	RetrainPromotions   uint64 `json:"retrainPromotions"`
@@ -226,6 +250,9 @@ func New(opts Options) (*Engine, error) {
 	if opts.CacheLimit > 0 {
 		e.programs.SetLimit(opts.CacheLimit)
 		e.features.SetLimit(opts.CacheLimit)
+	}
+	if opts.ObsLog != nil && opts.ObsQueue >= 0 {
+		e.obsq.start(e, opts.ObsQueue)
 	}
 	return e, nil
 }
@@ -271,6 +298,8 @@ func (e *Engine) Stats() Stats {
 
 		Observations:        e.stats.observations.Load(),
 		ObservationsLabeled: e.stats.observedLabeled.Load(),
+		ObservationsPending: e.obsq.pending(),
+		ObservationsDropped: e.stats.observeDropped.Load(),
 		ObserveFailures:     e.stats.observeFails.Load(),
 		RetrainAttempts:     e.stats.retrainAttempts.Load(),
 		RetrainPromotions:   e.stats.retrainPromoted.Load(),
@@ -544,25 +573,39 @@ func (e *Engine) train(leftOut string) (*ml.Artifact, string, error) {
 // engine touch only caches: no retraining, no recompilation, no
 // re-profiling.
 func (e *Engine) Predict(req Request) (*Prediction, error) {
-	e.stats.predictRequests.Add(1)
-	return e.predict(req)
+	p := new(Prediction)
+	if err := e.PredictInto(req, p); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
-func (e *Engine) predict(req Request) (*Prediction, error) {
+// PredictInto is Predict into a caller-owned struct: the serving hot
+// path. A warm call performs zero heap allocations (every buffer it
+// needs — model scratch, pricing scratch — comes from per-engine pools),
+// so callers that pool their Prediction structs serve requests without
+// touching the garbage collector at all. On error *p is left in an
+// unspecified state.
+func (e *Engine) PredictInto(req Request, p *Prediction) error {
+	e.stats.predictRequests.Add(1)
+	return e.predictInto(req, p)
+}
+
+func (e *Engine) predictInto(req Request, p *Prediction) error {
 	pe, err := e.program(req.Program)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	sz := req.SizeIdx
 	if sz < 0 {
 		sz = pe.bench.DefaultSize
 	}
 	if sz >= len(pe.bench.Sizes) {
-		return nil, fmt.Errorf("engine: %s has %d sizes, requested index %d", req.Program, len(pe.bench.Sizes), sz)
+		return fmt.Errorf("engine: %s has %d sizes, requested index %d", req.Program, len(pe.bench.Sizes), sz)
 	}
 	fe, err := e.featuresFor(pe, sz)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	leftOut := ""
 	if req.LeaveOut {
@@ -570,7 +613,7 @@ func (e *Engine) predict(req Request) (*Prediction, error) {
 	}
 	ver, err := e.resolveModel(leftOut)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	art := ver.art
 	// The artifact's recorded feature schema must be exactly the schema
@@ -578,11 +621,11 @@ func (e *Engine) predict(req Request) (*Prediction, error) {
 	// per-position statistics would apply to the wrong features.
 	if len(art.FeatureNames) > 0 {
 		if len(art.FeatureNames) != len(fe.fv.Names) {
-			return nil, fmt.Errorf("engine: artifact expects %d features, program yields %d", len(art.FeatureNames), len(fe.fv.Names))
+			return fmt.Errorf("engine: artifact expects %d features, program yields %d", len(art.FeatureNames), len(fe.fv.Names))
 		}
 		for i, name := range art.FeatureNames {
 			if name != fe.fv.Names[i] {
-				return nil, fmt.Errorf("engine: artifact feature %d is %q, this binary extracts %q", i, name, fe.fv.Names[i])
+				return fmt.Errorf("engine: artifact feature %d is %q, this binary extracts %q", i, name, fe.fv.Names[i])
 			}
 		}
 	}
@@ -593,13 +636,15 @@ func (e *Engine) predict(req Request) (*Prediction, error) {
 		served, clamped = 0, true
 		e.stats.clamped.Add(1)
 	}
-	part := e.fw.ClassPartition(served)
-	predTime, _, err := e.fw.Runtime.Price(fe.launch, fe.prof, part)
+	// The partition string comes from the precomputed space table and the
+	// makespan from the pooled pricing scratch: neither renders nor
+	// allocates per request.
+	predTime, err := e.fw.Runtime.PriceMakespan(fe.launch, fe.prof, e.fw.ClassPartition(served))
 	if err != nil {
-		return nil, err
+		return err
 	}
 
-	p := &Prediction{
+	*p = Prediction{
 		Program:       req.Program,
 		Platform:      e.opts.Platform,
 		SizeIdx:       sz,
@@ -608,7 +653,7 @@ func (e *Engine) predict(req Request) (*Prediction, error) {
 		Class:         served,
 		RawClass:      raw,
 		Clamped:       clamped,
-		Partition:     part.String(),
+		Partition:     e.spaceStrs[served],
 		Model:         art.ModelName,
 		ModelSource:   ver.Source,
 		ModelVersion:  ver.Version,
@@ -623,19 +668,23 @@ func (e *Engine) predict(req Request) (*Prediction, error) {
 			p.GPUOnlyTime = rec.GPUOnlyTime
 		}
 	}
-	return p, nil
+	return nil
 }
 
 // Execute answers one execution request: predict, then run the kernel
 // partitioned across the platform's devices on a fresh deterministic
 // instance, and verify the outputs against the Go reference. When an
 // observation log is configured, every execution is recorded — the
-// closed loop's data collection — and a recording failure never fails
-// the request (counted in ObserveFailures instead).
+// closed loop's data collection — asynchronously: the request only
+// enqueues onto a bounded lock-free ring, and a background flusher does
+// the oracle labeling and the durable append off the response path. A
+// recording failure never fails a request (ObserveFailures counts it);
+// under overload a full ring drops the observation instead of stalling
+// the response (ObservationsDropped counts those).
 func (e *Engine) Execute(req Request) (*Execution, error) {
 	e.stats.executeRequests.Add(1)
-	pred, err := e.predict(req)
-	if err != nil {
+	var pred Prediction
+	if err := e.predictInto(req, &pred); err != nil {
 		return nil, err
 	}
 	pe, err := e.program(req.Program)
@@ -651,26 +700,26 @@ func (e *Engine) Execute(req Request) (*Execution, error) {
 		return nil, err
 	}
 	e.stats.executions.Add(1)
-	out := &Execution{Prediction: *pred, Makespan: res.Makespan, Verified: true}
+	out := &Execution{Prediction: pred, Makespan: res.Makespan, Verified: true}
 	if err := pe.bench.Verify(inst, pred.SizeIdx); err != nil {
 		out.Verified = false
 		out.VerifyError = err.Error()
 	}
 	if e.opts.ObsLog != nil {
-		if err := e.observe(pe, out, res); err != nil {
-			e.stats.observeFails.Add(1)
-		}
+		e.enqueueObservation(pe, out, res)
 	}
 	return out, nil
 }
 
-// observe appends one execution to the observation log. Every OracleSampleEvery-th
-// observation (per engine, counted across all programs) is labeled: the
-// full candidate space is priced against the already-measured profile —
-// O(classes) constant-time range queries, no extra kernel execution —
-// and the measured-best class recorded, which is exactly the oracle
-// label the offline sweep produces.
-func (e *Engine) observe(pe *programEntry, ex *Execution, res *runtime.Result) error {
+// observe assembles and appends one execution's observation record; the
+// background flusher calls it for each dequeued execution (or Execute
+// itself in synchronous mode). Every OracleSampleEvery-th observation
+// (per engine, counted across all programs in dequeue order) is labeled:
+// the full candidate space is priced against the already-measured
+// profile — O(classes) constant-time range queries, no extra kernel
+// execution — and the measured-best class recorded, which is exactly the
+// oracle label the offline sweep produces.
+func (e *Engine) observe(pe *programEntry, ex *Execution, deviceTimes []float64) error {
 	fe, err := e.featuresFor(pe, ex.SizeIdx)
 	if err != nil {
 		return err
@@ -690,9 +739,7 @@ func (e *Engine) observe(pe *programEntry, ex *Execution, res *runtime.Result) e
 		Partition:    ex.Partition,
 		Makespan:     ex.Makespan,
 		Verified:     ex.Verified,
-	}
-	for _, b := range res.Breakdowns {
-		o.DeviceTimes = append(o.DeviceTimes, b.Total)
+		DeviceTimes:  deviceTimes,
 	}
 	every := e.opts.OracleSampleEvery
 	if every == 0 {

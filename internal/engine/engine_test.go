@@ -358,6 +358,53 @@ func BenchmarkEnginePredictWarm(b *testing.B) {
 	}
 }
 
+// BenchmarkEnginePredictInto measures the allocation-free serving hot
+// path: a pooled Prediction struct filled in place. The CI alloc smoke
+// fails the build if this reports nonzero allocs/op.
+func BenchmarkEnginePredictInto(b *testing.B) {
+	eng, err := New(fastOpts(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := Request{Program: "vecadd", SizeIdx: 1}
+	var p Prediction
+	if err := eng.PredictInto(req, &p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.PredictInto(req, &p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnginePredictIntoParallel measures the same path under
+// concurrent clients: the caches are lock-free on hits, the model is an
+// atomic pointer load and the scratch pools are per-P, so throughput
+// should scale with cores.
+func BenchmarkEnginePredictIntoParallel(b *testing.B) {
+	eng, err := New(fastOpts(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := Request{Program: "vecadd", SizeIdx: 1}
+	var warm Prediction
+	if err := eng.PredictInto(req, &warm); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		var p Prediction
+		for pb.Next() {
+			if err := eng.PredictInto(req, &p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkEnginePredictColdModel measures the train-on-the-fly fallback
 // for comparison (how much work the artifact cache saves per request).
 func BenchmarkEnginePredictColdModel(b *testing.B) {

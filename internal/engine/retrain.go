@@ -112,6 +112,9 @@ func (e *Engine) Retrain() (*RetrainResult, error) {
 	e.retrain.inProgress = true
 	e.retrain.mu.Unlock()
 
+	// Recorded traffic must be visible to this attempt: wait for the
+	// async flusher to durably append everything already executed.
+	e.FlushObservations()
 	// Capture the labeled count BEFORE the snapshot: labels arriving
 	// while training runs are not in this attempt's training set, so
 	// they must still count toward the next threshold check.

@@ -50,21 +50,29 @@ type neighbour struct {
 
 // Predict implements Classifier.
 func (m *KNN) Predict(x []float64) int {
+	s := getScratch()
+	y := m.PredictScratch(x, s)
+	putScratch(s)
+	return y
+}
+
+// PredictScratch implements ScratchPredictor. Neighbours are ranked by
+// the same (distance, label) total order Predict always used; elements
+// equal under it are interchangeable (identical label and weight), so
+// the vote totals — and the class — are bit-identical regardless of how
+// the sort arranges them.
+func (m *KNN) PredictScratch(x []float64, s *Scratch) int {
 	k := m.K
 	if k > len(m.x) {
 		k = len(m.x)
 	}
-	nb := make([]neighbour, len(m.x))
+	nb := s.neighbours(len(m.x))
 	for i, xi := range m.x {
 		nb[i] = neighbour{dist: sqDist(x, xi), y: m.y[i]}
 	}
-	sort.Slice(nb, func(i, j int) bool {
-		if nb[i].dist != nb[j].dist {
-			return nb[i].dist < nb[j].dist
-		}
-		return nb[i].y < nb[j].y // deterministic tie-break
-	})
-	votes := make([]float64, m.n)
+	sort.Sort(&s.nb)
+	votes := s.floats(m.n)
+	clear(votes)
 	for i := 0; i < k; i++ {
 		w := 1.0
 		if m.Weighted {

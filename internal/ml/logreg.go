@@ -105,7 +105,15 @@ func (m *LogReg) softmax(x []float64, probs []float64) {
 
 // Predict implements Classifier.
 func (m *LogReg) Predict(x []float64) int {
-	probs := make([]float64, m.out)
+	s := getScratch()
+	y := m.PredictScratch(x, s)
+	putScratch(s)
+	return y
+}
+
+// PredictScratch implements ScratchPredictor.
+func (m *LogReg) PredictScratch(x []float64, s *Scratch) int {
+	probs := s.floats(m.out)
 	m.softmax(x, probs)
 	return argmax(probs)
 }

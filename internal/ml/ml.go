@@ -181,11 +181,16 @@ func FitScaler(d *Dataset) *Scaler {
 
 // Transform returns the standardized copy of x.
 func (s *Scaler) Transform(x []float64) []float64 {
-	out := make([]float64, len(x))
+	return s.TransformInto(x, make([]float64, len(x)))
+}
+
+// TransformInto standardizes x into dst, which must have length len(x),
+// and returns it. The scratch-inference counterpart of Transform.
+func (s *Scaler) TransformInto(x, dst []float64) []float64 {
 	for j, v := range x {
-		out[j] = (v - s.Mean[j]) / s.Std[j]
+		dst[j] = (v - s.Mean[j]) / s.Std[j]
 	}
-	return out
+	return dst
 }
 
 // TransformDataset returns a standardized copy of the dataset.

@@ -180,8 +180,16 @@ func (m *MLP) forward(x []float64, hidden, probs []float64) {
 
 // Predict implements Classifier.
 func (m *MLP) Predict(x []float64) int {
-	hidden := make([]float64, m.Hidden)
-	probs := make([]float64, m.out)
+	s := getScratch()
+	y := m.PredictScratch(x, s)
+	putScratch(s)
+	return y
+}
+
+// PredictScratch implements ScratchPredictor.
+func (m *MLP) PredictScratch(x []float64, s *Scratch) int {
+	hidden := s.floats(m.Hidden)
+	probs := s.floats(m.out)
 	m.forward(x, hidden, probs)
 	return argmax(probs)
 }

@@ -136,15 +136,21 @@ func normalize(v []float64) {
 
 // Transform projects one feature vector onto the components.
 func (p *PCA) Transform(x []float64) []float64 {
-	out := make([]float64, len(p.Components))
+	return p.TransformInto(x, make([]float64, len(p.Components)))
+}
+
+// TransformInto projects one feature vector into dst, which must have
+// length len(Components), and returns it. The scratch-inference
+// counterpart of Transform.
+func (p *PCA) TransformInto(x, dst []float64) []float64 {
 	for c, comp := range p.Components {
 		s := 0.0
 		for j, v := range x {
 			s += (v - p.mean[j]) * comp[j]
 		}
-		out[c] = s
+		dst[c] = s
 	}
-	return out
+	return dst
 }
 
 // TransformDataset projects the whole dataset, renaming features pc0..pcK.

@@ -1,0 +1,108 @@
+package ml
+
+import (
+	"sort"
+	"sync"
+)
+
+// This file implements the scratch-buffer inference API: every model
+// family can predict through a caller-owned Scratch whose buffers are
+// reused across calls, so the warm serving path performs zero heap
+// allocations per prediction while computing bit-for-bit what the
+// allocating Predict methods compute (pinned by property and
+// AllocsPerRun tests).
+
+// Scratch holds the reusable buffers of one in-flight prediction. A
+// Scratch is an arena: each prediction takes buffers in deterministic
+// call-tree order, so after the first use every buffer already exists
+// and later predictions allocate nothing. It is not safe for concurrent
+// use; serve one prediction at a time per Scratch (pool them for
+// concurrency — Artifact.Predict does).
+type Scratch struct {
+	bufs [][]float64
+	next int
+	nb   knnNeighbours
+}
+
+// Reset prepares the scratch for the next prediction, making every
+// buffer reclaimable. Callers invoking a model's PredictScratch directly
+// must Reset between top-level predictions (composite models deliberately
+// do NOT reset, so their sub-models stack buffers in one arena).
+func (s *Scratch) Reset() { s.next = 0 }
+
+// floats returns the next arena buffer with length n, growing (and, on
+// first use, allocating) it as needed. Contents are unspecified; callers
+// that accumulate must clear first.
+func (s *Scratch) floats(n int) []float64 {
+	if s.next == len(s.bufs) {
+		s.bufs = append(s.bufs, make([]float64, n))
+	}
+	b := s.bufs[s.next]
+	if cap(b) < n {
+		b = make([]float64, n)
+		s.bufs[s.next] = b
+	}
+	s.next++
+	return b[:n]
+}
+
+// neighbours returns the kNN neighbour buffer with length n.
+func (s *Scratch) neighbours(n int) knnNeighbours {
+	if cap(s.nb) < n {
+		s.nb = make(knnNeighbours, n)
+	}
+	s.nb = s.nb[:n]
+	return s.nb
+}
+
+// knnNeighbours sorts by (distance, label) — the same deterministic
+// total order KNN.Predict uses. Pointer receivers keep the
+// sort.Interface conversion allocation-free.
+type knnNeighbours []neighbour
+
+func (a *knnNeighbours) Len() int      { return len(*a) }
+func (a *knnNeighbours) Swap(i, j int) { (*a)[i], (*a)[j] = (*a)[j], (*a)[i] }
+func (a *knnNeighbours) Less(i, j int) bool {
+	s := *a
+	if s[i].dist != s[j].dist {
+		return s[i].dist < s[j].dist
+	}
+	return s[i].y < s[j].y
+}
+
+var _ sort.Interface = (*knnNeighbours)(nil)
+
+// ScratchPredictor is implemented by every model family in this package:
+// PredictScratch returns exactly Predict's class while drawing all
+// temporary buffers from the scratch.
+type ScratchPredictor interface {
+	PredictScratch(x []float64, s *Scratch) int
+}
+
+// scratchPool backs the plain Predict entry points: families without a
+// caller-supplied scratch borrow one here, so even bare Classifier use
+// is allocation-free once warm. Scratch buffers grow to the largest
+// model shape they have served, so sharing one pool across families is
+// safe (and cheap — a few small slices per scratch).
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// getScratch borrows a reset scratch from the package pool.
+func getScratch() *Scratch {
+	s := scratchPool.Get().(*Scratch)
+	s.Reset()
+	return s
+}
+
+// putScratch returns a scratch to the package pool.
+func putScratch(s *Scratch) { scratchPool.Put(s) }
+
+// predictScratch dispatches to the scratch path when the classifier
+// supports it (every family in this package does) and falls back to the
+// allocating Predict otherwise (a Classifier implemented outside the
+// package).
+func predictScratch(c Classifier, x []float64, s *Scratch) int {
+	if sp, ok := c.(ScratchPredictor); ok {
+		return sp.PredictScratch(x, s)
+	}
+	return c.Predict(x)
+}

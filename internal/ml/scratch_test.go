@@ -1,0 +1,201 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// scratchFamilies returns one fitted artifact per model family, trained
+// on the synthetic problem (two-stage uses its regime dataset — its
+// label geometry needs the staged structure).
+func scratchFamilies(t testing.TB) map[string]*Artifact {
+	t.Helper()
+	d := synthDataset(200, 3)
+	sd := stageDataset(200, 3)
+	mk := map[string]struct {
+		data *Dataset
+		mk   NewModel
+	}{
+		"knn":      {d, func() Classifier { return NewKNN(5) }},
+		"tree":     {d, func() Classifier { return NewTree() }},
+		"forest":   {d, func() Classifier { return NewForest(10, 7) }},
+		"logreg":   {d, func() Classifier { return NewLogReg(7) }},
+		"mlp":      {d, func() Classifier { m := NewMLP(8, 7); m.Epochs = 40; return m }},
+		"twostage": {sd, newStageModel},
+		"pipeline": {d, func() Classifier { return NewPCAPipeline(3, 7, func() Classifier { return NewKNN(5) }) }},
+	}
+	out := make(map[string]*Artifact, len(mk))
+	for name, c := range mk {
+		a, err := TrainArtifact(c.data, c.mk)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = a
+	}
+	return out
+}
+
+// randPoints draws n random raw feature vectors of the given dimension.
+func randPoints(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.NormFloat64() * 3
+		}
+		out[i] = x
+	}
+	return out
+}
+
+// TestPredictScratchMatchesPredict is the correctness property of the
+// scratch API: on random inputs, every family's PredictScratch answers
+// exactly what Predict answers — including when one scratch is reused
+// across many points, and when the artifact round-trips through
+// serialization.
+func TestPredictScratchMatchesPredict(t *testing.T) {
+	for name, a := range scratchFamilies(t) {
+		t.Run(name, func(t *testing.T) {
+			var s Scratch
+			for i, x := range randPoints(200, len(a.FeatureNames), 11) {
+				want := a.Predict(x)
+				if got := a.PredictScratch(x, &s); got != want {
+					t.Fatalf("point %d: PredictScratch = %d, Predict = %d", i, got, want)
+				}
+			}
+			// A serialized round trip predicts identically through both
+			// entry points.
+			data, err := a.MarshalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			loaded := &Artifact{}
+			if err := loaded.UnmarshalJSON(data); err != nil {
+				t.Fatal(err)
+			}
+			for i, x := range randPoints(50, len(a.FeatureNames), 13) {
+				want := a.Predict(x)
+				if got := loaded.Predict(x); got != want {
+					t.Fatalf("point %d: loaded Predict = %d, want %d", i, got, want)
+				}
+				if got := loaded.PredictScratch(x, &s); got != want {
+					t.Fatalf("point %d: loaded PredictScratch = %d, want %d", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestModelPredictScratchMatchesPredict exercises the bare-classifier
+// scratch entry points (no artifact, no scaler) on random inputs.
+func TestModelPredictScratchMatchesPredict(t *testing.T) {
+	for name, a := range scratchFamilies(t) {
+		sp, ok := a.Model.(ScratchPredictor)
+		if !ok {
+			t.Fatalf("%s does not implement ScratchPredictor", name)
+		}
+		var s Scratch
+		for i, x := range randPoints(100, len(a.FeatureNames), 17) {
+			sx := a.Scaler.Transform(x)
+			want := a.Model.Predict(sx)
+			s.Reset()
+			if got := sp.PredictScratch(sx, &s); got != want {
+				t.Fatalf("%s point %d: PredictScratch = %d, Predict = %d", name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestArtifactPredictZeroAllocs pins the tentpole's acceptance
+// criterion: a warm Artifact.Predict performs zero heap allocations for
+// every model family, through both the pooled and the caller-scratch
+// entry points.
+func TestArtifactPredictZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	for name, a := range scratchFamilies(t) {
+		t.Run(name, func(t *testing.T) {
+			x := randPoints(1, len(a.FeatureNames), 19)[0]
+			a.Predict(x) // warm the pool and size the buffers
+			if avg := testing.AllocsPerRun(200, func() { a.Predict(x) }); avg != 0 {
+				t.Errorf("warm Artifact.Predict allocates %.2f/op, want 0", avg)
+			}
+			var s Scratch
+			a.PredictScratch(x, &s)
+			if avg := testing.AllocsPerRun(200, func() { a.PredictScratch(x, &s) }); avg != 0 {
+				t.Errorf("warm Artifact.PredictScratch allocates %.2f/op, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestScratchArenaReuse pins the arena mechanics: buffers are recycled
+// across Reset cycles, and composite predictions stack without
+// clobbering earlier buffers.
+func TestScratchArenaReuse(t *testing.T) {
+	var s Scratch
+	a := s.floats(4)
+	b := s.floats(8)
+	if len(a) != 4 || len(b) != 8 {
+		t.Fatalf("lens = %d, %d", len(a), len(b))
+	}
+	copy(a, []float64{1, 2, 3, 4})
+	if &b[0] == &a[0] {
+		t.Fatal("distinct arena slots alias")
+	}
+	s.Reset()
+	a2 := s.floats(4)
+	if &a2[0] != &a[0] {
+		t.Fatal("reset did not recycle the first slot")
+	}
+	// A larger request regrows the slot in place.
+	s.Reset()
+	big := s.floats(16)
+	if len(big) != 16 {
+		t.Fatalf("regrown len = %d", len(big))
+	}
+}
+
+// BenchmarkArtifactPredict tracks warm per-family prediction cost; the
+// CI alloc smoke fails the build if any family reports nonzero
+// allocs/op here.
+func BenchmarkArtifactPredict(b *testing.B) {
+	fams := scratchFamilies(b)
+	for _, name := range []string{"knn", "tree", "forest", "logreg", "mlp", "twostage", "pipeline"} {
+		a, ok := fams[name]
+		if !ok {
+			b.Fatalf("missing family %s", name)
+		}
+		b.Run(name, func(b *testing.B) {
+			x := randPoints(1, len(a.FeatureNames), 23)[0]
+			a.Predict(x)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.Predict(x)
+			}
+		})
+	}
+}
+
+func ExampleArtifact_PredictScratch() {
+	d := synthDataset(100, 1)
+	a, err := TrainArtifact(d, func() Classifier { return NewKNN(3) })
+	if err != nil {
+		panic(err)
+	}
+	// Batch pricing: one scratch serves many points, zero allocations
+	// after the first.
+	var s Scratch
+	agree := 0
+	for _, x := range d.X {
+		if a.PredictScratch(x, &s) == a.Predict(x) {
+			agree++
+		}
+	}
+	fmt.Println(agree == len(d.X))
+	// Output: true
+}

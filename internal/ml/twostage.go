@@ -89,7 +89,16 @@ func (m *TwoStage) Fit(d *Dataset) error {
 
 // Predict implements Classifier.
 func (m *TwoStage) Predict(x []float64) int {
-	switch StageKind(m.gate.Predict(x)) {
+	s := getScratch()
+	y := m.PredictScratch(x, s)
+	putScratch(s)
+	return y
+}
+
+// PredictScratch implements ScratchPredictor: both stages draw from the
+// caller's scratch.
+func (m *TwoStage) PredictScratch(x []float64, s *Scratch) int {
+	switch StageKind(predictScratch(m.gate, x, s)) {
 	case StageCPUOnly:
 		return m.CPUClass
 	case StageGPUOnly:
@@ -98,6 +107,6 @@ func (m *TwoStage) Predict(x []float64) int {
 		if m.split == nil {
 			return m.fallback
 		}
-		return m.split.Predict(x)
+		return predictScratch(m.split, x, s)
 	}
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package runtime
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; allocation-count assertions are skipped (instrumentation
+// itself allocates).
+const raceEnabled = false

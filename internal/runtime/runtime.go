@@ -65,6 +65,10 @@ type Runtime struct {
 	// calls (sync.Pool: safe under the concurrent Runtime sharing the
 	// harness sweeps rely on).
 	chunkBufs sync.Pool
+	// priceBufs recycles single-candidate pricing scratch sets for
+	// PriceMakespan — the serving engine's per-request path, which must
+	// not allocate when warm.
+	priceBufs sync.Pool
 }
 
 // priceScratch is the per-worker buffer set of the oracle search: chunk
@@ -231,6 +235,26 @@ func (r *Runtime) Price(l Launch, prof *exec.Profile, part partition.Partition) 
 func (r *Runtime) price(l Launch, prof *exec.Profile, part partition.Partition, align int) (float64, []sim.Breakdown, error) {
 	works := l.Plan.DeviceWorks(prof, l.Args, part, align, l.iterations())
 	return sim.Makespan(r.Platform, works, r.Opts)
+}
+
+// PriceMakespan is Price without the per-device breakdowns: it computes
+// the same makespan through a pooled scratch set, so a warm call — the
+// serving engine's per-prediction path — performs zero heap allocations.
+func (r *Runtime) PriceMakespan(l Launch, prof *exec.Profile, part partition.Partition) (float64, error) {
+	if err := r.checkPartition(part); err != nil {
+		return 0, err
+	}
+	align, err := l.align()
+	if err != nil {
+		return 0, err
+	}
+	sc, _ := r.priceBufs.Get().(*priceScratch)
+	if sc == nil {
+		sc = new(priceScratch)
+	}
+	t, err := r.priceInto(sc, l, prof, part, align)
+	r.priceBufs.Put(sc)
+	return t, err
 }
 
 // Best exhaustively searches the 10%-step partition space for the

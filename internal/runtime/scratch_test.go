@@ -62,6 +62,44 @@ func TestPriceAllReusesDst(t *testing.T) {
 	}
 }
 
+// TestPriceMakespanMatchesPriceAndAllocsNothing checks the serving
+// engine's single-candidate pricing path: same makespan as Price, zero
+// heap allocations once the scratch pool is warm.
+func TestPriceMakespanMatchesPriceAndAllocsNothing(t *testing.T) {
+	l, _ := vecaddLaunch(t, 4096)
+	rt := New(device.MC2())
+	prof, err := rt.Profile(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.Precompute()
+	space := partition.SharedSpace(3, partition.DefaultSteps)
+	for i, part := range space {
+		want, _, err := rt.Price(l, prof, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rt.PriceMakespan(l, prof, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("candidate %d (%s): PriceMakespan %v != Price %v", i, part, got, want)
+		}
+	}
+	if raceEnabled {
+		return // race instrumentation allocates; correctness was checked above
+	}
+	part := space[len(space)/2]
+	if avg := testing.AllocsPerRun(100, func() {
+		if _, err := rt.PriceMakespan(l, prof, part); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("warm PriceMakespan allocates %.2f/op, want 0", avg)
+	}
+}
+
 // TestBestInAllocationFree pins the tentpole property: pricing a candidate
 // in the oracle search must not allocate. The per-call overhead (times
 // slice, one scratch, the worker pool) is constant, so the allocation

@@ -18,12 +18,27 @@ import (
 // redo the work. The zero value is ready to use and unbounded; a
 // long-lived serving process can cap the table with SetLimit, which turns
 // the memo into an LRU-ish cache (least-recently-used completed entries
-// are evicted first; in-flight computations are never evicted).
+// are evicted first; in-flight computations are never evicted). Recency
+// is only tracked while a cap is set — the unbounded hit path
+// deliberately writes nothing shared — so capping a table that already
+// served unbounded traffic treats its existing entries as equally old:
+// eviction among them is arbitrary until they are touched again. Set the
+// cap before traffic (as the engine does) for strict LRU ordering.
+//
+// Lookups of existing keys — the warm serving path, where every request
+// is a cache hit — are lock-free: the table publishes an immutable
+// snapshot through an atomic pointer, so a warm hit is one atomic load
+// plus one read-only map lookup, with no shared cache-line writes at all
+// on an unbounded table (a capped table additionally stamps recency with
+// two atomics). Only insertion, eviction and SetLimit take the mutex and
+// republish the snapshot; key misses are exactly the computations whose
+// cost dwarfs a map copy.
 type Memo[K comparable, V any] struct {
-	mu    sync.Mutex
-	m     map[K]*memoEntry[V]
-	limit int    // 0 = unbounded
-	clock uint64 // recency counter; each access stamps the entry
+	read  atomic.Pointer[map[K]*memoEntry[V]] // immutable snapshot
+	mu    sync.Mutex                          // guards dirty + publication
+	dirty map[K]*memoEntry[V]                 // authoritative table
+	limit atomic.Int64                        // 0 = unbounded
+	clock atomic.Uint64                       // recency counter (capped tables)
 }
 
 type memoEntry[V any] struct {
@@ -33,9 +48,11 @@ type memoEntry[V any] struct {
 	// done is set after the entry's computation finishes; eviction skips
 	// in-flight entries (concurrent callers hold references to them).
 	done atomic.Bool
-	// lastUse is the memo clock at the entry's most recent access,
-	// guarded by Memo.mu.
-	lastUse uint64
+	// lastUse is the memo clock at the entry's most recent access. Atomic
+	// so the lock-free hit path can stamp it; concurrent stamps race
+	// benignly — whichever recent tick lands, the entry reads as recently
+	// used.
+	lastUse atomic.Uint64
 }
 
 // Do returns the memoized result for key, running fn to produce it on the
@@ -65,31 +82,57 @@ func (m *Memo[K, V]) DoRetryable(key K, fn func() (V, error)) (V, error) {
 	})
 	if e.err != nil {
 		m.mu.Lock()
-		if m.m[key] == e {
-			delete(m.m, key)
+		if m.dirty[key] == e {
+			delete(m.dirty, key)
+			m.publishLocked()
 		}
 		m.mu.Unlock()
 	}
 	return e.val, e.err
 }
 
-// entry returns (creating if needed) the current entry for key, stamping
-// its recency and evicting over-limit entries.
+// entry returns (creating if needed) the current entry for key. The warm
+// case — the key exists in the published snapshot and the table is
+// within its cap — completes without the lock.
 func (m *Memo[K, V]) entry(key K) *memoEntry[V] {
+	if mp := m.read.Load(); mp != nil {
+		if e := (*mp)[key]; e != nil {
+			limit := m.limit.Load()
+			if limit <= 0 {
+				return e
+			}
+			e.lastUse.Store(m.clock.Add(1))
+			if int64(len(*mp)) <= limit {
+				return e
+			}
+			// Over the cap (a burst of in-flight entries outran it):
+			// fall through to evict under the lock.
+		}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.m == nil {
-		m.m = map[K]*memoEntry[V]{}
+	if m.dirty == nil {
+		m.dirty = map[K]*memoEntry[V]{}
 	}
-	e := m.m[key]
+	e := m.dirty[key]
 	if e == nil {
 		e = &memoEntry[V]{}
-		m.m[key] = e
+		m.dirty[key] = e
 	}
-	m.clock++
-	e.lastUse = m.clock
+	e.lastUse.Store(m.clock.Add(1))
 	m.evictLocked(e)
+	m.publishLocked()
 	return e
+}
+
+// publishLocked snapshots the authoritative table for lock-free readers.
+// Callers hold m.mu.
+func (m *Memo[K, V]) publishLocked() {
+	snap := make(map[K]*memoEntry[V], len(m.dirty))
+	for k, e := range m.dirty {
+		snap[k] = e
+	}
+	m.read.Store(&snap)
 }
 
 // SetLimit caps the table at n entries (0 restores unbounded growth) and
@@ -103,32 +146,36 @@ func (m *Memo[K, V]) SetLimit(n int) {
 	if n < 0 {
 		n = 0
 	}
-	m.limit = n
+	m.limit.Store(int64(n))
 	m.evictLocked(nil)
+	m.publishLocked()
 }
 
 // evictLocked drops least-recently-used completed entries until the table
 // is within the limit. keep (the entry just accessed) is never evicted
-// even if its computation has not started yet.
+// even if its computation has not started yet. Callers hold m.mu and
+// must republish afterwards.
 func (m *Memo[K, V]) evictLocked(keep *memoEntry[V]) {
-	if m.limit <= 0 {
+	limit := int(m.limit.Load())
+	if limit <= 0 {
 		return
 	}
-	for len(m.m) > m.limit {
+	for len(m.dirty) > limit {
 		var victim K
 		var victimE *memoEntry[V]
-		for k, e := range m.m {
+		var victimUse uint64
+		for k, e := range m.dirty {
 			if e == keep || !e.done.Load() {
 				continue
 			}
-			if victimE == nil || e.lastUse < victimE.lastUse {
-				victim, victimE = k, e
+			if use := e.lastUse.Load(); victimE == nil || use < victimUse {
+				victim, victimE, victimUse = k, e, use
 			}
 		}
 		if victimE == nil {
 			return // everything else is in flight; let the burst drain
 		}
-		delete(m.m, victim)
+		delete(m.dirty, victim)
 	}
 }
 
@@ -136,5 +183,5 @@ func (m *Memo[K, V]) evictLocked(keep *memoEntry[V]) {
 func (m *Memo[K, V]) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.m)
+	return len(m.dirty)
 }

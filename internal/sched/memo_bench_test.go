@@ -1,0 +1,25 @@
+package sched
+
+import "testing"
+
+// BenchmarkMemoWarmParallel measures contended reads of completed entries:
+// the serving engine's per-request cache-hit pattern.
+func BenchmarkMemoWarmParallel(b *testing.B) {
+	var m Memo[int, int]
+	const keys = 8
+	for k := 0; k < keys; k++ {
+		if _, err := m.Do(k, func() (int, error) { return k, nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		k := 0
+		for pb.Next() {
+			if _, err := m.Do(k%keys, func() (int, error) { return 0, nil }); err != nil {
+				b.Fatal(err)
+			}
+			k++
+		}
+	})
+}

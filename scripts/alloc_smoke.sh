@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# alloc_smoke.sh — allocation-regression gate for the serving hot path.
+# Runs the pinned hot-path benchmarks with -benchmem and fails if any of
+# them reports a nonzero allocs/op: a regression here silently puts the
+# garbage collector back between requests. The AllocsPerRun unit tests
+# (TestArtifactPredictZeroAllocs, TestEnginePredictIntoZeroAllocs) pin
+# the same property per call; this gate covers the sustained-loop view
+# that CI publishes in benchmark output. Used by CI, runnable locally:
+#
+#   scripts/alloc_smoke.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+PINNED='BenchmarkArtifactPredict|BenchmarkEnginePredictInto$'
+
+out="$(go test -run='^$' -bench="$PINNED" -benchmem -benchtime=100x \
+	./internal/ml/ ./internal/engine/)"
+printf '%s\n' "$out"
+
+printf '%s\n' "$out" | awk '
+	/^Benchmark/ {
+		for (i = 2; i <= NF; i++) {
+			if ($(i) == "allocs/op" && $(i - 1) + 0 != 0) {
+				printf "alloc_smoke: allocation regression: %s\n", $0
+				bad = 1
+			}
+		}
+		n++
+	}
+	END {
+		if (n == 0) { print "alloc_smoke: no pinned benchmarks ran" > "/dev/stderr"; exit 1 }
+		if (bad) { exit 1 }
+		printf "alloc_smoke: %d pinned benchmarks, all 0 allocs/op\n", n
+	}'

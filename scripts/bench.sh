@@ -1,15 +1,20 @@
 #!/usr/bin/env sh
-# Runs the tracked performance benchmarks and writes their ns/op as JSON,
-# so successive PRs accumulate a machine-readable perf trajectory. The
-# default output name is dated (BENCH_<UTC timestamp>.json): each run
-# adds a new point instead of overwriting the last one — pass an explicit
-# path (as CI does) to pin the name.
+# Runs the tracked performance benchmarks and writes their ns/op — plus
+# serving-throughput metrics from a short cmd/loadgen run against a real
+# cmd/serve process — as JSON, so successive PRs accumulate a
+# machine-readable perf trajectory. The default output name is dated
+# (BENCH_<UTC timestamp>.json): each run adds a new point instead of
+# overwriting the last one — pass an explicit path (as CI does) to pin
+# the name.
 #
 # Usage:
 #   scripts/bench.sh [output.json]
 #
 # Environment:
-#   BENCHTIME  go test -benchtime value (default 1s; use 1x for a smoke run)
+#   BENCHTIME         go test -benchtime value (default 1s; use 1x for a smoke run)
+#   SERVE_BENCH       set to 0 to skip the serving-throughput section
+#   LOADGEN_DURATION  loadgen measurement window (default 2s)
+#   LOADGEN_WORKERS   loadgen concurrency (default 4)
 #
 # Compare two revisions with benchstat:
 #   go test -run='^$' -bench="$PATTERN" -count=10 . > old.txt   (on main)
@@ -19,6 +24,9 @@ set -eu
 
 OUT="${1:-BENCH_$(date -u +%Y%m%d-%H%M%S).json}"
 BENCHTIME="${BENCHTIME:-1s}"
+SERVE_BENCH="${SERVE_BENCH:-1}"
+LOADGEN_DURATION="${LOADGEN_DURATION:-2s}"
+LOADGEN_WORKERS="${LOADGEN_WORKERS:-4}"
 
 # The tracked set: pricing (naive vs prefix range queries, full-space
 # pricing), barrier execution (spawn vs pooled vs lockstep), and the
@@ -27,28 +35,86 @@ PATTERN='BenchmarkPricePartition|BenchmarkBarrierKernel|BenchmarkPartitionPricin
 
 cd "$(dirname "$0")/.."
 
+tmp="$(mktemp -d)"
+serve_pid=""
+cleanup() {
+	[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+# --- go test benchmarks -> entries + metadata fragments -----------------
 go test -run='^$' -bench="$PATTERN" -benchtime="$BENCHTIME" . |
-	awk -v out="$OUT" -v ts="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+	awk -v entries="$tmp/entries" -v meta="$tmp/meta" '
 	/^Benchmark/ && / ns\/op/ {
 		name = $1
 		sub(/-[0-9]+$/, "", name)           # strip -GOMAXPROCS suffix
 		for (i = 2; i <= NF; i++) {
 			if ($(i) == "ns/op") { ns = $(i - 1) }
 		}
-		entries[++n] = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s}", name, ns)
+		printf "%s    {\"name\": \"%s\", \"ns_per_op\": %s}", (n++ ? ",\n" : ""), name, ns >> entries
 	}
-	/^(goos|goarch|cpu):/ { meta[$1] = substr($0, index($0, " ") + 1) }
+	/^(goos|goarch|cpu):/ {
+		key = substr($1, 1, length($1) - 1)
+		printf "  \"%s\": \"%s\",\n", key, substr($0, index($0, " ") + 1) >> meta
+	}
 	END {
 		if (n == 0) { print "bench.sh: no benchmark results parsed" > "/dev/stderr"; exit 1 }
-		printf "{\n" > out
-		printf "  \"timestamp\": \"%s\",\n", ts >> out
-		printf "  \"goos\": \"%s\",\n", meta["goos:"] >> out
-		printf "  \"goarch\": \"%s\",\n", meta["goarch:"] >> out
-		printf "  \"cpu\": \"%s\",\n", meta["cpu:"] >> out
-		printf "  \"benchmarks\": [\n" >> out
-		for (i = 1; i <= n; i++) {
-			printf "%s%s\n", entries[i], (i < n ? "," : "") >> out
-		}
-		printf "  ]\n}\n" >> out
-		print "wrote " out " (" n " benchmarks)"
+		printf "\n" >> entries
 	}'
+
+# --- serving throughput: train tiny db, serve, loadgen ------------------
+if [ "$SERVE_BENCH" != "0" ]; then
+	echo "bench.sh: measuring serving throughput (loadgen ${LOADGEN_DURATION} x ${LOADGEN_WORKERS} workers)"
+	go build -o "$tmp/train" ./cmd/train
+	go build -o "$tmp/serve" ./cmd/serve
+	go build -o "$tmp/loadgen" ./cmd/loadgen
+	"$tmp/train" -out "$tmp/db.json" -model-out "$tmp/models" -model knn \
+		-programs vecadd,matmul -maxsize 1 -quiet
+	# PID-derived port avoids collisions between concurrent runs (and
+	# with anything squatting on a fixed default); override if needed.
+	port="${BENCH_PORT:-$((18100 + $$ % 800))}"
+	"$tmp/serve" -addr "127.0.0.1:$port" -db "$tmp/db.json" -platform mc2 \
+		-models "$tmp/models" -model knn -warm vecadd >"$tmp/serve.log" 2>&1 &
+	serve_pid=$!
+	i=0
+	while ! "$tmp/loadgen" -addr "http://127.0.0.1:$port" -program vecadd -size 1 \
+		-workers 1 -duration 50ms -warmup 0s >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -ge 100 ] && { echo "bench.sh: serve did not come up"; exit 1; }
+		kill -0 "$serve_pid" 2>/dev/null || { echo "bench.sh: serve died"; cat "$tmp/serve.log"; exit 1; }
+		sleep 0.1
+	done
+	"$tmp/loadgen" -addr "http://127.0.0.1:$port" -program vecadd -size 1 \
+		-workers "$LOADGEN_WORKERS" -duration "$LOADGEN_DURATION" -out "$tmp/predict.json"
+	"$tmp/loadgen" -addr "http://127.0.0.1:$port" -program vecadd -size 1 -batch 64 \
+		-workers "$LOADGEN_WORKERS" -duration "$LOADGEN_DURATION" -out "$tmp/batch.json"
+	kill "$serve_pid" 2>/dev/null || true
+	wait "$serve_pid" 2>/dev/null || true
+	serve_pid=""
+fi
+
+# --- assemble the final document ---------------------------------------
+{
+	printf '{\n'
+	printf '  "timestamp": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	cat "$tmp/meta"
+	printf '  "benchmarks": [\n'
+	cat "$tmp/entries"
+	printf '  ]'
+	if [ -s "$tmp/predict.json" ]; then
+		printf ',\n  "serving": {\n'
+		printf '    "predict": %s,\n' "$(tr -d '\n' <"$tmp/predict.json" | tr -s ' ')"
+		printf '    "predictBatch": %s\n' "$(tr -d '\n' <"$tmp/batch.json" | tr -s ' ')"
+		printf '  }'
+	fi
+	printf '\n}\n'
+} >"$OUT"
+
+# The document must parse — catch assembly bugs before they land in the
+# trajectory.
+if command -v python3 >/dev/null 2>&1; then
+	python3 -c "import json,sys; json.load(open('$OUT'))" || { echo "bench.sh: $OUT is not valid JSON"; exit 1; }
+fi
+n="$(grep -c '"name"' "$OUT" || true)"
+echo "wrote $OUT ($n benchmarks$([ -s "$tmp/predict.json" ] && printf ', serving metrics included'))"

@@ -23,6 +23,7 @@ trap cleanup EXIT
 
 go build -o "$work/train" ./cmd/train
 go build -o "$work/serve" ./cmd/serve
+go build -o "$work/loadgen" ./cmd/loadgen
 
 echo "== training tiny database + artifacts =="
 "$work/train" -out "$work/db.json" -model-out "$work/models" -model knn \
@@ -68,9 +69,32 @@ curl -fsS "$base/stats" | tee "$work/stats.json"
 grep -q '"trainings": 0' "$work/stats.json"
 grep -q '"artifactLoads": 1' "$work/stats.json"
 
+echo "== predict/batch: N points in one request =="
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"requests":[{"program":"vecadd","size":0},{"program":"vecadd","size":1},{"program":"bogus"}]}' \
+  "$base/predict/batch" | tee "$work/batch.json"
+grep -q '"count": 3' "$work/batch.json"
+grep -q '"errors": 1' "$work/batch.json"
+grep -q '"partition"' "$work/batch.json"
+
 echo "== bad request handling =="
 code=$(curl -s -o /dev/null -w '%{http_code}' "$base/predict")
 [ "$code" = "400" ] || { echo "FAIL: missing program returned $code"; exit 1; }
+
+echo "== trailing garbage after the JSON body is rejected =="
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  -d '{"program":"vecadd","size":0}{"junk":1}' "$base/execute")
+[ "$code" = "400" ] || { echo "FAIL: trailing garbage returned $code"; exit 1; }
+
+echo "== closed-loop load generator sustains traffic =="
+"$work/loadgen" -addr "$base" -program vecadd -size 1 -workers 2 \
+  -duration 0.5s -warmup 100ms | tee "$work/loadgen.json"
+grep -q '"qps"' "$work/loadgen.json"
+grep -q '"errors": 0' "$work/loadgen.json"
+"$work/loadgen" -addr "$base" -program vecadd -size 1 -workers 2 -batch 16 \
+  -duration 0.5s -warmup 100ms | tee "$work/loadgen-batch.json"
+grep -q '"pointsPerSecond"' "$work/loadgen-batch.json"
+grep -q '"errors": 0' "$work/loadgen-batch.json"
 
 echo "== 405 with Allow header =="
 curl -s -i -X POST "$base/stats" -o "$work/405.txt"
