@@ -26,6 +26,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/device"
 	"repro/internal/exec"
+	"repro/internal/exec/vm"
 	"repro/internal/harness"
 	"repro/internal/inspire"
 	"repro/internal/ml"
@@ -489,5 +490,118 @@ func BenchmarkPrediction(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pred(x)
+	}
+}
+
+// benchCompileTiers compiles a suite program's kernel on both execution
+// tiers, independently of the program's cached (default-tier) kernel.
+func benchCompileTiers(b *testing.B, name string) (*bench.Program, *exec.Compiled, *exec.Compiled) {
+	b.Helper()
+	p, err := bench.Get(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := inspire.LowerSource(p.Name, p.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inspire.Optimize(u)
+	k := u.Kernel(p.Kernel)
+	cl, err := exec.CompileTier(k, exec.TierClosure)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vmc, err := exec.CompileTier(k, exec.TierVM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, cl, vmc
+}
+
+// BenchmarkKernelExec compares the closure-tree interpreter against the
+// bytecode VM on one host worker: a uniform streaming kernel
+// (blackscholes, branch taken by every item) and a non-uniform one
+// (mandelbrot, per-item loop trip counts). The vm/closure ratio is the
+// dispatch-loop speedup of this PR; both tiers produce byte-identical
+// buffers and profiles (see vmdiff_test.go). matvec, matmul, and nbody
+// are the counted-loop kernels where index and backedge fusion bite
+// hardest; blackscholes and mandelbrot are straight-line and
+// divergent-loop shapes.
+func BenchmarkKernelExec(b *testing.B) {
+	for _, prog := range []string{"matvec", "matmul", "nbody", "blackscholes", "mandelbrot"} {
+		p, cl, vmc := benchCompileTiers(b, prog)
+		inst, err := p.Instance(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tier := range []struct {
+			name string
+			c    *exec.Compiled
+		}{{"closure", cl}, {"vm", vmc}} {
+			b.Run(prog+"/"+tier.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := tier.c.Run(inst.Args, inst.ND, exec.RunOptions{Workers: 1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkKernelExecFusion isolates the peephole super-instruction
+// passes: the same kernel's bytecode with and without fusion, executed
+// item-by-item on a bare VM frame (no host scheduling around it).
+func BenchmarkKernelExecFusion(b *testing.B) {
+	p, err := bench.Get("blackscholes")
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := inspire.LowerSource(p.Name, p.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inspire.Optimize(u)
+	k := u.Kernel(p.Kernel)
+	for _, cfg := range []struct {
+		name string
+		opts vm.Options
+	}{{"fused", vm.Options{}}, {"unfused", vm.Options{NoFuse: true}}} {
+		prog, err := vm.CompileOpts(k, cfg.opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst, err := p.Instance(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := inst.ND.Global[0]
+		f := prog.NewFrame()
+		for ai, pr := range prog.Params {
+			switch pr.Kind {
+			case vm.ParamGlobal:
+				buf := inst.Args[ai].Buf
+				f.Globals[pr.Index] = vm.Buf{F: buf.F, I: buf.I}
+			case vm.ParamInt:
+				f.I[pr.Index] = inst.Args[ai].Int
+			case vm.ParamFloat:
+				f.F[pr.Index] = inst.Args[ai].Float
+			}
+		}
+		f.WI[vm.WIGlobalSize] = [3]int64{int64(n), 1, 1}
+		f.WI[vm.WILocalSize] = [3]int64{1, 1, 1}
+		f.WI[vm.WINumGroups] = [3]int64{int64(n), 1, 1}
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for item := 0; item < n; item++ {
+					f.WI[vm.WIGlobalID][0] = int64(item)
+					f.WI[vm.WIGroupID][0] = int64(item)
+					f.Reset()
+					if _, err := prog.Run(f); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
 	}
 }

@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/exec"
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/sched"
@@ -90,8 +91,17 @@ func main() {
 	retrainInterval := flag.Duration("retrain-interval", time.Minute, "how often the background retrainer checks for new observations")
 	retrainMin := flag.Int("retrain-min", 5, "labeled observations required since the last attempt before retraining")
 	oracleSample := flag.Int("oracle-sample", 1, "label every Nth execution with its measured-best class (1 = all, negative = never)")
+	execTier := flag.String("exec-tier", "", "kernel execution tier: auto, vm, or closure (default: REPRO_EXEC_TIER or auto)")
 	flag.Parse()
 	sched.SetDefaultWorkers(*parallel)
+	if *execTier != "" {
+		tier, err := exec.ParseTier(*execTier)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		exec.SetDefaultTier(tier)
+	}
 
 	if *saveTrained && *models == "" {
 		fail(fmt.Errorf("-save-trained requires -models to name the artifact directory"))
@@ -420,6 +430,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptimeSeconds": time.Since(s.start).Seconds(),
+		"execTier":      exec.DefaultTier().String(),
 		"engine":        s.eng.Stats(),
 	})
 }

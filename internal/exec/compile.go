@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/exec/vm"
 	"repro/internal/inspire"
 	"repro/internal/minicl"
 )
@@ -80,6 +81,11 @@ type Compiled struct {
 	paramSlots      []slot // parallel to Fn.Params
 	slotOf          []slot // by Var.ID
 	retIsFloat      bool
+
+	// Bytecode VM tier (see tier.go). vmProg is nil on the closure tier;
+	// vmErr records why the VM lowering was skipped under TierAuto.
+	vmProg *vm.Func
+	vmErr  error
 }
 
 // HasBarrier reports whether the kernel (including helpers) executes
@@ -98,8 +104,16 @@ type compiler struct {
 	helpers map[*inspire.Function]*Compiled
 }
 
-// Compile translates an IR function into an executable kernel.
-func Compile(fn *inspire.Function) (c *Compiled, err error) {
+// Compile translates an IR function into an executable kernel on the
+// process-wide default tier (see DefaultTier): closures always, plus
+// the bytecode VM when it is selected and the kernel lowers.
+func Compile(fn *inspire.Function) (*Compiled, error) {
+	return CompileTier(fn, DefaultTier())
+}
+
+// compileClosure builds the closure-tree interpreter, the reference
+// execution tier.
+func compileClosure(fn *inspire.Function) (c *Compiled, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if ee, ok := r.(execError); ok {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/exec/vm"
 	"repro/internal/minicl"
 	"repro/internal/sched"
 )
@@ -240,6 +241,12 @@ type groupRunner struct {
 	poolStart chan int
 	poolDone  sync.WaitGroup
 	poolPanic atomic.Value
+
+	// Bytecode VM tier state (see runvm.go); vmFrames is nil when the
+	// kernel executes on the closure tier.
+	vmFrames []*vm.Frame
+	vmDone   []bool
+	vmBarFn  func()
 }
 
 func newGroupRunner(c *Compiled, args []Arg, nd NDRange, ngrp [3]int64, buckets []Counts, mode BarrierMode) *groupRunner {
@@ -306,6 +313,7 @@ func newGroupRunner(c *Compiled, args []Arg, nd NDRange, ngrp [3]int64, buckets 
 	if r.barrier && r.lockstep {
 		r.gctx = groupExec{frames: r.frames, active: make([]bool, r.itemsPer)}
 	}
+	r.initVM(args)
 	return r
 }
 
@@ -352,6 +360,10 @@ func (r *groupRunner) runGroup(g0, g1, g2 int) {
 		}
 	}
 	r.refreshBuckets(g0)
+	if r.vmFrames != nil {
+		r.runGroupVM(g0, g1, g2)
+		return
+	}
 	if !r.barrier {
 		li := 0
 		for l2 := 0; l2 < int(r.lsz[2]); l2++ {
@@ -452,6 +464,12 @@ func (r *groupRunner) runPoolItem(li int) {
 			r.poolPanic.CompareAndSwap(nil, rec)
 		}
 	}()
+	if r.vmFrames != nil {
+		if _, err := r.c.vmProg.Run(r.vmFrames[li]); err != nil {
+			panic(execError{err})
+		}
+		return
+	}
 	r.c.body(r.frames[li])
 }
 

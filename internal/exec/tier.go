@@ -1,0 +1,118 @@
+package exec
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/exec/vm"
+	"repro/internal/inspire"
+)
+
+// Tier selects the kernel execution engine. The closure tree is always
+// compiled and remains the reference implementation (the same role
+// Profile.RangeNaive plays for range queries); the bytecode VM is the
+// fast tier with byte-identical buffers and profiles.
+type Tier int
+
+const (
+	// TierAuto executes on the bytecode VM whenever the kernel lowers,
+	// falling back to the closure tree otherwise. This is the default.
+	TierAuto Tier = iota
+	// TierClosure forces the closure-tree interpreter.
+	TierClosure
+	// TierVM requires the bytecode VM; Compile fails if the kernel
+	// cannot be lowered.
+	TierVM
+)
+
+// String returns the tier's flag spelling.
+func (t Tier) String() string {
+	switch t {
+	case TierClosure:
+		return "closure"
+	case TierVM:
+		return "vm"
+	default:
+		return "auto"
+	}
+}
+
+// ParseTier parses a tier name: auto, closure, or vm.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "auto", "":
+		return TierAuto, nil
+	case "closure", "closures":
+		return TierClosure, nil
+	case "vm", "bytecode":
+		return TierVM, nil
+	}
+	return TierAuto, fmt.Errorf("exec: unknown execution tier %q (want auto, closure, or vm)", s)
+}
+
+var (
+	tierOnce    sync.Once
+	defaultTier atomic.Int32
+)
+
+// DefaultTier returns the process-wide execution tier: TierAuto unless
+// overridden by SetDefaultTier or the REPRO_EXEC_TIER environment
+// variable (read once, on first use).
+func DefaultTier() Tier {
+	tierOnce.Do(func() {
+		if s := os.Getenv("REPRO_EXEC_TIER"); s != "" {
+			if t, err := ParseTier(s); err == nil {
+				defaultTier.Store(int32(t))
+			}
+		}
+	})
+	return Tier(defaultTier.Load())
+}
+
+// SetDefaultTier overrides the process-wide execution tier (e.g. from a
+// -exec-tier flag). It takes precedence over REPRO_EXEC_TIER.
+func SetDefaultTier(t Tier) {
+	tierOnce.Do(func() {})
+	defaultTier.Store(int32(t))
+}
+
+// CompileTier translates an IR function into an executable kernel on an
+// explicit tier. The closure tree is always built (it carries the frame
+// layout, barrier metadata, and the lockstep program); the VM program
+// is attached unless the tier is TierClosure.
+func CompileTier(fn *inspire.Function, tier Tier) (*Compiled, error) {
+	c, err := compileClosure(fn)
+	if err != nil {
+		return nil, err
+	}
+	if tier == TierClosure {
+		return c, nil
+	}
+	p, verr := vm.Compile(fn)
+	if verr != nil {
+		if tier == TierVM {
+			return nil, fmt.Errorf("exec: vm tier: %w", verr)
+		}
+		c.vmErr = verr
+		return c, nil
+	}
+	c.vmProg = p
+	return c, nil
+}
+
+// Tier reports the tier this kernel executes on.
+func (c *Compiled) Tier() Tier {
+	if c.vmProg != nil {
+		return TierVM
+	}
+	return TierClosure
+}
+
+// VM returns the kernel's bytecode program, or nil on the closure tier.
+func (c *Compiled) VM() *vm.Func { return c.vmProg }
+
+// VMError returns why the VM lowering was skipped under TierAuto, if it
+// was; nil when the VM program is attached or was never requested.
+func (c *Compiled) VMError() error { return c.vmErr }

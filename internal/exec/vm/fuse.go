@@ -1,0 +1,465 @@
+package vm
+
+import "math"
+
+// fuse runs the peephole super-instruction passes over a compiled
+// function: constant→immediate folding, load-operate fusion,
+// multiply-add fusion, and compare-branch fusion. Each fused
+// instruction bumps exactly the counters its unfused pair would have,
+// so profiles stay byte-identical with fusion on or off.
+//
+// A pair (producer, consumer) fuses only when the producer's
+// destination is written and read exactly once in the whole function
+// (a single-use temporary) and the consumer is not a jump target, so
+// no control flow can observe the intermediate register or enter
+// between the two instructions.
+func fuse(p *Func) {
+	n := 0
+	n += fusePass(p, tryConstImm)
+	n += fusePass(p, tryLoadOp)
+	n += fusePass(p, tryMulAccLd)
+	n += fusePass(p, tryMulAdd)
+	n += fusePass(p, tryMulMul)
+	n += fusePass(p, tryAddRsqrt)
+	n += fusePass(p, tryIdxLoad)
+	n += fusePass(p, tryCmpBranch)
+	n += threadJumps(p)
+	n += fusePass(p, tryIncJCmp)
+	p.Fused = n
+}
+
+// regUse tallies per-register reads and writes from the operand formats
+// in the opcode registry.
+type regUse struct {
+	rI, wI []int
+	rF, wF []int
+}
+
+func useCounts(p *Func) *regUse {
+	u := &regUse{
+		rI: make([]int, p.NumI), wI: make([]int, p.NumI),
+		rF: make([]int, p.NumF), wF: make([]int, p.NumF),
+	}
+	for i := range p.Code {
+		in := &p.Code[i]
+		info, _ := LookupOp(in.Op)
+		switch info.Fmt {
+		case FmtIabc:
+			u.wI[in.A]++
+			u.rI[in.B]++
+			u.rI[in.C]++
+		case FmtIab, FmtIabImm:
+			u.wI[in.A]++
+			u.rI[in.B]++
+		case FmtIaImm:
+			u.wI[in.A]++
+		case FmtFabc:
+			u.wF[in.A]++
+			u.rF[in.B]++
+			u.rF[in.C]++
+		case FmtFab:
+			u.wF[in.A]++
+			u.rF[in.B]++
+		case FmtFaPool:
+			u.wF[in.A]++
+		case FmtFaIb:
+			u.wF[in.A]++
+			u.rI[in.B]++
+		case FmtIaFb:
+			u.wI[in.A]++
+			u.rF[in.B]++
+		case FmtIaFbc:
+			u.wI[in.A]++
+			u.rF[in.B]++
+			u.rF[in.C]++
+		case FmtFabcImm:
+			u.wF[in.A]++
+			u.rF[in.B]++
+			u.rF[in.C]++
+			u.rF[in.Imm]++
+		case FmtIabcImm:
+			u.wI[in.A]++
+			u.rI[in.B]++
+			u.rI[in.C]++
+			u.rI[in.Imm]++
+		case FmtMulImmAdd:
+			u.wI[in.A]++
+			u.rI[in.B]++
+			u.rI[in.C]++
+		case FmtJCond:
+			u.rI[in.A]++
+		case FmtWI:
+			u.wI[in.A]++
+		case FmtWIDyn:
+			u.wI[in.A]++
+			u.rI[in.C]++
+		case FmtLoadF:
+			u.wF[in.A]++
+			u.rI[in.C]++
+		case FmtLoadI:
+			u.wI[in.A]++
+			u.rI[in.C]++
+		case FmtStoreF:
+			u.rF[in.A]++
+			u.rI[in.C]++
+		case FmtStoreI:
+			u.rI[in.A]++
+			u.rI[in.C]++
+		case FmtFusedLdF:
+			u.wF[in.A]++
+			u.rF[in.B]++
+			u.rI[in.C]++
+		case FmtFusedMacF:
+			u.wF[in.A]++
+			u.rF[in.A]++
+			u.rF[in.B]++
+			u.rI[in.C]++
+		case FmtLdIdxF:
+			u.wF[in.A]++
+			u.rI[in.B]++
+			u.rI[in.C]++
+			_, _, r := unpackMemIdx(in.Imm)
+			u.rI[r]++
+		case FmtMacIdxF:
+			u.wF[in.A]++
+			u.rF[in.A]++
+			u.rF[in.B]++
+			u.rI[in.C]++
+			_, _, r2, r3 := unpackMacIdx(in.Imm)
+			u.rI[r2]++
+			u.rI[r3]++
+		case FmtJCmpI:
+			u.rI[in.A]++
+			u.rI[in.B]++
+		case FmtIncJCmpI:
+			u.wI[in.A]++
+			u.rI[in.A]++
+			u.rI[in.B]++
+			u.rI[in.C]++
+		case FmtJCmpIImm:
+			u.rI[in.A]++
+		case FmtJCmpF:
+			u.rF[in.A]++
+			u.rF[in.B]++
+		}
+	}
+	return u
+}
+
+func (u *regUse) soloI(r int32) bool { return u.wI[r] == 1 && u.rI[r] == 1 }
+func (u *regUse) soloF(r int32) bool { return u.wF[r] == 1 && u.rF[r] == 1 }
+
+// jumpTargets returns the set of instruction indices any jump lands on.
+func jumpTargets(code []Instr) map[int]bool {
+	t := map[int]bool{}
+	for i := range code {
+		switch code[i].Op {
+		case OpJmp, OpJZBr, OpJZLog, OpJNZLog, OpJCmpI, OpJCmpF:
+			t[int(code[i].Imm)] = true
+		case OpJCmpIImm:
+			t[int(code[i].C)] = true
+		case OpIncJCmpI:
+			_, tgt := unpackCcTarget(code[i].Imm)
+			t[int(tgt)] = true
+		}
+	}
+	return t
+}
+
+type fuseFn func(a, b *Instr, u *regUse) (Instr, bool)
+
+// fusePass makes one left-to-right sweep, replacing each fusable
+// adjacent pair with its super-instruction and remapping jump targets
+// over the compacted code.
+func fusePass(p *Func, try fuseFn) int {
+	targets := jumpTargets(p.Code)
+	u := useCounts(p)
+	out := make([]Instr, 0, len(p.Code))
+	newPC := make([]int, len(p.Code)+1)
+	n := 0
+	for i := 0; i < len(p.Code); i++ {
+		newPC[i] = len(out)
+		if i+1 < len(p.Code) && !targets[i+1] {
+			if f, ok := try(&p.Code[i], &p.Code[i+1], u); ok {
+				out = append(out, f)
+				newPC[i+1] = len(out) - 1
+				i++
+				n++
+				continue
+			}
+		}
+		out = append(out, p.Code[i])
+	}
+	newPC[len(p.Code)] = len(out)
+	if n == 0 {
+		return 0
+	}
+	for i := range out {
+		switch out[i].Op {
+		case OpJmp, OpJZBr, OpJZLog, OpJNZLog, OpJCmpI, OpJCmpF:
+			out[i].Imm = int64(newPC[out[i].Imm])
+		case OpJCmpIImm:
+			out[i].C = int32(newPC[out[i].C])
+		case OpIncJCmpI:
+			cc, tgt := unpackCcTarget(out[i].Imm)
+			out[i].Imm = packCcTarget(cc, int64(newPC[tgt]))
+		}
+	}
+	p.Code = out
+	return n
+}
+
+// immForms maps a register-register integer op to its immediate form.
+var immForms = map[Opcode]Opcode{
+	OpAddI: OpAddIImm, OpMulI: OpMulIImm, OpDivI: OpDivIImm, OpModI: OpModIImm,
+	OpShlI: OpShlIImm, OpShrI: OpShrIImm, OpAndI: OpAndIImm, OpOrI: OpOrIImm,
+	OpXorI: OpXorIImm,
+	OpLtI:  OpLtIImm, OpLeI: OpLeIImm, OpGtI: OpGtIImm, OpGeI: OpGeIImm,
+	OpEqI: OpEqIImm, OpNeI: OpNeIImm,
+}
+
+// tryConstImm folds `ldc.i t, k` into the following instruction when it
+// consumes t as its right-hand operand.
+func tryConstImm(a, b *Instr, u *regUse) (Instr, bool) {
+	if a.Op != OpLdcI || !u.soloI(a.A) {
+		return Instr{}, false
+	}
+	t, k := a.A, a.Imm
+	if b.C != t {
+		return Instr{}, false
+	}
+	if b.Op == OpSubI {
+		if k == math.MinInt64 {
+			return Instr{}, false
+		}
+		return Instr{Op: OpAddIImm, A: b.A, B: b.B, Imm: -k}, true
+	}
+	op, ok := immForms[b.Op]
+	if !ok {
+		return Instr{}, false
+	}
+	if (op == OpDivIImm || op == OpModIImm) && k == 0 {
+		return Instr{}, false
+	}
+	return Instr{Op: op, A: b.A, B: b.B, Imm: k}, true
+}
+
+// tryLoadOp fuses a global float load feeding a float add, multiply, or
+// subtract (either side of the subtract).
+func tryLoadOp(a, b *Instr, u *regUse) (Instr, bool) {
+	if a.Op != OpLdGF || !u.soloF(a.A) {
+		return Instr{}, false
+	}
+	t := a.A
+	mem := packMem(a.B, int32(a.Imm))
+	switch b.Op {
+	case OpAddF, OpMulF:
+		op := OpAddFLdG
+		if b.Op == OpMulF {
+			op = OpMulFLdG
+		}
+		var x int32
+		switch t {
+		case b.C:
+			x = b.B
+		case b.B:
+			x = b.C
+		default:
+			return Instr{}, false
+		}
+		return Instr{Op: op, A: b.A, B: x, C: a.C, Imm: mem}, true
+	case OpSubF:
+		switch t {
+		case b.C:
+			return Instr{Op: OpSubFLdG, A: b.A, B: b.B, C: a.C, Imm: mem}, true
+		case b.B:
+			return Instr{Op: OpLdSubFG, A: b.A, B: b.C, C: a.C, Imm: mem}, true
+		}
+	}
+	return Instr{}, false
+}
+
+// tryMulAccLd fuses a mulld.f feeding an accumulating add (the reduction
+// shape `acc = acc + x * buf[i]`) into one multiply-accumulate-from-load.
+func tryMulAccLd(a, b *Instr, u *regUse) (Instr, bool) {
+	if a.Op != OpMulFLdG || b.Op != OpAddF || !u.soloF(a.A) {
+		return Instr{}, false
+	}
+	t := a.A
+	if (b.B == t && b.C == b.A) || (b.C == t && b.B == b.A) {
+		return Instr{Op: OpMulAccLdG, A: b.A, B: a.B, C: a.C, Imm: a.Imm}, true
+	}
+	return Instr{}, false
+}
+
+// tryMulAdd fuses a multiply feeding an add into a two-count
+// multiply-add super-instruction.
+func tryMulAdd(a, b *Instr, u *regUse) (Instr, bool) {
+	switch a.Op {
+	case OpMulI, OpMulIImm:
+		if b.Op != OpAddI || !u.soloI(a.A) {
+			return Instr{}, false
+		}
+		var other int32
+		switch a.A {
+		case b.B:
+			other = b.C
+		case b.C:
+			other = b.B
+		default:
+			return Instr{}, false
+		}
+		if a.Op == OpMulIImm {
+			return Instr{Op: OpMulImmAddI, A: b.A, B: a.B, C: other, Imm: a.Imm}, true
+		}
+		return Instr{Op: OpMulAddI, A: b.A, B: a.B, C: a.C, Imm: int64(other)}, true
+	case OpMulF:
+		if b.Op != OpAddF || !u.soloF(a.A) {
+			return Instr{}, false
+		}
+		var other int32
+		switch a.A {
+		case b.B:
+			other = b.C
+		case b.C:
+			other = b.B
+		default:
+			return Instr{}, false
+		}
+		return Instr{Op: OpMulAddF, A: b.A, B: a.B, C: a.C, Imm: int64(other)}, true
+	}
+	return Instr{}, false
+}
+
+// tryMulMul fuses a float multiply feeding another multiply (the
+// power/scaling chain `a*b*c`) into one two-count super-instruction.
+func tryMulMul(a, b *Instr, u *regUse) (Instr, bool) {
+	if a.Op != OpMulF || b.Op != OpMulF || !u.soloF(a.A) {
+		return Instr{}, false
+	}
+	var other int32
+	switch a.A {
+	case b.B:
+		other = b.C
+	case b.C:
+		other = b.B
+	default:
+		return Instr{}, false
+	}
+	return Instr{Op: OpMulMulF, A: b.A, B: a.B, C: a.C, Imm: int64(other)}, true
+}
+
+// tryAddRsqrt fuses a float add feeding rsqrt — the softened
+// inverse-distance shape 1/sqrt(d2 + eps) in particle kernels.
+func tryAddRsqrt(a, b *Instr, u *regUse) (Instr, bool) {
+	if a.Op != OpAddF || b.Op != OpRsqrtF || b.B != a.A || !u.soloF(a.A) {
+		return Instr{}, false
+	}
+	return Instr{Op: OpAddRsqrtF, A: b.A, B: a.B, C: a.C}, true
+}
+
+// tryIdxLoad folds a muladd.i address computation (the row-major
+// `i*stride + j` shape) into the load it feeds.
+func tryIdxLoad(a, b *Instr, u *regUse) (Instr, bool) {
+	if a.Op != OpMulAddI || !u.soloI(a.A) {
+		return Instr{}, false
+	}
+	switch b.Op {
+	case OpLdGF:
+		if b.C != a.A || b.B >= 1<<15 || b.Imm >= 1<<31 || a.Imm >= 1<<16 {
+			return Instr{}, false
+		}
+		return Instr{Op: OpLdGFIdx, A: b.A, B: a.B, C: a.C,
+			Imm: packMemIdx(b.B, int32(b.Imm), int32(a.Imm))}, true
+	case OpMulAccLdG:
+		slot, name := unpackMem(b.Imm)
+		if b.C != a.A || slot >= 1<<15 || name >= 1<<16 || a.C >= 1<<16 || a.Imm >= 1<<16 {
+			return Instr{}, false
+		}
+		return Instr{Op: OpMacLdGIdx, A: b.A, B: b.B, C: a.B,
+			Imm: packMacIdx(slot, name, a.C, int32(a.Imm))}, true
+	}
+	return Instr{}, false
+}
+
+// negCc is the condition that makes a fused compare-branch jump exactly
+// when the original jz.br would have (i.e. when the compare is false).
+var negCc = map[Opcode]int32{
+	OpLtI: CcGe, OpLeI: CcGt, OpGtI: CcLe, OpGeI: CcLt, OpEqI: CcNe, OpNeI: CcEq,
+	OpLtIImm: CcGe, OpLeIImm: CcGt, OpGtIImm: CcLe, OpGeIImm: CcLt,
+	OpEqIImm: CcNe, OpNeIImm: CcEq,
+	OpLtF: CcGe, OpLeF: CcGt, OpGtF: CcLe, OpGeF: CcLt, OpEqF: CcNe, OpNeF: CcEq,
+}
+
+// tryCmpBranch fuses a comparison feeding a jz.br into one
+// compare-and-branch that jumps on the negated condition.
+func tryCmpBranch(a, b *Instr, u *regUse) (Instr, bool) {
+	cc, ok := negCc[a.Op]
+	if !ok || b.Op != OpJZBr || b.A != a.A || !u.soloI(a.A) {
+		return Instr{}, false
+	}
+	switch {
+	case a.Op >= OpLtIImm && a.Op <= OpNeIImm:
+		return Instr{Op: OpJCmpIImm, A: a.B, B: cc, C: int32(b.Imm), Imm: a.Imm}, true
+	case a.Op >= OpLtF && a.Op <= OpNeF:
+		return Instr{Op: OpJCmpF, A: a.B, B: a.C, C: cc, Imm: b.Imm}, true
+	default:
+		return Instr{Op: OpJCmpI, A: a.B, B: a.C, C: cc, Imm: b.Imm}, true
+	}
+}
+
+// tryIncJCmp fuses a loop counter update into the rotated backedge
+// compare, so a counted loop's steady-state overhead is one dispatch.
+// Both effects of the pair (the counter write and the compare-branch)
+// are preserved, so no single-use condition is needed — only adjacency
+// and the no-jump-target rule fusePass already enforces.
+func tryIncJCmp(a, b *Instr, u *regUse) (Instr, bool) {
+	if a.Op != OpAddI || b.Op != OpJCmpI || b.A != a.A {
+		return Instr{}, false
+	}
+	var step int32
+	switch a.A {
+	case a.B:
+		step = a.C
+	case a.C:
+		step = a.B
+	default:
+		return Instr{}, false
+	}
+	return Instr{Op: OpIncJCmpI, A: a.A, B: step, C: b.B,
+		Imm: packCcTarget(b.C, b.Imm)}, true
+}
+
+// threadJumps rotates counted loops: a jmp whose target is a fused
+// compare-branch exiting to the instruction right after the jmp is
+// replaced in place by the inverted compare targeting the loop body, so
+// steady-state iterations pay one dispatch instead of two. The head
+// compare still guards entry; total compare/branch counts are unchanged
+// (head runs once, the rotated copy runs once per iteration).
+func threadJumps(p *Func) int {
+	n := 0
+	for i := range p.Code {
+		in := &p.Code[i]
+		if in.Op != OpJmp {
+			continue
+		}
+		t := int(in.Imm)
+		if t < 0 || t >= len(p.Code) {
+			continue
+		}
+		h := p.Code[t]
+		switch h.Op {
+		case OpJCmpI, OpJCmpF:
+			if int(h.Imm) == i+1 {
+				*in = Instr{Op: h.Op, A: h.A, B: h.B, C: invCc[h.C], Imm: int64(t + 1)}
+				n++
+			}
+		case OpJCmpIImm:
+			if int(h.C) == i+1 {
+				*in = Instr{Op: OpJCmpIImm, A: h.A, B: invCc[h.B], C: int32(t + 1), Imm: h.Imm}
+				n++
+			}
+		}
+	}
+	return n
+}

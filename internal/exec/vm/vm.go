@@ -1,0 +1,671 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Counts mirrors exec.Counts field-for-field so the two convert
+// directly; the VM bumps exactly the counters the closure tier bumps.
+type Counts struct {
+	Items         int64
+	IntOps        int64
+	FloatOps      int64
+	TransOps      int64
+	OtherBuiltins int64
+	GlobalLoads   int64
+	GlobalStores  int64
+	LocalOps      int64
+	Branches      int64
+	Barriers      int64
+	MaxItemOps    int64
+}
+
+// Buf is a typed buffer view. Exactly one of F or I is non-nil; the
+// slices alias the executor's backing buffers.
+type Buf struct {
+	F []float32
+	I []int32
+}
+
+// ParamKind classifies a kernel parameter for argument binding.
+type ParamKind uint8
+
+// Parameter kinds.
+const (
+	ParamInt    ParamKind = iota // scalar in I[Index]
+	ParamFloat                   // scalar in F[Index]
+	ParamGlobal                  // global buffer in Globals[Index]
+	ParamLocal                   // local buffer in Locals[Index]
+)
+
+// Param maps one kernel parameter to its register or buffer slot.
+type Param struct {
+	Kind  ParamKind
+	Index int32
+}
+
+// Func is a compiled kernel: flat bytecode over two register files plus
+// the constant pools and binding metadata.
+type Func struct {
+	Name  string
+	Code  []Instr
+	FPool []float64 // float constants, indexed by OpLdcF Imm
+	Names []string  // buffer names for fault messages
+
+	NumI, NumF           int // register file sizes (variables + temporaries)
+	NumGlobals, NumLocal int // buffer slot table sizes
+	Params               []Param
+	Fused                int // super-instructions created by the peephole pass
+}
+
+// Status reports how a Run call ended.
+type Status uint8
+
+// Run statuses.
+const (
+	// Halted: the work item finished (end of kernel or return).
+	Halted Status = iota
+	// Suspended: the work item reached a barrier with no Barrier
+	// callback installed; Run resumes after the barrier on the next call.
+	Suspended
+)
+
+// Frame.WI row indices, matching inspire.WIQuery order.
+const (
+	WIGlobalID = iota
+	WILocalID
+	WIGroupID
+	WIGlobalSize
+	WILocalSize
+	WINumGroups
+)
+
+// Frame is the per-work-item execution state: the register files, the
+// bound buffers, the NDRange coordinates, and the dynamic counts.
+type Frame struct {
+	I []int64
+	F []float64
+
+	Globals []Buf
+	Locals  []Buf
+
+	// WI holds the six work-item query vectors indexed by
+	// inspire.WIQuery order: gid, lid, group, gsize, lsize, ngroups.
+	WI [6][3]int64
+
+	Cnt Counts
+	PC  int
+
+	// Barrier, when non-nil, is invoked at OpBar (blocking barrier
+	// modes). When nil, OpBar suspends the frame instead (lockstep).
+	Barrier func()
+}
+
+// NewFrame allocates a frame sized for fn. Buffers, scalar arguments
+// and WI vectors are bound by the caller.
+func (fn *Func) NewFrame() *Frame {
+	f := &Frame{
+		I: make([]int64, fn.NumI),
+		F: make([]float64, fn.NumF),
+	}
+	if fn.NumGlobals > 0 {
+		f.Globals = make([]Buf, fn.NumGlobals)
+	}
+	if fn.NumLocal > 0 {
+		f.Locals = make([]Buf, fn.NumLocal)
+	}
+	return f
+}
+
+// Reset rewinds the frame to the kernel entry and clears its counts.
+// Registers keep their values: scalar parameters stay bound, and every
+// local variable is re-initialized by its declaration instruction.
+func (f *Frame) Reset() {
+	f.PC = 0
+	f.Cnt = Counts{}
+}
+
+func ccHoldsI(cc int32, l, r int64) bool {
+	switch cc {
+	case CcLt:
+		return l < r
+	case CcLe:
+		return l <= r
+	case CcGt:
+		return l > r
+	case CcGe:
+		return l >= r
+	case CcEq:
+		return l == r
+	default:
+		return l != r
+	}
+}
+
+func ccHoldsF(cc int32, l, r float64) bool {
+	switch cc {
+	case CcLt:
+		return l < r
+	case CcLe:
+		return l <= r
+	case CcGt:
+		return l > r
+	case CcGe:
+		return l >= r
+	case CcEq:
+		return l == r
+	default:
+		return l != r
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Run executes the frame from its saved PC until the kernel halts, a
+// barrier suspends it (Frame.Barrier == nil), or a fault occurs. Faults
+// (out-of-bounds access, division by zero, bad work-item dimension)
+// return errors with the same messages the closure tier throws.
+func (p *Func) Run(f *Frame) (Status, error) {
+	code := p.Code
+	ri := f.I
+	rf := f.F
+	c := f.Cnt
+	pc := f.PC
+	for pc < len(code) {
+		in := &code[pc]
+		switch in.Op {
+		case OpNop:
+		case OpHalt:
+			f.PC, f.Cnt = pc, c
+			return Halted, nil
+
+		case OpMovI:
+			ri[in.A] = ri[in.B]
+		case OpMovF:
+			rf[in.A] = rf[in.B]
+		case OpLdcI:
+			ri[in.A] = in.Imm
+		case OpLdcF:
+			rf[in.A] = p.FPool[in.Imm]
+		case OpI2F:
+			rf[in.A] = float64(ri[in.B])
+		case OpF2I:
+			ri[in.A] = int64(rf[in.B])
+		case OpSnzI:
+			ri[in.A] = b2i(ri[in.B] != 0)
+
+		case OpAddI:
+			c.IntOps++
+			ri[in.A] = ri[in.B] + ri[in.C]
+		case OpSubI:
+			c.IntOps++
+			ri[in.A] = ri[in.B] - ri[in.C]
+		case OpMulI:
+			c.IntOps++
+			ri[in.A] = ri[in.B] * ri[in.C]
+		case OpDivI:
+			c.IntOps++
+			d := ri[in.C]
+			if d == 0 {
+				f.PC, f.Cnt = pc, c
+				return Halted, fmt.Errorf("exec: integer division by zero")
+			}
+			ri[in.A] = ri[in.B] / d
+		case OpModI:
+			c.IntOps++
+			d := ri[in.C]
+			if d == 0 {
+				f.PC, f.Cnt = pc, c
+				return Halted, fmt.Errorf("exec: integer modulo by zero")
+			}
+			ri[in.A] = ri[in.B] % d
+		case OpAndI:
+			c.IntOps++
+			ri[in.A] = ri[in.B] & ri[in.C]
+		case OpOrI:
+			c.IntOps++
+			ri[in.A] = ri[in.B] | ri[in.C]
+		case OpXorI:
+			c.IntOps++
+			ri[in.A] = ri[in.B] ^ ri[in.C]
+		case OpShlI:
+			c.IntOps++
+			ri[in.A] = ri[in.B] << uint(ri[in.C]&63)
+		case OpShrI:
+			c.IntOps++
+			ri[in.A] = ri[in.B] >> uint(ri[in.C]&63)
+		case OpNegI:
+			c.IntOps++
+			ri[in.A] = -ri[in.B]
+		case OpNotB:
+			c.IntOps++
+			ri[in.A] = b2i(ri[in.B] == 0)
+
+		case OpAddIImm:
+			c.IntOps++
+			ri[in.A] = ri[in.B] + in.Imm
+		case OpMulIImm:
+			c.IntOps++
+			ri[in.A] = ri[in.B] * in.Imm
+		case OpDivIImm:
+			c.IntOps++
+			ri[in.A] = ri[in.B] / in.Imm
+		case OpModIImm:
+			c.IntOps++
+			ri[in.A] = ri[in.B] % in.Imm
+		case OpShlIImm:
+			c.IntOps++
+			ri[in.A] = ri[in.B] << uint(in.Imm&63)
+		case OpShrIImm:
+			c.IntOps++
+			ri[in.A] = ri[in.B] >> uint(in.Imm&63)
+		case OpAndIImm:
+			c.IntOps++
+			ri[in.A] = ri[in.B] & in.Imm
+		case OpOrIImm:
+			c.IntOps++
+			ri[in.A] = ri[in.B] | in.Imm
+		case OpXorIImm:
+			c.IntOps++
+			ri[in.A] = ri[in.B] ^ in.Imm
+
+		case OpLtI:
+			c.IntOps++
+			ri[in.A] = b2i(ri[in.B] < ri[in.C])
+		case OpLeI:
+			c.IntOps++
+			ri[in.A] = b2i(ri[in.B] <= ri[in.C])
+		case OpGtI:
+			c.IntOps++
+			ri[in.A] = b2i(ri[in.B] > ri[in.C])
+		case OpGeI:
+			c.IntOps++
+			ri[in.A] = b2i(ri[in.B] >= ri[in.C])
+		case OpEqI:
+			c.IntOps++
+			ri[in.A] = b2i(ri[in.B] == ri[in.C])
+		case OpNeI:
+			c.IntOps++
+			ri[in.A] = b2i(ri[in.B] != ri[in.C])
+
+		case OpLtIImm:
+			c.IntOps++
+			ri[in.A] = b2i(ri[in.B] < in.Imm)
+		case OpLeIImm:
+			c.IntOps++
+			ri[in.A] = b2i(ri[in.B] <= in.Imm)
+		case OpGtIImm:
+			c.IntOps++
+			ri[in.A] = b2i(ri[in.B] > in.Imm)
+		case OpGeIImm:
+			c.IntOps++
+			ri[in.A] = b2i(ri[in.B] >= in.Imm)
+		case OpEqIImm:
+			c.IntOps++
+			ri[in.A] = b2i(ri[in.B] == in.Imm)
+		case OpNeIImm:
+			c.IntOps++
+			ri[in.A] = b2i(ri[in.B] != in.Imm)
+
+		case OpAddF:
+			c.FloatOps++
+			rf[in.A] = rf[in.B] + rf[in.C]
+		case OpSubF:
+			c.FloatOps++
+			rf[in.A] = rf[in.B] - rf[in.C]
+		case OpMulF:
+			c.FloatOps++
+			rf[in.A] = rf[in.B] * rf[in.C]
+		case OpDivF:
+			c.FloatOps++
+			rf[in.A] = rf[in.B] / rf[in.C]
+		case OpNegF:
+			c.FloatOps++
+			rf[in.A] = -rf[in.B]
+
+		case OpLtF:
+			c.FloatOps++
+			ri[in.A] = b2i(rf[in.B] < rf[in.C])
+		case OpLeF:
+			c.FloatOps++
+			ri[in.A] = b2i(rf[in.B] <= rf[in.C])
+		case OpGtF:
+			c.FloatOps++
+			ri[in.A] = b2i(rf[in.B] > rf[in.C])
+		case OpGeF:
+			c.FloatOps++
+			ri[in.A] = b2i(rf[in.B] >= rf[in.C])
+		case OpEqF:
+			c.FloatOps++
+			ri[in.A] = b2i(rf[in.B] == rf[in.C])
+		case OpNeF:
+			c.FloatOps++
+			ri[in.A] = b2i(rf[in.B] != rf[in.C])
+
+		case OpJmp:
+			pc = int(in.Imm)
+			continue
+		case OpJZBr:
+			c.Branches++
+			if ri[in.A] == 0 {
+				pc = int(in.Imm)
+				continue
+			}
+		case OpJZLog:
+			c.IntOps++
+			if ri[in.A] == 0 {
+				pc = int(in.Imm)
+				continue
+			}
+		case OpJNZLog:
+			c.IntOps++
+			if ri[in.A] != 0 {
+				pc = int(in.Imm)
+				continue
+			}
+
+		case OpWI:
+			c.IntOps++
+			ri[in.A] = f.WI[in.B][in.C]
+		case OpWIDyn:
+			c.IntOps++
+			d := ri[in.C]
+			if d < 0 || d > 2 {
+				f.PC, f.Cnt = pc, c
+				return Halted, fmt.Errorf("exec: work-item query dimension %d out of range", d)
+			}
+			ri[in.A] = f.WI[in.B][d]
+
+		case OpLdGF:
+			b := &f.Globals[in.B]
+			i := ri[in.C]
+			if i < 0 || i >= int64(len(b.F)) {
+				f.PC, f.Cnt = pc, c
+				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.F))
+			}
+			c.GlobalLoads++
+			rf[in.A] = float64(b.F[i])
+		case OpLdGI:
+			b := &f.Globals[in.B]
+			i := ri[in.C]
+			if i < 0 || i >= int64(len(b.I)) {
+				f.PC, f.Cnt = pc, c
+				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.I))
+			}
+			c.GlobalLoads++
+			ri[in.A] = int64(b.I[i])
+		case OpLdLF:
+			b := &f.Locals[in.B]
+			i := ri[in.C]
+			if i < 0 || i >= int64(len(b.F)) {
+				f.PC, f.Cnt = pc, c
+				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.F))
+			}
+			c.LocalOps++
+			rf[in.A] = float64(b.F[i])
+		case OpLdLI:
+			b := &f.Locals[in.B]
+			i := ri[in.C]
+			if i < 0 || i >= int64(len(b.I)) {
+				f.PC, f.Cnt = pc, c
+				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.I))
+			}
+			c.LocalOps++
+			ri[in.A] = int64(b.I[i])
+
+		case OpStGF:
+			b := &f.Globals[in.B]
+			i := ri[in.C]
+			if i < 0 || i >= int64(len(b.F)) {
+				f.PC, f.Cnt = pc, c
+				return Halted, fmt.Errorf("exec: store to %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.F))
+			}
+			b.F[i] = float32(rf[in.A])
+			c.GlobalStores++
+		case OpStGI:
+			b := &f.Globals[in.B]
+			i := ri[in.C]
+			if i < 0 || i >= int64(len(b.I)) {
+				f.PC, f.Cnt = pc, c
+				return Halted, fmt.Errorf("exec: store to %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.I))
+			}
+			b.I[i] = int32(ri[in.A])
+			c.GlobalStores++
+		case OpStLF:
+			b := &f.Locals[in.B]
+			i := ri[in.C]
+			if i < 0 || i >= int64(len(b.F)) {
+				f.PC, f.Cnt = pc, c
+				return Halted, fmt.Errorf("exec: store to %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.F))
+			}
+			b.F[i] = float32(rf[in.A])
+			c.LocalOps++
+		case OpStLI:
+			b := &f.Locals[in.B]
+			i := ri[in.C]
+			if i < 0 || i >= int64(len(b.I)) {
+				f.PC, f.Cnt = pc, c
+				return Halted, fmt.Errorf("exec: store to %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.I))
+			}
+			b.I[i] = int32(ri[in.A])
+			c.LocalOps++
+
+		case OpSqrtF:
+			c.TransOps++
+			rf[in.A] = math.Sqrt(rf[in.B])
+		case OpRsqrtF:
+			c.TransOps++
+			rf[in.A] = 1 / math.Sqrt(rf[in.B])
+		case OpExpF:
+			c.TransOps++
+			rf[in.A] = math.Exp(rf[in.B])
+		case OpLogF:
+			c.TransOps++
+			rf[in.A] = math.Log(rf[in.B])
+		case OpLog2F:
+			c.TransOps++
+			rf[in.A] = math.Log2(rf[in.B])
+		case OpSinF:
+			c.TransOps++
+			rf[in.A] = math.Sin(rf[in.B])
+		case OpCosF:
+			c.TransOps++
+			rf[in.A] = math.Cos(rf[in.B])
+		case OpTanF:
+			c.TransOps++
+			rf[in.A] = math.Tan(rf[in.B])
+		case OpPowF:
+			c.TransOps++
+			rf[in.A] = math.Pow(rf[in.B], rf[in.C])
+		case OpAbsF:
+			c.OtherBuiltins++
+			rf[in.A] = math.Abs(rf[in.B])
+		case OpFloorF:
+			c.OtherBuiltins++
+			rf[in.A] = math.Floor(rf[in.B])
+		case OpCeilF:
+			c.OtherBuiltins++
+			rf[in.A] = math.Ceil(rf[in.B])
+		case OpMinF:
+			c.OtherBuiltins++
+			rf[in.A] = math.Min(rf[in.B], rf[in.C])
+		case OpMaxF:
+			c.OtherBuiltins++
+			rf[in.A] = math.Max(rf[in.B], rf[in.C])
+		case OpFmaF:
+			c.OtherBuiltins++
+			rf[in.A] = rf[in.B]*rf[in.C] + rf[in.Imm]
+		case OpClampF:
+			c.OtherBuiltins++
+			rf[in.A] = math.Max(rf[in.C], math.Min(rf[in.B], rf[in.Imm]))
+
+		case OpMinI:
+			c.OtherBuiltins++
+			ri[in.A] = min(ri[in.B], ri[in.C])
+		case OpMaxI:
+			c.OtherBuiltins++
+			ri[in.A] = max(ri[in.B], ri[in.C])
+		case OpAbsI:
+			c.OtherBuiltins++
+			v := ri[in.B]
+			if v < 0 {
+				v = -v
+			}
+			ri[in.A] = v
+		case OpClampI:
+			c.OtherBuiltins++
+			ri[in.A] = max(ri[in.C], min(ri[in.B], ri[in.Imm]))
+
+		case OpBar:
+			c.Barriers++
+			if f.Barrier != nil {
+				f.Barrier()
+			} else {
+				f.PC, f.Cnt = pc+1, c
+				return Suspended, nil
+			}
+
+		case OpMulAddI:
+			c.IntOps += 2
+			ri[in.A] = ri[in.B]*ri[in.C] + ri[in.Imm]
+		case OpMulImmAddI:
+			c.IntOps += 2
+			ri[in.A] = ri[in.B]*in.Imm + ri[in.C]
+		case OpMulAddF:
+			c.FloatOps += 2
+			// The explicit conversion forces the product to round
+			// separately, matching the unfused mul-then-add exactly
+			// (Go may otherwise contract the pair into an FMA).
+			rf[in.A] = float64(rf[in.B]*rf[in.C]) + rf[in.Imm]
+		case OpAddFLdG:
+			slot, name := unpackMem(in.Imm)
+			b := &f.Globals[slot]
+			i := ri[in.C]
+			if i < 0 || i >= int64(len(b.F)) {
+				f.PC, f.Cnt = pc, c
+				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[name], i, len(b.F))
+			}
+			c.GlobalLoads++
+			c.FloatOps++
+			rf[in.A] = rf[in.B] + float64(b.F[i])
+		case OpMulFLdG:
+			slot, name := unpackMem(in.Imm)
+			b := &f.Globals[slot]
+			i := ri[in.C]
+			if i < 0 || i >= int64(len(b.F)) {
+				f.PC, f.Cnt = pc, c
+				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[name], i, len(b.F))
+			}
+			c.GlobalLoads++
+			c.FloatOps++
+			rf[in.A] = rf[in.B] * float64(b.F[i])
+		case OpSubFLdG:
+			slot, name := unpackMem(in.Imm)
+			b := &f.Globals[slot]
+			i := ri[in.C]
+			if i < 0 || i >= int64(len(b.F)) {
+				f.PC, f.Cnt = pc, c
+				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[name], i, len(b.F))
+			}
+			c.GlobalLoads++
+			c.FloatOps++
+			rf[in.A] = rf[in.B] - float64(b.F[i])
+		case OpLdSubFG:
+			slot, name := unpackMem(in.Imm)
+			b := &f.Globals[slot]
+			i := ri[in.C]
+			if i < 0 || i >= int64(len(b.F)) {
+				f.PC, f.Cnt = pc, c
+				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[name], i, len(b.F))
+			}
+			c.GlobalLoads++
+			c.FloatOps++
+			rf[in.A] = float64(b.F[i]) - rf[in.B]
+		case OpMulAccLdG:
+			slot, name := unpackMem(in.Imm)
+			b := &f.Globals[slot]
+			i := ri[in.C]
+			if i < 0 || i >= int64(len(b.F)) {
+				f.PC, f.Cnt = pc, c
+				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[name], i, len(b.F))
+			}
+			c.GlobalLoads++
+			c.FloatOps += 2
+			rf[in.A] = rf[in.A] + float64(rf[in.B]*float64(b.F[i]))
+		case OpMulMulF:
+			c.FloatOps += 2
+			rf[in.A] = float64(rf[in.B]*rf[in.C]) * rf[in.Imm]
+		case OpAddRsqrtF:
+			c.FloatOps++
+			c.TransOps++
+			rf[in.A] = 1 / math.Sqrt(rf[in.B]+rf[in.C])
+		case OpLdGFIdx:
+			slot, name, r3 := unpackMemIdx(in.Imm)
+			b := &f.Globals[slot]
+			i := ri[in.B]*ri[in.C] + ri[r3]
+			if i < 0 || i >= int64(len(b.F)) {
+				f.PC, f.Cnt = pc, c
+				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[name], i, len(b.F))
+			}
+			c.IntOps += 2
+			c.GlobalLoads++
+			rf[in.A] = float64(b.F[i])
+		case OpMacLdGIdx:
+			slot, name, r2, r3 := unpackMacIdx(in.Imm)
+			b := &f.Globals[slot]
+			i := ri[in.C]*ri[r2] + ri[r3]
+			if i < 0 || i >= int64(len(b.F)) {
+				f.PC, f.Cnt = pc, c
+				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[name], i, len(b.F))
+			}
+			c.IntOps += 2
+			c.GlobalLoads++
+			c.FloatOps += 2
+			rf[in.A] = rf[in.A] + float64(rf[in.B]*float64(b.F[i]))
+
+		case OpJCmpI:
+			c.IntOps++
+			c.Branches++
+			if ccHoldsI(in.C, ri[in.A], ri[in.B]) {
+				pc = int(in.Imm)
+				continue
+			}
+		case OpJCmpIImm:
+			c.IntOps++
+			c.Branches++
+			if ccHoldsI(in.B, ri[in.A], in.Imm) {
+				pc = int(in.C)
+				continue
+			}
+		case OpJCmpF:
+			c.FloatOps++
+			c.Branches++
+			if ccHoldsF(in.C, rf[in.A], rf[in.B]) {
+				pc = int(in.Imm)
+				continue
+			}
+		case OpIncJCmpI:
+			c.IntOps += 2
+			c.Branches++
+			v := ri[in.A] + ri[in.B]
+			ri[in.A] = v
+			if ccHoldsI(int32(in.Imm>>32), v, ri[in.C]) {
+				pc = int(int64(uint32(in.Imm)))
+				continue
+			}
+
+		default:
+			f.PC, f.Cnt = pc, c
+			return Halted, fmt.Errorf("exec: vm: illegal opcode %d at pc %d", in.Op, pc)
+		}
+		pc++
+	}
+	f.PC, f.Cnt = pc, c
+	return Halted, nil
+}

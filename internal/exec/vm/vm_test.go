@@ -1,0 +1,70 @@
+package vm
+
+import "testing"
+
+// TestSuspendResume drives the barrier protocol directly: with no
+// Barrier callback, Run must stop at each barrier with Suspended and
+// continue from the saved PC on the next call.
+func TestSuspendResume(t *testing.T) {
+	src := `
+kernel void k(global float* out, local float* tile, int n) {
+	int l = get_local_id(0);
+	tile[l] = (float)l;
+	barrier(1);
+	out[l] = tile[l] + 1.0f;
+	barrier(1);
+	out[l] = out[l] * 2.0f;
+}`
+	p := compileKernel(t, "susp", src, "k", Options{})
+	f := p.NewFrame()
+	f.Globals = []Buf{{F: make([]float32, 4)}}
+	f.Locals = []Buf{{F: make([]float32, 4)}}
+	f.WI[WILocalSize] = [3]int64{4, 1, 1}
+	f.WI[WIGlobalSize] = [3]int64{4, 1, 1}
+	f.WI[WINumGroups] = [3]int64{1, 1, 1}
+	f.WI[WILocalID] = [3]int64{2, 0, 0}
+	f.WI[WIGlobalID] = [3]int64{2, 0, 0}
+	// n is the only scalar param.
+	for _, pr := range p.Params {
+		if pr.Kind == ParamInt {
+			f.I[pr.Index] = 4
+		}
+	}
+
+	suspends := 0
+	for {
+		st, err := p.Run(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st == Halted {
+			break
+		}
+		suspends++
+		if suspends > 2 {
+			t.Fatalf("more suspends than barriers")
+		}
+	}
+	if suspends != 2 {
+		t.Fatalf("got %d suspends, want 2", suspends)
+	}
+	if got := f.Globals[0].F[2]; got != 6 {
+		t.Fatalf("out[2] = %g, want 6", got)
+	}
+	if f.Cnt.Barriers != 2 {
+		t.Fatalf("Barriers = %d, want 2", f.Cnt.Barriers)
+	}
+
+	// With a callback installed, Run must block through both barriers
+	// and halt in one call.
+	f.Reset()
+	calls := 0
+	f.Barrier = func() { calls++ }
+	st, err := p.Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Halted || calls != 2 {
+		t.Fatalf("callback mode: status %v, calls %d", st, calls)
+	}
+}

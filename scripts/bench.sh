@@ -29,9 +29,10 @@ LOADGEN_DURATION="${LOADGEN_DURATION:-2s}"
 LOADGEN_WORKERS="${LOADGEN_WORKERS:-4}"
 
 # The tracked set: pricing (naive vs prefix range queries, full-space
-# pricing), barrier execution (spawn vs pooled vs lockstep), and the
-# end-to-end scheduling-core paths.
-PATTERN='BenchmarkPricePartition|BenchmarkBarrierKernel|BenchmarkPartitionPricing|BenchmarkKernelExecution|BenchmarkOracleSearch|BenchmarkChunkedExecution'
+# pricing), barrier execution (spawn vs pooled vs lockstep), the
+# end-to-end scheduling-core paths, and the kernel execution tiers
+# (closure-tree interpreter vs bytecode VM, plus fused-vs-unfused).
+PATTERN='BenchmarkPricePartition|BenchmarkBarrierKernel|BenchmarkPartitionPricing|BenchmarkKernelExecution|BenchmarkKernelExec/|BenchmarkKernelExecFusion|BenchmarkOracleSearch|BenchmarkChunkedExecution'
 
 cd "$(dirname "$0")/.."
 

@@ -1,0 +1,452 @@
+package repro
+
+// Differential correctness harness for the bytecode VM execution tier:
+// every built-in benchmark program runs on both the closure-tree
+// interpreter (the reference tier) and the VM, at full range and under
+// a chunked multi-device-style partition, and the resulting buffers and
+// dynamic profiles must be byte-identical — bit-for-bit float32 values
+// and field-for-field counts. A randomized-input property test covers
+// kernels written to stress VM-specific paths (fusion shapes, helpers,
+// divergent barriers, select, casts).
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/exec"
+	"repro/internal/inspire"
+)
+
+// compileBothTiers lowers MiniCL source and compiles the named kernel on
+// the closure tier and on the VM tier (which must lower successfully).
+func compileBothTiers(t *testing.T, name, source, kernel string) (cl, vmc *exec.Compiled) {
+	t.Helper()
+	u, err := inspire.LowerSource(name, source)
+	if err != nil {
+		t.Fatalf("lower %s: %v", name, err)
+	}
+	inspire.Optimize(u)
+	k := u.Kernel(kernel)
+	if k == nil {
+		t.Fatalf("%s: kernel %q not found", name, kernel)
+	}
+	cl, err = exec.CompileTier(k, exec.TierClosure)
+	if err != nil {
+		t.Fatalf("%s: closure compile: %v", name, err)
+	}
+	vmc, err = exec.CompileTier(k, exec.TierVM)
+	if err != nil {
+		t.Fatalf("%s: vm compile: %v", name, err)
+	}
+	if vmc.Tier() != exec.TierVM {
+		t.Fatalf("%s: expected VM tier, got %v", name, vmc.Tier())
+	}
+	return cl, vmc
+}
+
+// diffBuffers requires bitwise-equal buffer contents across tiers.
+func diffBuffers(t *testing.T, ctx string, ca, va []exec.Arg) {
+	t.Helper()
+	for i := range ca {
+		cb, vb := ca[i].Buf, va[i].Buf
+		if cb == nil {
+			continue
+		}
+		if len(cb.F) != len(vb.F) || len(cb.I) != len(vb.I) {
+			t.Fatalf("%s: arg %d: buffer shape mismatch", ctx, i)
+		}
+		for j := range cb.F {
+			if math.Float32bits(cb.F[j]) != math.Float32bits(vb.F[j]) {
+				t.Fatalf("%s: arg %d float[%d]: closure %v (%#x) vs vm %v (%#x)",
+					ctx, i, j, cb.F[j], math.Float32bits(cb.F[j]), vb.F[j], math.Float32bits(vb.F[j]))
+			}
+		}
+		for j := range cb.I {
+			if cb.I[j] != vb.I[j] {
+				t.Fatalf("%s: arg %d int[%d]: closure %d vs vm %d", ctx, i, j, cb.I[j], vb.I[j])
+			}
+		}
+	}
+}
+
+// diffProfiles requires field-identical dynamic profiles across tiers.
+func diffProfiles(t *testing.T, ctx string, cp, vp *exec.Profile) {
+	t.Helper()
+	if cp.Global0 != vp.Global0 || len(cp.Buckets) != len(vp.Buckets) {
+		t.Fatalf("%s: profile shape: closure (%d,%d) vs vm (%d,%d)",
+			ctx, cp.Global0, len(cp.Buckets), vp.Global0, len(vp.Buckets))
+	}
+	for i := range cp.Buckets {
+		if cp.Buckets[i] != vp.Buckets[i] {
+			t.Fatalf("%s: profile bucket %d:\nclosure %+v\nvm      %+v", ctx, i, cp.Buckets[i], vp.Buckets[i])
+		}
+	}
+}
+
+// runTier executes a launch (all iterations) under opts, returning the
+// per-iteration profiles.
+func runTier(t *testing.T, ctx string, c *exec.Compiled, args []exec.Arg, nd exec.NDRange, iters int, opts exec.RunOptions) []*exec.Profile {
+	t.Helper()
+	if iters < 1 {
+		iters = 1
+	}
+	profs := make([]*exec.Profile, iters)
+	for it := 0; it < iters; it++ {
+		p, err := c.Run(args, nd, opts)
+		if err != nil {
+			t.Fatalf("%s: iteration %d: %v", ctx, it, err)
+		}
+		profs[it] = p
+	}
+	return profs
+}
+
+// chunks splits the dim-0 extent into an uneven two-device partition
+// aligned to the work-group size, mimicking a CPU/GPU split.
+func chunks(nd exec.NDRange) [][2]int {
+	g0 := nd.Global[0]
+	l0 := nd.Local[0]
+	if l0 == 0 {
+		if g0%exec.DefaultLocal0 == 0 {
+			l0 = exec.DefaultLocal0
+		} else {
+			l0 = 1
+		}
+	}
+	groups := g0 / l0
+	if groups < 2 {
+		return [][2]int{{0, g0}}
+	}
+	// ~30/70 split rounded to a group boundary.
+	mid := (groups*3/10 + 1) * l0
+	if mid >= g0 {
+		mid = g0 - l0
+	}
+	return [][2]int{{0, mid}, {mid, g0}}
+}
+
+// TestVMDifferentialSuite runs all built-in benchmark programs on both
+// execution tiers and requires byte-identical buffers and profiles, at
+// full range and under a chunked two-device partition.
+func TestVMDifferentialSuite(t *testing.T) {
+	progs := bench.All()
+	if len(progs) != 23 {
+		t.Fatalf("expected the 23-program suite, got %d", len(progs))
+	}
+	for _, p := range progs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			cl, vmc := compileBothTiers(t, p.Name, p.Source, p.Kernel)
+
+			// Full-range run, every application iteration compared.
+			ci, err := p.Instance(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vi, err := p.Instance(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			iters := p.Iterations
+			if iters < 1 {
+				iters = 1
+			}
+			for it := 0; it < iters; it++ {
+				ctx := fmt.Sprintf("%s full iter %d", p.Name, it)
+				cp := runTier(t, ctx+" closure", cl, ci.Args, ci.ND, 1, exec.RunOptions{})[0]
+				vp := runTier(t, ctx+" vm", vmc, vi.Args, vi.ND, 1, exec.RunOptions{})[0]
+				diffProfiles(t, ctx, cp, vp)
+				diffBuffers(t, ctx, ci.Args, vi.Args)
+			}
+
+			// Chunked partition run on fresh instances.
+			ci2, err := p.Instance(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vi2, err := p.Instance(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for it := 0; it < iters; it++ {
+				for _, ch := range chunks(ci2.ND) {
+					ctx := fmt.Sprintf("%s chunk [%d,%d) iter %d", p.Name, ch[0], ch[1], it)
+					cp := runTier(t, ctx+" closure", cl, ci2.Args, ci2.ND, 1, exec.RunOptions{Lo: ch[0], Hi: ch[1]})[0]
+					vp := runTier(t, ctx+" vm", vmc, vi2.Args, vi2.ND, 1, exec.RunOptions{Lo: ch[0], Hi: ch[1]})[0]
+					diffProfiles(t, ctx, cp, vp)
+				}
+				diffBuffers(t, fmt.Sprintf("%s chunked iter %d", p.Name, it), ci2.Args, vi2.Args)
+			}
+
+			// The VM result must still pass the program's own verifier.
+			if err := p.Verify(vi, 0); err != nil {
+				t.Fatalf("%s: vm output fails program verifier: %v", p.Name, err)
+			}
+		})
+	}
+}
+
+// TestVMDifferentialBarrierModes reruns the barrier kernels of the suite
+// under every explicit barrier execution mode on both tiers.
+func TestVMDifferentialBarrierModes(t *testing.T) {
+	modes := []struct {
+		name string
+		mode exec.BarrierMode
+	}{
+		{"auto", exec.BarrierAuto},
+		{"pooled", exec.BarrierPooled},
+		{"spawn", exec.BarrierSpawn},
+	}
+	for _, p := range bench.All() {
+		p := p
+		cl, vmc := compileBothTiers(t, p.Name, p.Source, p.Kernel)
+		if !cl.HasBarrier() {
+			continue
+		}
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, m := range modes {
+				ci, err := p.Instance(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				vi, err := p.Instance(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				iters := p.Iterations
+				if iters < 1 {
+					iters = 1
+				}
+				ctx := fmt.Sprintf("%s mode %s", p.Name, m.name)
+				cp := runTier(t, ctx+" closure", cl, ci.Args, ci.ND, iters, exec.RunOptions{Barrier: m.mode})
+				vp := runTier(t, ctx+" vm", vmc, vi.Args, vi.ND, iters, exec.RunOptions{Barrier: m.mode})
+				for it := range cp {
+					diffProfiles(t, fmt.Sprintf("%s iter %d", ctx, it), cp[it], vp[it])
+				}
+				diffBuffers(t, ctx, ci.Args, vi.Args)
+			}
+		})
+	}
+}
+
+// vmPropKernels stress VM-specific lowering paths with shapes the suite
+// may not cover: fusion candidates split across branches, helper calls
+// with buffer and scalar arguments, divergent barriers, selects, casts,
+// and fault-adjacent index arithmetic.
+var vmPropKernels = []struct {
+	name   string
+	source string
+	kernel string
+	nargs  int // float buffers bound, plus one int scalar n
+	local  int
+	escape bool // work items touch lanes other than their own
+}{
+	{
+		name: "fusion_shapes",
+		source: `
+kernel void k(global float* a, global float* b, global float* out, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        float x = a[i] * b[i] + a[i];      // mul-add + load-op shapes
+        float y = b[i] * 3.0f;
+        int j = i * 4 + 1;                 // const-imm + mul-add int shapes
+        int m = j % n;
+        out[i] = x + y * a[m];
+    }
+}
+`,
+		kernel: "k", nargs: 3,
+	},
+	{
+		name: "helper_calls",
+		source: `
+float blend(global float* p, int i, float w) {
+    if (w < 0.0f) { return -w * p[i]; }
+    return w * p[i] + 1.0f;
+}
+int wrap(int i, int n) { return (i * 7 + 3) % n; }
+kernel void k(global float* a, global float* b, global float* out, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        out[i] = blend(a, wrap(i, n), b[i] - 0.5f) + blend(b, i, a[i]);
+    }
+}
+`,
+		kernel: "k", nargs: 3, escape: true,
+	},
+	{
+		name: "divergent_barrier",
+		source: `
+kernel void k(global float* a, global float* out, local float* tile, int n) {
+    int l = get_local_id(0);
+    int i = get_global_id(0);
+    if (l % 2 == 0) {
+        tile[l] = a[i] * 2.0f;
+        barrier(1);
+    } else {
+        tile[l] = a[i] + 1.0f;
+        barrier(1);
+    }
+    int other = get_local_size(0) - 1 - l;
+    out[i] = tile[other] + tile[l];
+}
+`,
+		kernel: "k", nargs: 2, local: 16, escape: true,
+	},
+	{
+		name: "select_cast_mix",
+		source: `
+kernel void k(global float* a, global float* b, global float* out, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        float v = a[i];
+        int q = (int)(v * 8.0f);
+        float w = (q > 2) ? b[i] : -b[i];
+        bool big = fabs(v) > 0.5f && q != 3;
+        out[i] = big ? (w + (float)q) : fmin(w, v);
+    }
+}
+`,
+		kernel: "k", nargs: 3,
+	},
+	{
+		name: "loop_accum",
+		source: `
+kernel void k(global float* a, global float* b, global float* out, int n) {
+    int i = get_global_id(0);
+    float acc = 0.0f;
+    for (int j = 0; j < 8; j = j + 1) {
+        int idx = (i + j * 5) % n;
+        acc = mad(a[idx], b[idx], acc);
+        if (acc > 100.0f) { break; }
+    }
+    while (acc < -4.0f) { acc = acc * 0.5f + 1.0f; }
+    out[i] = acc;
+}
+`,
+		kernel: "k", nargs: 3, escape: true,
+	},
+}
+
+// TestVMDifferentialRandomized is the property test: each stress kernel
+// runs on both tiers over multiple randomized inputs; buffers and
+// profiles must be byte-identical every time.
+func TestVMDifferentialRandomized(t *testing.T) {
+	const n = 512
+	const rounds = 8
+	for _, tc := range vmPropKernels {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cl, vmc := compileBothTiers(t, tc.name, tc.source, tc.kernel)
+			rng := rand.New(rand.NewSource(0xd1ff + int64(len(tc.name))))
+			for round := 0; round < rounds; round++ {
+				mkArgs := func(data [][]float32) []exec.Arg {
+					var args []exec.Arg
+					for b := 0; b < tc.nargs; b++ {
+						buf := exec.NewFloatBuffer(n)
+						copy(buf.F, data[b])
+						args = append(args, exec.BufArg(buf))
+					}
+					if tc.local > 0 {
+						args = append(args, exec.LocalArg(tc.local))
+					}
+					args = append(args, exec.IntArg(n))
+					return args
+				}
+				data := make([][]float32, tc.nargs)
+				for b := range data {
+					data[b] = make([]float32, n)
+					for j := range data[b] {
+						data[b][j] = float32(rng.Float64()*4 - 2)
+					}
+				}
+				ca, va := mkArgs(data), mkArgs(data)
+				nd := exec.ND1(n)
+				if tc.local > 0 {
+					nd.Local[0] = tc.local
+				}
+				ctx := fmt.Sprintf("%s round %d", tc.name, round)
+				cp := runTier(t, ctx+" closure", cl, ca, nd, 1, exec.RunOptions{})[0]
+				vp := runTier(t, ctx+" vm", vmc, va, nd, 1, exec.RunOptions{})[0]
+				diffProfiles(t, ctx, cp, vp)
+				diffBuffers(t, ctx, ca, va)
+			}
+		})
+	}
+}
+
+// TestVMFaultParity checks that runtime faults surface with identical
+// error messages on both tiers.
+func TestVMFaultParity(t *testing.T) {
+	cases := []struct {
+		name   string
+		source string
+	}{
+		{
+			name: "oob_load",
+			source: `
+kernel void k(global float* a, global float* out, int n) {
+    int i = get_global_id(0);
+    out[i] = a[i + n];
+}
+`,
+		},
+		{
+			name: "oob_store",
+			source: `
+kernel void k(global float* a, global float* out, int n) {
+    int i = get_global_id(0);
+    out[i * 2 + n] = a[i];
+}
+`,
+		},
+		{
+			name: "div_zero",
+			source: `
+kernel void k(global float* a, global float* out, int n) {
+    int i = get_global_id(0);
+    int d = n - n;
+    out[i] = a[i % d];
+}
+`,
+		},
+		{
+			name: "helper_oob",
+			source: `
+float pick(global float* src, int i) { return src[i + 1000000]; }
+kernel void k(global float* a, global float* out, int n) {
+    int i = get_global_id(0);
+    out[i] = pick(a, i);
+}
+`,
+		},
+	}
+	const n = 64
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cl, vmc := compileBothTiers(t, tc.name, tc.source, "k")
+			mk := func() []exec.Arg {
+				return []exec.Arg{
+					exec.BufArg(exec.NewFloatBuffer(n)),
+					exec.BufArg(exec.NewFloatBuffer(n)),
+					exec.IntArg(n),
+				}
+			}
+			_, cerr := cl.Run(mk(), exec.ND1(n), exec.RunOptions{Workers: 1})
+			_, verr := vmc.Run(mk(), exec.ND1(n), exec.RunOptions{Workers: 1})
+			if cerr == nil || verr == nil {
+				t.Fatalf("expected faults, closure=%v vm=%v", cerr, verr)
+			}
+			if cerr.Error() != verr.Error() {
+				t.Fatalf("fault message mismatch:\nclosure: %s\nvm:      %s", cerr, verr)
+			}
+		})
+	}
+}
