@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/harness"
+)
+
+// newServer builds a dedicated server (separate from the shared
+// testServer) so budget and quota tests can configure engine limits
+// without leaking them into every other handler test.
+func newServer(t *testing.T, mutate func(*engine.Options)) *server {
+	t.Helper()
+	db, err := harness.Generate(harness.GenOptions{Programs: []string{"vecadd"}, MaxSizeIdx: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := engine.Options{Platform: "mc2", DB: db, Model: harness.FastModel()}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	eng, err := engine.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &server{eng: eng, start: time.Now(), platform: "mc2"}
+}
+
+// doReqT is doReq with an X-Tenant header.
+func doReqT(t *testing.T, s *server, method, target, tenant string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body != nil {
+		r = httptest.NewRequest(method, target, bytes.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, target, nil)
+	}
+	if tenant != "" {
+		r.Header.Set("X-Tenant", tenant)
+	}
+	w := httptest.NewRecorder()
+	s.mux().ServeHTTP(w, r)
+	return w
+}
+
+func uploadKernel(t *testing.T, s *server, tenant string, spec engine.KernelSpec) *httptest.ResponseRecorder {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doReqT(t, s, http.MethodPost, "/kernels", tenant, body)
+}
+
+const scaleSrc = `kernel void scale(global float* a, global float* out, int n) {
+	int i = get_global_id(0);
+	out[i] = a[i] * 2.0;
+}`
+
+// spinServeSrc loops forever; only a resource budget stops it.
+const spinServeSrc = `kernel void spin(global float* out) {
+	int i = 0;
+	while (i < 2) {
+		i = i - 1;
+	}
+	out[get_global_id(0)] = 1.0;
+}`
+
+// TestKernelUploadAndExecute: the upload happy path. POST /kernels
+// compiles and registers the kernel; it serves /predict and /execute
+// immediately under its tenant-qualified name.
+func TestKernelUploadAndExecute(t *testing.T) {
+	s := newServer(t, nil)
+	w := uploadKernel(t, s, "", engine.KernelSpec{Name: "scale", Source: scaleSrc})
+	if w.Code != http.StatusCreated {
+		t.Fatalf("upload = %d: %s", w.Code, w.Body.String())
+	}
+	var info engine.KernelInfo
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "public/scale" || info.Tenant != "public" || info.Kernel != "scale" {
+		t.Fatalf("kernel info: %+v", info)
+	}
+	if len(info.SizeNs) == 0 || info.SizeNs[0] != 1024 {
+		t.Fatalf("size family: %+v", info.SizeNs)
+	}
+
+	// Listed.
+	w = doReq(t, s, http.MethodGet, "/kernels", nil)
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"public/scale"`) {
+		t.Fatalf("list = %d: %s", w.Code, w.Body.String())
+	}
+
+	// Served: predict then execute, like any built-in.
+	if w := doReq(t, s, http.MethodGet, "/predict?program=public/scale&size=0", nil); w.Code != http.StatusOK {
+		t.Fatalf("predict uploaded kernel = %d: %s", w.Code, w.Body.String())
+	}
+	w = doReq(t, s, http.MethodPost, "/execute?program=public/scale&size=0", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("execute uploaded kernel = %d: %s", w.Code, w.Body.String())
+	}
+	var ex engine.Execution
+	if err := json.Unmarshal(w.Body.Bytes(), &ex); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Program != "public/scale" {
+		t.Fatalf("execution: %+v", ex)
+	}
+
+	// Same name again: 409.
+	if w := uploadKernel(t, s, "", engine.KernelSpec{Name: "scale", Source: scaleSrc}); w.Code != http.StatusConflict {
+		t.Fatalf("duplicate upload = %d, want 409", w.Code)
+	}
+
+	// Another tenant's namespace is disjoint: same local name is fine.
+	w = uploadKernel(t, s, "alice", engine.KernelSpec{Name: "scale", Source: scaleSrc})
+	if w.Code != http.StatusCreated {
+		t.Fatalf("tenant upload = %d: %s", w.Code, w.Body.String())
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "alice/scale" || info.Tenant != "alice" {
+		t.Fatalf("tenant kernel info: %+v", info)
+	}
+}
+
+// TestKernelUploadRejectsBadSource: front-end failures answer 400 with
+// the MiniCL line:column position so uploaders can fix their source.
+func TestKernelUploadRejectsBadSource(t *testing.T) {
+	s := newServer(t, nil)
+	w := uploadKernel(t, s, "", engine.KernelSpec{
+		Name:   "broken",
+		Source: "kernel void broken(global float* out) {\n\tout[0] = ;\n}",
+	})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("bad source = %d, want 400: %s", w.Code, w.Body.String())
+	}
+	body := w.Body.String()
+	if !strings.Contains(body, `"compile"`) {
+		t.Fatalf("missing compile code: %s", body)
+	}
+	if !regexp.MustCompile(`\d+:\d+`).MatchString(body) {
+		t.Fatalf("missing line:column position: %s", body)
+	}
+
+	// Missing fields are 400 too.
+	if w := uploadKernel(t, s, "", engine.KernelSpec{Name: "x"}); w.Code != http.StatusBadRequest {
+		t.Fatalf("missing source = %d, want 400", w.Code)
+	}
+	if w := uploadKernel(t, s, "", engine.KernelSpec{Name: "no/slash", Source: scaleSrc}); w.Code != http.StatusBadRequest {
+		t.Fatalf("invalid name = %d, want 400", w.Code)
+	}
+}
+
+// TestKernelQuota429: a tenant at its kernel cap gets 429 with a
+// Retry-After hint; other tenants are unaffected.
+func TestKernelQuota429(t *testing.T) {
+	s := newServer(t, func(o *engine.Options) {
+		o.Tenant = engine.TenantLimits{MaxKernels: 1}
+	})
+	if w := uploadKernel(t, s, "bob", engine.KernelSpec{Name: "one", Source: scaleSrc}); w.Code != http.StatusCreated {
+		t.Fatalf("first upload = %d: %s", w.Code, w.Body.String())
+	}
+	w := uploadKernel(t, s, "bob", engine.KernelSpec{Name: "two", Source: scaleSrc})
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota upload = %d, want 429: %s", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if !strings.Contains(w.Body.String(), `"quota"`) {
+		t.Fatalf("missing quota code: %s", w.Body.String())
+	}
+	// A different tenant still has headroom.
+	if w := uploadKernel(t, s, "carol", engine.KernelSpec{Name: "one", Source: scaleSrc}); w.Code != http.StatusCreated {
+		t.Fatalf("other tenant upload = %d", w.Code)
+	}
+}
+
+// TestBudgetStatusCodes: the three budget kinds are distinguishable by
+// status code alone — steps 422, deadline 408, memory 413 — each with
+// the structured budget payload.
+func TestBudgetStatusCodes(t *testing.T) {
+	t.Run("steps", func(t *testing.T) {
+		s := newServer(t, func(o *engine.Options) { o.MaxSteps = 100_000 })
+		if w := uploadKernel(t, s, "", engine.KernelSpec{Name: "spin", Source: spinServeSrc}); w.Code != http.StatusCreated {
+			t.Fatalf("upload = %d: %s", w.Code, w.Body.String())
+		}
+		w := doReq(t, s, http.MethodPost, "/execute?program=public/spin&size=0", nil)
+		if w.Code != http.StatusUnprocessableEntity {
+			t.Fatalf("spin execute = %d, want 422: %s", w.Code, w.Body.String())
+		}
+		assertBudgetBody(t, w.Body.Bytes(), "budget:steps")
+	})
+	t.Run("deadline", func(t *testing.T) {
+		s := newServer(t, func(o *engine.Options) { o.ExecTimeout = 100 * time.Millisecond })
+		if w := uploadKernel(t, s, "", engine.KernelSpec{Name: "spin", Source: spinServeSrc}); w.Code != http.StatusCreated {
+			t.Fatalf("upload = %d: %s", w.Code, w.Body.String())
+		}
+		w := doReq(t, s, http.MethodPost, "/execute?program=public/spin&size=0", nil)
+		if w.Code != http.StatusRequestTimeout {
+			t.Fatalf("spin execute = %d, want 408: %s", w.Code, w.Body.String())
+		}
+		assertBudgetBody(t, w.Body.Bytes(), "budget:deadline")
+	})
+	t.Run("memory", func(t *testing.T) {
+		s := newServer(t, func(o *engine.Options) { o.MaxMemBytes = 64 })
+		w := doReq(t, s, http.MethodPost, "/execute?program=vecadd&size=0", nil)
+		if w.Code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("execute = %d, want 413: %s", w.Code, w.Body.String())
+		}
+		assertBudgetBody(t, w.Body.Bytes(), "budget:memory")
+	})
+}
+
+func assertBudgetBody(t *testing.T, body []byte, code string) {
+	t.Helper()
+	var resp struct {
+		Code  string `json:"code"`
+		Spent int64  `json:"spent"`
+		Limit int64  `json:"limit"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != code {
+		t.Fatalf("code = %q, want %q", resp.Code, code)
+	}
+	if resp.Limit <= 0 {
+		t.Fatalf("budget payload missing limit: %s", body)
+	}
+}

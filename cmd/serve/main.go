@@ -15,6 +15,8 @@
 //	GET  /predict?program=P[&size=N][&leaveout=1]  predicted partitioning
 //	POST /predict/batch                            {"requests":[...]} price N points at once
 //	POST /execute?program=P[&size=N]               run partitioned, verify
+//	GET  /kernels                                  registered user kernels
+//	POST /kernels                                  {"name","source",...} compile + register a MiniCL kernel
 //	GET  /stats                                    engine cache/work counters
 //	GET  /models                                   model versions + lineage
 //	POST /models                                   {"rollback": N} switch version
@@ -28,7 +30,16 @@
 //	      [-models models/] [-model mlp] [-save-trained] \
 //	      [-warm vecadd,matmul] [-parallel 8] [-cache-limit 0] [-strict] \
 //	      [-obs obslog/] [-obs-buffer 1024] [-adaptive] \
-//	      [-retrain-interval 1m] [-retrain-min 5] [-oracle-sample 1]
+//	      [-retrain-interval 1m] [-retrain-min 5] [-oracle-sample 1] \
+//	      [-exec-steps 0] [-exec-mem 0] [-exec-timeout 0] \
+//	      [-tenant-max-kernels 32] [-tenant-max-source 1048576] [-tenant-concurrency 0]
+//
+// Uploaded kernels are untrusted: executions run under per-request
+// step/memory/wall-clock budgets (-exec-steps, -exec-mem, -exec-timeout)
+// enforced inside both execution tiers, tenants (X-Tenant header) are
+// subject to kernel-count, source-size and concurrency quotas, and over-cap
+// requests answer 429 with Retry-After. Budget aborts answer typed 4xx
+// JSON (code "budget:steps|memory|deadline" plus spent/limit).
 //
 // The serving path is allocation-conscious end to end: request structs,
 // response structs and JSON encoders are pooled, predictions are filled
@@ -92,6 +103,12 @@ func main() {
 	retrainMin := flag.Int("retrain-min", 5, "labeled observations required since the last attempt before retraining")
 	oracleSample := flag.Int("oracle-sample", 1, "label every Nth execution with its measured-best class (1 = all, negative = never)")
 	execTier := flag.String("exec-tier", "", "kernel execution tier: auto, vm, or closure (default: REPRO_EXEC_TIER or auto)")
+	execSteps := flag.Int64("exec-steps", 0, "per-request kernel step budget (0 = unlimited)")
+	execMem := flag.Int64("exec-mem", 0, "per-request buffer allocation budget in bytes (0 = unlimited)")
+	execTimeout := flag.Duration("exec-timeout", 0, "per-request execution wall-clock budget (0 = unlimited)")
+	tenantKernels := flag.Int("tenant-max-kernels", 32, "max kernels one tenant may register (0 = unlimited)")
+	tenantSource := flag.Int64("tenant-max-source", 1<<20, "max total MiniCL source bytes per tenant (0 = unlimited)")
+	tenantConc := flag.Int("tenant-concurrency", 0, "max in-flight executions per tenant, 429 + Retry-After over the cap (0 = unlimited)")
 	flag.Parse()
 	sched.SetDefaultWorkers(*parallel)
 	if *execTier != "" {
@@ -134,6 +151,14 @@ func main() {
 		OracleSampleEvery: *oracleSample,
 		CacheLimit:        *cacheLimit,
 		ObsQueue:          *obsBuffer,
+		MaxSteps:          *execSteps,
+		MaxMemBytes:       *execMem,
+		ExecTimeout:       *execTimeout,
+		Tenant: engine.TenantLimits{
+			MaxKernels:     *tenantKernels,
+			MaxSourceBytes: *tenantSource,
+			MaxConcurrent:  *tenantConc,
+		},
 	})
 	if err != nil {
 		fail(err)
@@ -166,6 +191,7 @@ func main() {
 	mux.HandleFunc("/predict", srv.handlePredict)
 	mux.HandleFunc("/predict/batch", srv.handlePredictBatch)
 	mux.HandleFunc("/execute", srv.handleExecute)
+	mux.HandleFunc("/kernels", srv.handleKernels)
 	mux.HandleFunc("/stats", srv.handleStats)
 	mux.HandleFunc("/models", srv.handleModels)
 	mux.HandleFunc("/retrain", srv.handleRetrain)
@@ -261,6 +287,77 @@ func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error
 	return nil
 }
 
+// bodyErrStatus picks the status for a request-body error: an oversized
+// body (MaxBytesReader tripped) is 413, anything else malformed is 400.
+func bodyErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// tenantOf extracts the caller's tenant from the X-Tenant header; empty
+// means engine.DefaultTenant.
+func tenantOf(r *http.Request) string {
+	return strings.TrimSpace(r.Header.Get("X-Tenant"))
+}
+
+// writeEngineError maps engine failures to distinct status codes so
+// clients can react without parsing messages: budget exhaustion is
+// 422/413/408 by kind (steps/memory/deadline) with the spent/limit pair
+// in the body, quota rejections are 429 with Retry-After, compile
+// failures 400 (message carries the MiniCL line:column), name conflicts
+// 409, and anything else 422.
+func writeEngineError(w http.ResponseWriter, err error) {
+	var be *exec.BudgetError
+	var qe *engine.QuotaError
+	var ce *engine.CompileError
+	switch {
+	case errors.As(err, &be):
+		status := http.StatusUnprocessableEntity
+		switch be.Kind {
+		case exec.BudgetMemory:
+			status = http.StatusRequestEntityTooLarge
+		case exec.BudgetDeadline:
+			status = http.StatusRequestTimeout
+		}
+		writeJSON(w, status, map[string]any{
+			"error": err.Error(),
+			"code":  "budget:" + be.Kind,
+			"spent": be.Spent,
+			"limit": be.Limit,
+		})
+	case errors.As(err, &qe):
+		secs := int64((qe.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error": err.Error(),
+			"code":  "quota",
+		})
+	case errors.As(err, &ce):
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": err.Error(),
+			"code":  "compile",
+		})
+	case errors.Is(err, engine.ErrKernelExists):
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": err.Error(),
+			"code":  "exists",
+		})
+	case errors.Is(err, engine.ErrInvalidKernel):
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": err.Error(),
+			"code":  "invalid",
+		})
+	default:
+		writeError(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
 // parseRequest builds an engine request from query parameters (any
 // method) or a JSON body (POST with a body).
 func (s *server) parseRequest(w http.ResponseWriter, r *http.Request) (engine.Request, error) {
@@ -314,7 +411,7 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	req, err := s.parseRequest(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, bodyErrStatus(err), err)
 		return
 	}
 	p := predPool.Get().(*engine.Prediction)
@@ -354,7 +451,7 @@ func (s *server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	var breq batchRequest
 	if err := s.decodeBody(w, r, &breq); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, bodyErrStatus(err), err)
 		return
 	}
 	if len(breq.Requests) == 0 {
@@ -413,15 +510,51 @@ func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	}
 	req, err := s.parseRequest(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, bodyErrStatus(err), err)
 		return
 	}
-	res, err := s.eng.Execute(req)
+	req.Tenant = tenantOf(r)
+	// The request context rides into the kernel: a client that hangs up
+	// mid-execution aborts the kernel instead of burning cycles for
+	// nobody.
+	res, err := s.eng.Execute(r.Context(), req)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeEngineError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// handleKernels serves the user-kernel registry: GET lists registered
+// kernels, POST compiles an uploaded MiniCL source and registers it for
+// the caller's tenant.
+func (s *server) handleKernels(w http.ResponseWriter, r *http.Request) {
+	if !allowMethods(w, r, http.MethodGet, http.MethodPost) {
+		return
+	}
+	if r.Method == http.MethodGet {
+		kernels := s.eng.ListKernels()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"count":   len(kernels),
+			"kernels": kernels,
+		})
+		return
+	}
+	var spec engine.KernelSpec
+	if err := s.decodeBody(w, r, &spec); err != nil {
+		writeError(w, bodyErrStatus(err), err)
+		return
+	}
+	if spec.Name == "" || spec.Source == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing required fields: name, source"))
+		return
+	}
+	info, err := s.eng.RegisterKernel(tenantOf(r), spec)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -68,6 +68,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/predict/batch", s.handlePredictBatch)
 	mux.HandleFunc("/execute", s.handleExecute)
+	mux.HandleFunc("/kernels", s.handleKernels)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/models", s.handleModels)
 	mux.HandleFunc("/retrain", s.handleRetrain)
@@ -101,6 +102,7 @@ func TestHandlersRejectWrongMethodsWith405(t *testing.T) {
 		{http.MethodDelete, "/predict", "GET, POST"},
 		{http.MethodGet, "/predict/batch", "POST"},
 		{http.MethodGet, "/execute", "POST"},
+		{http.MethodDelete, "/kernels", "GET, POST"},
 		{http.MethodPost, "/stats", "GET"},
 		{http.MethodPut, "/models", "GET, POST"},
 		{http.MethodDelete, "/retrain", "GET, POST"},
@@ -119,12 +121,12 @@ func TestHandlersRejectWrongMethodsWith405(t *testing.T) {
 
 func TestExecuteBodyIsBounded(t *testing.T) {
 	s := testServer(t)
-	// A body over maxBodyBytes must be rejected as a bad request, not
+	// A body over maxBodyBytes must be rejected as too large, not
 	// buffered into the JSON decoder.
 	huge := []byte(`{"program":"vecadd","junk":"` + strings.Repeat("x", maxBodyBytes+1024) + `"}`)
 	w := doReq(t, s, http.MethodPost, "/execute", huge)
-	if w.Code != http.StatusBadRequest {
-		t.Fatalf("oversized body = %d, want 400", w.Code)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d, want 413", w.Code)
 	}
 	// A sane body still works end to end.
 	w = doReq(t, s, http.MethodPost, "/execute", []byte(`{"program":"vecadd","size":0}`))

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/exec"
+	"repro/internal/inspire"
+	"repro/internal/minicl"
+)
+
+// UserProgram wraps an uploaded MiniCL kernel in the same *Program shape
+// the 23 built-in benchmarks use, so the engine's registry, profiler,
+// predictor and executor treat it like any other program.
+//
+// The setup is synthesized from the kernel's signature: global float
+// buffers get deterministic uniform data, global int buffers small
+// non-negative ints, local buffers one work-group's worth of storage,
+// int scalars the problem size n, and float scalars a fixed 0.5. That
+// convention covers the dominant kernel shape (buffers indexed by
+// global id, an `int n` bound) without asking uploaders for a host
+// program. The verifier is vacuous — there is no Go reference for
+// arbitrary uploaded code; correctness enforcement for user kernels is
+// the resource-budget layer, not output checking.
+func UserProgram(name, suite, source, kernel string, fn *inspire.Function, baseN, numSizes int) (*Program, error) {
+	if baseN <= 0 {
+		baseN = 1024
+	}
+	if baseN%exec.DefaultLocal0 != 0 {
+		return nil, fmt.Errorf("bench: base size %d must be a multiple of the work-group size %d", baseN, exec.DefaultLocal0)
+	}
+	if numSizes <= 0 {
+		numSizes = 4
+	}
+	if numSizes > len(sizeLabels) {
+		numSizes = len(sizeLabels)
+	}
+
+	// Capture the parameter shapes now so the setup closure does not
+	// retain the IR (the engine recompiles from source after eviction).
+	type pShape struct {
+		local    bool
+		ptr      bool
+		float    bool
+		ptrFloat bool
+	}
+	shapes := make([]pShape, len(fn.Params))
+	for i, p := range fn.Params {
+		shapes[i] = pShape{
+			local: p.Type.Ptr && p.Type.Space == minicl.Local,
+			ptr:   p.Type.Ptr,
+			float: p.Type.IsFloat(),
+		}
+		if p.Type.Ptr {
+			shapes[i].ptrFloat = p.Type.Elem().IsFloat()
+		}
+	}
+
+	return &Program{
+		Name:   name,
+		Suite:  suite,
+		Source: source,
+		Kernel: kernel,
+		Sizes:  geomSizes(sizeLabels[:numSizes], baseN),
+		setup: func(n int, rng *rand.Rand) *Instance {
+			args := make([]exec.Arg, len(shapes))
+			for i, s := range shapes {
+				switch {
+				case s.local:
+					args[i] = exec.LocalArg(exec.DefaultLocal0)
+				case s.ptr && s.ptrFloat:
+					b := exec.NewFloatBuffer(n)
+					fillUniform(b, rng, 0, 1)
+					args[i] = exec.BufArg(b)
+				case s.ptr:
+					b := exec.NewIntBuffer(n)
+					for j := range b.I {
+						b.I[j] = int32(rng.Intn(n))
+					}
+					args[i] = exec.BufArg(b)
+				case s.float:
+					args[i] = exec.FloatArg(0.5)
+				default:
+					args[i] = exec.IntArg(n)
+				}
+			}
+			return &Instance{Args: args, ND: exec.ND1(n)}
+		},
+		verify: func(inst *Instance, n int) error { return nil },
+	}, nil
+}

@@ -87,6 +87,8 @@ type LaunchSpec struct {
 	ND   exec.NDRange
 	// Iterations is the application's kernel launch count (default 1).
 	Iterations int
+	// Budget, when non-nil, bounds host execution of the launch.
+	Budget *exec.Budget
 }
 
 // Framework is the trained partitioning system for one platform.
@@ -302,5 +304,6 @@ func (f *Framework) launch(p *Program, spec LaunchSpec) runtime.Launch {
 		Args:       spec.Args,
 		ND:         spec.ND,
 		Iterations: spec.Iterations,
+		Budget:     spec.Budget,
 	}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -47,7 +48,7 @@ func TestEngineAdaptiveClosedLoop(t *testing.T) {
 	// Serve traffic: every execution is recorded and oracle-labeled.
 	const executes = 8
 	for i := 0; i < executes; i++ {
-		ex, err := eng.Execute(Request{Program: "vecadd", SizeIdx: 2})
+		ex, err := eng.Execute(context.Background(), Request{Program: "vecadd", SizeIdx: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,7 +133,7 @@ func TestEngineRetrainRejectsWithoutLabels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Execute(Request{Program: "vecadd", SizeIdx: 0}); err != nil {
+	if _, err := eng.Execute(context.Background(), Request{Program: "vecadd", SizeIdx: 0}); err != nil {
 		t.Fatal(err)
 	}
 	res, err := eng.Retrain() // flushes pending observations itself
@@ -179,7 +180,7 @@ func TestEngineRollback(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if _, err := eng.Execute(Request{Program: "matmul", SizeIdx: 2}); err != nil {
+		if _, err := eng.Execute(context.Background(), Request{Program: "matmul", SizeIdx: 2}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -228,7 +229,7 @@ func TestEngineAdaptivePersistsPromotedModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if _, err := eng.Execute(Request{Program: "blackscholes", SizeIdx: 2}); err != nil {
+		if _, err := eng.Execute(context.Background(), Request{Program: "blackscholes", SizeIdx: 2}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -280,7 +281,7 @@ func TestEngineHotSwapUnderConcurrentServing(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Warm the caches so the hammer measures serving, not compilation.
-	if _, err := eng.Execute(Request{Program: "vecadd", SizeIdx: 2}); err != nil {
+	if _, err := eng.Execute(context.Background(), Request{Program: "vecadd", SizeIdx: 2}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -308,7 +309,7 @@ func TestEngineHotSwapUnderConcurrentServing(t *testing.T) {
 						return
 					}
 				} else {
-					ex, err := eng.Execute(Request{Program: "matmul", SizeIdx: 2})
+					ex, err := eng.Execute(context.Background(), Request{Program: "matmul", SizeIdx: 2})
 					if err != nil {
 						t.Errorf("execute during swap: %v", err)
 						return
@@ -368,7 +369,7 @@ func TestEngineBackgroundRetrainer(t *testing.T) {
 		t.Fatal("second retrainer started")
 	}
 	for i := 0; i < 4; i++ {
-		if _, err := eng.Execute(Request{Program: "vecadd", SizeIdx: 2}); err != nil {
+		if _, err := eng.Execute(context.Background(), Request{Program: "vecadd", SizeIdx: 2}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -402,7 +403,7 @@ func TestEngineBackgroundRetrainer(t *testing.T) {
 	}
 	attempts := st.Attempts
 	for i := 0; i < 3; i++ {
-		if _, err := eng.Execute(Request{Program: "vecadd", SizeIdx: 3}); err != nil {
+		if _, err := eng.Execute(context.Background(), Request{Program: "vecadd", SizeIdx: 3}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -19,7 +20,7 @@ func TestExecuteDoesNotWaitForObservationAppend(t *testing.T) {
 	}
 	defer eng.Close()
 
-	ex, err := eng.Execute(Request{Program: "vecadd", SizeIdx: 0})
+	ex, err := eng.Execute(context.Background(), Request{Program: "vecadd", SizeIdx: 0})
 	if err != nil {
 		t.Fatal(err) // would deadlock here if the append were inline
 	}
@@ -70,7 +71,7 @@ func TestObservationOverloadShedsAndCounts(t *testing.T) {
 
 	const executes = 10
 	for i := 0; i < executes; i++ {
-		if _, err := eng.Execute(Request{Program: "vecadd", SizeIdx: 0}); err != nil {
+		if _, err := eng.Execute(context.Background(), Request{Program: "vecadd", SizeIdx: 0}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -102,7 +103,7 @@ func TestEngineCloseFlushesObservations(t *testing.T) {
 	}
 	const executes = 5
 	for i := 0; i < executes; i++ {
-		if _, err := eng.Execute(Request{Program: "matmul", SizeIdx: 0}); err != nil {
+		if _, err := eng.Execute(context.Background(), Request{Program: "matmul", SizeIdx: 0}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -126,7 +127,7 @@ func TestEngineSynchronousObservationMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Execute(Request{Program: "vecadd", SizeIdx: 1}); err != nil {
+	if _, err := eng.Execute(context.Background(), Request{Program: "vecadd", SizeIdx: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if st := log.Stats(); st.Total != 1 {

@@ -22,6 +22,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -86,6 +88,22 @@ type Options struct {
 	// pre-async behavior — useful for tools that exit immediately).
 	ObsQueue int
 
+	// MaxSteps bounds the kernel steps one execution request may spend
+	// (0 = unlimited). Enforced inside both execution tiers; exhaustion
+	// aborts the run with a structured *exec.BudgetError.
+	MaxSteps int64
+	// MaxMemBytes bounds the buffer bytes one execution request may
+	// allocate (0 = unlimited).
+	MaxMemBytes int64
+	// ExecTimeout bounds one execution request's wall clock (0 = only
+	// the caller context's own deadline applies). Profiling runs under
+	// the same step/memory/time limits but never under a request
+	// context, so one client's cancellation cannot poison the shared
+	// feature cache.
+	ExecTimeout time.Duration
+	// Tenant configures per-tenant kernel quotas and concurrency caps.
+	Tenant TenantLimits
+
 	// obsGate, when set (tests only), makes the flusher receive from the
 	// channel before processing each dequeued observation, so tests can
 	// hold the durable append back and prove Execute never waits on it.
@@ -129,6 +147,11 @@ type Engine struct {
 	stats   engineCounters
 	retrain retrainState
 	obsq    obsQueue
+
+	// kernels is the runtime-registered user-kernel table (kernels.go);
+	// tenants holds per-tenant quota accounting (tenant.go).
+	kernels kernelTable
+	tenants tenantTable
 }
 
 // programEntry is one registry slot: the benchmark definition plus the
@@ -189,6 +212,12 @@ type engineCounters struct {
 	retrainPromoted atomic.Uint64
 	retrainRejected atomic.Uint64
 	rollbacks       atomic.Uint64
+
+	kernelsRegistered   atomic.Uint64
+	quotaRejections     atomic.Uint64
+	budgetAbortSteps    atomic.Uint64
+	budgetAbortMem      atomic.Uint64
+	budgetAbortDeadline atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of the engine's counters and cache
@@ -224,6 +253,17 @@ type Stats struct {
 	RetrainPromotions   uint64 `json:"retrainPromotions"`
 	RetrainRejections   uint64 `json:"retrainRejections"`
 	Rollbacks           uint64 `json:"rollbacks"`
+
+	// Untrusted-kernel serving counters. ProgramsEvicted counts compiled
+	// programs the LRU cap removed (idle tenant kernels recompile from
+	// source on next use); the budget-abort counters split deterministic
+	// resource aborts by which budget ran out.
+	KernelsRegistered    uint64 `json:"kernelsRegistered"`
+	ProgramsEvicted      uint64 `json:"programsEvicted"`
+	QuotaRejections      uint64 `json:"quotaRejections"`
+	BudgetAbortsSteps    uint64 `json:"budgetAbortsSteps"`
+	BudgetAbortsMemory   uint64 `json:"budgetAbortsMemory"`
+	BudgetAbortsDeadline uint64 `json:"budgetAbortsDeadline"`
 }
 
 // New builds an engine for the platform named in opts.
@@ -305,6 +345,13 @@ func (e *Engine) Stats() Stats {
 		RetrainPromotions:   e.stats.retrainPromoted.Load(),
 		RetrainRejections:   e.stats.retrainRejected.Load(),
 		Rollbacks:           e.stats.rollbacks.Load(),
+
+		KernelsRegistered:    e.stats.kernelsRegistered.Load(),
+		ProgramsEvicted:      e.programs.Evictions(),
+		QuotaRejections:      e.stats.quotaRejections.Load(),
+		BudgetAbortsSteps:    e.stats.budgetAbortSteps.Load(),
+		BudgetAbortsMemory:   e.stats.budgetAbortMem.Load(),
+		BudgetAbortsDeadline: e.stats.budgetAbortDeadline.Load(),
 	}
 }
 
@@ -319,6 +366,10 @@ type Request struct {
 	// (evaluation mode: the paper's unseen-program scenario). The full
 	// model is used otherwise.
 	LeaveOut bool `json:"leaveOut,omitempty"`
+	// Tenant is the requesting tenant (set by the serving layer from the
+	// X-Tenant header, never from the request body; empty means
+	// DefaultTenant). Concurrency caps are charged against it.
+	Tenant string `json:"-"`
 }
 
 // Prediction is the engine's answer to one predict request.
@@ -373,11 +424,12 @@ type Execution struct {
 }
 
 // program resolves the registry entry for name, compiling the kernel on
-// first use. The name is validated against the benchmark registry BEFORE
+// first use. The name is validated against the benchmark registry (or
+// the user-kernel table for qualified "tenant/name" names) BEFORE
 // touching the memo: requests for unknown programs (attacker-chosen
 // input on the serving path) must not grow the cache.
 func (e *Engine) program(name string) (*programEntry, error) {
-	bp, err := bench.Get(name)
+	bp, err := e.benchFor(name)
 	if err != nil {
 		return nil, err
 	}
@@ -392,14 +444,26 @@ func (e *Engine) program(name string) (*programEntry, error) {
 }
 
 // featuresFor resolves the feature/profile cache entry for (program,
-// size), profiling one execution on first use.
-func (e *Engine) featuresFor(pe *programEntry, sizeIdx int) (*featureEntry, error) {
-	return e.features.Do(featureKey{program: pe.bench.Name, sizeIdx: sizeIdx}, func() (*featureEntry, error) {
+// size), profiling one execution on first use. The profiling run is
+// budgeted with the engine's default limits — user kernels must not
+// wedge the profiler any more than the executor — plus the caller's
+// context, so a disconnected client aborts even a first-touch profile
+// of a hostile kernel. Failures are not cached (DoRetryable): a budget
+// abort or cancellation on first profile must not poison the (program,
+// size) key forever — coalesced waiters see the error once and the
+// next request re-profiles.
+func (e *Engine) featuresFor(ctx context.Context, pe *programEntry, sizeIdx int) (*featureEntry, error) {
+	return e.features.DoRetryable(featureKey{program: pe.bench.Name, sizeIdx: sizeIdx}, func() (*featureEntry, error) {
 		inst, err := pe.bench.Instance(sizeIdx)
 		if err != nil {
 			return nil, err
 		}
-		spec := core.LaunchSpec{Args: inst.Args, ND: inst.ND, Iterations: pe.bench.Iterations}
+		budget, cancel := e.budgetFor(ctx)
+		defer cancel()
+		if err := budget.ChargeMem(instanceBytes(inst)); err != nil {
+			return nil, err
+		}
+		spec := core.LaunchSpec{Args: inst.Args, ND: inst.ND, Iterations: pe.bench.Iterations, Budget: budget}
 		fv, prof, err := e.fw.Features(pe.prog, spec)
 		if err != nil {
 			return nil, err
@@ -408,6 +472,48 @@ func (e *Engine) featuresFor(pe *programEntry, sizeIdx int) (*featureEntry, erro
 		e.stats.featureComputes.Add(1)
 		return &featureEntry{fv: fv, prof: prof, launch: e.launch(pe, inst)}, nil
 	})
+}
+
+// budgetFor builds one kernel run's budget: engine default limits,
+// ExecTimeout, and the caller context's own deadline and cancellation
+// (client disconnects abort the kernel promptly).
+func (e *Engine) budgetFor(ctx context.Context) (*exec.Budget, context.CancelFunc) {
+	cancel := context.CancelFunc(func() {})
+	if e.opts.ExecTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, e.opts.ExecTimeout)
+	}
+	return exec.NewBudget(ctx, e.opts.MaxSteps, e.opts.MaxMemBytes), cancel
+}
+
+// instanceBytes is the memory-budget charge for one instance: the bytes
+// of every global buffer the setup allocated for the request. (Local
+// buffers are charged inside exec at their true per-worker allocation
+// sites.)
+func instanceBytes(inst *bench.Instance) int64 {
+	var n int64
+	for _, a := range inst.Args {
+		if a.Buf != nil {
+			n += a.Buf.Bytes()
+		}
+	}
+	return n
+}
+
+// noteBudgetAbort classifies a request error into the per-kind budget
+// abort counters; non-budget errors are ignored.
+func (e *Engine) noteBudgetAbort(err error) {
+	var be *exec.BudgetError
+	if !errors.As(err, &be) {
+		return
+	}
+	switch be.Kind {
+	case exec.BudgetSteps:
+		e.stats.budgetAbortSteps.Add(1)
+	case exec.BudgetMemory:
+		e.stats.budgetAbortMem.Add(1)
+	case exec.BudgetDeadline:
+		e.stats.budgetAbortDeadline.Add(1)
+	}
 }
 
 // launch assembles a runtime launch from the registry's compiled program
@@ -588,10 +694,14 @@ func (e *Engine) Predict(req Request) (*Prediction, error) {
 // unspecified state.
 func (e *Engine) PredictInto(req Request, p *Prediction) error {
 	e.stats.predictRequests.Add(1)
-	return e.predictInto(req, p)
+	if err := e.predictInto(context.Background(), req, p); err != nil {
+		e.noteBudgetAbort(err)
+		return err
+	}
+	return nil
 }
 
-func (e *Engine) predictInto(req Request, p *Prediction) error {
+func (e *Engine) predictInto(ctx context.Context, req Request, p *Prediction) error {
 	pe, err := e.program(req.Program)
 	if err != nil {
 		return err
@@ -603,7 +713,7 @@ func (e *Engine) predictInto(req Request, p *Prediction) error {
 	if sz >= len(pe.bench.Sizes) {
 		return fmt.Errorf("engine: %s has %d sizes, requested index %d", req.Program, len(pe.bench.Sizes), sz)
 	}
-	fe, err := e.featuresFor(pe, sz)
+	fe, err := e.featuresFor(ctx, pe, sz)
 	if err != nil {
 		return err
 	}
@@ -681,10 +791,31 @@ func (e *Engine) predictInto(req Request, p *Prediction) error {
 // recording failure never fails a request (ObserveFailures counts it);
 // under overload a full ring drops the observation instead of stalling
 // the response (ObservationsDropped counts those).
-func (e *Engine) Execute(req Request) (*Execution, error) {
+//
+// The run is bounded by the engine's resource budgets plus ctx's
+// deadline and cancellation: a hostile or runaway kernel aborts
+// deterministically with a *exec.BudgetError, and a disconnected client
+// frees its workers promptly. Per-tenant concurrency caps reject
+// over-cap requests fast with a *QuotaError.
+func (e *Engine) Execute(ctx context.Context, req Request) (*Execution, error) {
 	e.stats.executeRequests.Add(1)
+	release, err := e.acquireTenantSlot(req.Tenant)
+	if err != nil {
+		e.stats.quotaRejections.Add(1)
+		return nil, err
+	}
+	defer release()
+	out, err := e.execute(ctx, req)
+	if err != nil {
+		e.noteBudgetAbort(err)
+		return nil, err
+	}
+	return out, nil
+}
+
+func (e *Engine) execute(ctx context.Context, req Request) (*Execution, error) {
 	var pred Prediction
-	if err := e.predictInto(req, &pred); err != nil {
+	if err := e.predictInto(ctx, req, &pred); err != nil {
 		return nil, err
 	}
 	pe, err := e.program(req.Program)
@@ -695,7 +826,14 @@ func (e *Engine) Execute(req Request) (*Execution, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.fw.Runtime.Execute(e.launch(pe, inst), e.fw.ClassPartition(pred.Class))
+	budget, cancel := e.budgetFor(ctx)
+	defer cancel()
+	if err := budget.ChargeMem(instanceBytes(inst)); err != nil {
+		return nil, err
+	}
+	l := e.launch(pe, inst)
+	l.Budget = budget
+	res, err := e.fw.Runtime.Execute(l, e.fw.ClassPartition(pred.Class))
 	if err != nil {
 		return nil, err
 	}
@@ -720,7 +858,7 @@ func (e *Engine) Execute(req Request) (*Execution, error) {
 // execution — and the measured-best class recorded, which is exactly the
 // oracle label the offline sweep produces.
 func (e *Engine) observe(pe *programEntry, ex *Execution, deviceTimes []float64) error {
-	fe, err := e.featuresFor(pe, ex.SizeIdx)
+	fe, err := e.featuresFor(context.Background(), pe, ex.SizeIdx)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -260,7 +261,7 @@ func TestEngineExecuteVerifies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Execute(Request{Program: "vecadd", SizeIdx: 0})
+	res, err := eng.Execute(context.Background(), Request{Program: "vecadd", SizeIdx: 0})
 	if err != nil {
 		t.Fatal(err)
 	}

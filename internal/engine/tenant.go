@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTenant is the tenant requests without an explicit tenant belong
+// to. Every quota applies to it like any other tenant.
+const DefaultTenant = "public"
+
+// TenantLimits configures per-tenant quotas and caps. Zero values
+// disable the corresponding limit.
+type TenantLimits struct {
+	// MaxKernels caps how many kernels one tenant may have registered.
+	MaxKernels int
+	// MaxSourceBytes caps the total MiniCL source bytes one tenant may
+	// have registered across all its kernels.
+	MaxSourceBytes int64
+	// MaxConcurrent caps a tenant's in-flight executions; requests over
+	// the cap fail fast with a QuotaError instead of queueing.
+	MaxConcurrent int
+	// RetryAfter is the backoff hint attached to concurrency rejections
+	// (default 1s).
+	RetryAfter time.Duration
+}
+
+// QuotaError reports a request rejected by a tenant quota. The serving
+// layer maps it to 429 with a Retry-After header.
+type QuotaError struct {
+	Tenant     string
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("engine: tenant %q over quota: %s", e.Tenant, e.Reason)
+}
+
+// tenantState is one tenant's live accounting. kernels and srcBytes are
+// guarded by the kernel table's mutex (they change only on register);
+// inflight is atomic so the execute path never takes a lock.
+type tenantState struct {
+	inflight atomic.Int64
+	kernels  int
+	srcBytes int64
+}
+
+// tenantTable holds per-tenant state, created on first touch.
+type tenantTable struct {
+	mu sync.Mutex
+	m  map[string]*tenantState
+}
+
+// tenantName normalizes an empty tenant to DefaultTenant.
+func tenantName(s string) string {
+	if s == "" {
+		return DefaultTenant
+	}
+	return s
+}
+
+func (t *tenantTable) state(name string) *tenantState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m == nil {
+		t.m = map[string]*tenantState{}
+	}
+	ts := t.m[name]
+	if ts == nil {
+		ts = &tenantState{}
+		t.m[name] = ts
+	}
+	return ts
+}
+
+func (e *Engine) retryAfter() time.Duration {
+	if e.opts.Tenant.RetryAfter > 0 {
+		return e.opts.Tenant.RetryAfter
+	}
+	return time.Second
+}
+
+// acquireTenantSlot claims one of the tenant's concurrent-execution
+// slots, returning the release func, or a QuotaError when the tenant is
+// at its cap. With no cap configured it is free.
+func (e *Engine) acquireTenantSlot(tenant string) (func(), error) {
+	maxc := e.opts.Tenant.MaxConcurrent
+	if maxc <= 0 {
+		return func() {}, nil
+	}
+	name := tenantName(tenant)
+	ts := e.tenants.state(name)
+	if ts.inflight.Add(1) > int64(maxc) {
+		ts.inflight.Add(-1)
+		return nil, &QuotaError{
+			Tenant:     name,
+			Reason:     fmt.Sprintf("%d concurrent executions in flight (cap %d)", maxc, maxc),
+			RetryAfter: e.retryAfter(),
+		}
+	}
+	return func() { ts.inflight.Add(-1) }, nil
+}

@@ -1,0 +1,32 @@
+package exec
+
+import (
+	"context"
+
+	"repro/internal/exec/vm"
+)
+
+// Budget and BudgetError live in package vm (the innermost execution
+// layer, imported by exec) so both execution tiers share one
+// implementation; exec re-exports them under the public names the rest
+// of the system uses.
+type (
+	// Budget bounds a launch by steps, bytes, and wall clock. A nil
+	// *Budget enforces nothing.
+	Budget = vm.Budget
+	// BudgetError is the structured, deterministic budget abort.
+	BudgetError = vm.BudgetError
+)
+
+// Budget exhaustion kinds (BudgetError.Kind).
+const (
+	BudgetSteps    = vm.BudgetSteps
+	BudgetMemory   = vm.BudgetMemory
+	BudgetDeadline = vm.BudgetDeadline
+)
+
+// NewBudget builds a budget from explicit limits (0 = unlimited) plus
+// the context's deadline and cancellation; nil when nothing to enforce.
+func NewBudget(ctx context.Context, maxSteps, maxMemBytes int64) *Budget {
+	return vm.NewBudget(ctx, maxSteps, maxMemBytes)
+}

@@ -1,0 +1,228 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/inspire"
+)
+
+// spinSrc loops forever: the induction variable walks away from the
+// bound, so only a resource budget can stop it. Lowerable on both tiers.
+const spinSrc = `kernel void spin(global float* out) {
+	int i = 0;
+	while (i < 2) {
+		i = i - 1;
+	}
+	out[get_global_id(0)] = 1.0;
+}`
+
+func compileTierSrc(t *testing.T, src, kernel string, tier Tier) *Compiled {
+	t.Helper()
+	u, err := inspire.LowerSource("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := u.Kernel(kernel)
+	if k == nil {
+		t.Fatalf("kernel %q not found", kernel)
+	}
+	c, err := CompileTier(k, tier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func wantBudgetErr(t *testing.T, err error, kind string) *BudgetError {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("run succeeded, want %s budget abort", kind)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v (%T), want *BudgetError", err, err)
+	}
+	if be.Kind != kind {
+		t.Fatalf("BudgetError.Kind = %q, want %q (err: %v)", be.Kind, kind, be)
+	}
+	return be
+}
+
+func eachTier(t *testing.T, fn func(t *testing.T, tier Tier)) {
+	for _, tc := range []struct {
+		name string
+		tier Tier
+	}{{"vm", TierVM}, {"closure", TierClosure}} {
+		t.Run(tc.name, func(t *testing.T) { fn(t, tc.tier) })
+	}
+}
+
+func TestStepBudgetAbortsInfiniteLoop(t *testing.T) {
+	eachTier(t, func(t *testing.T, tier Tier) {
+		c := compileTierSrc(t, spinSrc, "spin", tier)
+		out := NewFloatBuffer(64)
+		b := NewBudget(context.Background(), 100_000, 0)
+		done := make(chan error, 1)
+		go func() {
+			_, err := c.Run([]Arg{BufArg(out)}, ND1(64), RunOptions{Budget: b})
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			be := wantBudgetErr(t, err, BudgetSteps)
+			if be.Limit != 100_000 {
+				t.Errorf("Limit = %d, want 100000", be.Limit)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("budgeted infinite loop did not abort within 30s")
+		}
+	})
+}
+
+func TestDeadlineBudgetAbortsInfiniteLoop(t *testing.T) {
+	eachTier(t, func(t *testing.T, tier Tier) {
+		c := compileTierSrc(t, spinSrc, "spin", tier)
+		out := NewFloatBuffer(64)
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		b := NewBudget(ctx, 0, 0)
+		start := time.Now()
+		_, err := c.Run([]Arg{BufArg(out)}, ND1(64), RunOptions{Budget: b})
+		wantBudgetErr(t, err, BudgetDeadline)
+		if el := time.Since(start); el > 10*time.Second {
+			t.Errorf("deadline abort took %v, want well under 10s", el)
+		}
+	})
+}
+
+func TestCancelAbortsInfiniteLoop(t *testing.T) {
+	eachTier(t, func(t *testing.T, tier Tier) {
+		c := compileTierSrc(t, spinSrc, "spin", tier)
+		out := NewFloatBuffer(64)
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(20 * time.Millisecond)
+			cancel()
+		}()
+		b := NewBudget(ctx, 0, 0)
+		_, err := c.Run([]Arg{BufArg(out)}, ND1(64), RunOptions{Budget: b})
+		wantBudgetErr(t, err, BudgetDeadline)
+	})
+}
+
+func TestMemoryBudgetAbortsLocalAllocation(t *testing.T) {
+	src := `kernel void fill(global float* out, local float* tmp) {
+		int lid = get_local_id(0);
+		tmp[lid] = 1.0;
+		out[get_global_id(0)] = tmp[lid];
+	}`
+	eachTier(t, func(t *testing.T, tier Tier) {
+		c := compileTierSrc(t, src, "fill", tier)
+		out := NewFloatBuffer(64)
+		// 64 floats of local memory = 256 bytes per worker; a 100-byte
+		// budget must refuse the very first allocation.
+		b := NewBudget(context.Background(), 0, 100)
+		_, err := c.Run([]Arg{BufArg(out), LocalArg(64)}, ND1(64), RunOptions{Budget: b})
+		wantBudgetErr(t, err, BudgetMemory)
+	})
+}
+
+// TestBudgetedRunMatchesUnbudgeted pins that a generous budget changes
+// nothing observable: buffers and profiles stay byte-identical, so the
+// vmdiff parity guarantees extend to budgeted serving.
+func TestBudgetedRunMatchesUnbudgeted(t *testing.T) {
+	src := `kernel void rowsum(global const float* a, global float* out, int n) {
+		int i = get_global_id(0);
+		float s = 0.0;
+		for (int j = 0; j < n; j++) {
+			s += a[i * n + j];
+		}
+		out[i] = s;
+	}`
+	eachTier(t, func(t *testing.T, tier Tier) {
+		c := compileTierSrc(t, src, "rowsum", tier)
+		n := 64
+		run := func(b *Budget) ([]float32, *Profile) {
+			a, out := NewFloatBuffer(n*n), NewFloatBuffer(n)
+			for i := range a.F {
+				a.F[i] = float32(i%13) * 0.5
+			}
+			prof, err := c.Run([]Arg{BufArg(a), BufArg(out), IntArg(n)}, ND1(n), RunOptions{Budget: b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out.F, prof
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		plain, plainProf := run(nil)
+		budgeted, budgetedProf := run(NewBudget(ctx, 1_000_000_000, 1<<30))
+		for i := range plain {
+			if plain[i] != budgeted[i] {
+				t.Fatalf("out[%d]: budgeted %g != unbudgeted %g", i, budgeted[i], plain[i])
+			}
+		}
+		if pt, bt := plainProf.Total(), budgetedProf.Total(); pt != bt {
+			t.Errorf("profile totals diverge: %+v vs %+v", pt, bt)
+		}
+	})
+}
+
+// TestStepBudgetBarrierPathsNoHang drives a barrier kernel that spins
+// forever through every barrier execution mode with a small step budget:
+// each must return a structured abort rather than deadlock at the
+// barrier (items that abort leave the barrier; survivors exhaust the
+// shared pool and abort too).
+func TestStepBudgetBarrierPathsNoHang(t *testing.T) {
+	src := `kernel void bspin(global float* out, local float* tmp) {
+		int lid = get_local_id(0);
+		tmp[lid] = 1.0;
+		barrier(1);
+		int i = 0;
+		while (i < 2) {
+			i = i - 1;
+		}
+		out[get_global_id(0)] = tmp[lid];
+	}`
+	for _, mode := range []struct {
+		name string
+		m    BarrierMode
+	}{{"auto", BarrierAuto}, {"pooled", BarrierPooled}, {"spawn", BarrierSpawn}} {
+		t.Run(mode.name, func(t *testing.T) {
+			eachTier(t, func(t *testing.T, tier Tier) {
+				c := compileTierSrc(t, src, "bspin", tier)
+				out := NewFloatBuffer(128)
+				b := NewBudget(context.Background(), 200_000, 0)
+				done := make(chan error, 1)
+				go func() {
+					_, err := c.Run([]Arg{BufArg(out), LocalArg(64)}, ND1(128),
+						RunOptions{Budget: b, Barrier: mode.m})
+					done <- err
+				}()
+				select {
+				case err := <-done:
+					wantBudgetErr(t, err, BudgetSteps)
+				case <-time.After(30 * time.Second):
+					t.Fatalf("barrier mode %s: budgeted spin did not abort", mode.name)
+				}
+			})
+		})
+	}
+}
+
+// TestExpiredBackstopStraightLine pins the between-groups deadline check:
+// a kernel with no loops never burns fuel, but an already-expired budget
+// still aborts the launch.
+func TestExpiredBackstopStraightLine(t *testing.T) {
+	c := compileSrc(t, vecaddSrc, "vecadd")
+	n := 256
+	a, b, out := NewFloatBuffer(n), NewFloatBuffer(n), NewFloatBuffer(n)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired before the launch starts
+	bud := NewBudget(ctx, 0, 0)
+	_, err := c.Run([]Arg{BufArg(a), BufArg(b), BufArg(out), IntArg(n)}, ND1(n), RunOptions{Budget: bud})
+	wantBudgetErr(t, err, BudgetDeadline)
+}

@@ -34,6 +34,27 @@ type frame struct {
 	wi     wiState
 	cnt    *Counts
 	bar    *groupBarrier
+
+	// fuel mirrors vm.Frame.Fuel for the closure tier: a local step
+	// allowance burned at loop back-edges and function calls, refilled
+	// in batches from the shared budget. nil budget = unlimited.
+	fuel   int64
+	budget *vm.Budget
+}
+
+// tick burns one unit of fuel at a loop back-edge or call, refilling the
+// lease from the budget on underflow and throwing the budget's error
+// (recovered at the Run boundary) when the lease is denied.
+func (f *frame) tick() {
+	f.fuel--
+	if f.fuel >= 0 {
+		return
+	}
+	lease, err := f.budget.TakeLease()
+	if err != nil {
+		panic(execError{err})
+	}
+	f.fuel = lease
 }
 
 type (
@@ -263,6 +284,7 @@ func (cc *compiler) stmt(s inspire.Stmt) stmtFn {
 				}
 			}
 			for {
+				f.tick()
 				if cond != nil {
 					f.cnt.Branches++
 					if !cond(f) {
@@ -287,6 +309,7 @@ func (cc *compiler) stmt(s inspire.Stmt) stmtFn {
 		body := cc.block(st.Body)
 		return func(f *frame) ctrl {
 			for {
+				f.tick()
 				f.cnt.Branches++
 				if !cond(f) {
 					return ctrlNext
@@ -897,12 +920,14 @@ func (cc *compiler) callFunc(ex *inspire.CallFunc) func(*frame) *frame {
 	nG, nL := callee.nGlobal, callee.nLocal
 	body := callee.body
 	return func(parent *frame) *frame {
+		parent.tick()
 		child := &frame{
 			ints:   make([]int64, nInts),
 			floats: make([]float64, nFloats),
 			wi:     parent.wi,
 			cnt:    parent.cnt,
 			bar:    parent.bar,
+			budget: parent.budget,
 		}
 		if nG > 0 {
 			child.bufs = make([]*Buffer, nG)

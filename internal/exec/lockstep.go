@@ -249,6 +249,17 @@ func gSeg(sf stmtFn) gStmt {
 	}
 }
 
+// gTick burns one loop back-edge of fuel on every active frame,
+// mirroring the tick the per-item For/While closures pay, so uniform
+// group loops respect step budgets exactly like the other paths.
+func gTick(g *groupExec) {
+	for i, f := range g.frames {
+		if g.active[i] {
+			f.tick()
+		}
+	}
+}
+
 // gCond evaluates a uniform condition on every active frame (counting a
 // branch per frame, exactly like the per-item closures) and returns the
 // group decision plus whether any item is still active.
@@ -373,6 +384,7 @@ func (cc *compiler) gStmtCompile(s inspire.Stmt, u *uniformInfo) (gStmt, bool) {
 				init(g)
 			}
 			for {
+				gTick(g)
 				if cond != nil {
 					dec, any := gCond(g, cond)
 					if !any || !dec {
@@ -400,6 +412,7 @@ func (cc *compiler) gStmtCompile(s inspire.Stmt, u *uniformInfo) (gStmt, bool) {
 		}
 		return func(g *groupExec) ctrl {
 			for {
+				gTick(g)
 				dec, any := gCond(g, cond)
 				if !any || !dec {
 					return ctrlNext

@@ -32,6 +32,10 @@ type RunOptions struct {
 	// BarrierAuto). All modes produce byte-identical buffers and profiles;
 	// the explicit modes exist so benchmarks and tests can compare them.
 	Barrier BarrierMode
+	// Budget, when non-nil, bounds the launch by steps, memory, and wall
+	// clock; exhaustion aborts the run with a *BudgetError. Nil enforces
+	// nothing and adds no per-item cost beyond an amortized fuel counter.
+	Budget *Budget
 }
 
 // BarrierMode selects how work groups of barrier kernels execute.
@@ -148,12 +152,18 @@ func (c *Compiled) Run(args []Arg, nd NDRange, opts RunOptions) (*Profile, error
 					panic(r)
 				}
 			}()
-			rt := newGroupRunner(c, args, nd, ngrp, buckets, opts.Barrier)
+			rt := newGroupRunner(c, args, nd, ngrp, buckets, opts.Barrier, opts.Budget)
 			defer rt.close()
 			for {
 				g := nextGroup.Add(1) - 1
 				if g >= int64(totalGroups) {
 					return
+				}
+				// Deadline/cancel backstop between groups: straight-line
+				// kernels never touch fuel, but their per-group work is
+				// bounded by the memory budget, so this check suffices.
+				if err := opts.Budget.Expired(); err != nil {
+					panic(execError{err})
 				}
 				// Decompose linear group index into (g0, g1, g2).
 				g0 := int(g)%groupsDim0 + g0lo
@@ -247,14 +257,17 @@ type groupRunner struct {
 	vmFrames []*vm.Frame
 	vmDone   []bool
 	vmBarFn  func()
+
+	budget *vm.Budget
 }
 
-func newGroupRunner(c *Compiled, args []Arg, nd NDRange, ngrp [3]int64, buckets []Counts, mode BarrierMode) *groupRunner {
+func newGroupRunner(c *Compiled, args []Arg, nd NDRange, ngrp [3]int64, buckets []Counts, mode BarrierMode, budget *Budget) *groupRunner {
 	r := &groupRunner{
 		c: c, nd: nd, buckets: buckets, nb: len(buckets), global0: nd.Global[0],
 		lsz: [3]int64{int64(nd.Local[0]), int64(nd.Local[1]), int64(nd.Local[2])},
 		gsz: [3]int64{int64(nd.Global[0]), int64(nd.Global[1]), int64(nd.Global[2])},
 		ngr: ngrp,
+		budget: budget,
 	}
 	r.itemsPer = nd.Local[0] * nd.Local[1] * nd.Local[2]
 	r.barrier = c.hasBarrier && r.itemsPer > 1
@@ -276,6 +289,12 @@ func newGroupRunner(c *Compiled, args []Arg, nd NDRange, ngrp [3]int64, buckets 
 		case slotGlobalBuf:
 			globalBufs[s.idx] = args[i].Buf
 		case slotLocalBuf:
+			// Local buffers are real per-worker allocations, so they are
+			// the closest thing this host runtime has to device local
+			// memory: charge them against the memory budget.
+			if err := budget.ChargeMem(int64(args[i].LocalLen) * 4); err != nil {
+				panic(execError{err})
+			}
 			if p.Type.Elem().IsFloat() {
 				r.locals[s.idx] = NewFloatBuffer(args[i].LocalLen)
 			} else {
@@ -292,6 +311,7 @@ func newGroupRunner(c *Compiled, args []Arg, nd NDRange, ngrp [3]int64, buckets 
 			bufs:   globalBufs,
 			locals: r.locals,
 			cnt:    &Counts{},
+			budget: budget,
 		}
 		f.wi.gsz = r.gsz
 		f.wi.lsz = r.lsz

@@ -43,6 +43,7 @@ func (r *groupRunner) initVM(args []Arg) {
 	r.vmFrames = make([]*vm.Frame, r.itemsPer)
 	for i := range r.vmFrames {
 		f := p.NewFrame()
+		f.B = r.budget
 		f.Globals = globals
 		f.Locals = locals
 		f.WI[vm.WIGlobalSize] = r.gsz

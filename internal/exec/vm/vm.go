@@ -100,6 +100,24 @@ type Frame struct {
 	// Barrier, when non-nil, is invoked at OpBar (blocking barrier
 	// modes). When nil, OpBar suspends the frame instead (lockstep).
 	Barrier func()
+
+	// Fuel is the frame's local step allowance, decremented at taken
+	// jumps (one per loop iteration). When it underflows, Run refills it
+	// from B; a nil B grants an effectively unlimited lease. Fuel
+	// deliberately survives Reset so a lease spans work items.
+	Fuel int64
+	B    *Budget
+}
+
+// spend burns one unit of fuel, refilling the lease from the budget on
+// underflow. The fast path is a decrement and compare; only lease
+// boundaries touch the shared budget.
+func (f *Frame) spend() error {
+	f.Fuel--
+	if f.Fuel >= 0 {
+		return nil
+	}
+	return f.refill()
 }
 
 // NewFrame allocates a frame sized for fn. Buffers, scalar arguments
@@ -349,23 +367,39 @@ func (p *Func) Run(f *Frame) (Status, error) {
 			ri[in.A] = b2i(rf[in.B] != rf[in.C])
 
 		case OpJmp:
+			if err := f.spend(); err != nil {
+				f.PC, f.Cnt = pc, c
+				return Halted, err
+			}
 			pc = int(in.Imm)
 			continue
 		case OpJZBr:
 			c.Branches++
 			if ri[in.A] == 0 {
+				if err := f.spend(); err != nil {
+					f.PC, f.Cnt = pc, c
+					return Halted, err
+				}
 				pc = int(in.Imm)
 				continue
 			}
 		case OpJZLog:
 			c.IntOps++
 			if ri[in.A] == 0 {
+				if err := f.spend(); err != nil {
+					f.PC, f.Cnt = pc, c
+					return Halted, err
+				}
 				pc = int(in.Imm)
 				continue
 			}
 		case OpJNZLog:
 			c.IntOps++
 			if ri[in.A] != 0 {
+				if err := f.spend(); err != nil {
+					f.PC, f.Cnt = pc, c
+					return Halted, err
+				}
 				pc = int(in.Imm)
 				continue
 			}
@@ -633,6 +667,10 @@ func (p *Func) Run(f *Frame) (Status, error) {
 			c.IntOps++
 			c.Branches++
 			if ccHoldsI(in.C, ri[in.A], ri[in.B]) {
+				if err := f.spend(); err != nil {
+					f.PC, f.Cnt = pc, c
+					return Halted, err
+				}
 				pc = int(in.Imm)
 				continue
 			}
@@ -640,6 +678,10 @@ func (p *Func) Run(f *Frame) (Status, error) {
 			c.IntOps++
 			c.Branches++
 			if ccHoldsI(in.B, ri[in.A], in.Imm) {
+				if err := f.spend(); err != nil {
+					f.PC, f.Cnt = pc, c
+					return Halted, err
+				}
 				pc = int(in.C)
 				continue
 			}
@@ -647,6 +689,10 @@ func (p *Func) Run(f *Frame) (Status, error) {
 			c.FloatOps++
 			c.Branches++
 			if ccHoldsF(in.C, rf[in.A], rf[in.B]) {
+				if err := f.spend(); err != nil {
+					f.PC, f.Cnt = pc, c
+					return Halted, err
+				}
 				pc = int(in.Imm)
 				continue
 			}
@@ -656,6 +702,10 @@ func (p *Func) Run(f *Frame) (Status, error) {
 			v := ri[in.A] + ri[in.B]
 			ri[in.A] = v
 			if ccHoldsI(int32(in.Imm>>32), v, ri[in.C]) {
+				if err := f.spend(); err != nil {
+					f.PC, f.Cnt = pc, c
+					return Halted, err
+				}
 				pc = int(int64(uint32(in.Imm)))
 				continue
 			}

@@ -1,0 +1,71 @@
+package minicl_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/minicl"
+)
+
+// The front end is the trust boundary for uploaded kernels: arbitrary
+// bytes arrive at POST /kernels and flow through lexer → parser → sema.
+// Each stage must return an error for malformed input, never panic or
+// hang. The seed corpus is the full built-in suite (every construct the
+// dialect supports) plus handcrafted near-miss inputs.
+
+func seedSources(f *testing.F) {
+	f.Helper()
+	for _, p := range bench.All() {
+		f.Add(p.Source)
+	}
+	for _, s := range []string{
+		"",
+		"kernel",
+		"kernel void k() {}",
+		"kernel void k(global float* a) { a[0] = ; }",
+		"kernel void k(int n) { while (1) {} }",
+		"int f(int x) { return f(x); } kernel void k() {}",
+		"kernel void k() { int x = 2147483647 + 1; }",
+		"/* unterminated",
+		`"unterminated string`,
+		"kernel void k() { for (int i = 0; i < 10; i = i + 1) { barrier(); } }",
+		"kernel void k(local float* t, global float* a) { t[get_local_id(0)] = a[get_global_id(0)]; }",
+		strings.Repeat("{", 1000),
+		"kernel void k() { 0x }",
+		"kernel void \x00() {}",
+	} {
+		f.Add(s)
+	}
+}
+
+func FuzzLexer(f *testing.F) {
+	seedSources(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := minicl.LexAll(src)
+		if err == nil && len(toks) == 0 {
+			t.Fatal("no tokens and no error")
+		}
+	})
+}
+
+func FuzzParser(f *testing.F) {
+	seedSources(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := minicl.Parse(src)
+		if err == nil && prog == nil {
+			t.Fatal("nil program without error")
+		}
+	})
+}
+
+func FuzzSema(f *testing.F) {
+	seedSources(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		// Compile = Parse + Check: the full front end uploads go through.
+		prog, err := minicl.Compile(src)
+		if err == nil && prog == nil {
+			t.Fatal("nil program without error")
+		}
+	})
+}

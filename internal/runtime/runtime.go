@@ -33,6 +33,10 @@ type Launch struct {
 	// kernel (iterative solvers). Buffers stay device-resident between
 	// launches, so transfers are charged once while compute scales.
 	Iterations int
+	// Budget, when non-nil, bounds host execution of this launch (steps,
+	// memory, wall clock); shared across all device chunks so the whole
+	// launch draws from one pool.
+	Budget *exec.Budget
 }
 
 // iterations returns the effective launch count.
@@ -171,6 +175,7 @@ func (r *Runtime) Execute(l Launch, part partition.Partition) (*Result, error) {
 			return l.Kernel.Run(l.Args, nd, exec.RunOptions{
 				Lo: ch[0], Hi: ch[1], Buckets: len(full.Buckets), Workers: w,
 				DestBuckets: r.getChunkBuf(len(full.Buckets)),
+				Budget:      l.Budget,
 			})
 		})
 	if err != nil {
@@ -216,7 +221,7 @@ func (r *Runtime) Profile(l Launch) (*exec.Profile, error) {
 	if err != nil {
 		return nil, err
 	}
-	return l.Kernel.Run(l.Args, nd, exec.RunOptions{Workers: r.Workers})
+	return l.Kernel.Run(l.Args, nd, exec.RunOptions{Workers: r.Workers, Budget: l.Budget})
 }
 
 // Price computes the simulated makespan of a partitioning from an

@@ -39,6 +39,8 @@ type Memo[K comparable, V any] struct {
 	dirty map[K]*memoEntry[V]                 // authoritative table
 	limit atomic.Int64                        // 0 = unbounded
 	clock atomic.Uint64                       // recency counter (capped tables)
+	// evicted counts entries removed by the LRU cap, for serving stats.
+	evicted atomic.Uint64
 }
 
 type memoEntry[V any] struct {
@@ -176,7 +178,13 @@ func (m *Memo[K, V]) evictLocked(keep *memoEntry[V]) {
 			return // everything else is in flight; let the burst drain
 		}
 		delete(m.dirty, victim)
+		m.evicted.Add(1)
 	}
+}
+
+// Evictions reports how many entries the LRU cap has removed.
+func (m *Memo[K, V]) Evictions() uint64 {
+	return m.evicted.Load()
 }
 
 // Len reports how many keys are currently cached (computed or in flight).

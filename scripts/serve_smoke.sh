@@ -5,8 +5,11 @@
 # closed loop — executions for a size ABSENT from the seed database are
 # observed (/observations), retrained (/retrain), and the promoted model
 # version serves subsequent predictions (/models, modelVersion) without
-# a restart — and finally verify clean shutdown on SIGTERM. Used by CI
-# and runnable locally:
+# a restart — and finally verify clean shutdown on SIGTERM. A second
+# serve instance then exercises the untrusted-kernel path: upload via
+# POST /kernels, execute, an infinite-loop kernel killed by the step
+# budget, tenant quota rejection (429 + Retry-After), and idle-program
+# eviction with transparent recompile. Used by CI and runnable locally:
 #
 #   scripts/serve_smoke.sh [port]
 set -euo pipefail
@@ -145,5 +148,65 @@ if kill -0 "$pid" 2>/dev/null; then
   exit 1
 fi
 wait "$pid" || { echo "FAIL: serve exited non-zero"; exit 1; }
+pid=""
+
+echo "== untrusted kernels: serve with budgets, quotas and a tiny program cache =="
+"$work/serve" -addr "127.0.0.1:$port" -db "$work/db.json" -platform mc2 \
+  -model knn -exec-tier vm -exec-steps 2000000 -exec-timeout 10s \
+  -tenant-max-kernels 1 -cache-limit 1 &
+pid=$!
+for i in $(seq 1 100); do
+  curl -fsS "$base/healthz" >/dev/null 2>&1 && break
+  kill -0 "$pid" 2>/dev/null || { echo "FAIL: budgeted serve died during startup"; exit 1; }
+  sleep 0.1
+done
+
+scale_src='kernel void scale(global float* a, global float* out, int n) { out[get_global_id(0)] = a[get_global_id(0)] * 2.0; }'
+spin_src='kernel void spin(global float* out) { int i = 0; while (i < 2) { i = i - 1; } out[get_global_id(0)] = 1.0; }'
+
+echo "== upload a kernel and execute it =="
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d "{\"name\":\"scale\",\"source\":\"$scale_src\"}" "$base/kernels" | tee "$work/kernel.json"
+grep -q '"name": "public/scale"' "$work/kernel.json"
+curl -fsS "$base/kernels" | grep -q '"public/scale"'
+curl -fsS -X POST "$base/execute?program=public/scale&size=0" | tee "$work/userexec.json"
+grep -q '"program": "public/scale"' "$work/userexec.json"
+
+echo "== malformed source is a 400 with the MiniCL position =="
+code=$(curl -s -o "$work/badsrc.json" -w '%{http_code}' -X POST -H 'X-Tenant: eve' \
+  -d '{"name":"broken","source":"kernel void b(global float* o) { o[0] = ; }"}' "$base/kernels")
+[ "$code" = "400" ] || { echo "FAIL: bad source returned $code"; exit 1; }
+grep -q '"compile"' "$work/badsrc.json"
+
+echo "== hostile infinite-loop kernel is killed by the step budget =="
+curl -fsS -X POST -H 'X-Tenant: mallory' \
+  -d "{\"name\":\"spin\",\"source\":\"$spin_src\"}" "$base/kernels" >/dev/null
+code=$(timeout 60 curl -s -o "$work/spin.json" -w '%{http_code}' -X POST \
+  "$base/execute?program=mallory/spin&size=0")
+[ "$code" = "422" ] || { echo "FAIL: hostile kernel returned $code, want 422"; exit 1; }
+grep -q '"budget:steps"' "$work/spin.json"
+grep -q '"limit": 2000000' "$work/spin.json"
+
+echo "== tenant over its kernel quota gets 429 + Retry-After =="
+curl -s -i -X POST -d "{\"name\":\"second\",\"source\":\"$scale_src\"}" \
+  "$base/kernels" -o "$work/quota.txt"
+grep -q "^HTTP/1.1 429" "$work/quota.txt" || { echo "FAIL: over-quota upload not 429"; exit 1; }
+grep -qi "^Retry-After:" "$work/quota.txt" || { echo "FAIL: 429 without Retry-After"; exit 1; }
+
+echo "== idle eviction: tiny cache evicted a program; it still serves (recompile) =="
+curl -fsS -X POST "$base/execute?program=vecadd&size=0" >/dev/null
+curl -fsS "$base/stats" | tee "$work/stats2.json"
+grep -q '"kernelsRegistered": 2' "$work/stats2.json"
+grep -q '"quotaRejections": 1' "$work/stats2.json"
+grep -q '"programsEvicted": 0' "$work/stats2.json" && { echo "FAIL: no evictions with cache-limit 1"; exit 1; }
+grep -q '"budgetAbortsSteps": 0' "$work/stats2.json" && { echo "FAIL: no step-budget aborts counted"; exit 1; }
+curl -fsS -X POST "$base/execute?program=public/scale&size=0" | grep -q '"program": "public/scale"'
+
+kill -TERM "$pid"
+for i in $(seq 1 100); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
+wait "$pid" || { echo "FAIL: budgeted serve exited non-zero"; exit 1; }
 pid=""
 echo "PASS: serve smoke"
