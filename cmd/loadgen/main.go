@@ -13,11 +13,25 @@
 //
 //	loadgen -addr http://127.0.0.1:8090 [-endpoint /predict] \
 //	        [-program vecadd] [-size -1] [-workers 8] [-duration 5s] \
-//	        [-batch 0] [-out metrics.json]
+//	        [-batch 0] [-wire] [-mix predict:0.6,batch:0.3,execute:0.1] \
+//	        [-sweep 1,2,4,8,16] [-out metrics.json]
 //
 // With -batch N > 0 the workers POST /predict/batch bodies carrying N
 // copies of the point instead of single GET /predict requests, and the
 // report additionally contains points/s (QPS x batch).
+//
+// -wire switches the request and response encoding to the compact
+// binary protocol (internal/wire, Content-Type application/x-repro-wire)
+// over the same endpoints, so JSON-vs-wire deltas isolate the encoding.
+//
+// -mix drives a weighted workload instead of a single endpoint: each
+// request picks predict, batch, or execute by the given weights
+// (per-worker PRNG, fixed seed for reproducibility).
+//
+// -sweep "1,2,4,8,16" repeats the measurement once per worker count and
+// emits {"sweep": [Report, ...]} — the overload trajectory for the
+// admission-control gate. Responses with status 429 (quota or shed)
+// count in the report's "shed" field, not as errors.
 package main
 
 import (
@@ -26,30 +40,50 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/engine"
+	"repro/internal/wire"
 )
+
+// request kinds for -mix.
+const (
+	kindPredict = iota
+	kindBatch
+	kindExecute
+	numKinds
+)
+
+var kindNames = [numKinds]string{"predict", "batch", "execute"}
 
 // result aggregates one worker's closed loop.
 type result struct {
-	lats []time.Duration
-	errs int
+	lats   []time.Duration
+	points int
+	errs   int
+	shed   int
 }
 
 // Report is the emitted JSON document.
 type Report struct {
 	Endpoint        string  `json:"endpoint"`
+	Protocol        string  `json:"protocol"`
 	Program         string  `json:"program"`
 	SizeIdx         int     `json:"size"`
 	Workers         int     `json:"workers"`
 	Batch           int     `json:"batch,omitempty"`
+	Mix             string  `json:"mix,omitempty"`
 	DurationSeconds float64 `json:"durationSeconds"`
 	Requests        int     `json:"requests"`
 	Errors          int     `json:"errors"`
+	Shed            int     `json:"shed"`
 	QPS             float64 `json:"qps"`
 	PointsPerSecond float64 `json:"pointsPerSecond,omitempty"`
 	LatencyMicros   struct {
@@ -61,6 +95,19 @@ type Report struct {
 	} `json:"latencyMicros"`
 }
 
+// config is everything one measurement run needs.
+type config struct {
+	addr     string
+	endpoint string
+	program  string
+	size     int
+	batch    int
+	useWire  bool
+	mix      [numKinds]float64 // cumulative weights; zero value = no mix
+	mixStr   string
+	client   *http.Client
+}
+
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8090", "base URL of the serve process")
 	endpoint := flag.String("endpoint", "/predict", "endpoint to drive: /predict or /execute (-batch selects /predict/batch)")
@@ -69,6 +116,9 @@ func main() {
 	workers := flag.Int("workers", 8, "concurrent closed-loop clients")
 	duration := flag.Duration("duration", 5*time.Second, "measurement window")
 	batch := flag.Int("batch", 0, "points per request via /predict/batch (0 = single-point requests)")
+	useWire := flag.Bool("wire", false, "use the compact binary wire protocol instead of JSON")
+	mixFlag := flag.String("mix", "", "weighted workload, e.g. predict:0.6,batch:0.3,execute:0.1")
+	sweep := flag.String("sweep", "", "comma-separated worker counts; run once per count and emit {\"sweep\":[...]}")
 	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
 	warmup := flag.Duration("warmup", 200*time.Millisecond, "closed-loop warmup excluded from the measurement")
 	flag.Parse()
@@ -76,162 +126,74 @@ func main() {
 		fail(fmt.Errorf("need at least 1 worker"))
 	}
 
-	client := &http.Client{
-		Timeout: 30 * time.Second,
-		Transport: &http.Transport{
-			MaxIdleConns:        *workers * 2,
-			MaxIdleConnsPerHost: *workers * 2,
+	counts := []int{*workers}
+	if *sweep != "" {
+		counts = counts[:0]
+		for _, f := range strings.Split(*sweep, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fail(fmt.Errorf("invalid -sweep element %q", f))
+			}
+			counts = append(counts, n)
+		}
+	}
+	maxWorkers := 0
+	for _, n := range counts {
+		if n > maxWorkers {
+			maxWorkers = n
+		}
+	}
+
+	cfg := config{
+		addr:     *addr,
+		endpoint: *endpoint,
+		program:  *program,
+		size:     *size,
+		batch:    *batch,
+		useWire:  *useWire,
+		mixStr:   *mixFlag,
+		client: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        maxWorkers * 2,
+				MaxIdleConnsPerHost: maxWorkers * 2,
+			},
 		},
 	}
-
-	// Build the request shape once. Closed-loop workers re-issue it.
-	var (
-		method = http.MethodGet
-		target = fmt.Sprintf("%s%s?program=%s&size=%d", *addr, *endpoint, *program, *size)
-		body   []byte
-	)
-	switch {
-	case *batch > 0:
-		method = http.MethodPost
-		target = *addr + "/predict/batch"
-		one := fmt.Sprintf(`{"program":%q,"size":%d}`, *program, *size)
-		reqs := make([]string, *batch)
-		for i := range reqs {
-			reqs[i] = one
-		}
-		body = []byte(`{"requests":[` + strings.Join(reqs, ",") + `]}`)
-	case *endpoint == "/execute":
-		method = http.MethodPost
-	}
-
-	issue := func() error {
-		var rd io.Reader
-		if body != nil {
-			rd = bytes.NewReader(body)
-		}
-		req, err := http.NewRequest(method, target, rd)
+	if *mixFlag != "" {
+		mix, err := parseMix(*mixFlag)
 		if err != nil {
-			return err
+			fail(err)
 		}
-		if body != nil {
-			req.Header.Set("Content-Type", "application/json")
+		cfg.mix = mix
+		if cfg.batch == 0 {
+			cfg.batch = 64 // batch share of the mix needs a size
 		}
-		resp, err := client.Do(req)
-		if err != nil {
-			return err
-		}
-		if *batch > 0 {
-			// /predict/batch answers 200 even when individual points
-			// fail; a report built from failed points would publish
-			// fiction into the benchmark trajectory.
-			var br struct {
-				Errors int `json:"errors"`
-			}
-			err := json.NewDecoder(resp.Body).Decode(&br)
-			_, _ = io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				return fmt.Errorf("status %d", resp.StatusCode)
-			}
-			if err != nil {
-				return fmt.Errorf("batch response: %w", err)
-			}
-			if br.Errors > 0 {
-				return fmt.Errorf("batch response reported %d failed points", br.Errors)
-			}
-			return nil
-		}
-		_, _ = io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("status %d", resp.StatusCode)
-		}
-		return nil
 	}
 
 	// One request up front: fail fast (and with a useful error) when the
 	// server is absent or the program unknown, before spawning workers.
-	if err := issue(); err != nil {
-		fail(fmt.Errorf("%s %s: %w", method, target, err))
+	probe := newIssuer(&cfg, rand.New(rand.NewSource(1)))
+	if _, _, err := probe(); err != nil {
+		fail(fmt.Errorf("%s: %w", cfg.addr, err))
 	}
 
-	// Warm every worker's connection and the server's caches outside the
-	// measurement window.
-	warmDeadline := time.Now().Add(*warmup)
-	var wg sync.WaitGroup
-	for w := 0; w < *workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for time.Now().Before(warmDeadline) {
-				_ = issue()
-			}
-		}()
+	var reports []Report
+	for _, n := range counts {
+		rep, err := runOne(&cfg, n, *duration, *warmup)
+		if err != nil {
+			fail(err)
+		}
+		reports = append(reports, rep)
 	}
-	wg.Wait()
 
-	results := make([]result, *workers)
-	start := time.Now()
-	deadline := start.Add(*duration)
-	for w := 0; w < *workers; w++ {
-		wg.Add(1)
-		go func(res *result) {
-			defer wg.Done()
-			for time.Now().Before(deadline) {
-				t0 := time.Now()
-				if err := issue(); err != nil {
-					res.errs++
-					// Back off instead of busy-spinning against a dead
-					// server: failed dials return in microseconds and
-					// would otherwise peg the CPU being benchmarked.
-					time.Sleep(10 * time.Millisecond)
-					continue
-				}
-				res.lats = append(res.lats, time.Since(t0))
-			}
-		}(&results[w])
+	var data []byte
+	var err error
+	if *sweep != "" {
+		data, err = json.MarshalIndent(map[string]any{"sweep": reports}, "", "  ")
+	} else {
+		data, err = json.MarshalIndent(reports[0], "", "  ")
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	var all []time.Duration
-	errs := 0
-	for _, r := range results {
-		all = append(all, r.lats...)
-		errs += r.errs
-	}
-	if len(all) == 0 {
-		fail(fmt.Errorf("no successful requests in %s (%d errors)", elapsed, errs))
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-
-	rep := Report{
-		Endpoint:        *endpoint,
-		Program:         *program,
-		SizeIdx:         *size,
-		Workers:         *workers,
-		Batch:           *batch,
-		DurationSeconds: elapsed.Seconds(),
-		Requests:        len(all),
-		Errors:          errs,
-		QPS:             float64(len(all)) / elapsed.Seconds(),
-	}
-	if *batch > 0 {
-		rep.Endpoint = "/predict/batch"
-		rep.PointsPerSecond = rep.QPS * float64(*batch)
-	}
-	micros := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
-	var sum time.Duration
-	for _, d := range all {
-		sum += d
-	}
-	rep.LatencyMicros.Mean = micros(sum / time.Duration(len(all)))
-	rep.LatencyMicros.P50 = micros(percentile(all, 0.50))
-	rep.LatencyMicros.P95 = micros(percentile(all, 0.95))
-	rep.LatencyMicros.P99 = micros(percentile(all, 0.99))
-	rep.LatencyMicros.Max = micros(all[len(all)-1])
-
-	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fail(err)
 	}
@@ -243,8 +205,307 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fail(err)
 	}
-	fmt.Printf("loadgen: %d requests, %.0f req/s, p50 %.1fµs p99 %.1fµs -> %s\n",
-		rep.Requests, rep.QPS, rep.LatencyMicros.P50, rep.LatencyMicros.P99, *out)
+	last := reports[len(reports)-1]
+	fmt.Printf("loadgen: %d requests, %.0f req/s, %d shed, p50 %.1fµs p99 %.1fµs -> %s\n",
+		last.Requests, last.QPS, last.Shed, last.LatencyMicros.P50, last.LatencyMicros.P99, *out)
+}
+
+// parseMix turns "predict:0.6,batch:0.3,execute:0.1" into cumulative
+// weights for O(1) sampling.
+func parseMix(s string) ([numKinds]float64, error) {
+	var w [numKinds]float64
+	for _, f := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(f), ":")
+		if !ok {
+			return w, fmt.Errorf("invalid -mix element %q (want kind:weight)", f)
+		}
+		x, err := strconv.ParseFloat(val, 64)
+		if err != nil || x < 0 {
+			return w, fmt.Errorf("invalid -mix weight %q", val)
+		}
+		found := false
+		for k, kn := range kindNames {
+			if kn == name {
+				w[k] += x
+				found = true
+			}
+		}
+		if !found {
+			return w, fmt.Errorf("unknown -mix kind %q (want predict, batch or execute)", name)
+		}
+	}
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	if total <= 0 {
+		return w, fmt.Errorf("-mix weights sum to zero")
+	}
+	cum := 0.0
+	for k := range w {
+		cum += w[k] / total
+		w[k] = cum
+	}
+	return w, nil
+}
+
+// issuer fires one request; it returns the points it priced, whether
+// the server shed it (429), and any hard error.
+type issuer func() (points int, shed bool, err error)
+
+// newIssuer builds the per-worker request loop body. Request bodies are
+// prebuilt once per kind; the rng picks the kind when a mix is set.
+func newIssuer(cfg *config, rng *rand.Rand) issuer {
+	type shape struct {
+		method, target, contentType string
+		body                        []byte
+		points                      int
+		batchResp                   bool
+	}
+	build := func(kind int) shape {
+		if cfg.useWire {
+			sh := shape{method: http.MethodPost, contentType: wire.ContentType, points: 1}
+			req := engine.Request{Program: cfg.program, SizeIdx: cfg.size}
+			switch kind {
+			case kindBatch:
+				sh.target = cfg.addr + "/predict/batch"
+				reqs := make([]engine.Request, cfg.batch)
+				for i := range reqs {
+					reqs[i] = req
+				}
+				sh.body = wire.AppendBatchRequest(nil, reqs)
+				sh.points = cfg.batch
+				sh.batchResp = true
+			case kindExecute:
+				sh.target = cfg.addr + "/execute"
+				sh.body = wire.AppendExecuteRequest(nil, &req)
+			default:
+				sh.target = cfg.addr + "/predict"
+				sh.body = wire.AppendPredictRequest(nil, &req)
+			}
+			return sh
+		}
+		sh := shape{method: http.MethodGet, points: 1}
+		switch kind {
+		case kindBatch:
+			sh.method = http.MethodPost
+			sh.target = cfg.addr + "/predict/batch"
+			sh.contentType = "application/json"
+			one := fmt.Sprintf(`{"program":%q,"size":%d}`, cfg.program, cfg.size)
+			reqs := make([]string, cfg.batch)
+			for i := range reqs {
+				reqs[i] = one
+			}
+			sh.body = []byte(`{"requests":[` + strings.Join(reqs, ",") + `]}`)
+			sh.points = cfg.batch
+			sh.batchResp = true
+		case kindExecute:
+			sh.method = http.MethodPost
+			sh.target = fmt.Sprintf("%s/execute?program=%s&size=%d", cfg.addr, cfg.program, cfg.size)
+		default:
+			sh.target = fmt.Sprintf("%s/predict?program=%s&size=%d", cfg.addr, cfg.program, cfg.size)
+		}
+		return sh
+	}
+
+	mixed := cfg.mixStr != ""
+	var shapes [numKinds]shape
+	if mixed {
+		for k := range shapes {
+			shapes[k] = build(k)
+		}
+	} else {
+		kind := kindPredict
+		switch {
+		case cfg.batch > 0:
+			kind = kindBatch
+		case cfg.endpoint == "/execute":
+			kind = kindExecute
+		}
+		shapes[0] = build(kind)
+	}
+
+	return func() (int, bool, error) {
+		sh := &shapes[0]
+		if mixed {
+			x := rng.Float64()
+			for k := range shapes {
+				if x <= cfg.mix[k] {
+					sh = &shapes[k]
+					break
+				}
+			}
+		}
+		var rd io.Reader
+		if sh.body != nil {
+			rd = bytes.NewReader(sh.body)
+		}
+		req, err := http.NewRequest(sh.method, sh.target, rd)
+		if err != nil {
+			return 0, false, err
+		}
+		if sh.contentType != "" {
+			req.Header.Set("Content-Type", sh.contentType)
+		}
+		resp, err := cfg.client.Do(req)
+		if err != nil {
+			return 0, false, err
+		}
+		defer func() {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			// Admission control (or a quota) shed this request; that is
+			// the gate working, not a failure.
+			return 0, true, nil
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, false, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		if !sh.batchResp {
+			return sh.points, false, nil
+		}
+		// /predict/batch answers 200 even when individual points fail; a
+		// report built from failed points would publish fiction into the
+		// benchmark trajectory.
+		if cfg.useWire {
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				return 0, false, err
+			}
+			msg, payload, err := wire.ParseFrame(body)
+			if err != nil {
+				return 0, false, fmt.Errorf("batch response: %w", err)
+			}
+			if msg != wire.MsgBatchResp {
+				return 0, false, fmt.Errorf("batch response: message type %d", msg)
+			}
+			items, errCount, err := wire.DecodeBatchResponse(payload)
+			if err != nil {
+				return 0, false, fmt.Errorf("batch response: %w", err)
+			}
+			if errCount > 0 {
+				return 0, false, fmt.Errorf("batch response reported %d failed points", errCount)
+			}
+			return len(items), false, nil
+		}
+		var br struct {
+			Errors int `json:"errors"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+			return 0, false, fmt.Errorf("batch response: %w", err)
+		}
+		if br.Errors > 0 {
+			return 0, false, fmt.Errorf("batch response reported %d failed points", br.Errors)
+		}
+		return sh.points, false, nil
+	}
+}
+
+// runOne runs one closed-loop measurement at the given worker count.
+func runOne(cfg *config, workers int, duration, warmup time.Duration) (Report, error) {
+	issuers := make([]issuer, workers)
+	for w := range issuers {
+		// Fixed per-worker seeds: a rerun issues the same kind sequence.
+		issuers[w] = newIssuer(cfg, rand.New(rand.NewSource(int64(w)+1)))
+	}
+
+	// Warm every worker's connection and the server's caches outside the
+	// measurement window.
+	warmDeadline := time.Now().Add(warmup)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(issue issuer) {
+			defer wg.Done()
+			for time.Now().Before(warmDeadline) {
+				_, _, _ = issue()
+			}
+		}(issuers[w])
+	}
+	wg.Wait()
+
+	results := make([]result, workers)
+	start := time.Now()
+	deadline := start.Add(duration)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(issue issuer, res *result) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				points, shed, err := issue()
+				if err != nil {
+					res.errs++
+					// Back off instead of busy-spinning against a dead
+					// server: failed dials return in microseconds and
+					// would otherwise peg the CPU being benchmarked.
+					time.Sleep(10 * time.Millisecond)
+					continue
+				}
+				if shed {
+					res.shed++
+					continue
+				}
+				res.points += points
+				res.lats = append(res.lats, time.Since(t0))
+			}
+		}(issuers[w], &results[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	errs, shed, points := 0, 0, 0
+	for _, r := range results {
+		all = append(all, r.lats...)
+		errs += r.errs
+		shed += r.shed
+		points += r.points
+	}
+	if len(all) == 0 && shed == 0 {
+		return Report{}, fmt.Errorf("no successful requests in %s (%d errors)", elapsed, errs)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	rep := Report{
+		Endpoint:        cfg.endpoint,
+		Protocol:        "json",
+		Program:         cfg.program,
+		SizeIdx:         cfg.size,
+		Workers:         workers,
+		Batch:           cfg.batch,
+		Mix:             cfg.mixStr,
+		DurationSeconds: elapsed.Seconds(),
+		Requests:        len(all),
+		Errors:          errs,
+		Shed:            shed,
+		QPS:             float64(len(all)) / elapsed.Seconds(),
+		PointsPerSecond: float64(points) / elapsed.Seconds(),
+	}
+	if cfg.useWire {
+		rep.Protocol = "wire"
+	}
+	switch {
+	case cfg.mixStr != "":
+		rep.Endpoint = "mix"
+	case cfg.batch > 0:
+		rep.Endpoint = "/predict/batch"
+	}
+	if len(all) > 0 {
+		micros := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+		var sum time.Duration
+		for _, d := range all {
+			sum += d
+		}
+		rep.LatencyMicros.Mean = micros(sum / time.Duration(len(all)))
+		rep.LatencyMicros.P50 = micros(percentile(all, 0.50))
+		rep.LatencyMicros.P95 = micros(percentile(all, 0.95))
+		rep.LatencyMicros.P99 = micros(percentile(all, 0.99))
+		rep.LatencyMicros.Max = micros(all[len(all)-1])
+	}
+	return rep, nil
 }
 
 // percentile returns the p-quantile by nearest-rank on the sorted

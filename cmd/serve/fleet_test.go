@@ -1,0 +1,376 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/fleet"
+	"repro/internal/harness"
+	"repro/internal/wire"
+)
+
+// fleetServer builds a real multi-shard server: lazily-created engines
+// over a shared tiny database, one per (platform, shard), with the
+// given admission config. This is the production wiring in miniature.
+func fleetServer(t *testing.T, platforms []string, shards int, adm fleet.AdmissionConfig) *server {
+	t.Helper()
+	db, err := harness.Generate(harness.GenOptions{Programs: []string{"vecadd"}, MaxSizeIdx: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := engine.NewTenantTable()
+	rt, err := fleet.New(fleet.Options{
+		Platforms:         platforms,
+		ShardsPerPlatform: shards,
+		Admission:         adm,
+		NewEngine: func(platform string, shard int) (*engine.Engine, error) {
+			return engine.New(engine.Options{
+				Platform: platform, DB: db, Model: harness.FastModel(),
+				SharedTenants: shared,
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &server{fleet: rt, start: time.Now(), intern: wire.NewIntern()}
+}
+
+// doWire posts a wire frame and returns the recorder.
+func doWire(t *testing.T, s *server, target string, frame []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	r := httptest.NewRequest(http.MethodPost, target, bytes.NewReader(frame))
+	r.Header.Set("Content-Type", wire.ContentType)
+	w := httptest.NewRecorder()
+	s.mux().ServeHTTP(w, r)
+	return w
+}
+
+// TestWireJSONPredictEquivalence: the binary protocol is an encoding,
+// not a different API — the same predict request must produce the same
+// prediction through both paths, field for field.
+func TestWireJSONPredictEquivalence(t *testing.T) {
+	s := testServer(t)
+
+	wj := doReq(t, s, http.MethodGet, "/predict?program=vecadd&size=1", nil)
+	if wj.Code != http.StatusOK {
+		t.Fatalf("json predict = %d: %s", wj.Code, wj.Body.String())
+	}
+	var jp engine.Prediction
+	if err := json.Unmarshal(wj.Body.Bytes(), &jp); err != nil {
+		t.Fatal(err)
+	}
+
+	frame := wire.AppendPredictRequest(nil, &engine.Request{Program: "vecadd", SizeIdx: 1})
+	ww := doWire(t, s, "/predict", frame)
+	if ww.Code != http.StatusOK {
+		t.Fatalf("wire predict = %d: %s", ww.Code, ww.Body.String())
+	}
+	if ct := ww.Header().Get("Content-Type"); ct != wire.ContentType {
+		t.Fatalf("wire response Content-Type = %q", ct)
+	}
+	msg, payload, err := wire.ParseFrame(ww.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg != wire.MsgPredictResp {
+		t.Fatalf("msg = %d, want %d", msg, wire.MsgPredictResp)
+	}
+	var wp engine.Prediction
+	if err := wire.DecodePrediction(payload, &wp); err != nil {
+		t.Fatal(err)
+	}
+	if wp != jp {
+		t.Errorf("wire prediction differs from JSON:\nwire: %+v\njson: %+v", wp, jp)
+	}
+}
+
+// TestWireJSONBatchEquivalence: batches too, including per-point errors
+// surviving with identical messages alongside good points.
+func TestWireJSONBatchEquivalence(t *testing.T) {
+	s := testServer(t)
+
+	body := []byte(`{"requests":[{"program":"vecadd","size":0},{"program":"nope"},{"program":"matmul","size":1}]}`)
+	wj := doReq(t, s, http.MethodPost, "/predict/batch", body)
+	if wj.Code != http.StatusOK {
+		t.Fatalf("json batch = %d: %s", wj.Code, wj.Body.String())
+	}
+	var jresp struct {
+		Count   int `json:"count"`
+		Errors  int `json:"errors"`
+		Results []struct {
+			engine.Prediction
+			Error string `json:"error,omitempty"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(wj.Body.Bytes(), &jresp); err != nil {
+		t.Fatal(err)
+	}
+	if jresp.Count != 3 || jresp.Errors != 1 {
+		t.Fatalf("json batch count/errors = %d/%d: %s", jresp.Count, jresp.Errors, wj.Body.String())
+	}
+
+	reqs := []engine.Request{
+		{Program: "vecadd", SizeIdx: 0},
+		{Program: "nope", SizeIdx: -1},
+		{Program: "matmul", SizeIdx: 1},
+	}
+	frame := wire.AppendBatchRequest(nil, reqs)
+	ww := doWire(t, s, "/predict/batch", frame)
+	if ww.Code != http.StatusOK {
+		t.Fatalf("wire batch = %d: %s", ww.Code, ww.Body.String())
+	}
+	msg, payload, err := wire.ParseFrame(ww.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg != wire.MsgBatchResp {
+		t.Fatalf("msg = %d, want %d", msg, wire.MsgBatchResp)
+	}
+	items, errCount, err := wire.DecodeBatchResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 || errCount != 1 {
+		t.Fatalf("wire batch count/errors = %d/%d", len(items), errCount)
+	}
+	for i, it := range items {
+		if it.OK != (jresp.Results[i].Error == "") {
+			t.Fatalf("item %d: wire ok=%v, json error=%q", i, it.OK, jresp.Results[i].Error)
+		}
+		if it.OK && it.Pred != jresp.Results[i].Prediction {
+			t.Errorf("item %d differs:\nwire: %+v\njson: %+v", i, it.Pred, jresp.Results[i].Prediction)
+		}
+		if !it.OK && it.Err != jresp.Results[i].Error {
+			t.Errorf("item %d error: wire %q, json %q", i, it.Err, jresp.Results[i].Error)
+		}
+	}
+}
+
+// TestWireExecute: the execute path end to end over the binary
+// protocol. Makespan is measured wall time, so only the deterministic
+// fields are compared.
+func TestWireExecute(t *testing.T) {
+	s := testServer(t)
+	frame := wire.AppendExecuteRequest(nil, &engine.Request{Program: "vecadd", SizeIdx: 0})
+	ww := doWire(t, s, "/execute", frame)
+	if ww.Code != http.StatusOK {
+		t.Fatalf("wire execute = %d: %s", ww.Code, ww.Body.String())
+	}
+	msg, payload, err := wire.ParseFrame(ww.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg != wire.MsgExecuteResp {
+		t.Fatalf("msg = %d, want %d", msg, wire.MsgExecuteResp)
+	}
+	var x engine.Execution
+	if err := wire.DecodeExecution(payload, &x); err != nil {
+		t.Fatal(err)
+	}
+	if x.Program != "vecadd" || x.Platform != "mc2" {
+		t.Errorf("execution: %+v", x.Prediction)
+	}
+	if !x.Verified {
+		t.Errorf("execution not verified: %q", x.VerifyError)
+	}
+	if x.Makespan <= 0 {
+		t.Errorf("makespan = %v", x.Makespan)
+	}
+}
+
+// TestWireErrorFrames: engine and validation failures answer MsgError
+// frames with the JSON path's status codes.
+func TestWireErrorFrames(t *testing.T) {
+	s := testServer(t)
+	cases := []struct {
+		name   string
+		target string
+		frame  []byte
+		status int
+		code   string
+	}{
+		{"unknown program", "/predict",
+			wire.AppendPredictRequest(nil, &engine.Request{Program: "nope", SizeIdx: -1}),
+			http.StatusUnprocessableEntity, "error"},
+		{"missing program", "/predict",
+			wire.AppendPredictRequest(nil, &engine.Request{SizeIdx: -1}),
+			http.StatusBadRequest, "frame"},
+		{"wrong msg type", "/predict",
+			wire.AppendExecuteRequest(nil, &engine.Request{Program: "vecadd"}),
+			http.StatusBadRequest, "frame"},
+		{"garbage", "/predict", []byte{1, 2, 3},
+			http.StatusBadRequest, "frame"},
+		{"unknown platform", "/predict?platform=mc9",
+			wire.AppendPredictRequest(nil, &engine.Request{Program: "vecadd"}),
+			http.StatusNotFound, "platform"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := doWire(t, s, tc.target, tc.frame)
+			if w.Code != tc.status {
+				t.Fatalf("status = %d, want %d: %s", w.Code, tc.status, w.Body.String())
+			}
+			msg, payload, err := wire.ParseFrame(w.Body.Bytes())
+			if err != nil || msg != wire.MsgError {
+				t.Fatalf("error response not a MsgError frame: msg=%d err=%v", msg, err)
+			}
+			ef, err := wire.DecodeError(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ef.Status != tc.status || ef.Code != tc.code {
+				t.Errorf("error frame = %+v, want status %d code %q", ef, tc.status, tc.code)
+			}
+		})
+	}
+}
+
+// TestShedThroughHandler: with the shard's only slot held, both
+// protocols answer 429 with Retry-After and code "shed"; after release
+// the same request succeeds.
+func TestShedThroughHandler(t *testing.T) {
+	s := fleetServer(t, []string{"mc2"}, 1,
+		fleet.AdmissionConfig{MaxInflight: 1, MaxQueue: 0, RetryAfter: 3 * time.Second})
+	sh, err := s.fleet.ShardFor("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	permit, err := sh.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := doReq(t, s, http.MethodGet, "/predict?program=vecadd&size=0", nil)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("json shed = %d: %s", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") != "3" {
+		t.Errorf("Retry-After = %q, want 3", w.Header().Get("Retry-After"))
+	}
+	if !strings.Contains(w.Body.String(), `"shed"`) {
+		t.Errorf("missing shed code: %s", w.Body.String())
+	}
+
+	frame := wire.AppendPredictRequest(nil, &engine.Request{Program: "vecadd", SizeIdx: 0})
+	ww := doWire(t, s, "/predict", frame)
+	if ww.Code != http.StatusTooManyRequests {
+		t.Fatalf("wire shed = %d", ww.Code)
+	}
+	if ww.Header().Get("Retry-After") != "3" {
+		t.Errorf("wire Retry-After = %q, want 3", ww.Header().Get("Retry-After"))
+	}
+	msg, payload, err := wire.ParseFrame(ww.Body.Bytes())
+	if err != nil || msg != wire.MsgError {
+		t.Fatalf("shed response not MsgError: msg=%d err=%v", msg, err)
+	}
+	ef, err := wire.DecodeError(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ef.Code != "shed" || ef.RetryAfterSecs != 3 {
+		t.Errorf("error frame = %+v", ef)
+	}
+
+	permit.Release()
+	if w := doReq(t, s, http.MethodGet, "/predict?program=vecadd&size=0", nil); w.Code != http.StatusOK {
+		t.Fatalf("post-release predict = %d: %s", w.Code, w.Body.String())
+	}
+
+	// Shed requests are visible in /stats.
+	w = doReq(t, s, http.MethodGet, "/stats", nil)
+	var stats struct {
+		Shards []fleet.ShardStats `json:"shards"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Shards) != 1 || stats.Shards[0].Shed != 2 {
+		t.Errorf("stats shards = %+v, want one shard with shed=2", stats.Shards)
+	}
+}
+
+// TestMultiPlatformRouting: one process serving two platforms routes by
+// the platform query parameter, keeps per-platform predictions honest,
+// and 404s platforms it does not serve.
+func TestMultiPlatformRouting(t *testing.T) {
+	s := fleetServer(t, []string{"mc1", "mc2"}, 2, fleet.AdmissionConfig{})
+
+	for _, p := range []string{"mc1", "mc2"} {
+		w := doReq(t, s, http.MethodGet, "/predict?program=vecadd&size=0&platform="+p, nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("predict on %s = %d: %s", p, w.Code, w.Body.String())
+		}
+		var pred engine.Prediction
+		if err := json.Unmarshal(w.Body.Bytes(), &pred); err != nil {
+			t.Fatal(err)
+		}
+		if pred.Platform != p {
+			t.Errorf("platform %s answered prediction for %q", p, pred.Platform)
+		}
+	}
+
+	// Default platform is the first configured.
+	w := doReq(t, s, http.MethodGet, "/predict?program=vecadd&size=0", nil)
+	var pred engine.Prediction
+	if err := json.Unmarshal(w.Body.Bytes(), &pred); err != nil {
+		t.Fatal(err)
+	}
+	if pred.Platform != "mc1" {
+		t.Errorf("default platform = %q, want mc1", pred.Platform)
+	}
+
+	// Unserved platform: 404, not 500.
+	if w := doReq(t, s, http.MethodGet, "/predict?program=vecadd&platform=mc9", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown platform = %d, want 404", w.Code)
+	}
+
+	// Different tenants may land on different shards, but the same
+	// tenant always lands on the same one.
+	var first *fleet.Shard
+	for i := 0; i < 10; i++ {
+		sh, err := s.fleet.ShardFor("mc1", "alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = sh
+		} else if sh != first {
+			t.Fatal("tenant alice routed to two shards")
+		}
+	}
+
+	// /healthz lists both platforms.
+	w = doReq(t, s, http.MethodGet, "/healthz", nil)
+	if !strings.Contains(w.Body.String(), `"mc1"`) || !strings.Contains(w.Body.String(), `"mc2"`) {
+		t.Errorf("healthz missing platforms: %s", w.Body.String())
+	}
+
+	// /stats reports per-shard blocks tagged with platform and index.
+	w = doReq(t, s, http.MethodGet, "/stats", nil)
+	var stats struct {
+		Platforms         []string           `json:"platforms"`
+		ShardsPerPlatform int                `json:"shardsPerPlatform"`
+		Shards            []fleet.ShardStats `json:"shards"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Platforms) != 2 || stats.ShardsPerPlatform != 2 {
+		t.Errorf("stats header = %+v", stats)
+	}
+	seen := map[string]bool{}
+	for _, sh := range stats.Shards {
+		seen[sh.Platform] = true
+	}
+	if !seen["mc1"] || !seen["mc2"] {
+		t.Errorf("stats missing a platform's shards: %+v", stats.Shards)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/harness"
+	"repro/internal/wire"
 )
 
 // newServer builds a dedicated server (separate from the shared
@@ -31,7 +32,11 @@ func newServer(t *testing.T, mutate func(*engine.Options)) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &server{eng: eng, start: time.Now(), platform: "mc2"}
+	rt, err := fleetOver(eng, "mc2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &server{fleet: rt, start: time.Now(), intern: wire.NewIntern()}
 }
 
 // doReqT is doReq with an X-Tenant header.

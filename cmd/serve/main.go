@@ -1,24 +1,43 @@
-// Command serve exposes the deployment engine as an HTTP JSON API: a
-// long-lived process that loads (or trains once) the partitioning model,
-// keeps compiled programs and feature profiles warm, and answers
-// prediction and execution requests until shut down.
+// Command serve exposes the deployment engine fleet as an HTTP API: a
+// long-lived process that serves one engine shard per (platform,
+// tenant), loads (or trains once) each shard's partitioning model
+// lazily, keeps compiled programs and feature profiles warm, and
+// answers prediction and execution requests until shut down.
 //
-// With -obs it records every execution into a durable observation log,
-// and with -adaptive it closes the loop: a background retrainer merges
-// the observations with the seed database, trains candidates, gates them
-// against the live model (no-regression on a held-out slice) and
-// hot-swaps validated versions into service — no restart.
+// With -platforms mc1,mc2 one process serves several platforms; the
+// `platform` query parameter picks one (default: the first). Requests
+// route consistently by (platform, X-Tenant) to a shard (jump hash), so
+// a tenant's cache locality survives across requests while tenant quota
+// state stays fleet-wide (one shared table across all shards).
+//
+// Alongside JSON, the predict/batch/execute endpoints speak a compact
+// binary wire protocol (internal/wire): POST bodies with Content-Type
+// application/x-repro-wire are decoded as wire frames and answered in
+// kind, cutting the encode/decode cost that dominates /predict/batch
+// throughput at high load.
+//
+// Each shard gates its requests through admission control: a bounded
+// accept queue (-admit-inflight, -admit-queue) and a moving p99 latency
+// estimate (-target-p99). Overload sheds with 429 + Retry-After instead
+// of queueing without bound; /stats counts admitted/shed/queueDepth/p99
+// per shard.
+//
+// With -obs it records every execution into a durable observation log
+// (shared by all shards), and with -adaptive it closes the loop: a
+// background retrainer merges the observations with the seed database,
+// trains candidates, gates them against the live model and hot-swaps
+// validated versions into service — no restart.
 //
 // Endpoints:
 //
-//	GET  /healthz                                  liveness + uptime
-//	GET  /predict?program=P[&size=N][&leaveout=1]  predicted partitioning
+//	GET  /healthz                                  liveness + uptime + platforms
+//	GET  /predict?program=P[&size=N][&platform=M]  predicted partitioning
 //	POST /predict/batch                            {"requests":[...]} price N points at once
 //	POST /execute?program=P[&size=N]               run partitioned, verify
-//	GET  /kernels                                  registered user kernels
+//	GET  /kernels                                  registered user kernels (caller's shard)
 //	POST /kernels                                  {"name","source",...} compile + register a MiniCL kernel
-//	GET  /stats                                    engine cache/work counters
-//	GET  /models                                   model versions + lineage
+//	GET  /stats                                    per-shard admission + engine counters
+//	GET  /models                                   model versions + lineage (per platform)
 //	POST /models                                   {"rollback": N} switch version
 //	GET  /retrain                                  retrainer status
 //	POST /retrain                                  trigger a retrain now
@@ -26,7 +45,8 @@
 //
 // Usage:
 //
-//	serve -addr :8090 -db training_db.json -platform mc2 \
+//	serve -addr :8090 -db training_db.json -platforms mc1,mc2 \
+//	      [-shards 1] [-admit-inflight 0] [-admit-queue 0] [-target-p99 0] \
 //	      [-models models/] [-model mlp] [-save-trained] \
 //	      [-warm vecadd,matmul] [-parallel 8] [-cache-limit 0] [-strict] \
 //	      [-obs obslog/] [-obs-buffer 1024] [-adaptive] \
@@ -37,15 +57,15 @@
 // Uploaded kernels are untrusted: executions run under per-request
 // step/memory/wall-clock budgets (-exec-steps, -exec-mem, -exec-timeout)
 // enforced inside both execution tiers, tenants (X-Tenant header) are
-// subject to kernel-count, source-size and concurrency quotas, and over-cap
-// requests answer 429 with Retry-After. Budget aborts answer typed 4xx
-// JSON (code "budget:steps|memory|deadline" plus spent/limit).
+// subject to fleet-wide kernel-count, source-size and concurrency
+// quotas, and over-cap requests answer 429 with Retry-After. Budget
+// aborts answer typed 4xx (code "budget:steps|memory|deadline").
 //
 // The serving path is allocation-conscious end to end: request structs,
-// response structs and JSON encoders are pooled, predictions are filled
-// in place (engine.PredictInto performs zero heap allocations warm), and
-// observation recording is asynchronous (a bounded ring drained by a
-// background flusher — see -obs-buffer).
+// response structs, JSON encoders and wire buffers are pooled,
+// predictions are filled in place (engine.PredictInto performs zero
+// heap allocations warm), wire encode/decode is zero-allocation warm
+// (interned program names), and observation recording is asynchronous.
 //
 // SIGINT/SIGTERM drain in-flight requests and exit cleanly.
 package main
@@ -68,16 +88,19 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/device"
 	"repro/internal/engine"
 	"repro/internal/exec"
+	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/wire"
 )
 
 // maxBodyBytes bounds every POST body: request parameters are tiny, so
-// anything larger is a mistake or an attack, and must not reach the JSON
-// decoder unbounded.
+// anything larger is a mistake or an attack, and must not reach the
+// JSON decoder (or the wire frame parser) unbounded.
 const maxBodyBytes = 1 << 20
 
 // maxBatch bounds one /predict/batch request: large enough to amortize
@@ -88,7 +111,12 @@ const maxBatch = 1024
 func main() {
 	addr := flag.String("addr", ":8090", "listen address")
 	dbPath := flag.String("db", "training_db.json", "training database (from cmd/train)")
-	platform := flag.String("platform", "mc2", "target platform: mc1 or mc2")
+	platform := flag.String("platform", "mc2", "target platform (shorthand for -platforms with one entry)")
+	platforms := flag.String("platforms", "", "comma-separated platforms to serve (first is the default; overrides -platform)")
+	shards := flag.Int("shards", 1, "engine shards per platform; tenants spread across them by consistent hash")
+	admitInflight := flag.Int("admit-inflight", 0, "max concurrently admitted predict/batch/execute requests per shard (0 = unlimited)")
+	admitQueue := flag.Int("admit-queue", 0, "max requests queued per shard beyond -admit-inflight; arrivals past that shed with 429")
+	targetP99 := flag.Duration("target-p99", 0, "moving p99 latency target per shard; while exceeded, requests shed instead of queue (0 = off)")
 	models := flag.String("models", "", "model artifact directory (from cmd/train -model-out)")
 	modelName := flag.String("model", "mlp", fmt.Sprintf("fallback model family: %s", strings.Join(harness.ModelNames(), ", ")))
 	saveTrained := flag.Bool("save-trained", false, "persist models trained on the fly (and promoted by -adaptive) into -models")
@@ -106,9 +134,9 @@ func main() {
 	execSteps := flag.Int64("exec-steps", 0, "per-request kernel step budget (0 = unlimited)")
 	execMem := flag.Int64("exec-mem", 0, "per-request buffer allocation budget in bytes (0 = unlimited)")
 	execTimeout := flag.Duration("exec-timeout", 0, "per-request execution wall-clock budget (0 = unlimited)")
-	tenantKernels := flag.Int("tenant-max-kernels", 32, "max kernels one tenant may register (0 = unlimited)")
-	tenantSource := flag.Int64("tenant-max-source", 1<<20, "max total MiniCL source bytes per tenant (0 = unlimited)")
-	tenantConc := flag.Int("tenant-concurrency", 0, "max in-flight executions per tenant, 429 + Retry-After over the cap (0 = unlimited)")
+	tenantKernels := flag.Int("tenant-max-kernels", 32, "max kernels one tenant may register fleet-wide (0 = unlimited)")
+	tenantSource := flag.Int64("tenant-max-source", 1<<20, "max total MiniCL source bytes per tenant fleet-wide (0 = unlimited)")
+	tenantConc := flag.Int("tenant-concurrency", 0, "max in-flight executions per tenant fleet-wide, 429 + Retry-After over the cap (0 = unlimited)")
 	flag.Parse()
 	sched.SetDefaultWorkers(*parallel)
 	if *execTier != "" {
@@ -126,6 +154,20 @@ func main() {
 	if *adaptive && *obsDir == "" {
 		fail(fmt.Errorf("-adaptive requires -obs to name the observation log directory"))
 	}
+	platformList := []string{*platform}
+	if *platforms != "" {
+		platformList = strings.Split(*platforms, ",")
+		for i := range platformList {
+			platformList[i] = strings.TrimSpace(platformList[i])
+		}
+	}
+	// Validate platform names up front: shards build lazily, and a typo
+	// must fail at startup, not on the first unlucky request.
+	for _, p := range platformList {
+		if _, err := device.ByName(p); err != nil {
+			fail(err)
+		}
+	}
 	mk, err := harness.ModelByName(*modelName)
 	if err != nil {
 		fail(err)
@@ -141,44 +183,80 @@ func main() {
 		}
 		defer obsLog.Close()
 	}
-	eng, err := engine.New(engine.Options{
-		Platform:          *platform,
-		DB:                db,
-		ArtifactDir:       *models,
-		Model:             mk,
-		SaveTrained:       *saveTrained,
-		ObsLog:            obsLog,
-		OracleSampleEvery: *oracleSample,
-		CacheLimit:        *cacheLimit,
-		ObsQueue:          *obsBuffer,
-		MaxSteps:          *execSteps,
-		MaxMemBytes:       *execMem,
-		ExecTimeout:       *execTimeout,
-		Tenant: engine.TenantLimits{
-			MaxKernels:     *tenantKernels,
-			MaxSourceBytes: *tenantSource,
-			MaxConcurrent:  *tenantConc,
+
+	// One tenant quota table and one observation log span the fleet;
+	// everything else (program/model/feature caches, obs ring, stats) is
+	// per shard.
+	sharedTenants := engine.NewTenantTable()
+	rt, err := fleet.New(fleet.Options{
+		Platforms:         platformList,
+		ShardsPerPlatform: *shards,
+		Admission: fleet.AdmissionConfig{
+			MaxInflight: *admitInflight,
+			MaxQueue:    *admitQueue,
+			TargetP99:   *targetP99,
+		},
+		NewEngine: func(platform string, shard int) (*engine.Engine, error) {
+			eng, err := engine.New(engine.Options{
+				Platform:          platform,
+				DB:                db,
+				ArtifactDir:       *models,
+				Model:             mk,
+				SaveTrained:       *saveTrained,
+				ObsLog:            obsLog,
+				OracleSampleEvery: *oracleSample,
+				CacheLimit:        *cacheLimit,
+				ObsQueue:          *obsBuffer,
+				MaxSteps:          *execSteps,
+				MaxMemBytes:       *execMem,
+				ExecTimeout:       *execTimeout,
+				Tenant: engine.TenantLimits{
+					MaxKernels:     *tenantKernels,
+					MaxSourceBytes: *tenantSource,
+					MaxConcurrent:  *tenantConc,
+				},
+				SharedTenants: sharedTenants,
+			})
+			if err == nil {
+				log.Printf("shard %s/%d up", platform, shard)
+			}
+			return eng, err
 		},
 	})
 	if err != nil {
 		fail(err)
 	}
-	// Close after the HTTP server has drained (deferred before obsLog's
-	// Close, so it runs first): the final flush lands every observation
-	// enqueued by completed requests.
-	defer eng.Close()
-	srv := &server{eng: eng, obsLog: obsLog, start: time.Now(), platform: *platform, strict: *strict}
+	// Close all created shards after the HTTP server has drained
+	// (deferred before obsLog's Close, so it runs first): the final
+	// flushes land every observation enqueued by completed requests.
+	closeShards := func() {
+		for _, sh := range rt.Shards() {
+			sh.Engine().Close()
+		}
+	}
+	defer closeShards()
+
+	// Build the default tenant's shard on the default platform eagerly:
+	// configuration errors (bad db, missing artifacts) surface at
+	// startup, and the common case serves warm from the first request.
+	defShard, err := rt.ShardFor("", "")
+	if err != nil {
+		fail(err)
+	}
+	srv := &server{fleet: rt, obsLog: obsLog, start: time.Now(), strict: *strict, intern: wire.NewIntern()}
 
 	if *warm != "" {
 		for _, prog := range strings.Split(*warm, ",") {
-			if _, err := eng.Predict(engine.Request{Program: prog, SizeIdx: -1}); err != nil {
+			if _, err := defShard.Engine().Predict(engine.Request{Program: prog, SizeIdx: -1}); err != nil {
 				fail(fmt.Errorf("warmup %s: %w", prog, err))
 			}
 			log.Printf("warmed %s", prog)
 		}
 	}
 	if *adaptive {
-		stopRetrain, err := eng.StartRetrainer(*retrainInterval, *retrainMin)
+		// The retrainer runs on the eagerly built default shard; lazily
+		// created shards retrain on demand via POST /retrain.
+		stopRetrain, err := defShard.Engine().StartRetrainer(*retrainInterval, *retrainMin)
 		if err != nil {
 			fail(err)
 		}
@@ -186,29 +264,19 @@ func main() {
 		log.Printf("adaptive retrainer running (interval %s, threshold %d labeled observations)", *retrainInterval, *retrainMin)
 	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", srv.handleHealthz)
-	mux.HandleFunc("/predict", srv.handlePredict)
-	mux.HandleFunc("/predict/batch", srv.handlePredictBatch)
-	mux.HandleFunc("/execute", srv.handleExecute)
-	mux.HandleFunc("/kernels", srv.handleKernels)
-	mux.HandleFunc("/stats", srv.handleStats)
-	mux.HandleFunc("/models", srv.handleModels)
-	mux.HandleFunc("/retrain", srv.handleRetrain)
-	mux.HandleFunc("/observations", srv.handleObservations)
-
-	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.mux()}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("serving %s on %s (db %s, models %q, obs %q)", *platform, *addr, *dbPath, *models, *obsDir)
+		log.Printf("serving %s on %s (db %s, models %q, obs %q, %d shard(s)/platform)",
+			strings.Join(platformList, ","), *addr, *dbPath, *models, *obsDir, rt.ShardsPerPlatform())
 		errc <- httpSrv.ListenAndServe()
 	}()
 
 	// fail() exits without running defers; once the server has been
-	// serving, every error exit must drain the async observation ring
+	// serving, every error exit must drain the async observation rings
 	// first so executions that already answered stay durable.
 	failServing := func(err error) {
-		eng.Close()
+		closeShards()
 		if obsLog != nil {
 			obsLog.Close()
 		}
@@ -231,18 +299,107 @@ func main() {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		failServing(err)
 	}
-	log.Printf("shutdown complete (%d predictions, %d executions served)",
-		eng.Stats().PredictRequests, eng.Stats().Executions)
+	var preds, execs uint64
+	for _, st := range rt.Stats() {
+		preds += st.Engine.PredictRequests
+		execs += st.Engine.Executions
+	}
+	log.Printf("shutdown complete (%d predictions, %d executions served)", preds, execs)
 }
 
 type server struct {
-	eng      *engine.Engine
-	obsLog   *obs.Log
-	start    time.Time
-	platform string
+	fleet  *fleet.Router
+	obsLog *obs.Log
+	start  time.Time
 	// strict rejects JSON bodies with unknown fields (schema typos fail
 	// loudly instead of being silently ignored).
 	strict bool
+	// intern deduplicates program names decoded from wire requests so
+	// the warm wire path allocates nothing.
+	intern *wire.Intern
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/predict/batch", s.handlePredictBatch)
+	mux.HandleFunc("/execute", s.handleExecute)
+	mux.HandleFunc("/kernels", s.handleKernels)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/models", s.handleModels)
+	mux.HandleFunc("/retrain", s.handleRetrain)
+	mux.HandleFunc("/observations", s.handleObservations)
+	return mux
+}
+
+// shard resolves the request's (platform, tenant) shard — platform from
+// the query (default: first configured), tenant from X-Tenant — and
+// answers 404 for unserved platforms (503 if the shard's engine cannot
+// be built). Returns nil when the request was already answered.
+func (s *server) shard(w http.ResponseWriter, r *http.Request) *fleet.Shard {
+	platform := r.URL.Query().Get("platform")
+	sh, err := s.fleet.ShardFor(platform, tenantOf(r))
+	if err == nil {
+		return sh
+	}
+	status := http.StatusServiceUnavailable
+	if platform != "" && !s.served(platform) {
+		status = http.StatusNotFound
+	}
+	if isWire(r) {
+		writeWireError(w, status, "platform", err.Error(), 0)
+	} else {
+		writeError(w, status, err)
+	}
+	return nil
+}
+
+func (s *server) served(platform string) bool {
+	for _, p := range s.fleet.Platforms() {
+		if p == platform {
+			return true
+		}
+	}
+	return false
+}
+
+// admit runs the shard's admission gate, answering 429 + Retry-After
+// (JSON or wire to match the request) when the shard sheds. Returns
+// false when the request was already answered.
+func (s *server) admit(w http.ResponseWriter, r *http.Request, sh *fleet.Shard) (fleet.Permit, bool) {
+	permit, err := sh.Admit(r.Context())
+	if err == nil {
+		return permit, true
+	}
+	var se *fleet.ShedError
+	switch {
+	case errors.As(err, &se):
+		secs := retryAfterSecs(se.RetryAfter)
+		if isWire(r) {
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeWireError(w, http.StatusTooManyRequests, "shed", err.Error(), secs)
+		} else {
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error": err.Error(),
+				"code":  "shed",
+			})
+		}
+	default:
+		// Context cancellation while queued: the client hung up; any
+		// status works, 503 keeps the log honest.
+		writeError(w, http.StatusServiceUnavailable, err)
+	}
+	return fleet.Permit{}, false
+}
+
+func retryAfterSecs(d time.Duration) int {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return int(secs)
 }
 
 // allowMethods enforces the endpoint's method set: anything else gets
@@ -329,11 +486,7 @@ func writeEngineError(w http.ResponseWriter, err error) {
 			"limit": be.Limit,
 		})
 	case errors.As(err, &qe):
-		secs := int64((qe.RetryAfter + time.Second - 1) / time.Second)
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(qe.RetryAfter)))
 		writeJSON(w, http.StatusTooManyRequests, map[string]any{
 			"error": err.Error(),
 			"code":  "quota",
@@ -395,18 +548,32 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":        "ok",
-		"platform":      s.platform,
+		"platform":      s.fleet.DefaultPlatform(),
+		"platforms":     s.fleet.Platforms(),
 		"uptimeSeconds": time.Since(s.start).Seconds(),
 	})
 }
 
 // predPool recycles response structs across /predict requests: the
 // engine fills them in place (zero allocations warm), so the handler's
-// per-request garbage is just the JSON bytes.
+// per-request garbage is just the response bytes.
 var predPool = sync.Pool{New: func() any { return new(engine.Prediction) }}
 
 func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !allowMethods(w, r, http.MethodGet, http.MethodPost) {
+		return
+	}
+	sh := s.shard(w, r)
+	if sh == nil {
+		return
+	}
+	permit, ok := s.admit(w, r, sh)
+	if !ok {
+		return
+	}
+	defer permit.Release()
+	if isWire(r) {
+		s.wirePredict(w, r, sh)
 		return
 	}
 	req, err := s.parseRequest(w, r)
@@ -416,7 +583,7 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	p := predPool.Get().(*engine.Prediction)
 	defer predPool.Put(p)
-	if err := s.eng.PredictInto(req, p); err != nil {
+	if err := sh.Engine().PredictInto(req, p); err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
@@ -447,6 +614,19 @@ var batchPool = sync.Pool{New: func() any { return new([]batchResult) }}
 // across the whole batch.
 func (s *server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	if !allowMethods(w, r, http.MethodPost) {
+		return
+	}
+	sh := s.shard(w, r)
+	if sh == nil {
+		return
+	}
+	permit, ok := s.admit(w, r, sh)
+	if !ok {
+		return
+	}
+	defer permit.Release()
+	if isWire(r) {
+		s.wirePredictBatch(w, r, sh)
 		return
 	}
 	var breq batchRequest
@@ -490,7 +670,7 @@ func (s *server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 			errs++
 			continue
 		}
-		if err := s.eng.PredictInto(req, &res.Prediction); err != nil {
+		if err := sh.Engine().PredictInto(req, &res.Prediction); err != nil {
 			res.Prediction = engine.Prediction{}
 			res.Error = fmt.Sprintf("request %d: %v", i, err)
 			errs++
@@ -508,6 +688,19 @@ func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	if !allowMethods(w, r, http.MethodPost) {
 		return
 	}
+	sh := s.shard(w, r)
+	if sh == nil {
+		return
+	}
+	permit, ok := s.admit(w, r, sh)
+	if !ok {
+		return
+	}
+	defer permit.Release()
+	if isWire(r) {
+		s.wireExecute(w, r, sh)
+		return
+	}
 	req, err := s.parseRequest(w, r)
 	if err != nil {
 		writeError(w, bodyErrStatus(err), err)
@@ -517,7 +710,7 @@ func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	// The request context rides into the kernel: a client that hangs up
 	// mid-execution aborts the kernel instead of burning cycles for
 	// nobody.
-	res, err := s.eng.Execute(r.Context(), req)
+	res, err := sh.Engine().Execute(r.Context(), req)
 	if err != nil {
 		writeEngineError(w, err)
 		return
@@ -525,15 +718,20 @@ func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-// handleKernels serves the user-kernel registry: GET lists registered
-// kernels, POST compiles an uploaded MiniCL source and registers it for
-// the caller's tenant.
+// handleKernels serves the user-kernel registry: GET lists the caller's
+// shard's registered kernels, POST compiles an uploaded MiniCL source
+// and registers it for the caller's tenant on its shard. Registration
+// quotas charge the fleet-wide tenant table.
 func (s *server) handleKernels(w http.ResponseWriter, r *http.Request) {
 	if !allowMethods(w, r, http.MethodGet, http.MethodPost) {
 		return
 	}
+	sh := s.shard(w, r)
+	if sh == nil {
+		return
+	}
 	if r.Method == http.MethodGet {
-		kernels := s.eng.ListKernels()
+		kernels := sh.Engine().ListKernels()
 		writeJSON(w, http.StatusOK, map[string]any{
 			"count":   len(kernels),
 			"kernels": kernels,
@@ -549,7 +747,7 @@ func (s *server) handleKernels(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing required fields: name, source"))
 		return
 	}
-	info, err := s.eng.RegisterKernel(tenantOf(r), spec)
+	info, err := sh.Engine().RegisterKernel(tenantOf(r), spec)
 	if err != nil {
 		writeEngineError(w, err)
 		return
@@ -562,9 +760,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"uptimeSeconds": time.Since(s.start).Seconds(),
-		"execTier":      exec.DefaultTier().String(),
-		"engine":        s.eng.Stats(),
+		"uptimeSeconds":     time.Since(s.start).Seconds(),
+		"execTier":          exec.DefaultTier().String(),
+		"platforms":         s.fleet.Platforms(),
+		"shardsPerPlatform": s.fleet.ShardsPerPlatform(),
+		"shards":            s.fleet.Stats(),
 	})
 }
 
@@ -578,6 +778,10 @@ func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
 	if !allowMethods(w, r, http.MethodGet, http.MethodPost) {
 		return
 	}
+	sh := s.shard(w, r)
+	if sh == nil {
+		return
+	}
 	if r.Method == http.MethodPost {
 		var req modelsRequest
 		if err := s.decodeBody(w, r, &req); err != nil {
@@ -588,18 +792,18 @@ func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("missing or invalid rollback version"))
 			return
 		}
-		if _, err := s.eng.Rollback(req.Rollback); err != nil {
+		if _, err := sh.Engine().Rollback(req.Rollback); err != nil {
 			writeError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
 	}
-	current, versions, err := s.eng.ModelVersions("")
+	current, versions, err := sh.Engine().ModelVersions("")
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"platform": s.platform,
+		"platform": sh.Platform,
 		"current":  current,
 		"versions": versions,
 	})
@@ -609,11 +813,15 @@ func (s *server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 	if !allowMethods(w, r, http.MethodGet, http.MethodPost) {
 		return
 	}
-	if r.Method == http.MethodGet {
-		writeJSON(w, http.StatusOK, s.eng.RetrainStatus())
+	sh := s.shard(w, r)
+	if sh == nil {
 		return
 	}
-	res, err := s.eng.Retrain()
+	if r.Method == http.MethodGet {
+		writeJSON(w, http.StatusOK, sh.Engine().RetrainStatus())
+		return
+	}
+	res, err := sh.Engine().Retrain()
 	switch {
 	case errors.Is(err, engine.ErrRetrainInProgress):
 		writeError(w, http.StatusConflict, err)
@@ -632,15 +840,21 @@ func (s *server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
 		return
 	}
-	// Read-your-writes for operators: drain the async ring so the stats
-	// reflect every execution that has already answered. Bounded — a
-	// stalled flusher degrades this endpoint to slightly stale stats
-	// (flushed=false plus a pending count), never to a hung handler.
-	flushed := s.eng.TryFlushObservations(2 * time.Second)
+	// Read-your-writes for operators: drain every shard's async ring so
+	// the stats reflect each execution that has already answered.
+	// Bounded — a stalled flusher degrades this endpoint to slightly
+	// stale stats (flushed=false plus a pending count), never to a hung
+	// handler.
+	flushed := true
+	var pending uint64
+	for _, sh := range s.fleet.Shards() {
+		flushed = sh.Engine().TryFlushObservations(2*time.Second) && flushed
+		pending += sh.Engine().Stats().ObservationsPending
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"enabled": true,
 		"flushed": flushed,
-		"pending": s.eng.Stats().ObservationsPending,
+		"pending": pending,
 		"log":     s.obsLog.Stats(),
 	})
 }

@@ -12,8 +12,10 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 var (
@@ -21,6 +23,16 @@ var (
 	srvVal  *server
 	srvErr  error
 )
+
+// fleetOver wraps an already-built engine in a single-shard router, the
+// shape handler tests want: the engine is fixed, the routing layer is
+// real.
+func fleetOver(eng *engine.Engine, platform string) (*fleet.Router, error) {
+	return fleet.New(fleet.Options{
+		Platforms: []string{platform},
+		NewEngine: func(string, int) (*engine.Engine, error) { return eng, nil },
+	})
+}
 
 // testServer builds one adaptive server over a tiny database for every
 // handler test.
@@ -54,26 +66,17 @@ func testServer(t *testing.T) *server {
 			srvErr = err
 			return
 		}
-		srvVal = &server{eng: eng, obsLog: log, start: time.Now(), platform: "mc2"}
+		rt, err := fleetOver(eng, "mc2")
+		if err != nil {
+			srvErr = err
+			return
+		}
+		srvVal = &server{fleet: rt, obsLog: log, start: time.Now(), intern: wire.NewIntern()}
 	})
 	if srvErr != nil {
 		t.Fatal(srvErr)
 	}
 	return srvVal
-}
-
-func (s *server) mux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/predict", s.handlePredict)
-	mux.HandleFunc("/predict/batch", s.handlePredictBatch)
-	mux.HandleFunc("/execute", s.handleExecute)
-	mux.HandleFunc("/kernels", s.handleKernels)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/models", s.handleModels)
-	mux.HandleFunc("/retrain", s.handleRetrain)
-	mux.HandleFunc("/observations", s.handleObservations)
-	return mux
 }
 
 func doReq(t *testing.T, s *server, method, target string, body []byte) *httptest.ResponseRecorder {
@@ -310,7 +313,7 @@ func TestStrictModeRejectsUnknownFields(t *testing.T) {
 	if w := doReq(t, lax, http.MethodPost, "/predict", body); w.Code != http.StatusOK {
 		t.Fatalf("lax server rejected unknown field: %d", w.Code)
 	}
-	strict := &server{eng: lax.eng, obsLog: lax.obsLog, start: lax.start, platform: lax.platform, strict: true}
+	strict := &server{fleet: lax.fleet, obsLog: lax.obsLog, start: lax.start, strict: true, intern: lax.intern}
 	if w := doReq(t, strict, http.MethodPost, "/predict", body); w.Code != http.StatusBadRequest {
 		t.Fatalf("strict server accepted unknown field: %d", w.Code)
 	}

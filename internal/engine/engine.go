@@ -103,6 +103,11 @@ type Options struct {
 	ExecTimeout time.Duration
 	// Tenant configures per-tenant kernel quotas and concurrency caps.
 	Tenant TenantLimits
+	// SharedTenants, when set, is the tenant quota table this engine
+	// charges instead of a private one. A fleet router passes the same
+	// table to every shard so per-tenant caps hold across the whole
+	// fleet rather than per shard.
+	SharedTenants *TenantTable
 
 	// obsGate, when set (tests only), makes the flusher receive from the
 	// channel before processing each dequeued observation, so tests can
@@ -151,7 +156,7 @@ type Engine struct {
 	// kernels is the runtime-registered user-kernel table (kernels.go);
 	// tenants holds per-tenant quota accounting (tenant.go).
 	kernels kernelTable
-	tenants tenantTable
+	tenants *TenantTable
 }
 
 // programEntry is one registry slot: the benchmark definition plus the
@@ -280,6 +285,10 @@ func New(opts Options) (*Engine, error) {
 		opts.Model = harness.DefaultModel()
 	}
 	e := &Engine{fw: fw, opts: opts}
+	e.tenants = opts.SharedTenants
+	if e.tenants == nil {
+		e.tenants = NewTenantTable()
+	}
 	e.space = partition.SharedSpace(plat.NumDevices(), partition.DefaultSteps)
 	e.spaceStrs = make([]string, len(e.space))
 	for i, p := range e.space {

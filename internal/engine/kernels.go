@@ -152,8 +152,16 @@ func (e *Engine) RegisterKernel(tenant string, spec KernelSpec) (*KernelInfo, er
 		info.SizeNs = append(info.SizeNs, s.N)
 	}
 
+	// Authoritative gate. Name existence is per-engine (kernels register
+	// into one shard); the quota accounting commits in the — possibly
+	// fleet-shared — tenant table. Lock order: kernels.mu, then the
+	// tenant table's mutex inside reserveRegistration.
 	e.kernels.mu.Lock()
-	if err := e.checkKernelQuotaLocked(tn, int64(len(spec.Source)), qname); err != nil {
+	if e.kernels.m[qname] != nil {
+		e.kernels.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrKernelExists, qname)
+	}
+	if err := e.tenants.reserveRegistration(tn, int64(len(spec.Source)), e.opts.Tenant, e.retryAfter()); err != nil {
 		e.kernels.mu.Unlock()
 		e.noteQuotaRejection(err)
 		return nil, err
@@ -162,9 +170,6 @@ func (e *Engine) RegisterKernel(tenant string, spec KernelSpec) (*KernelInfo, er
 		e.kernels.m = map[string]*userKernel{}
 	}
 	e.kernels.m[qname] = &userKernel{bench: bp, tenant: tn, info: info}
-	ts := e.tenants.state(tn)
-	ts.kernels++
-	ts.srcBytes += int64(len(spec.Source))
 	e.kernels.mu.Unlock()
 
 	// Seed the program memo with the already-compiled entry so the first
@@ -186,29 +191,16 @@ func (e *Engine) noteQuotaRejection(err error) {
 	}
 }
 
+// checkKernelQuota is the pre-compile rejection: name taken or tenant
+// over quota, checked without committing anything.
 func (e *Engine) checkKernelQuota(tenant string, srcLen int64, qname string) error {
-	e.kernels.mu.Lock()
-	defer e.kernels.mu.Unlock()
-	return e.checkKernelQuotaLocked(tenant, srcLen, qname)
-}
-
-func (e *Engine) checkKernelQuotaLocked(tenant string, srcLen int64, qname string) error {
-	if e.kernels.m[qname] != nil {
+	e.kernels.mu.RLock()
+	taken := e.kernels.m[qname] != nil
+	e.kernels.mu.RUnlock()
+	if taken {
 		return fmt.Errorf("%w: %s", ErrKernelExists, qname)
 	}
-	lim := e.opts.Tenant
-	ts := e.tenants.state(tenant)
-	if lim.MaxKernels > 0 && ts.kernels >= lim.MaxKernels {
-		return &QuotaError{Tenant: tenant,
-			Reason:     fmt.Sprintf("%d kernels registered (cap %d)", ts.kernels, lim.MaxKernels),
-			RetryAfter: e.retryAfter()}
-	}
-	if lim.MaxSourceBytes > 0 && ts.srcBytes+srcLen > lim.MaxSourceBytes {
-		return &QuotaError{Tenant: tenant,
-			Reason:     fmt.Sprintf("%d source bytes registered + %d uploaded exceeds cap %d", ts.srcBytes, srcLen, lim.MaxSourceBytes),
-			RetryAfter: e.retryAfter()}
-	}
-	return nil
+	return e.tenants.checkRegistration(tenant, srcLen, e.opts.Tenant, e.retryAfter())
 }
 
 // ListKernels returns every registered user kernel, sorted by qualified

@@ -40,18 +40,27 @@ func (e *QuotaError) Error() string {
 }
 
 // tenantState is one tenant's live accounting. kernels and srcBytes are
-// guarded by the kernel table's mutex (they change only on register);
-// inflight is atomic so the execute path never takes a lock.
+// guarded by the owning TenantTable's mutex (they change only on
+// register); inflight is atomic so the execute path never takes a lock.
 type tenantState struct {
 	inflight atomic.Int64
 	kernels  int
 	srcBytes int64
 }
 
-// tenantTable holds per-tenant state, created on first touch.
-type tenantTable struct {
+// TenantTable holds per-tenant quota state, created on first touch. A
+// fleet of engines shares one table (Options.SharedTenants) so kernel,
+// source-byte and concurrency quotas are enforced per tenant across
+// every shard, not per shard — otherwise a tenant's caps would multiply
+// by the shard count. Safe for concurrent use.
+type TenantTable struct {
 	mu sync.Mutex
 	m  map[string]*tenantState
+}
+
+// NewTenantTable returns an empty table.
+func NewTenantTable() *TenantTable {
+	return &TenantTable{m: map[string]*tenantState{}}
 }
 
 // tenantName normalizes an empty tenant to DefaultTenant.
@@ -62,18 +71,57 @@ func tenantName(s string) string {
 	return s
 }
 
-func (t *tenantTable) state(name string) *tenantState {
+func (t *TenantTable) state(name string) *tenantState {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.m == nil {
-		t.m = map[string]*tenantState{}
-	}
+	return t.stateLocked(name)
+}
+
+func (t *TenantTable) stateLocked(name string) *tenantState {
 	ts := t.m[name]
 	if ts == nil {
 		ts = &tenantState{}
 		t.m[name] = ts
 	}
 	return ts
+}
+
+// checkRegistration is the read-only quota pre-check for registering a
+// kernel of srcLen bytes: cheap rejection before compile work is spent.
+func (t *TenantTable) checkRegistration(tenant string, srcLen int64, lim TenantLimits, retryAfter time.Duration) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.registrationErrLocked(tenant, srcLen, lim, retryAfter)
+}
+
+// reserveRegistration atomically re-checks the quotas and commits the
+// kernel/source-byte accounting. This is the authoritative gate: two
+// shards racing the same tenant's last kernel slot serialize here.
+func (t *TenantTable) reserveRegistration(tenant string, srcLen int64, lim TenantLimits, retryAfter time.Duration) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.registrationErrLocked(tenant, srcLen, lim, retryAfter); err != nil {
+		return err
+	}
+	ts := t.stateLocked(tenant)
+	ts.kernels++
+	ts.srcBytes += srcLen
+	return nil
+}
+
+func (t *TenantTable) registrationErrLocked(tenant string, srcLen int64, lim TenantLimits, retryAfter time.Duration) error {
+	ts := t.stateLocked(tenant)
+	if lim.MaxKernels > 0 && ts.kernels >= lim.MaxKernels {
+		return &QuotaError{Tenant: tenant,
+			Reason:     fmt.Sprintf("%d kernels registered (cap %d)", ts.kernels, lim.MaxKernels),
+			RetryAfter: retryAfter}
+	}
+	if lim.MaxSourceBytes > 0 && ts.srcBytes+srcLen > lim.MaxSourceBytes {
+		return &QuotaError{Tenant: tenant,
+			Reason:     fmt.Sprintf("%d source bytes registered + %d uploaded exceeds cap %d", ts.srcBytes, srcLen, lim.MaxSourceBytes),
+			RetryAfter: retryAfter}
+	}
+	return nil
 }
 
 func (e *Engine) retryAfter() time.Duration {
@@ -85,7 +133,9 @@ func (e *Engine) retryAfter() time.Duration {
 
 // acquireTenantSlot claims one of the tenant's concurrent-execution
 // slots, returning the release func, or a QuotaError when the tenant is
-// at its cap. With no cap configured it is free.
+// at its cap. With no cap configured it is free. The slot pool lives in
+// the (possibly shared) TenantTable, so the cap spans every shard the
+// tenant touches.
 func (e *Engine) acquireTenantSlot(tenant string) (func(), error) {
 	maxc := e.opts.Tenant.MaxConcurrent
 	if maxc <= 0 {

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestSharedTenantTableSpansEngines: two engines handed the same
+// TenantTable enforce one fleet-wide quota, not one per engine — the
+// property the shard router depends on.
+func TestSharedTenantTableSpansEngines(t *testing.T) {
+	shared := NewTenantTable()
+	db := testDB(t)
+	mk := func(platform string) *Engine {
+		eng, err := New(Options{
+			Platform: platform, DB: db, Model: harness.FastModel(),
+			Tenant:        TenantLimits{MaxKernels: 2},
+			SharedTenants: shared,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	a, b := mk("mc1"), mk("mc2")
+
+	if _, err := a.RegisterKernel("alice", KernelSpec{Name: "k1", Source: scaleSrc}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RegisterKernel("alice", KernelSpec{Name: "k2", Source: scaleSrc}); err != nil {
+		t.Fatal(err)
+	}
+	// Third registration exceeds the fleet-wide cap even though each
+	// engine has only seen one kernel from this tenant.
+	var qe *QuotaError
+	if _, err := a.RegisterKernel("alice", KernelSpec{Name: "k3", Source: scaleSrc}); !errors.As(err, &qe) {
+		t.Fatalf("third register err = %v, want QuotaError", err)
+	}
+	// A different tenant is unaffected.
+	if _, err := b.RegisterKernel("bob", KernelSpec{Name: "k1", Source: scaleSrc}); err != nil {
+		t.Fatalf("other tenant: %v", err)
+	}
+}
+
+// TestSharedTenantConcurrencySpansEngines: the in-flight execution cap
+// also charges the shared table across engines.
+func TestSharedTenantConcurrencySpansEngines(t *testing.T) {
+	shared := NewTenantTable()
+	db := testDB(t)
+	mk := func(platform string) *Engine {
+		eng, err := New(Options{
+			Platform: platform, DB: db, Model: harness.FastModel(),
+			Tenant:        TenantLimits{MaxConcurrent: 1},
+			SharedTenants: shared,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	a, b := mk("mc1"), mk("mc2")
+
+	releaseA, err := a.acquireTenantSlot("carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Engine b sees the slot taken even though it never served carol.
+	if _, err := b.acquireTenantSlot("carol"); err == nil {
+		t.Fatal("second slot granted across engines; want QuotaError")
+	}
+	releaseA()
+	releaseB, err := b.acquireTenantSlot("carol")
+	if err != nil {
+		t.Fatalf("slot after release: %v", err)
+	}
+	releaseB()
+
+	// And the full Execute path still works against a shared table.
+	if _, err := a.Execute(context.Background(), Request{Program: "vecadd", SizeIdx: 0, Tenant: "carol"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -172,6 +172,9 @@ func CompileOpts(fn *inspire.Function, opt Options) (prog *Func, err error) {
 	if !opt.NoFuse {
 		fuse(prog)
 	}
+	if err := prog.buildProfile(); err != nil {
+		return nil, err
+	}
 	return prog, nil
 }
 

@@ -57,6 +57,9 @@ type Func struct {
 	NumGlobals, NumLocal int // buffer slot table sizes
 	Params               []Param
 	Fused                int // super-instructions created by the peephole pass
+
+	// room seeds the packed-counter spill countdown (see counts.go).
+	room int
 }
 
 // Status reports how a Run call ended.
@@ -189,18 +192,35 @@ func b2i(b bool) int64 {
 // barrier suspends it (Frame.Barrier == nil), or a fault occurs. Faults
 // (out-of-bounds access, division by zero, bad work-item dimension)
 // return errors with the same messages the closure tier throws.
+//
+// Profile counters are batched in two packed register accumulators
+// (see counts.go): every opcode's counter contribution is a
+// compile-time lane constant, so a counting arm is one register add
+// instead of a memory counter bump, and the accumulators unpack into
+// Frame.Cnt only when lane headroom runs out (checked at taken jumps,
+// where the countdown bounds any linear stretch) or the item exits.
+// Fault parity with the per-instruction scheme is kept by placement:
+// instructions that counted before faulting (div/mod by zero, OpWIDyn,
+// budget exhaustion at jumps, OpBar suspension) add their constant at
+// the top of the arm; those that checked before counting (loads,
+// stores) add it after the bounds check.
 func (p *Func) Run(f *Frame) (Status, error) {
 	code := p.Code
 	ri := f.I
 	rf := f.F
-	c := f.Cnt
 	pc := f.PC
+	// Packed counter accumulators. a1 carries the spill countdown in
+	// its top bits (see counts.go): taken jumps decrement it, and a
+	// countdown of zero forces a spill into f.Cnt, so no lane can ever
+	// overflow into its neighbor within one linear stretch of code.
+	var a0 uint64
+	a1 := uint64(p.room) << roomShift
 	for pc < len(code) {
 		in := &code[pc]
 		switch in.Op {
 		case OpNop:
 		case OpHalt:
-			f.PC, f.Cnt = pc, c
+			p.exit(f, a0, a1, pc)
 			return Halted, nil
 
 		case OpMovI:
@@ -219,185 +239,205 @@ func (p *Func) Run(f *Frame) (Status, error) {
 			ri[in.A] = b2i(ri[in.B] != 0)
 
 		case OpAddI:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = ri[in.B] + ri[in.C]
 		case OpSubI:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = ri[in.B] - ri[in.C]
 		case OpMulI:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = ri[in.B] * ri[in.C]
 		case OpDivI:
-			c.IntOps++
+			a0 += lIntOp
 			d := ri[in.C]
 			if d == 0 {
-				f.PC, f.Cnt = pc, c
+				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: integer division by zero")
 			}
 			ri[in.A] = ri[in.B] / d
 		case OpModI:
-			c.IntOps++
+			a0 += lIntOp
 			d := ri[in.C]
 			if d == 0 {
-				f.PC, f.Cnt = pc, c
+				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: integer modulo by zero")
 			}
 			ri[in.A] = ri[in.B] % d
 		case OpAndI:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = ri[in.B] & ri[in.C]
 		case OpOrI:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = ri[in.B] | ri[in.C]
 		case OpXorI:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = ri[in.B] ^ ri[in.C]
 		case OpShlI:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = ri[in.B] << uint(ri[in.C]&63)
 		case OpShrI:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = ri[in.B] >> uint(ri[in.C]&63)
 		case OpNegI:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = -ri[in.B]
 		case OpNotB:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = b2i(ri[in.B] == 0)
 
 		case OpAddIImm:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = ri[in.B] + in.Imm
 		case OpMulIImm:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = ri[in.B] * in.Imm
 		case OpDivIImm:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = ri[in.B] / in.Imm
 		case OpModIImm:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = ri[in.B] % in.Imm
 		case OpShlIImm:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = ri[in.B] << uint(in.Imm&63)
 		case OpShrIImm:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = ri[in.B] >> uint(in.Imm&63)
 		case OpAndIImm:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = ri[in.B] & in.Imm
 		case OpOrIImm:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = ri[in.B] | in.Imm
 		case OpXorIImm:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = ri[in.B] ^ in.Imm
 
 		case OpLtI:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = b2i(ri[in.B] < ri[in.C])
 		case OpLeI:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = b2i(ri[in.B] <= ri[in.C])
 		case OpGtI:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = b2i(ri[in.B] > ri[in.C])
 		case OpGeI:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = b2i(ri[in.B] >= ri[in.C])
 		case OpEqI:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = b2i(ri[in.B] == ri[in.C])
 		case OpNeI:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = b2i(ri[in.B] != ri[in.C])
 
 		case OpLtIImm:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = b2i(ri[in.B] < in.Imm)
 		case OpLeIImm:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = b2i(ri[in.B] <= in.Imm)
 		case OpGtIImm:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = b2i(ri[in.B] > in.Imm)
 		case OpGeIImm:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = b2i(ri[in.B] >= in.Imm)
 		case OpEqIImm:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = b2i(ri[in.B] == in.Imm)
 		case OpNeIImm:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = b2i(ri[in.B] != in.Imm)
 
 		case OpAddF:
-			c.FloatOps++
+			a0 += lFloatOp
 			rf[in.A] = rf[in.B] + rf[in.C]
 		case OpSubF:
-			c.FloatOps++
+			a0 += lFloatOp
 			rf[in.A] = rf[in.B] - rf[in.C]
 		case OpMulF:
-			c.FloatOps++
+			a0 += lFloatOp
 			rf[in.A] = rf[in.B] * rf[in.C]
 		case OpDivF:
-			c.FloatOps++
+			a0 += lFloatOp
 			rf[in.A] = rf[in.B] / rf[in.C]
 		case OpNegF:
-			c.FloatOps++
+			a0 += lFloatOp
 			rf[in.A] = -rf[in.B]
 
 		case OpLtF:
-			c.FloatOps++
+			a0 += lFloatOp
 			ri[in.A] = b2i(rf[in.B] < rf[in.C])
 		case OpLeF:
-			c.FloatOps++
+			a0 += lFloatOp
 			ri[in.A] = b2i(rf[in.B] <= rf[in.C])
 		case OpGtF:
-			c.FloatOps++
+			a0 += lFloatOp
 			ri[in.A] = b2i(rf[in.B] > rf[in.C])
 		case OpGeF:
-			c.FloatOps++
+			a0 += lFloatOp
 			ri[in.A] = b2i(rf[in.B] >= rf[in.C])
 		case OpEqF:
-			c.FloatOps++
+			a0 += lFloatOp
 			ri[in.A] = b2i(rf[in.B] == rf[in.C])
 		case OpNeF:
-			c.FloatOps++
+			a0 += lFloatOp
 			ri[in.A] = b2i(rf[in.B] != rf[in.C])
 
 		case OpJmp:
+			a1 -= roomOne
+			if a1 < roomOne {
+				f.Cnt.addPacked(a0, a1)
+				a0, a1 = 0, uint64(p.room)<<roomShift
+			}
 			if err := f.spend(); err != nil {
-				f.PC, f.Cnt = pc, c
+				p.exit(f, a0, a1, pc)
 				return Halted, err
 			}
 			pc = int(in.Imm)
 			continue
 		case OpJZBr:
-			c.Branches++
+			a1 += lBranch
 			if ri[in.A] == 0 {
+				a1 -= roomOne
+				if a1 < roomOne {
+					f.Cnt.addPacked(a0, a1)
+					a0, a1 = 0, uint64(p.room)<<roomShift
+				}
 				if err := f.spend(); err != nil {
-					f.PC, f.Cnt = pc, c
+					p.exit(f, a0, a1, pc)
 					return Halted, err
 				}
 				pc = int(in.Imm)
 				continue
 			}
 		case OpJZLog:
-			c.IntOps++
+			a0 += lIntOp
 			if ri[in.A] == 0 {
+				a1 -= roomOne
+				if a1 < roomOne {
+					f.Cnt.addPacked(a0, a1)
+					a0, a1 = 0, uint64(p.room)<<roomShift
+				}
 				if err := f.spend(); err != nil {
-					f.PC, f.Cnt = pc, c
+					p.exit(f, a0, a1, pc)
 					return Halted, err
 				}
 				pc = int(in.Imm)
 				continue
 			}
 		case OpJNZLog:
-			c.IntOps++
+			a0 += lIntOp
 			if ri[in.A] != 0 {
+				a1 -= roomOne
+				if a1 < roomOne {
+					f.Cnt.addPacked(a0, a1)
+					a0, a1 = 0, uint64(p.room)<<roomShift
+				}
 				if err := f.spend(); err != nil {
-					f.PC, f.Cnt = pc, c
+					p.exit(f, a0, a1, pc)
 					return Halted, err
 				}
 				pc = int(in.Imm)
@@ -405,13 +445,13 @@ func (p *Func) Run(f *Frame) (Status, error) {
 			}
 
 		case OpWI:
-			c.IntOps++
+			a0 += lIntOp
 			ri[in.A] = f.WI[in.B][in.C]
 		case OpWIDyn:
-			c.IntOps++
+			a0 += lIntOp
 			d := ri[in.C]
 			if d < 0 || d > 2 {
-				f.PC, f.Cnt = pc, c
+				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: work-item query dimension %d out of range", d)
 			}
 			ri[in.A] = f.WI[in.B][d]
@@ -420,159 +460,159 @@ func (p *Func) Run(f *Frame) (Status, error) {
 			b := &f.Globals[in.B]
 			i := ri[in.C]
 			if i < 0 || i >= int64(len(b.F)) {
-				f.PC, f.Cnt = pc, c
+				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.F))
 			}
-			c.GlobalLoads++
+			a0 += lGLoad
 			rf[in.A] = float64(b.F[i])
 		case OpLdGI:
 			b := &f.Globals[in.B]
 			i := ri[in.C]
 			if i < 0 || i >= int64(len(b.I)) {
-				f.PC, f.Cnt = pc, c
+				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.I))
 			}
-			c.GlobalLoads++
+			a0 += lGLoad
 			ri[in.A] = int64(b.I[i])
 		case OpLdLF:
 			b := &f.Locals[in.B]
 			i := ri[in.C]
 			if i < 0 || i >= int64(len(b.F)) {
-				f.PC, f.Cnt = pc, c
+				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.F))
 			}
-			c.LocalOps++
+			a1 += lLocalOp
 			rf[in.A] = float64(b.F[i])
 		case OpLdLI:
 			b := &f.Locals[in.B]
 			i := ri[in.C]
 			if i < 0 || i >= int64(len(b.I)) {
-				f.PC, f.Cnt = pc, c
+				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.I))
 			}
-			c.LocalOps++
+			a1 += lLocalOp
 			ri[in.A] = int64(b.I[i])
 
 		case OpStGF:
 			b := &f.Globals[in.B]
 			i := ri[in.C]
 			if i < 0 || i >= int64(len(b.F)) {
-				f.PC, f.Cnt = pc, c
+				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: store to %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.F))
 			}
+			a1 += lGStore
 			b.F[i] = float32(rf[in.A])
-			c.GlobalStores++
 		case OpStGI:
 			b := &f.Globals[in.B]
 			i := ri[in.C]
 			if i < 0 || i >= int64(len(b.I)) {
-				f.PC, f.Cnt = pc, c
+				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: store to %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.I))
 			}
+			a1 += lGStore
 			b.I[i] = int32(ri[in.A])
-			c.GlobalStores++
 		case OpStLF:
 			b := &f.Locals[in.B]
 			i := ri[in.C]
 			if i < 0 || i >= int64(len(b.F)) {
-				f.PC, f.Cnt = pc, c
+				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: store to %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.F))
 			}
+			a1 += lLocalOp
 			b.F[i] = float32(rf[in.A])
-			c.LocalOps++
 		case OpStLI:
 			b := &f.Locals[in.B]
 			i := ri[in.C]
 			if i < 0 || i >= int64(len(b.I)) {
-				f.PC, f.Cnt = pc, c
+				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: store to %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.I))
 			}
+			a1 += lLocalOp
 			b.I[i] = int32(ri[in.A])
-			c.LocalOps++
 
 		case OpSqrtF:
-			c.TransOps++
+			a0 += lTransOp
 			rf[in.A] = math.Sqrt(rf[in.B])
 		case OpRsqrtF:
-			c.TransOps++
+			a0 += lTransOp
 			rf[in.A] = 1 / math.Sqrt(rf[in.B])
 		case OpExpF:
-			c.TransOps++
+			a0 += lTransOp
 			rf[in.A] = math.Exp(rf[in.B])
 		case OpLogF:
-			c.TransOps++
+			a0 += lTransOp
 			rf[in.A] = math.Log(rf[in.B])
 		case OpLog2F:
-			c.TransOps++
+			a0 += lTransOp
 			rf[in.A] = math.Log2(rf[in.B])
 		case OpSinF:
-			c.TransOps++
+			a0 += lTransOp
 			rf[in.A] = math.Sin(rf[in.B])
 		case OpCosF:
-			c.TransOps++
+			a0 += lTransOp
 			rf[in.A] = math.Cos(rf[in.B])
 		case OpTanF:
-			c.TransOps++
+			a0 += lTransOp
 			rf[in.A] = math.Tan(rf[in.B])
 		case OpPowF:
-			c.TransOps++
+			a0 += lTransOp
 			rf[in.A] = math.Pow(rf[in.B], rf[in.C])
 		case OpAbsF:
-			c.OtherBuiltins++
+			a0 += lOtherB
 			rf[in.A] = math.Abs(rf[in.B])
 		case OpFloorF:
-			c.OtherBuiltins++
+			a0 += lOtherB
 			rf[in.A] = math.Floor(rf[in.B])
 		case OpCeilF:
-			c.OtherBuiltins++
+			a0 += lOtherB
 			rf[in.A] = math.Ceil(rf[in.B])
 		case OpMinF:
-			c.OtherBuiltins++
+			a0 += lOtherB
 			rf[in.A] = math.Min(rf[in.B], rf[in.C])
 		case OpMaxF:
-			c.OtherBuiltins++
+			a0 += lOtherB
 			rf[in.A] = math.Max(rf[in.B], rf[in.C])
 		case OpFmaF:
-			c.OtherBuiltins++
+			a0 += lOtherB
 			rf[in.A] = rf[in.B]*rf[in.C] + rf[in.Imm]
 		case OpClampF:
-			c.OtherBuiltins++
+			a0 += lOtherB
 			rf[in.A] = math.Max(rf[in.C], math.Min(rf[in.B], rf[in.Imm]))
 
 		case OpMinI:
-			c.OtherBuiltins++
+			a0 += lOtherB
 			ri[in.A] = min(ri[in.B], ri[in.C])
 		case OpMaxI:
-			c.OtherBuiltins++
+			a0 += lOtherB
 			ri[in.A] = max(ri[in.B], ri[in.C])
 		case OpAbsI:
-			c.OtherBuiltins++
+			a0 += lOtherB
 			v := ri[in.B]
 			if v < 0 {
 				v = -v
 			}
 			ri[in.A] = v
 		case OpClampI:
-			c.OtherBuiltins++
+			a0 += lOtherB
 			ri[in.A] = max(ri[in.C], min(ri[in.B], ri[in.Imm]))
 
 		case OpBar:
-			c.Barriers++
+			a1 += lBarrier
 			if f.Barrier != nil {
 				f.Barrier()
 			} else {
-				f.PC, f.Cnt = pc+1, c
+				p.exit(f, a0, a1, pc+1)
 				return Suspended, nil
 			}
 
 		case OpMulAddI:
-			c.IntOps += 2
+			a0 += 2 * lIntOp
 			ri[in.A] = ri[in.B]*ri[in.C] + ri[in.Imm]
 		case OpMulImmAddI:
-			c.IntOps += 2
+			a0 += 2 * lIntOp
 			ri[in.A] = ri[in.B]*in.Imm + ri[in.C]
 		case OpMulAddF:
-			c.FloatOps += 2
+			a0 += 2 * lFloatOp
 			// The explicit conversion forces the product to round
 			// separately, matching the unfused mul-then-add exactly
 			// (Go may otherwise contract the pair into an FMA).
@@ -582,128 +622,139 @@ func (p *Func) Run(f *Frame) (Status, error) {
 			b := &f.Globals[slot]
 			i := ri[in.C]
 			if i < 0 || i >= int64(len(b.F)) {
-				f.PC, f.Cnt = pc, c
+				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[name], i, len(b.F))
 			}
-			c.GlobalLoads++
-			c.FloatOps++
+			a0 += lFloatOp + lGLoad
 			rf[in.A] = rf[in.B] + float64(b.F[i])
 		case OpMulFLdG:
 			slot, name := unpackMem(in.Imm)
 			b := &f.Globals[slot]
 			i := ri[in.C]
 			if i < 0 || i >= int64(len(b.F)) {
-				f.PC, f.Cnt = pc, c
+				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[name], i, len(b.F))
 			}
-			c.GlobalLoads++
-			c.FloatOps++
+			a0 += lFloatOp + lGLoad
 			rf[in.A] = rf[in.B] * float64(b.F[i])
 		case OpSubFLdG:
 			slot, name := unpackMem(in.Imm)
 			b := &f.Globals[slot]
 			i := ri[in.C]
 			if i < 0 || i >= int64(len(b.F)) {
-				f.PC, f.Cnt = pc, c
+				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[name], i, len(b.F))
 			}
-			c.GlobalLoads++
-			c.FloatOps++
+			a0 += lFloatOp + lGLoad
 			rf[in.A] = rf[in.B] - float64(b.F[i])
 		case OpLdSubFG:
 			slot, name := unpackMem(in.Imm)
 			b := &f.Globals[slot]
 			i := ri[in.C]
 			if i < 0 || i >= int64(len(b.F)) {
-				f.PC, f.Cnt = pc, c
+				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[name], i, len(b.F))
 			}
-			c.GlobalLoads++
-			c.FloatOps++
+			a0 += lFloatOp + lGLoad
 			rf[in.A] = float64(b.F[i]) - rf[in.B]
 		case OpMulAccLdG:
 			slot, name := unpackMem(in.Imm)
 			b := &f.Globals[slot]
 			i := ri[in.C]
 			if i < 0 || i >= int64(len(b.F)) {
-				f.PC, f.Cnt = pc, c
+				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[name], i, len(b.F))
 			}
-			c.GlobalLoads++
-			c.FloatOps += 2
+			a0 += 2*lFloatOp + lGLoad
 			rf[in.A] = rf[in.A] + float64(rf[in.B]*float64(b.F[i]))
 		case OpMulMulF:
-			c.FloatOps += 2
+			a0 += 2 * lFloatOp
 			rf[in.A] = float64(rf[in.B]*rf[in.C]) * rf[in.Imm]
 		case OpAddRsqrtF:
-			c.FloatOps++
-			c.TransOps++
+			a0 += lFloatOp + lTransOp
 			rf[in.A] = 1 / math.Sqrt(rf[in.B]+rf[in.C])
 		case OpLdGFIdx:
 			slot, name, r3 := unpackMemIdx(in.Imm)
 			b := &f.Globals[slot]
 			i := ri[in.B]*ri[in.C] + ri[r3]
 			if i < 0 || i >= int64(len(b.F)) {
-				f.PC, f.Cnt = pc, c
+				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[name], i, len(b.F))
 			}
-			c.IntOps += 2
-			c.GlobalLoads++
+			a0 += 2*lIntOp + lGLoad
 			rf[in.A] = float64(b.F[i])
 		case OpMacLdGIdx:
 			slot, name, r2, r3 := unpackMacIdx(in.Imm)
 			b := &f.Globals[slot]
 			i := ri[in.C]*ri[r2] + ri[r3]
 			if i < 0 || i >= int64(len(b.F)) {
-				f.PC, f.Cnt = pc, c
+				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[name], i, len(b.F))
 			}
-			c.IntOps += 2
-			c.GlobalLoads++
-			c.FloatOps += 2
+			a0 += 2*lIntOp + 2*lFloatOp + lGLoad
 			rf[in.A] = rf[in.A] + float64(rf[in.B]*float64(b.F[i]))
 
 		case OpJCmpI:
-			c.IntOps++
-			c.Branches++
+			a0 += lIntOp
+			a1 += lBranch
 			if ccHoldsI(in.C, ri[in.A], ri[in.B]) {
+				a1 -= roomOne
+				if a1 < roomOne {
+					f.Cnt.addPacked(a0, a1)
+					a0, a1 = 0, uint64(p.room)<<roomShift
+				}
 				if err := f.spend(); err != nil {
-					f.PC, f.Cnt = pc, c
+					p.exit(f, a0, a1, pc)
 					return Halted, err
 				}
 				pc = int(in.Imm)
 				continue
 			}
 		case OpJCmpIImm:
-			c.IntOps++
-			c.Branches++
+			a0 += lIntOp
+			a1 += lBranch
 			if ccHoldsI(in.B, ri[in.A], in.Imm) {
+				a1 -= roomOne
+				if a1 < roomOne {
+					f.Cnt.addPacked(a0, a1)
+					a0, a1 = 0, uint64(p.room)<<roomShift
+				}
 				if err := f.spend(); err != nil {
-					f.PC, f.Cnt = pc, c
+					p.exit(f, a0, a1, pc)
 					return Halted, err
 				}
 				pc = int(in.C)
 				continue
 			}
 		case OpJCmpF:
-			c.FloatOps++
-			c.Branches++
+			a0 += lFloatOp
+			a1 += lBranch
 			if ccHoldsF(in.C, rf[in.A], rf[in.B]) {
+				a1 -= roomOne
+				if a1 < roomOne {
+					f.Cnt.addPacked(a0, a1)
+					a0, a1 = 0, uint64(p.room)<<roomShift
+				}
 				if err := f.spend(); err != nil {
-					f.PC, f.Cnt = pc, c
+					p.exit(f, a0, a1, pc)
 					return Halted, err
 				}
 				pc = int(in.Imm)
 				continue
 			}
 		case OpIncJCmpI:
-			c.IntOps += 2
-			c.Branches++
+			a0 += 2 * lIntOp
+			a1 += lBranch
 			v := ri[in.A] + ri[in.B]
 			ri[in.A] = v
 			if ccHoldsI(int32(in.Imm>>32), v, ri[in.C]) {
+				a1 -= roomOne
+				if a1 < roomOne {
+					f.Cnt.addPacked(a0, a1)
+					a0, a1 = 0, uint64(p.room)<<roomShift
+				}
 				if err := f.spend(); err != nil {
-					f.PC, f.Cnt = pc, c
+					p.exit(f, a0, a1, pc)
 					return Halted, err
 				}
 				pc = int(int64(uint32(in.Imm)))
@@ -711,11 +762,11 @@ func (p *Func) Run(f *Frame) (Status, error) {
 			}
 
 		default:
-			f.PC, f.Cnt = pc, c
+			p.exit(f, a0, a1, pc)
 			return Halted, fmt.Errorf("exec: vm: illegal opcode %d at pc %d", in.Op, pc)
 		}
 		pc++
 	}
-	f.PC, f.Cnt = pc, c
+	p.exit(f, a0, a1, pc)
 	return Halted, nil
 }

@@ -1,0 +1,258 @@
+package exec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/inspire"
+)
+
+// vmdiff: the bytecode VM must produce buffers AND profiles
+// byte-identical to the closure tier for every kernel shape — straight
+// lines, loops (back-edge counter flushes), divergence, barriers,
+// fused super-instructions, and faulting runs. This is the contract
+// that lets the VM batch profile counters per basic block: any drift
+// in a single counter fails here.
+
+type vmdiffCase struct {
+	name   string
+	src    string
+	kernel string
+	args   func() []Arg
+	nd     NDRange
+}
+
+func vmdiffCases() []vmdiffCase {
+	randFloats := func(n int, seed int64) *Buffer {
+		b := NewFloatBuffer(n)
+		r := rand.New(rand.NewSource(seed))
+		for i := range b.F {
+			b.F[i] = r.Float32()*4 - 2
+		}
+		return b
+	}
+	return []vmdiffCase{
+		{
+			name: "straightline arithmetic",
+			src: `kernel void k(global float* a, global float* out, int n) {
+				int i = get_global_id(0);
+				float x = a[i];
+				out[i] = x * x + 2.0f * x - 0.5f;
+			}`,
+			kernel: "k",
+			args:   func() []Arg { return []Arg{BufArg(randFloats(64, 1)), BufArg(NewFloatBuffer(64)), IntArg(64)} },
+			nd:     ND1(64),
+		},
+		{
+			name: "loop with divergent trip counts",
+			src: `kernel void k(global float* out, int n) {
+				int i = get_global_id(0);
+				float acc = 0.0f;
+				for (int j = 0; j < i % 7; j = j + 1) {
+					acc = acc + (float)j * 0.25f;
+				}
+				out[i] = acc;
+			}`,
+			kernel: "k",
+			args:   func() []Arg { return []Arg{BufArg(NewFloatBuffer(96)), IntArg(96)} },
+			nd:     ND1(96),
+		},
+		{
+			name: "branch divergence and builtins",
+			src: `kernel void k(global float* a, global float* out, int n) {
+				int i = get_global_id(0);
+				float x = a[i];
+				if (x > 0.0f) {
+					out[i] = sqrt(x) + exp(x);
+				} else {
+					out[i] = fabs(x) * min(x, -0.25f);
+				}
+			}`,
+			kernel: "k",
+			args:   func() []Arg { return []Arg{BufArg(randFloats(128, 2)), BufArg(NewFloatBuffer(128)), IntArg(128)} },
+			nd:     ND1(128),
+		},
+		{
+			name: "matmul fused mac",
+			src: `kernel void k(global const float* a, global const float* b,
+					global float* c, int n) {
+				int row = get_global_id(1);
+				int col = get_global_id(0);
+				float acc = 0.0f;
+				for (int t = 0; t < n; t = t + 1) {
+					acc = acc + a[row * n + t] * b[t * n + col];
+				}
+				c[row * n + col] = acc;
+			}`,
+			kernel: "k",
+			args: func() []Arg {
+				return []Arg{BufArg(randFloats(64, 3)), BufArg(randFloats(64, 4)), BufArg(NewFloatBuffer(64)), IntArg(8)}
+			},
+			nd: ND2(8, 8),
+		},
+		{
+			name: "local memory barrier reduction",
+			src: `kernel void k(global const float* in, global float* out,
+					local float* tile, int n) {
+				int l = get_local_id(0);
+				int g = get_global_id(0);
+				tile[l] = in[g];
+				barrier(1);
+				if (l == 0) {
+					float s = 0.0f;
+					for (int j = 0; j < get_local_size(0); j = j + 1) {
+						s = s + tile[j];
+					}
+					out[get_group_id(0)] = s;
+				}
+			}`,
+			kernel: "k",
+			args: func() []Arg {
+				return []Arg{BufArg(randFloats(64, 5)), BufArg(NewFloatBuffer(8)), LocalArg(8), IntArg(64)}
+			},
+			nd: NDRange{Global: [3]int{64, 1, 1}, Local: [3]int{8, 1, 1}},
+		},
+		{
+			name: "integer ops and stores",
+			src: `kernel void k(global int* out, int n) {
+				int i = get_global_id(0);
+				int v = (i * 37 + 11) % 13;
+				v = (v << 2) ^ (i & 5);
+				out[i] = clamp(v, 2, 40);
+			}`,
+			kernel: "k",
+			args:   func() []Arg { return []Arg{BufArg(NewIntBuffer(80)), IntArg(80)} },
+			nd:     ND1(80),
+		},
+	}
+}
+
+// TestVMDiffProfilesByteIdentical runs every case on both tiers and
+// requires bit-equal output buffers and byte-identical profile buckets.
+func TestVMDiffProfilesByteIdentical(t *testing.T) {
+	for _, tc := range vmdiffCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			cVM := compileTierSrc(t, tc.src, tc.kernel, TierVM)
+			cCl := compileTierSrc(t, tc.src, tc.kernel, TierClosure)
+
+			argsVM, argsCl := tc.args(), tc.args()
+			pVM, err := cVM.Run(argsVM, tc.nd, RunOptions{})
+			if err != nil {
+				t.Fatalf("vm run: %v", err)
+			}
+			pCl, err := cCl.Run(argsCl, tc.nd, RunOptions{})
+			if err != nil {
+				t.Fatalf("closure run: %v", err)
+			}
+
+			for ai := range argsVM {
+				b := argsVM[ai].Buf
+				if b == nil {
+					continue
+				}
+				if !reflect.DeepEqual(b.F, argsCl[ai].Buf.F) || !reflect.DeepEqual(b.I, argsCl[ai].Buf.I) {
+					t.Errorf("arg %d buffers differ between tiers", ai)
+				}
+			}
+			if pVM.Global0 != pCl.Global0 || len(pVM.Buckets) != len(pCl.Buckets) {
+				t.Fatalf("profile shape: vm %d/%d buckets, closure %d/%d",
+					pVM.Global0, len(pVM.Buckets), pCl.Global0, len(pCl.Buckets))
+			}
+			for b := range pVM.Buckets {
+				if pVM.Buckets[b] != pCl.Buckets[b] {
+					t.Errorf("bucket %d:\n  vm      %+v\n  closure %+v", b, pVM.Buckets[b], pCl.Buckets[b])
+				}
+			}
+		})
+	}
+}
+
+// TestVMDiffFaultProfiles: counter flushes on the fault paths must
+// match the closure tier too — the partially executed item's counts
+// land (or not) identically. Errors must carry the same message.
+func TestVMDiffFaultProfiles(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		kernel string
+		args   func() []Arg
+		nd     NDRange
+	}{
+		{
+			name: "divide by zero",
+			src: `kernel void k(global int* out, int n) {
+				int i = get_global_id(0);
+				out[i] = 12 / (i - (n / 2));
+			}`,
+			kernel: "k",
+			args:   func() []Arg { return []Arg{BufArg(NewIntBuffer(16)), IntArg(16)} },
+			nd:     ND1(16),
+		},
+		{
+			name: "store out of bounds",
+			src: `kernel void k(global float* out, int n) {
+				int i = get_global_id(0);
+				out[i * 3] = 1.0f;
+			}`,
+			kernel: "k",
+			args:   func() []Arg { return []Arg{BufArg(NewFloatBuffer(16)), IntArg(16)} },
+			nd:     ND1(16),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cVM := compileTierSrc(t, tc.src, tc.kernel, TierVM)
+			cCl := compileTierSrc(t, tc.src, tc.kernel, TierClosure)
+			_, errVM := cVM.Run(tc.args(), tc.nd, RunOptions{})
+			_, errCl := cCl.Run(tc.args(), tc.nd, RunOptions{})
+			if errVM == nil || errCl == nil {
+				t.Fatalf("want faults on both tiers, got vm=%v closure=%v", errVM, errCl)
+			}
+			if errVM.Error() != errCl.Error() {
+				t.Errorf("fault messages differ:\n  vm      %v\n  closure %v", errVM, errCl)
+			}
+		})
+	}
+}
+
+// BenchmarkVMProfileBatching exercises the block-batched counter path
+// on a loop-heavy kernel (64-iteration MAC loop per item), where the
+// per-iteration counter cost dominated before batching.
+func BenchmarkVMProfileBatching(b *testing.B) {
+	src := `kernel void mm(global const float* a, global const float* x,
+			global float* c, int n) {
+		int row = get_global_id(1);
+		int col = get_global_id(0);
+		float acc = 0.0f;
+		for (int t = 0; t < n; t = t + 1) {
+			acc = acc + a[row * n + t] * x[t * n + col];
+		}
+		c[row * n + col] = acc;
+	}`
+	u, err := inspire.LowerSource("bench", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := u.Kernel("mm")
+	if k == nil {
+		b.Fatal("kernel mm not found")
+	}
+	c, err := CompileTier(k, TierVM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 64
+	args := []Arg{
+		BufArg(NewFloatBuffer(n * n)), BufArg(NewFloatBuffer(n * n)),
+		BufArg(NewFloatBuffer(n * n)), IntArg(n),
+	}
+	nd := ND2(n, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Run(args, nd, RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(n * n * n * 8)
+}

@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// The encode/decode benchmarks below are pinned at 0 allocs/op by
+// scripts/alloc_smoke.sh — they are the wire half of the zero-alloc
+// serving guarantee.
+
+func BenchmarkWireEncodePrediction(b *testing.B) {
+	p := samplePrediction(0)
+	buf := AppendPrediction(nil, &p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendPrediction(buf[:0], &p)
+	}
+	_ = buf
+}
+
+func BenchmarkWireDecodePredictRequest(b *testing.B) {
+	req := engine.Request{Program: "vecadd", SizeIdx: 3}
+	frame := AppendPredictRequest(nil, &req)
+	_, payload, err := ParseFrame(frame)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := NewIntern()
+	var out engine.Request
+	if err := DecodePredictRequest(payload, &out, in); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodePredictRequest(payload, &out, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireEncodeBatch64(b *testing.B) {
+	p := samplePrediction(0)
+	var enc BatchEncoder
+	enc.Begin(nil)
+	for i := 0; i < 64; i++ {
+		enc.Prediction(&p)
+	}
+	buf := enc.Finish()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Begin(buf[:0])
+		for j := 0; j < 64; j++ {
+			enc.Prediction(&p)
+		}
+		buf = enc.Finish()
+	}
+	_ = buf
+}
+
+func BenchmarkWireDecodeBatchRequest64(b *testing.B) {
+	reqs := make([]engine.Request, 64)
+	for i := range reqs {
+		reqs[i] = engine.Request{Program: "vecadd", SizeIdx: i % 12}
+	}
+	frame := AppendBatchRequest(nil, reqs)
+	_, payload, err := ParseFrame(frame)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := NewIntern()
+	in.Str([]byte("vecadd"))
+	var out engine.Request
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, err := DecodeBatchRequest(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for it.Next(&out, in) {
+		}
+		if err := it.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

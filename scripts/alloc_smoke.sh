@@ -1,20 +1,22 @@
 #!/usr/bin/env sh
 # alloc_smoke.sh — allocation-regression gate for the serving hot path.
-# Runs the pinned hot-path benchmarks with -benchmem and fails if any of
-# them reports a nonzero allocs/op: a regression here silently puts the
-# garbage collector back between requests. The AllocsPerRun unit tests
-# (TestArtifactPredictZeroAllocs, TestEnginePredictIntoZeroAllocs) pin
-# the same property per call; this gate covers the sustained-loop view
-# that CI publishes in benchmark output. Used by CI, runnable locally:
+# Runs the pinned hot-path benchmarks (prediction, and the binary wire
+# codec that frames it on the network) with -benchmem and fails if any
+# of them reports a nonzero allocs/op: a regression here silently puts
+# the garbage collector back between requests. The AllocsPerRun unit
+# tests (TestArtifactPredictZeroAllocs, TestEnginePredictIntoZeroAllocs)
+# pin the same property per call; this gate covers the sustained-loop
+# view that CI publishes in benchmark output. Used by CI, runnable
+# locally:
 #
 #   scripts/alloc_smoke.sh
 set -eu
 cd "$(dirname "$0")/.."
 
-PINNED='BenchmarkArtifactPredict|BenchmarkEnginePredictInto$'
+PINNED='BenchmarkArtifactPredict|BenchmarkEnginePredictInto$|BenchmarkWire'
 
 out="$(go test -run='^$' -bench="$PINNED" -benchmem -benchtime=100x \
-	./internal/ml/ ./internal/engine/)"
+	./internal/ml/ ./internal/engine/ ./internal/wire/)"
 printf '%s\n' "$out"
 
 printf '%s\n' "$out" | awk '

@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
 # Runs the tracked performance benchmarks and writes their ns/op — plus
-# serving-throughput metrics from a short cmd/loadgen run against a real
-# cmd/serve process — as JSON, so successive PRs accumulate a
-# machine-readable perf trajectory. The default output name is dated
+# serving-throughput metrics from short cmd/loadgen runs against a real
+# cmd/serve process (JSON and binary wire protocol side by side, and an
+# admission-control overload sweep) — as JSON, so successive PRs
+# accumulate a machine-readable perf trajectory. The default output
+# name is dated
 # (BENCH_<UTC timestamp>.json): each run adds a new point instead of
 # overwriting the last one — pass an explicit path (as CI does) to pin
 # the name.
@@ -90,6 +92,38 @@ if [ "$SERVE_BENCH" != "0" ]; then
 		-workers "$LOADGEN_WORKERS" -duration "$LOADGEN_DURATION" -out "$tmp/predict.json"
 	"$tmp/loadgen" -addr "http://127.0.0.1:$port" -program vecadd -size 1 -batch 64 \
 		-workers "$LOADGEN_WORKERS" -duration "$LOADGEN_DURATION" -out "$tmp/batch.json"
+	# Same endpoints over the compact binary wire protocol: the JSON/wire
+	# pair in one document is the apples-to-apples protocol comparison.
+	"$tmp/loadgen" -addr "http://127.0.0.1:$port" -program vecadd -size 1 -wire \
+		-workers "$LOADGEN_WORKERS" -duration "$LOADGEN_DURATION" -out "$tmp/predict_wire.json"
+	"$tmp/loadgen" -addr "http://127.0.0.1:$port" -program vecadd -size 1 -batch 64 -wire \
+		-workers "$LOADGEN_WORKERS" -duration "$LOADGEN_DURATION" -out "$tmp/batch_wire.json"
+	kill "$serve_pid" 2>/dev/null || true
+	wait "$serve_pid" 2>/dev/null || true
+	serve_pid=""
+
+	# --- overload: admission control under an execute-heavy sweep -------
+	# A deliberately small serve (4 procs, one admitted execute + one
+	# queued per shard, 60ms p99 target) swept with rising concurrency:
+	# low worker counts are admitted untouched, high ones shed with 429
+	# instead of queueing without bound. The sweep lands in the document
+	# so the shed/admitted trajectory is tracked like any benchmark.
+	echo "bench.sh: measuring admission-control overload sweep"
+	GOMAXPROCS=4 "$tmp/serve" -addr "127.0.0.1:$port" -db "$tmp/db.json" -platform mc2 \
+		-models "$tmp/models" -model knn -warm vecadd \
+		-admit-inflight 2 -admit-queue 2 -target-p99 60ms >"$tmp/serve2.log" 2>&1 &
+	serve_pid=$!
+	i=0
+	while ! "$tmp/loadgen" -addr "http://127.0.0.1:$port" -program vecadd -size 1 \
+		-workers 1 -duration 50ms -warmup 0s >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -ge 100 ] && { echo "bench.sh: overload serve did not come up"; exit 1; }
+		kill -0 "$serve_pid" 2>/dev/null || { echo "bench.sh: overload serve died"; cat "$tmp/serve2.log"; exit 1; }
+		sleep 0.1
+	done
+	"$tmp/loadgen" -addr "http://127.0.0.1:$port" -program vecadd -size 1 \
+		-endpoint /execute -sweep 1,4,16 -duration "$LOADGEN_DURATION" \
+		-out "$tmp/overload.json"
 	kill "$serve_pid" 2>/dev/null || true
 	wait "$serve_pid" 2>/dev/null || true
 	serve_pid=""
@@ -106,8 +140,13 @@ fi
 	if [ -s "$tmp/predict.json" ]; then
 		printf ',\n  "serving": {\n'
 		printf '    "predict": %s,\n' "$(tr -d '\n' <"$tmp/predict.json" | tr -s ' ')"
-		printf '    "predictBatch": %s\n' "$(tr -d '\n' <"$tmp/batch.json" | tr -s ' ')"
+		printf '    "predictBatch": %s,\n' "$(tr -d '\n' <"$tmp/batch.json" | tr -s ' ')"
+		printf '    "predictWire": %s,\n' "$(tr -d '\n' <"$tmp/predict_wire.json" | tr -s ' ')"
+		printf '    "predictBatchWire": %s\n' "$(tr -d '\n' <"$tmp/batch_wire.json" | tr -s ' ')"
 		printf '  }'
+	fi
+	if [ -s "$tmp/overload.json" ]; then
+		printf ',\n  "overload": %s' "$(tr -d '\n' <"$tmp/overload.json" | tr -s ' ')"
 	fi
 	printf '\n}\n'
 } >"$OUT"

@@ -9,7 +9,11 @@
 # serve instance then exercises the untrusted-kernel path: upload via
 # POST /kernels, execute, an infinite-loop kernel killed by the step
 # budget, tenant quota rejection (429 + Retry-After), and idle-program
-# eviction with transparent recompile. Used by CI and runnable locally:
+# eviction with transparent recompile. A third instance exercises the
+# fleet path: -platforms mc1,mc2 with sharded engines, per-platform
+# routing and per-shard /stats, the compact binary wire protocol, a
+# mixed -mix workload, and admission control shedding overload with
+# 429 + Retry-After. Used by CI and runnable locally:
 #
 #   scripts/serve_smoke.sh [port]
 set -euo pipefail
@@ -208,5 +212,85 @@ for i in $(seq 1 100); do
   sleep 0.1
 done
 wait "$pid" || { echo "FAIL: budgeted serve exited non-zero"; exit 1; }
+pid=""
+
+echo "== fleet: one process, two platforms, sharded engines, admission control =="
+"$work/serve" -addr "127.0.0.1:$port" -db "$work/db.json" -platforms mc1,mc2 \
+  -shards 2 -models "$work/models" -model knn -exec-tier vm \
+  -admit-inflight 1 -admit-queue 0 -exec-steps 200000000 -exec-timeout 30s &
+pid=$!
+for i in $(seq 1 100); do
+  curl -fsS "$base/healthz" >/dev/null 2>&1 && break
+  kill -0 "$pid" 2>/dev/null || { echo "FAIL: fleet serve died during startup"; exit 1; }
+  sleep 0.1
+done
+curl -fsS "$base/healthz" | tee "$work/fleet-healthz.json"
+grep -q 'mc1' "$work/fleet-healthz.json"
+grep -q 'mc2' "$work/fleet-healthz.json"
+
+echo "== requests route per platform and tenant; shards appear in /stats =="
+curl -fsS "$base/predict?program=vecadd&size=1&platform=mc1" | grep -q '"partition"'
+curl -fsS -H 'X-Tenant: alice' "$base/predict?program=vecadd&size=1&platform=mc2" | grep -q '"partition"'
+curl -fsS -H 'X-Tenant: bob' "$base/predict?program=matmul&size=0&platform=mc2" | grep -q '"partition"'
+curl -fsS "$base/stats" | tee "$work/fleet-stats.json"
+grep -q '"platform": "mc1"' "$work/fleet-stats.json"
+grep -q '"platform": "mc2"' "$work/fleet-stats.json"
+grep -q '"admitted"' "$work/fleet-stats.json"
+
+echo "== unserved platform is a 404, not a new shard =="
+code=$(curl -s -o /dev/null -w '%{http_code}' "$base/predict?program=vecadd&size=1&platform=gpu9")
+[ "$code" = "404" ] || { echo "FAIL: unserved platform returned $code"; exit 1; }
+
+echo "== binary wire protocol end to end (predict + batch) =="
+"$work/loadgen" -addr "$base" -program vecadd -size 1 -wire -workers 1 \
+  -duration 0.5s -warmup 100ms | tee "$work/loadgen-wire.json"
+grep -q '"protocol": "wire"' "$work/loadgen-wire.json"
+grep -q '"errors": 0' "$work/loadgen-wire.json"
+"$work/loadgen" -addr "$base" -program vecadd -size 1 -wire -batch 16 -workers 1 \
+  -duration 0.5s -warmup 100ms | tee "$work/loadgen-wire-batch.json"
+grep -q '"errors": 0' "$work/loadgen-wire-batch.json"
+
+echo "== mixed workload via -mix sustains traffic =="
+"$work/loadgen" -addr "$base" -program vecadd -size 0 -workers 1 \
+  -mix predict:0.6,batch:0.3,execute:0.1 -duration 0.5s -warmup 100ms |
+  tee "$work/loadgen-mix.json"
+grep -q '"mix": "predict:0.6,batch:0.3,execute:0.1"' "$work/loadgen-mix.json"
+grep -q '"errors": 0' "$work/loadgen-mix.json"
+
+echo "== overload sheds with 429 + Retry-After instead of queueing =="
+# Deterministic shed: park a spin kernel in the default shard's single
+# inflight slot (-admit-inflight 1 -admit-queue 0; the -exec-steps
+# budget bounds how long it can hold it), wait until /stats shows the
+# slot occupied, then probe — the probe must answer 429 + Retry-After
+# immediately instead of queueing behind the running kernel.
+spin_src='kernel void spin(global float* out) { int i = 0; while (i < 2) { i = i - 1; } out[get_global_id(0)] = 1.0; }'
+curl -fsS -X POST -d "{\"name\":\"spin\",\"source\":\"$spin_src\"}" "$base/kernels" >/dev/null
+curl -s -o "$work/spin-exec.json" -X POST "$base/execute?program=public/spin&size=0" &
+spin_pid=$!
+slot_busy=""
+for i in $(seq 1 100); do
+  curl -fsS "$base/stats" | grep -q '"queueDepth": 1' && { slot_busy=1; break; }
+  sleep 0.1
+done
+[ -n "$slot_busy" ] || { echo "FAIL: spin kernel never occupied the inflight slot"; exit 1; }
+curl -s -i -X POST "$base/execute?program=matmul&size=1" -o "$work/shed.txt"
+grep -q "^HTTP/1.1 429" "$work/shed.txt" || { echo "FAIL: probe behind a busy slot was not shed with 429"; head -1 "$work/shed.txt"; exit 1; }
+grep -qi "^Retry-After:" "$work/shed.txt" || { echo "FAIL: shed response without Retry-After"; exit 1; }
+wait "$spin_pid" || true
+
+# Under a closed-loop burst the report counts sheds without counting
+# them as errors, and admitted traffic still completes.
+"$work/loadgen" -addr "$base" -program matmul -size 1 -endpoint /execute \
+  -workers 8 -duration 2s -warmup 100ms -out "$work/loadgen-shed.json"
+cat "$work/loadgen-shed.json"
+grep -q '"shed": 0' "$work/loadgen-shed.json" && { echo "FAIL: loadgen saw no sheds"; exit 1; }
+grep -q '"errors": 0' "$work/loadgen-shed.json" || { echo "FAIL: sheds were counted as errors"; exit 1; }
+
+kill -TERM "$pid"
+for i in $(seq 1 100); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
+wait "$pid" || { echo "FAIL: fleet serve exited non-zero"; exit 1; }
 pid=""
 echo "PASS: serve smoke"
