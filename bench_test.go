@@ -493,9 +493,10 @@ func BenchmarkPrediction(b *testing.B) {
 	}
 }
 
-// benchCompileTiers compiles a suite program's kernel on both execution
-// tiers, independently of the program's cached (default-tier) kernel.
-func benchCompileTiers(b *testing.B, name string) (*bench.Program, *exec.Compiled, *exec.Compiled) {
+// benchCompileTiers compiles a suite program's kernel on every
+// execution tier, independently of the program's cached (default-tier)
+// kernel. The vec compile is nil when the kernel is not vectorizable.
+func benchCompileTiers(b *testing.B, name string) (*bench.Program, *exec.Compiled, *exec.Compiled, *exec.Compiled) {
 	b.Helper()
 	p, err := bench.Get(name)
 	if err != nil {
@@ -515,21 +516,24 @@ func benchCompileTiers(b *testing.B, name string) (*bench.Program, *exec.Compile
 	if err != nil {
 		b.Fatal(err)
 	}
-	return p, cl, vmc
+	vcc, err := exec.CompileTier(k, exec.TierVec)
+	if err != nil {
+		vcc = nil
+	}
+	return p, cl, vmc, vcc
 }
 
-// BenchmarkKernelExec compares the closure-tree interpreter against the
-// bytecode VM on one host worker: a uniform streaming kernel
-// (blackscholes, branch taken by every item) and a non-uniform one
-// (mandelbrot, per-item loop trip counts). The vm/closure ratio is the
-// dispatch-loop speedup of this PR; both tiers produce byte-identical
-// buffers and profiles (see vmdiff_test.go). matvec, matmul, and nbody
-// are the counted-loop kernels where index and backedge fusion bite
-// hardest; blackscholes and mandelbrot are straight-line and
-// divergent-loop shapes.
+// BenchmarkKernelExec compares the three execution tiers on one host
+// worker: closure tree, scalar bytecode VM, and the SIMT vector tier.
+// matvec, matmul, and nbody are the counted-loop kernels where fusion
+// and lane batching bite hardest; blackscholes is group-uniform until
+// its data-dependent cnd branch (it diverges and completes scalar);
+// mandelbrot has per-item loop trip counts and is not vectorizable, so
+// its vec sub-benchmark is skipped. All tiers produce byte-identical
+// buffers and profiles (see vmdiff_test.go).
 func BenchmarkKernelExec(b *testing.B) {
 	for _, prog := range []string{"matvec", "matmul", "nbody", "blackscholes", "mandelbrot"} {
-		p, cl, vmc := benchCompileTiers(b, prog)
+		p, cl, vmc, vcc := benchCompileTiers(b, prog)
 		inst, err := p.Instance(1)
 		if err != nil {
 			b.Fatal(err)
@@ -537,7 +541,10 @@ func BenchmarkKernelExec(b *testing.B) {
 		for _, tier := range []struct {
 			name string
 			c    *exec.Compiled
-		}{{"closure", cl}, {"vm", vmc}} {
+		}{{"closure", cl}, {"vm", vmc}, {"vec", vcc}} {
+			if tier.c == nil {
+				continue
+			}
 			b.Run(prog+"/"+tier.name, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					if _, err := tier.c.Run(inst.Args, inst.ND, exec.RunOptions{Workers: 1}); err != nil {

@@ -25,7 +25,7 @@ func main() {
 	dbPath := flag.String("db", "training_db.json", "training database path (generated if missing)")
 	fast := flag.Bool("fast", false, "use the fast kNN model instead of the MLP")
 	parallel := flag.Int("parallel", 0, "worker goroutines for sweeps, oracle search and CV folds (0 = GOMAXPROCS)")
-	execTier := flag.String("exec-tier", "", "kernel execution tier: auto, vm, or closure (default: REPRO_EXEC_TIER or auto)")
+	execTier := flag.String("exec-tier", "", "kernel execution tier: auto, vec, vm, or closure (default: REPRO_EXEC_TIER or auto)")
 	flag.Parse()
 	sched.SetDefaultWorkers(*parallel)
 	if *execTier != "" {

@@ -130,7 +130,7 @@ func main() {
 	retrainInterval := flag.Duration("retrain-interval", time.Minute, "how often the background retrainer checks for new observations")
 	retrainMin := flag.Int("retrain-min", 5, "labeled observations required since the last attempt before retraining")
 	oracleSample := flag.Int("oracle-sample", 1, "label every Nth execution with its measured-best class (1 = all, negative = never)")
-	execTier := flag.String("exec-tier", "", "kernel execution tier: auto, vm, or closure (default: REPRO_EXEC_TIER or auto)")
+	execTier := flag.String("exec-tier", "", "kernel execution tier: auto, vec, vm, or closure (default: REPRO_EXEC_TIER or auto)")
 	execSteps := flag.Int64("exec-steps", 0, "per-request kernel step budget (0 = unlimited)")
 	execMem := flag.Int64("exec-mem", 0, "per-request buffer allocation budget in bytes (0 = unlimited)")
 	execTimeout := flag.Duration("exec-timeout", 0, "per-request execution wall-clock budget (0 = unlimited)")

@@ -55,7 +55,7 @@ func eachTier(t *testing.T, fn func(t *testing.T, tier Tier)) {
 	for _, tc := range []struct {
 		name string
 		tier Tier
-	}{{"vm", TierVM}, {"closure", TierClosure}} {
+	}{{"vm", TierVM}, {"closure", TierClosure}, {"vec", TierVec}} {
 		t.Run(tc.name, func(t *testing.T) { fn(t, tc.tier) })
 	}
 }

@@ -107,6 +107,11 @@ type Compiled struct {
 	// vmErr records why the VM lowering was skipped under TierAuto.
 	vmProg *vm.Func
 	vmErr  error
+
+	// SIMT vector tier. vecProg is nil when the kernel runs scalar;
+	// vecErr records why vectorization was skipped under TierAuto.
+	vecProg *vm.VecFunc
+	vecErr  error
 }
 
 // HasBarrier reports whether the kernel (including helpers) executes

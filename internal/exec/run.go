@@ -258,6 +258,11 @@ type groupRunner struct {
 	vmDone   []bool
 	vmBarFn  func()
 
+	// Vector tier state (see runvec.go); vecFrame is nil when the group
+	// runs scalar. The scalar vmFrames stay allocated alongside it: they
+	// complete the group when the lanes diverge.
+	vecFrame *vm.VecFrame
+
 	budget *vm.Budget
 }
 
@@ -334,6 +339,7 @@ func newGroupRunner(c *Compiled, args []Arg, nd NDRange, ngrp [3]int64, buckets 
 		r.gctx = groupExec{frames: r.frames, active: make([]bool, r.itemsPer)}
 	}
 	r.initVM(args)
+	r.initVec()
 	return r
 }
 
@@ -380,6 +386,10 @@ func (r *groupRunner) runGroup(g0, g1, g2 int) {
 		}
 	}
 	r.refreshBuckets(g0)
+	if r.vecFrame != nil && (!r.barrier || r.mode == BarrierAuto) {
+		r.runGroupVec(g0, g1, g2)
+		return
+	}
 	if r.vmFrames != nil {
 		r.runGroupVM(g0, g1, g2)
 		return

@@ -1,0 +1,153 @@
+package exec
+
+import "repro/internal/exec/vm"
+
+// Vector (SIMT) execution path of the group runner. When the kernel
+// vectorized, runGroup dispatches here: the whole work group executes on
+// one W-wide VecFrame, a single dispatch loop retiring every lane per
+// instruction. The scalar VM frames built by initVM stay alongside —
+// when the lanes diverge at a varying branch (or some lane would fault),
+// the vector frame's lanes are scattered into them and the group
+// completes on the scalar VM, which reproduces canonical item-order
+// semantics (including fault messages) exactly.
+
+// initVec builds the runner's W-lane vector frame. No-op when the
+// kernel is not vectorized or groups are single-item (the scalar VM
+// path is strictly better at W=1).
+func (r *groupRunner) initVec() {
+	p := r.c.vecProg
+	if p == nil || r.itemsPer <= 1 || r.vmFrames == nil {
+		return
+	}
+	w := r.itemsPer
+	vf := p.NewVecFrame(w)
+	vf.B = r.budget
+	// Share the buffer slot tables initVM built: local slots alias the
+	// runner's per-group locals, so the per-group clear stays visible.
+	f0 := r.vmFrames[0]
+	vf.Globals = f0.Globals
+	vf.Locals = f0.Locals
+	// Scalar parameters broadcast into every lane.
+	for i := range p.Params {
+		pr := &p.Params[i]
+		switch pr.Kind {
+		case vm.ParamInt:
+			vf.SetI(pr.Index, f0.I[pr.Index])
+		case vm.ParamFloat:
+			vf.SetF(pr.Index, f0.F[pr.Index])
+		}
+	}
+	// Launch-constant WI rows broadcast once; the local-id ramps are
+	// also group-invariant (lane li <-> local coords with l0 innermost,
+	// matching the scalar item loops).
+	for d := 0; d < 3; d++ {
+		for l := 0; l < w; l++ {
+			vf.WI[vm.WIGlobalSize][d][l] = r.gsz[d]
+			vf.WI[vm.WILocalSize][d][l] = r.lsz[d]
+			vf.WI[vm.WINumGroups][d][l] = r.ngr[d]
+		}
+	}
+	l01 := r.lsz[0] * r.lsz[1]
+	for l := 0; l < w; l++ {
+		vf.WI[vm.WILocalID][0][l] = int64(l) % r.lsz[0]
+		vf.WI[vm.WILocalID][1][l] = (int64(l) / r.lsz[0]) % r.lsz[1]
+		vf.WI[vm.WILocalID][2][l] = int64(l) / l01
+	}
+	r.vecFrame = vf
+}
+
+// runGroupVec executes one work group on the vector tier.
+func (r *groupRunner) runGroupVec(g0, g1, g2 int) {
+	vf := r.vecFrame
+	g := [3]int64{int64(g0), int64(g1), int64(g2)}
+	for d := 0; d < 3; d++ {
+		grp := vf.WI[vm.WIGroupID][d]
+		gid := vf.WI[vm.WIGlobalID][d]
+		lid := vf.WI[vm.WILocalID][d]
+		base := g[d] * r.lsz[d]
+		for l := range grp {
+			grp[l] = g[d]
+			gid[l] = base + lid[l]
+		}
+	}
+	vf.Reset()
+	st, err := r.c.vecProg.Run(vf)
+	if err != nil {
+		panic(execError{err})
+	}
+	if st == vm.Diverged {
+		r.bailGroupVec(g0, g1, g2)
+		return
+	}
+	// Convergent execution: every lane retired the same instruction
+	// sequence, so the frame's counts are each item's counts.
+	c := Counts(vf.Cnt)
+	c.Items = 1
+	c.MaxItemOps = c.totalOps()
+	lid0 := vf.WI[vm.WILocalID][0]
+	for l := 0; l < vf.W; l++ {
+		r.buckets[r.bucketByL0[lid0[l]]].Add(&c)
+	}
+}
+
+// bailGroupVec scalarizes a diverged group: each lane's registers,
+// parked PC, and accumulated counts transfer into the per-item scalar
+// frames, which then complete on the scalar VM in canonical item order.
+// The diverging instruction has neither executed nor counted on the
+// vector frame, so the scalar rerun picks it up exactly once — counts,
+// stores, and fault messages land byte-identical to an all-scalar run.
+func (r *groupRunner) bailGroupVec(g0, g1, g2 int) {
+	vf := r.vecFrame
+	p := r.c.vmProg
+	w := vf.W
+	li := 0
+	for l2 := 0; l2 < int(r.lsz[2]); l2++ {
+		for l1 := 0; l1 < int(r.lsz[1]); l1++ {
+			for l0 := 0; l0 < int(r.lsz[0]); l0++ {
+				f := r.vmFrames[li]
+				r.setupItemVM(f, g0, g1, g2, l0, l1, l2)
+				for ri := 0; ri < p.NumI; ri++ {
+					f.I[ri] = vf.I[ri*w+li]
+				}
+				for ri := 0; ri < p.NumF; ri++ {
+					f.F[ri] = vf.F[ri*w+li]
+				}
+				f.PC = vf.PC
+				f.Cnt = vf.Cnt
+				li++
+			}
+		}
+	}
+	if !r.barrier {
+		for _, f := range r.vmFrames {
+			r.vmRunToHalt(f)
+			r.finishItemVM(f)
+		}
+		return
+	}
+	// Barrier kernels reach here only in lockstep mode (runGroup gates
+	// the vector path on it), so complete via suspend-resume rounds.
+	for i, f := range r.vmFrames {
+		f.Barrier = nil
+		r.vmDone[i] = false
+	}
+	remaining := r.itemsPer
+	for remaining > 0 {
+		for i, f := range r.vmFrames {
+			if r.vmDone[i] {
+				continue
+			}
+			st, err := p.Run(f)
+			if err != nil {
+				panic(execError{err})
+			}
+			if st == vm.Halted {
+				r.vmDone[i] = true
+				remaining--
+			}
+		}
+	}
+	for _, f := range r.vmFrames {
+		r.finishItemVM(f)
+	}
+}

@@ -13,18 +13,25 @@ import (
 // Tier selects the kernel execution engine. The closure tree is always
 // compiled and remains the reference implementation (the same role
 // Profile.RangeNaive plays for range queries); the bytecode VM is the
-// fast tier with byte-identical buffers and profiles.
+// fast scalar tier, and the vector tier batches W work items per
+// dispatch when the kernel's control flow is group-uniform — all with
+// byte-identical buffers and profiles.
 type Tier int
 
 const (
-	// TierAuto executes on the bytecode VM whenever the kernel lowers,
-	// falling back to the closure tree otherwise. This is the default.
+	// TierAuto executes on the vector tier whenever the kernel is
+	// vectorizable, on the scalar bytecode VM whenever it lowers, and on
+	// the closure tree otherwise. This is the default.
 	TierAuto Tier = iota
 	// TierClosure forces the closure-tree interpreter.
 	TierClosure
-	// TierVM requires the bytecode VM; Compile fails if the kernel
-	// cannot be lowered.
+	// TierVM requires the scalar bytecode VM; Compile fails if the
+	// kernel cannot be lowered. The vector tier is deliberately not
+	// attached, so benchmarks and tests isolate the scalar VM.
 	TierVM
+	// TierVec requires the SIMT vector tier; Compile fails if the
+	// kernel cannot be lowered or is not vectorizable.
+	TierVec
 )
 
 // String returns the tier's flag spelling.
@@ -34,12 +41,14 @@ func (t Tier) String() string {
 		return "closure"
 	case TierVM:
 		return "vm"
+	case TierVec:
+		return "vec"
 	default:
 		return "auto"
 	}
 }
 
-// ParseTier parses a tier name: auto, closure, or vm.
+// ParseTier parses a tier name: auto, closure, vm, or vec.
 func ParseTier(s string) (Tier, error) {
 	switch s {
 	case "auto", "":
@@ -48,8 +57,10 @@ func ParseTier(s string) (Tier, error) {
 		return TierClosure, nil
 	case "vm", "bytecode":
 		return TierVM, nil
+	case "vec", "vector", "simt":
+		return TierVec, nil
 	}
-	return TierAuto, fmt.Errorf("exec: unknown execution tier %q (want auto, closure, or vm)", s)
+	return TierAuto, fmt.Errorf("exec: unknown execution tier %q (want auto, closure, vm, or vec)", s)
 }
 
 var (
@@ -81,7 +92,8 @@ func SetDefaultTier(t Tier) {
 // CompileTier translates an IR function into an executable kernel on an
 // explicit tier. The closure tree is always built (it carries the frame
 // layout, barrier metadata, and the lockstep program); the VM program
-// is attached unless the tier is TierClosure.
+// is attached unless the tier is TierClosure, and the vectorized view
+// on top of it unless the tier is TierVM.
 func CompileTier(fn *inspire.Function, tier Tier) (*Compiled, error) {
 	c, err := compileClosure(fn)
 	if err != nil {
@@ -92,18 +104,33 @@ func CompileTier(fn *inspire.Function, tier Tier) (*Compiled, error) {
 	}
 	p, verr := vm.Compile(fn)
 	if verr != nil {
-		if tier == TierVM {
-			return nil, fmt.Errorf("exec: vm tier: %w", verr)
+		if tier == TierVM || tier == TierVec {
+			return nil, fmt.Errorf("exec: %s tier: %w", tier, verr)
 		}
 		c.vmErr = verr
 		return c, nil
 	}
 	c.vmProg = p
+	if tier == TierVM {
+		return c, nil
+	}
+	vp, xerr := vm.Vectorize(p)
+	if xerr != nil {
+		if tier == TierVec {
+			return nil, fmt.Errorf("exec: vec tier: %w", xerr)
+		}
+		c.vecErr = xerr
+		return c, nil
+	}
+	c.vecProg = vp
 	return c, nil
 }
 
 // Tier reports the tier this kernel executes on.
 func (c *Compiled) Tier() Tier {
+	if c.vecProg != nil {
+		return TierVec
+	}
 	if c.vmProg != nil {
 		return TierVM
 	}
@@ -116,3 +143,11 @@ func (c *Compiled) VM() *vm.Func { return c.vmProg }
 // VMError returns why the VM lowering was skipped under TierAuto, if it
 // was; nil when the VM program is attached or was never requested.
 func (c *Compiled) VMError() error { return c.vmErr }
+
+// Vec returns the kernel's vectorized program, or nil when the kernel
+// runs scalar.
+func (c *Compiled) Vec() *vm.VecFunc { return c.vecProg }
+
+// VecError returns why vectorization was skipped under TierAuto, if it
+// was; nil when the vector program is attached or was never requested.
+func (c *Compiled) VecError() error { return c.vecErr }

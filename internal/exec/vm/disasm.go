@@ -41,6 +41,44 @@ func Disassemble(p *Func) string {
 	return b.String()
 }
 
+// Disassemble renders the vectorized view of the kernel: the scalar
+// disassembly plus the uniformity classification that drives the SIMT
+// tier — a header summarizing it and a per-branch marker column ('u' =
+// statically uniform condition, one lane-0 test decides the group; 'v'
+// = varying, runtime lane-agreement scan with scalarization on
+// disagreement). Golden tests pin this output so classification changes
+// are deliberate.
+func (p *VecFunc) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vec func %s\n", p.Name)
+	uni, total := p.UniformConds()
+	nui, nuf := 0, 0
+	for _, u := range p.uniI {
+		if u {
+			nui++
+		}
+	}
+	for _, u := range p.uniF {
+		if u {
+			nuf++
+		}
+	}
+	fmt.Fprintf(&b, "  uniform: conds=%d/%d iregs=%d/%d fregs=%d/%d\n",
+		uni, total, nui, len(p.uniI), nuf, len(p.uniF))
+	for pc := range p.Code {
+		mark := byte(' ')
+		if _, ok := condJumpTarget(&p.Code[pc], pc); ok {
+			if p.condUniform[pc] {
+				mark = 'u'
+			} else {
+				mark = 'v'
+			}
+		}
+		fmt.Fprintf(&b, "%4d %c %s\n", pc, mark, disasmInstr(p.Func, &p.Code[pc]))
+	}
+	return b.String()
+}
+
 func disasmInstr(p *Func, in *Instr) string {
 	info, ok := LookupOp(in.Op)
 	if !ok {

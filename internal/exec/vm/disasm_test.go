@@ -145,6 +145,89 @@ func TestGoldenDisassembly(t *testing.T) {
 	}
 }
 
+// vecGoldenKernels pin the vector tier's uniformity classification:
+// which branches run as one lane-0 test ('u') versus a runtime
+// lane-agreement scan ('v'), and how many registers prove uniform. Any
+// analysis change shows up as a golden diff (regenerate with -update).
+var vecGoldenKernels = []struct {
+	name   string
+	kernel string
+	source string
+}{
+	{
+		// Varying forward guard: admitted with a runtime scan.
+		name:   "vec_saxpy",
+		kernel: "saxpy",
+		source: `
+kernel void saxpy(global float* x, global float* y, float a, int n) {
+	int i = get_global_id(0);
+	if (i < n) {
+		y[i] = a * x[i] + y[i];
+	}
+}`,
+	},
+	{
+		// Uniform counted loop: the back-edge tests one lane.
+		name:   "vec_rowsum",
+		kernel: "rowsum",
+		source: `
+kernel void rowsum(global const float* a, global float* out, int n) {
+	int i = get_global_id(0);
+	float s = 0.0f;
+	for (int j = 0; j < n; j = j + 1) {
+		s = s + a[i * n + j];
+	}
+	out[i] = s;
+}`,
+	},
+	{
+		// Compound varying guard plus a helper call.
+		name:   "vec_helper_abs_diff",
+		kernel: "k",
+		source: `
+float diff(global float* p, int i, int j) {
+	return fabs(p[i] - p[j]);
+}
+kernel void k(global float* src, global float* out, int n) {
+	int i = get_global_id(0);
+	if (i > 0 && i < n) {
+		out[i] = diff(src, i, i - 1);
+	}
+}`,
+	},
+}
+
+func TestGoldenVecDisassembly(t *testing.T) {
+	for _, tc := range vecGoldenKernels {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p := compileKernel(t, tc.name, tc.source, tc.kernel, Options{})
+			vp, err := Vectorize(p)
+			if err != nil {
+				t.Fatalf("%s: vectorize: %v", tc.name, err)
+			}
+			got := vp.Disassemble()
+			path := filepath.Join("testdata", tc.name+".disasm")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test ./internal/exec/vm -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("vec disassembly drift for %s:\n--- got ---\n%s--- want ---\n%s", tc.name, got, want)
+			}
+		})
+	}
+}
+
 // TestFusionReducesCode checks the peephole pass actually fires on the
 // canonical fusion shapes and that NoFuse leaves no super-instructions.
 func TestFusionReducesCode(t *testing.T) {

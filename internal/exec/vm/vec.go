@@ -1,0 +1,357 @@
+package vm
+
+import "fmt"
+
+// SIMT vector execution tier. Vectorize analyzes a compiled Func for
+// register uniformity at the bytecode level and, when the kernel's loop
+// structure is group-uniform, produces a VecFunc that executes W work
+// items per instruction dispatch: register files become W-wide lane
+// arrays, straight-line arms loop over lanes inside one switch arm, and
+// branches take one comparison per group (statically uniform
+// conditions) or one lane-agreement scan (varying forward conditions).
+//
+// The tier is optimistic: statically varying forward branches are
+// allowed, and the group runs vectorized as long as every lane agrees
+// at runtime (the common `if (gid < n)` guard converges for every
+// aligned group). On disagreement — or on any would-fault lane — Run
+// returns Diverged with the PC parked at the offending instruction,
+// which has neither executed nor counted, and the caller scalarizes:
+// each lane's registers are copied into a per-item scalar Frame and
+// completed on the scalar VM. Scalar completion reproduces the
+// canonical item-order fault message and per-item counts exactly, so
+// the vector tier needs no fault strings of its own and buffer/profile/
+// fault parity with the scalar VM and closure tiers is preserved
+// byte-for-byte.
+//
+// Counter and budget accounting: under convergent execution every lane
+// retires the same instruction sequence, so the packed profile
+// accumulators (counts.go) are charged once per dispatch — they hold
+// per-item counts, which the caller replicates into each item's bucket
+// — while budget fuel is charged W per taken jump (W items each spent
+// one step). The spill-room cadence is identical to the scalar VM.
+
+// VecFunc is the vectorized view of a compiled kernel: the same
+// bytecode, plus the uniformity classification that drives branch
+// handling.
+type VecFunc struct {
+	*Func
+
+	// condUniform[pc] is true when the conditional jump at pc has a
+	// statically group-uniform condition: one lane-0 test decides the
+	// whole group. Varying conditions get a runtime agreement scan.
+	condUniform []bool
+
+	// uniI/uniF record the register classification (true = proven
+	// group-uniform) for the disassembler and tests.
+	uniI, uniF []bool
+}
+
+// UniformConds reports how many of the kernel's conditional jumps have
+// statically uniform conditions, and the total number of conditional
+// jumps.
+func (p *VecFunc) UniformConds() (uniform, total int) {
+	for pc := range p.Code {
+		if _, ok := condJumpTarget(&p.Code[pc], pc); ok {
+			total++
+			if p.condUniform[pc] {
+				uniform++
+			}
+		}
+	}
+	return uniform, total
+}
+
+// ceilPow2 rounds n up to the next power of two (minimum 1), so
+// register indices can be masked instead of bounds-checked.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// jumpTarget returns the target of any jump instruction (conditional or
+// not) and whether in jumps at all.
+func jumpTarget(in *Instr, pc int) (int, bool) {
+	switch in.Op {
+	case OpJmp, OpJZBr, OpJZLog, OpJNZLog, OpJCmpI, OpJCmpF:
+		return int(in.Imm), true
+	case OpJCmpIImm:
+		return int(in.C), true
+	case OpIncJCmpI:
+		_, t := unpackCcTarget(in.Imm)
+		return int(t), true
+	}
+	return 0, false
+}
+
+// condJumpTarget returns the target of a conditional jump, or ok=false
+// for every other instruction (including OpJmp).
+func condJumpTarget(in *Instr, pc int) (int, bool) {
+	if in.Op == OpJmp {
+		return 0, false
+	}
+	return jumpTarget(in, pc)
+}
+
+// Vectorize classifies every register of p as group-uniform or varying
+// and decides whether the kernel's loop structure admits SIMT
+// execution. It fails when a loop back-edge condition is varying (the
+// lanes would iterate different trip counts) or a varying conditional
+// jump sits inside a loop body (the lanes would diverge every
+// iteration); varying forward branches outside loops are admitted and
+// checked for agreement at runtime.
+func Vectorize(p *Func) (*VecFunc, error) {
+	nI, nF := max(p.NumI, 1), max(p.NumF, 1)
+	varI := make([]bool, nI)
+	varF := make([]bool, nF)
+	markI := func(r int32, v bool, changed *bool) {
+		if v && !varI[r] {
+			varI[r] = true
+			*changed = true
+		}
+	}
+	markF := func(r int32, v bool, changed *bool) {
+		if v && !varF[r] {
+			varF[r] = true
+			*changed = true
+		}
+	}
+
+	// Flow-insensitive fixpoint: a register is varying if any write to
+	// it anywhere is varying. This is sound because every control path
+	// the vector loop actually follows is convergent (uniform branches
+	// by induction, varying branches by the runtime agreement check),
+	// so a "uniform" register always holds lane-equal values whenever
+	// it is read.
+	for changed := true; changed; {
+		changed = false
+		for i := range p.Code {
+			in := &p.Code[i]
+			info, ok := LookupOp(in.Op)
+			if !ok {
+				return nil, fmt.Errorf("exec: vec: illegal opcode %d at pc %d", in.Op, i)
+			}
+			switch info.Fmt {
+			case FmtNone, FmtJmp, FmtJCond, FmtJCmpI, FmtJCmpIImm, FmtJCmpF,
+				FmtBar, FmtStoreF, FmtStoreI:
+				// No register result.
+			case FmtIab:
+				markI(in.A, varI[in.B], &changed)
+			case FmtIabc:
+				markI(in.A, varI[in.B] || varI[in.C], &changed)
+			case FmtIabImm:
+				markI(in.A, varI[in.B], &changed)
+			case FmtIaImm:
+				// Constant: uniform.
+			case FmtFabc:
+				markF(in.A, varF[in.B] || varF[in.C], &changed)
+			case FmtFab:
+				markF(in.A, varF[in.B], &changed)
+			case FmtFaPool:
+				// Constant: uniform.
+			case FmtFaIb:
+				markF(in.A, varI[in.B], &changed)
+			case FmtIaFb:
+				markI(in.A, varF[in.B], &changed)
+			case FmtIaFbc:
+				markI(in.A, varF[in.B] || varF[in.C], &changed)
+			case FmtFabcImm:
+				markF(in.A, varF[in.B] || varF[in.C] || varF[int32(in.Imm)], &changed)
+			case FmtIabcImm:
+				markI(in.A, varI[in.B] || varI[in.C] || varI[int32(in.Imm)], &changed)
+			case FmtMulImmAdd:
+				markI(in.A, varI[in.B] || varI[in.C], &changed)
+			case FmtWI:
+				markI(in.A, in.B == WIGlobalID || in.B == WILocalID, &changed)
+			case FmtWIDyn:
+				markI(in.A, in.B == WIGlobalID || in.B == WILocalID || varI[in.C], &changed)
+			case FmtLoadF, FmtFusedLdF, FmtFusedMacF, FmtLdIdxF, FmtMacIdxF:
+				// Loads are varying: lanes read different addresses.
+				markF(in.A, true, &changed)
+			case FmtLoadI:
+				markI(in.A, true, &changed)
+			case FmtIncJCmpI:
+				markI(in.A, varI[in.A] || varI[in.B], &changed)
+			default:
+				return nil, fmt.Errorf("exec: vec: unhandled operand format for %s at pc %d", in.Op, i)
+			}
+		}
+	}
+
+	condU := make([]bool, len(p.Code))
+	uniformCond := func(in *Instr) bool {
+		switch in.Op {
+		case OpJZBr, OpJZLog, OpJNZLog:
+			return !varI[in.A]
+		case OpJCmpI:
+			return !varI[in.A] && !varI[in.B]
+		case OpJCmpIImm:
+			return !varI[in.A]
+		case OpJCmpF:
+			return !varF[in.A] && !varF[in.B]
+		case OpIncJCmpI:
+			return !varI[in.A] && !varI[in.B] && !varI[in.C]
+		}
+		return false
+	}
+
+	// Loop bodies are the union of all backward-jump spans [target, pc].
+	inLoop := make([]bool, len(p.Code))
+	for i := range p.Code {
+		if t, ok := jumpTarget(&p.Code[i], i); ok && t <= i {
+			for j := t; j <= i; j++ {
+				inLoop[j] = true
+			}
+		}
+	}
+
+	for i := range p.Code {
+		in := &p.Code[i]
+		t, ok := condJumpTarget(in, i)
+		if !ok {
+			continue
+		}
+		u := uniformCond(in)
+		condU[i] = u
+		if u {
+			continue
+		}
+		if t <= i {
+			return nil, fmt.Errorf("exec: vec: varying loop back-edge at pc %d (%s)", i, in.Op)
+		}
+		if in.Op == OpIncJCmpI {
+			// addjcmp.i mutates its counter before testing; a divergence
+			// bail-out could not restore pre-instruction state.
+			return nil, fmt.Errorf("exec: vec: varying fused loop counter at pc %d", i)
+		}
+		if inLoop[i] {
+			return nil, fmt.Errorf("exec: vec: varying branch inside loop body at pc %d (%s)", i, in.Op)
+		}
+	}
+
+	return &VecFunc{Func: p, condUniform: condU, uniI: notAll(varI), uniF: notAll(varF)}, nil
+}
+
+func notAll(v []bool) []bool {
+	u := make([]bool, len(v))
+	for i, b := range v {
+		u[i] = !b
+	}
+	return u
+}
+
+// VecFrame is the per-group SIMT execution state: W-wide lane arrays
+// for both register files (lane-major: register r occupies
+// [r*W, r*W+W)), the shared buffer tables, the work-item lane vectors,
+// and the group's per-item counts.
+type VecFrame struct {
+	W int
+
+	I []int64   // ceilPow2(NumI) * W lanes
+	F []float64 // ceilPow2(NumF) * W lanes
+
+	Globals []Buf
+	Locals  []Buf
+
+	// WI holds the six work-item query rows as lane vectors indexed by
+	// the same order as Frame.WI; gid and lid are per-lane ramps, the
+	// rest are broadcast.
+	WI [6][3][]int64
+
+	// Cnt holds per-item counts: under convergent execution every lane
+	// retires the same sequence, so one accumulation stands for each
+	// item. The caller replicates it into per-item profile buckets.
+	Cnt Counts
+	PC  int
+
+	// Fuel is the group's step allowance, charged W per taken jump and
+	// refilled in leases from B exactly like Frame.Fuel.
+	Fuel int64
+	B    *Budget
+
+	idx    []int64 // scratch lane indices for two-pass memory ops
+	mi, mf int32   // pow2 register-index masks
+}
+
+// NewVecFrame allocates a W-lane frame for p. Buffers, scalar
+// arguments, and WI rows are bound by the caller.
+func (p *VecFunc) NewVecFrame(w int) *VecFrame {
+	ni, nf := ceilPow2(p.NumI), ceilPow2(p.NumF)
+	f := &VecFrame{
+		W:   w,
+		I:   make([]int64, ni*w),
+		F:   make([]float64, nf*w),
+		idx: make([]int64, w),
+		mi:  int32(ni - 1),
+		mf:  int32(nf - 1),
+	}
+	if p.NumGlobals > 0 {
+		f.Globals = make([]Buf, p.NumGlobals)
+	}
+	if p.NumLocal > 0 {
+		f.Locals = make([]Buf, p.NumLocal)
+	}
+	for q := range f.WI {
+		for d := range f.WI[q] {
+			f.WI[q][d] = make([]int64, w)
+		}
+	}
+	return f
+}
+
+// lanesI returns register r's int lane slice. The register index is
+// pow2-masked, so no encoding can index out of the file.
+func (f *VecFrame) lanesI(r int32) []int64 {
+	o := int(r&f.mi) * f.W
+	return f.I[o : o+f.W]
+}
+
+func (f *VecFrame) lanesF(r int32) []float64 {
+	o := int(r&f.mf) * f.W
+	return f.F[o : o+f.W]
+}
+
+// SetI broadcasts a scalar into every lane of int register r (argument
+// binding).
+func (f *VecFrame) SetI(r int32, v int64) {
+	a := f.lanesI(r)
+	for l := range a {
+		a[l] = v
+	}
+}
+
+// SetF broadcasts a scalar into every lane of float register r.
+func (f *VecFrame) SetF(r int32, v float64) {
+	a := f.lanesF(r)
+	for l := range a {
+		a[l] = v
+	}
+}
+
+// Reset rewinds the frame to the kernel entry and clears its counts.
+// Register lanes keep their values, mirroring Frame.Reset.
+func (f *VecFrame) Reset() {
+	f.PC = 0
+	f.Cnt = Counts{}
+}
+
+// spend burns w units of fuel (one per lane) at a taken jump, refilling
+// the lease from the budget on underflow.
+func (f *VecFrame) spend(w int64) error {
+	f.Fuel -= w
+	for f.Fuel < 0 {
+		lease, err := f.B.TakeLease()
+		if err != nil {
+			return err
+		}
+		f.Fuel += lease
+	}
+	return nil
+}
+
+func (p *VecFunc) exitVec(f *VecFrame, a0, a1 uint64, pc int) {
+	f.Cnt.addPacked(a0, a1)
+	f.PC = pc
+}

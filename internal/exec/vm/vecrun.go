@@ -1,0 +1,1152 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Diverged reports that a vector Run stopped because the group's lanes
+// disagreed at a varying branch, or some lane would have faulted
+// (out-of-bounds access, division by zero, bad work-item dimension).
+// The PC is parked at the offending instruction, which has neither
+// executed nor counted; the caller completes each lane on the scalar
+// VM, which reproduces the canonical per-item behavior (including the
+// exact fault message, if any).
+const Diverged Status = 2
+
+// Run executes all W lanes of the frame from its saved PC until the
+// kernel halts, the group diverges (see Diverged), or the step budget
+// is exhausted. Every arm mirrors the scalar VM arm exactly — same
+// float expression shapes (so rounding is bit-identical), same counter
+// constants, same count-vs-check placement — but loops over lanes
+// inside the single dispatch. Memory and fault-checked arms run two
+// passes (scan every lane's index, then execute) so a bail-out leaves
+// the frame exactly at pre-instruction state.
+func (p *VecFunc) Run(f *VecFrame) (Status, error) {
+	code := p.Code
+	w := f.W
+	wd := int64(w)
+	pc := f.PC
+	var a0 uint64
+	a1 := uint64(p.room) << roomShift
+	for pc < len(code) {
+		in := &code[pc]
+		switch in.Op {
+		case OpNop:
+		case OpHalt:
+			p.exitVec(f, a0, a1, pc)
+			return Halted, nil
+
+		case OpMovI:
+			copy(f.lanesI(in.A), f.lanesI(in.B))
+		case OpMovF:
+			copy(f.lanesF(in.A), f.lanesF(in.B))
+		case OpLdcI:
+			d := f.lanesI(in.A)
+			for l := range d {
+				d[l] = in.Imm
+			}
+		case OpLdcF:
+			d := f.lanesF(in.A)
+			v := p.FPool[in.Imm]
+			for l := range d {
+				d[l] = v
+			}
+		case OpI2F:
+			d := f.lanesF(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			for l := range d {
+				d[l] = float64(b[l])
+			}
+		case OpF2I:
+			d := f.lanesI(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			for l := range d {
+				d[l] = int64(b[l])
+			}
+		case OpSnzI:
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			for l := range d {
+				d[l] = b2i(b[l] != 0)
+			}
+
+		case OpAddI:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			c := f.lanesI(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b[l] + c[l]
+			}
+		case OpSubI:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			c := f.lanesI(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b[l] - c[l]
+			}
+		case OpMulI:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			c := f.lanesI(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b[l] * c[l]
+			}
+		case OpDivI:
+			c := f.lanesI(in.C)
+			for l := range c {
+				if c[l] == 0 {
+					p.exitVec(f, a0, a1, pc)
+					return Diverged, nil
+				}
+			}
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			c = c[:len(d)]
+			for l := range d {
+				d[l] = b[l] / c[l]
+			}
+		case OpModI:
+			c := f.lanesI(in.C)
+			for l := range c {
+				if c[l] == 0 {
+					p.exitVec(f, a0, a1, pc)
+					return Diverged, nil
+				}
+			}
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			c = c[:len(d)]
+			for l := range d {
+				d[l] = b[l] % c[l]
+			}
+		case OpAndI:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			c := f.lanesI(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b[l] & c[l]
+			}
+		case OpOrI:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			c := f.lanesI(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b[l] | c[l]
+			}
+		case OpXorI:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			c := f.lanesI(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b[l] ^ c[l]
+			}
+		case OpShlI:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			c := f.lanesI(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b[l] << uint(c[l]&63)
+			}
+		case OpShrI:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			c := f.lanesI(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b[l] >> uint(c[l]&63)
+			}
+		case OpNegI:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			for l := range d {
+				d[l] = -b[l]
+			}
+		case OpNotB:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			for l := range d {
+				d[l] = b2i(b[l] == 0)
+			}
+
+		case OpAddIImm:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			for l := range d {
+				d[l] = b[l] + in.Imm
+			}
+		case OpMulIImm:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			for l := range d {
+				d[l] = b[l] * in.Imm
+			}
+		case OpDivIImm:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			for l := range d {
+				d[l] = b[l] / in.Imm
+			}
+		case OpModIImm:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			for l := range d {
+				d[l] = b[l] % in.Imm
+			}
+		case OpShlIImm:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			for l := range d {
+				d[l] = b[l] << uint(in.Imm&63)
+			}
+		case OpShrIImm:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			for l := range d {
+				d[l] = b[l] >> uint(in.Imm&63)
+			}
+		case OpAndIImm:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			for l := range d {
+				d[l] = b[l] & in.Imm
+			}
+		case OpOrIImm:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			for l := range d {
+				d[l] = b[l] | in.Imm
+			}
+		case OpXorIImm:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			for l := range d {
+				d[l] = b[l] ^ in.Imm
+			}
+
+		case OpLtI:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			c := f.lanesI(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b2i(b[l] < c[l])
+			}
+		case OpLeI:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			c := f.lanesI(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b2i(b[l] <= c[l])
+			}
+		case OpGtI:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			c := f.lanesI(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b2i(b[l] > c[l])
+			}
+		case OpGeI:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			c := f.lanesI(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b2i(b[l] >= c[l])
+			}
+		case OpEqI:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			c := f.lanesI(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b2i(b[l] == c[l])
+			}
+		case OpNeI:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			c := f.lanesI(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b2i(b[l] != c[l])
+			}
+
+		case OpLtIImm:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			for l := range d {
+				d[l] = b2i(b[l] < in.Imm)
+			}
+		case OpLeIImm:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			for l := range d {
+				d[l] = b2i(b[l] <= in.Imm)
+			}
+		case OpGtIImm:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			for l := range d {
+				d[l] = b2i(b[l] > in.Imm)
+			}
+		case OpGeIImm:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			for l := range d {
+				d[l] = b2i(b[l] >= in.Imm)
+			}
+		case OpEqIImm:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			for l := range d {
+				d[l] = b2i(b[l] == in.Imm)
+			}
+		case OpNeIImm:
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			for l := range d {
+				d[l] = b2i(b[l] != in.Imm)
+			}
+
+		case OpAddF:
+			a0 += lFloatOp
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			c := f.lanesF(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b[l] + c[l]
+			}
+		case OpSubF:
+			a0 += lFloatOp
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			c := f.lanesF(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b[l] - c[l]
+			}
+		case OpMulF:
+			a0 += lFloatOp
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			c := f.lanesF(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b[l] * c[l]
+			}
+		case OpDivF:
+			a0 += lFloatOp
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			c := f.lanesF(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b[l] / c[l]
+			}
+		case OpNegF:
+			a0 += lFloatOp
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			for l := range d {
+				d[l] = -b[l]
+			}
+
+		case OpLtF:
+			a0 += lFloatOp
+			d := f.lanesI(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			c := f.lanesF(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b2i(b[l] < c[l])
+			}
+		case OpLeF:
+			a0 += lFloatOp
+			d := f.lanesI(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			c := f.lanesF(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b2i(b[l] <= c[l])
+			}
+		case OpGtF:
+			a0 += lFloatOp
+			d := f.lanesI(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			c := f.lanesF(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b2i(b[l] > c[l])
+			}
+		case OpGeF:
+			a0 += lFloatOp
+			d := f.lanesI(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			c := f.lanesF(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b2i(b[l] >= c[l])
+			}
+		case OpEqF:
+			a0 += lFloatOp
+			d := f.lanesI(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			c := f.lanesF(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b2i(b[l] == c[l])
+			}
+		case OpNeF:
+			a0 += lFloatOp
+			d := f.lanesI(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			c := f.lanesF(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b2i(b[l] != c[l])
+			}
+
+		case OpJmp:
+			a1 -= roomOne
+			if a1 < roomOne {
+				f.Cnt.addPacked(a0, a1)
+				a0, a1 = 0, uint64(p.room)<<roomShift
+			}
+			if err := f.spend(wd); err != nil {
+				p.exitVec(f, a0, a1, pc)
+				return Halted, err
+			}
+			pc = int(in.Imm)
+			continue
+		case OpJZBr:
+			var taken bool
+			if p.condUniform[pc] {
+				taken = f.lanesI(in.A)[0] == 0
+			} else {
+				a := f.lanesI(in.A)
+				taken = a[0] == 0
+				for l := 1; l < len(a); l++ {
+					if (a[l] == 0) != taken {
+						p.exitVec(f, a0, a1, pc)
+						return Diverged, nil
+					}
+				}
+			}
+			a1 += lBranch
+			if taken {
+				a1 -= roomOne
+				if a1 < roomOne {
+					f.Cnt.addPacked(a0, a1)
+					a0, a1 = 0, uint64(p.room)<<roomShift
+				}
+				if err := f.spend(wd); err != nil {
+					p.exitVec(f, a0, a1, pc)
+					return Halted, err
+				}
+				pc = int(in.Imm)
+				continue
+			}
+		case OpJZLog:
+			var taken bool
+			if p.condUniform[pc] {
+				taken = f.lanesI(in.A)[0] == 0
+			} else {
+				a := f.lanesI(in.A)
+				taken = a[0] == 0
+				for l := 1; l < len(a); l++ {
+					if (a[l] == 0) != taken {
+						p.exitVec(f, a0, a1, pc)
+						return Diverged, nil
+					}
+				}
+			}
+			a0 += lIntOp
+			if taken {
+				a1 -= roomOne
+				if a1 < roomOne {
+					f.Cnt.addPacked(a0, a1)
+					a0, a1 = 0, uint64(p.room)<<roomShift
+				}
+				if err := f.spend(wd); err != nil {
+					p.exitVec(f, a0, a1, pc)
+					return Halted, err
+				}
+				pc = int(in.Imm)
+				continue
+			}
+		case OpJNZLog:
+			var taken bool
+			if p.condUniform[pc] {
+				taken = f.lanesI(in.A)[0] != 0
+			} else {
+				a := f.lanesI(in.A)
+				taken = a[0] != 0
+				for l := 1; l < len(a); l++ {
+					if (a[l] != 0) != taken {
+						p.exitVec(f, a0, a1, pc)
+						return Diverged, nil
+					}
+				}
+			}
+			a0 += lIntOp
+			if taken {
+				a1 -= roomOne
+				if a1 < roomOne {
+					f.Cnt.addPacked(a0, a1)
+					a0, a1 = 0, uint64(p.room)<<roomShift
+				}
+				if err := f.spend(wd); err != nil {
+					p.exitVec(f, a0, a1, pc)
+					return Halted, err
+				}
+				pc = int(in.Imm)
+				continue
+			}
+
+		case OpWI:
+			a0 += lIntOp
+			copy(f.lanesI(in.A), f.WI[in.B][in.C])
+		case OpWIDyn:
+			dim := f.lanesI(in.C)
+			for l := range dim {
+				if uint64(dim[l]) > 2 {
+					p.exitVec(f, a0, a1, pc)
+					return Diverged, nil
+				}
+			}
+			a0 += lIntOp
+			d := f.lanesI(in.A)
+			dim = dim[:len(d)]
+			q := &f.WI[in.B]
+			for l := range d {
+				d[l] = q[dim[l]][l]
+			}
+
+		case OpLdGF:
+			b := &f.Globals[in.B]
+			ix := f.lanesI(in.C)
+			n := uint64(len(b.F))
+			for l := range ix {
+				if uint64(ix[l]) >= n {
+					p.exitVec(f, a0, a1, pc)
+					return Diverged, nil
+				}
+			}
+			a0 += lGLoad
+			d := f.lanesF(in.A)
+			ix = ix[:len(d)]
+			bf := b.F
+			for l := range d {
+				d[l] = float64(bf[ix[l]])
+			}
+		case OpLdGI:
+			b := &f.Globals[in.B]
+			ix := f.lanesI(in.C)
+			n := uint64(len(b.I))
+			for l := range ix {
+				if uint64(ix[l]) >= n {
+					p.exitVec(f, a0, a1, pc)
+					return Diverged, nil
+				}
+			}
+			a0 += lGLoad
+			d := f.lanesI(in.A)
+			ix = ix[:len(d)]
+			bi := b.I
+			for l := range d {
+				d[l] = int64(bi[ix[l]])
+			}
+		case OpLdLF:
+			b := &f.Locals[in.B]
+			ix := f.lanesI(in.C)
+			n := uint64(len(b.F))
+			for l := range ix {
+				if uint64(ix[l]) >= n {
+					p.exitVec(f, a0, a1, pc)
+					return Diverged, nil
+				}
+			}
+			a1 += lLocalOp
+			d := f.lanesF(in.A)
+			ix = ix[:len(d)]
+			bf := b.F
+			for l := range d {
+				d[l] = float64(bf[ix[l]])
+			}
+		case OpLdLI:
+			b := &f.Locals[in.B]
+			ix := f.lanesI(in.C)
+			n := uint64(len(b.I))
+			for l := range ix {
+				if uint64(ix[l]) >= n {
+					p.exitVec(f, a0, a1, pc)
+					return Diverged, nil
+				}
+			}
+			a1 += lLocalOp
+			d := f.lanesI(in.A)
+			ix = ix[:len(d)]
+			bi := b.I
+			for l := range d {
+				d[l] = int64(bi[ix[l]])
+			}
+
+		case OpStGF:
+			b := &f.Globals[in.B]
+			ix := f.lanesI(in.C)
+			n := uint64(len(b.F))
+			for l := range ix {
+				if uint64(ix[l]) >= n {
+					p.exitVec(f, a0, a1, pc)
+					return Diverged, nil
+				}
+			}
+			a1 += lGStore
+			src := f.lanesF(in.A)[:len(ix)]
+			bf := b.F
+			for l := range ix {
+				bf[ix[l]] = float32(src[l])
+			}
+		case OpStGI:
+			b := &f.Globals[in.B]
+			ix := f.lanesI(in.C)
+			n := uint64(len(b.I))
+			for l := range ix {
+				if uint64(ix[l]) >= n {
+					p.exitVec(f, a0, a1, pc)
+					return Diverged, nil
+				}
+			}
+			a1 += lGStore
+			src := f.lanesI(in.A)[:len(ix)]
+			bi := b.I
+			for l := range ix {
+				bi[ix[l]] = int32(src[l])
+			}
+		case OpStLF:
+			b := &f.Locals[in.B]
+			ix := f.lanesI(in.C)
+			n := uint64(len(b.F))
+			for l := range ix {
+				if uint64(ix[l]) >= n {
+					p.exitVec(f, a0, a1, pc)
+					return Diverged, nil
+				}
+			}
+			a1 += lLocalOp
+			src := f.lanesF(in.A)[:len(ix)]
+			bf := b.F
+			for l := range ix {
+				bf[ix[l]] = float32(src[l])
+			}
+		case OpStLI:
+			b := &f.Locals[in.B]
+			ix := f.lanesI(in.C)
+			n := uint64(len(b.I))
+			for l := range ix {
+				if uint64(ix[l]) >= n {
+					p.exitVec(f, a0, a1, pc)
+					return Diverged, nil
+				}
+			}
+			a1 += lLocalOp
+			src := f.lanesI(in.A)[:len(ix)]
+			bi := b.I
+			for l := range ix {
+				bi[ix[l]] = int32(src[l])
+			}
+
+		case OpSqrtF:
+			a0 += lTransOp
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			for l := range d {
+				d[l] = math.Sqrt(b[l])
+			}
+		case OpRsqrtF:
+			a0 += lTransOp
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			for l := range d {
+				d[l] = 1 / math.Sqrt(b[l])
+			}
+		case OpExpF:
+			a0 += lTransOp
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			for l := range d {
+				d[l] = math.Exp(b[l])
+			}
+		case OpLogF:
+			a0 += lTransOp
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			for l := range d {
+				d[l] = math.Log(b[l])
+			}
+		case OpLog2F:
+			a0 += lTransOp
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			for l := range d {
+				d[l] = math.Log2(b[l])
+			}
+		case OpSinF:
+			a0 += lTransOp
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			for l := range d {
+				d[l] = math.Sin(b[l])
+			}
+		case OpCosF:
+			a0 += lTransOp
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			for l := range d {
+				d[l] = math.Cos(b[l])
+			}
+		case OpTanF:
+			a0 += lTransOp
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			for l := range d {
+				d[l] = math.Tan(b[l])
+			}
+		case OpPowF:
+			a0 += lTransOp
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			c := f.lanesF(in.C)[:len(d)]
+			for l := range d {
+				d[l] = math.Pow(b[l], c[l])
+			}
+		case OpAbsF:
+			a0 += lOtherB
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			for l := range d {
+				d[l] = math.Abs(b[l])
+			}
+		case OpFloorF:
+			a0 += lOtherB
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			for l := range d {
+				d[l] = math.Floor(b[l])
+			}
+		case OpCeilF:
+			a0 += lOtherB
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			for l := range d {
+				d[l] = math.Ceil(b[l])
+			}
+		case OpMinF:
+			a0 += lOtherB
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			c := f.lanesF(in.C)[:len(d)]
+			for l := range d {
+				d[l] = math.Min(b[l], c[l])
+			}
+		case OpMaxF:
+			a0 += lOtherB
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			c := f.lanesF(in.C)[:len(d)]
+			for l := range d {
+				d[l] = math.Max(b[l], c[l])
+			}
+		case OpFmaF:
+			a0 += lOtherB
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			c := f.lanesF(in.C)[:len(d)]
+			m := f.lanesF(int32(in.Imm))[:len(d)]
+			for l := range d {
+				d[l] = b[l]*c[l] + m[l]
+			}
+		case OpClampF:
+			a0 += lOtherB
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			c := f.lanesF(in.C)[:len(d)]
+			m := f.lanesF(int32(in.Imm))[:len(d)]
+			for l := range d {
+				d[l] = math.Max(c[l], math.Min(b[l], m[l]))
+			}
+
+		case OpMinI:
+			a0 += lOtherB
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			c := f.lanesI(in.C)[:len(d)]
+			for l := range d {
+				d[l] = min(b[l], c[l])
+			}
+		case OpMaxI:
+			a0 += lOtherB
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			c := f.lanesI(in.C)[:len(d)]
+			for l := range d {
+				d[l] = max(b[l], c[l])
+			}
+		case OpAbsI:
+			a0 += lOtherB
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			for l := range d {
+				v := b[l]
+				if v < 0 {
+					v = -v
+				}
+				d[l] = v
+			}
+		case OpClampI:
+			a0 += lOtherB
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			c := f.lanesI(in.C)[:len(d)]
+			m := f.lanesI(int32(in.Imm))[:len(d)]
+			for l := range d {
+				d[l] = max(c[l], min(b[l], m[l]))
+			}
+
+		case OpBar:
+			// The whole lane group is resident and instruction-level
+			// lockstep is stronger than barrier-level lockstep: every
+			// pre-barrier store has retired before any lane proceeds.
+			a1 += lBarrier
+
+		case OpMulAddI:
+			a0 += 2 * lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			c := f.lanesI(in.C)[:len(d)]
+			m := f.lanesI(int32(in.Imm))[:len(d)]
+			for l := range d {
+				d[l] = b[l]*c[l] + m[l]
+			}
+		case OpMulImmAddI:
+			a0 += 2 * lIntOp
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			c := f.lanesI(in.C)[:len(d)]
+			for l := range d {
+				d[l] = b[l]*in.Imm + c[l]
+			}
+		case OpMulAddF:
+			a0 += 2 * lFloatOp
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			c := f.lanesF(in.C)[:len(d)]
+			m := f.lanesF(int32(in.Imm))[:len(d)]
+			for l := range d {
+				// Explicit conversion as in the scalar arm: the product
+				// rounds separately, never contracted into an FMA.
+				d[l] = float64(b[l]*c[l]) + m[l]
+			}
+		case OpAddFLdG:
+			slot, _ := unpackMem(in.Imm)
+			bb := &f.Globals[slot]
+			ix := f.lanesI(in.C)
+			n := uint64(len(bb.F))
+			for l := range ix {
+				if uint64(ix[l]) >= n {
+					p.exitVec(f, a0, a1, pc)
+					return Diverged, nil
+				}
+			}
+			a0 += lFloatOp + lGLoad
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			ix = ix[:len(d)]
+			bf := bb.F
+			for l := range d {
+				d[l] = b[l] + float64(bf[ix[l]])
+			}
+		case OpMulFLdG:
+			slot, _ := unpackMem(in.Imm)
+			bb := &f.Globals[slot]
+			ix := f.lanesI(in.C)
+			n := uint64(len(bb.F))
+			for l := range ix {
+				if uint64(ix[l]) >= n {
+					p.exitVec(f, a0, a1, pc)
+					return Diverged, nil
+				}
+			}
+			a0 += lFloatOp + lGLoad
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			ix = ix[:len(d)]
+			bf := bb.F
+			for l := range d {
+				d[l] = b[l] * float64(bf[ix[l]])
+			}
+		case OpSubFLdG:
+			slot, _ := unpackMem(in.Imm)
+			bb := &f.Globals[slot]
+			ix := f.lanesI(in.C)
+			n := uint64(len(bb.F))
+			for l := range ix {
+				if uint64(ix[l]) >= n {
+					p.exitVec(f, a0, a1, pc)
+					return Diverged, nil
+				}
+			}
+			a0 += lFloatOp + lGLoad
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			ix = ix[:len(d)]
+			bf := bb.F
+			for l := range d {
+				d[l] = b[l] - float64(bf[ix[l]])
+			}
+		case OpLdSubFG:
+			slot, _ := unpackMem(in.Imm)
+			bb := &f.Globals[slot]
+			ix := f.lanesI(in.C)
+			n := uint64(len(bb.F))
+			for l := range ix {
+				if uint64(ix[l]) >= n {
+					p.exitVec(f, a0, a1, pc)
+					return Diverged, nil
+				}
+			}
+			a0 += lFloatOp + lGLoad
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			ix = ix[:len(d)]
+			bf := bb.F
+			for l := range d {
+				d[l] = float64(bf[ix[l]]) - b[l]
+			}
+		case OpMulAccLdG:
+			slot, _ := unpackMem(in.Imm)
+			bb := &f.Globals[slot]
+			ix := f.lanesI(in.C)
+			n := uint64(len(bb.F))
+			for l := range ix {
+				if uint64(ix[l]) >= n {
+					p.exitVec(f, a0, a1, pc)
+					return Diverged, nil
+				}
+			}
+			a0 += 2*lFloatOp + lGLoad
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			ix = ix[:len(d)]
+			bf := bb.F
+			for l := range d {
+				d[l] = d[l] + float64(b[l]*float64(bf[ix[l]]))
+			}
+		case OpMulMulF:
+			a0 += 2 * lFloatOp
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			c := f.lanesF(in.C)[:len(d)]
+			m := f.lanesF(int32(in.Imm))[:len(d)]
+			for l := range d {
+				d[l] = float64(b[l]*c[l]) * m[l]
+			}
+		case OpAddRsqrtF:
+			a0 += lFloatOp + lTransOp
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			c := f.lanesF(in.C)[:len(d)]
+			for l := range d {
+				d[l] = 1 / math.Sqrt(b[l]+c[l])
+			}
+		case OpLdGFIdx:
+			slot, _, r3 := unpackMemIdx(in.Imm)
+			bb := &f.Globals[slot]
+			b := f.lanesI(in.B)
+			c := f.lanesI(in.C)[:len(b)]
+			r := f.lanesI(r3)[:len(b)]
+			idx := f.idx[:len(b)]
+			n := uint64(len(bb.F))
+			for l := range b {
+				v := b[l]*c[l] + r[l]
+				if uint64(v) >= n {
+					p.exitVec(f, a0, a1, pc)
+					return Diverged, nil
+				}
+				idx[l] = v
+			}
+			a0 += 2*lIntOp + lGLoad
+			d := f.lanesF(in.A)
+			idx = idx[:len(d)]
+			bf := bb.F
+			for l := range d {
+				d[l] = float64(bf[idx[l]])
+			}
+		case OpMacLdGIdx:
+			slot, _, r2, r3 := unpackMacIdx(in.Imm)
+			bb := &f.Globals[slot]
+			c := f.lanesI(in.C)
+			i2 := f.lanesI(r2)[:len(c)]
+			i3 := f.lanesI(r3)[:len(c)]
+			idx := f.idx[:len(c)]
+			n := uint64(len(bb.F))
+			for l := range c {
+				v := c[l]*i2[l] + i3[l]
+				if uint64(v) >= n {
+					p.exitVec(f, a0, a1, pc)
+					return Diverged, nil
+				}
+				idx[l] = v
+			}
+			a0 += 2*lIntOp + 2*lFloatOp + lGLoad
+			d := f.lanesF(in.A)
+			b := f.lanesF(in.B)[:len(d)]
+			idx = idx[:len(d)]
+			bf := bb.F
+			for l := range d {
+				d[l] = d[l] + float64(b[l]*float64(bf[idx[l]]))
+			}
+
+		case OpJCmpI:
+			var taken bool
+			if p.condUniform[pc] {
+				taken = ccHoldsI(in.C, f.lanesI(in.A)[0], f.lanesI(in.B)[0])
+			} else {
+				a := f.lanesI(in.A)
+				b := f.lanesI(in.B)[:len(a)]
+				taken = ccHoldsI(in.C, a[0], b[0])
+				for l := 1; l < len(a); l++ {
+					if ccHoldsI(in.C, a[l], b[l]) != taken {
+						p.exitVec(f, a0, a1, pc)
+						return Diverged, nil
+					}
+				}
+			}
+			a0 += lIntOp
+			a1 += lBranch
+			if taken {
+				a1 -= roomOne
+				if a1 < roomOne {
+					f.Cnt.addPacked(a0, a1)
+					a0, a1 = 0, uint64(p.room)<<roomShift
+				}
+				if err := f.spend(wd); err != nil {
+					p.exitVec(f, a0, a1, pc)
+					return Halted, err
+				}
+				pc = int(in.Imm)
+				continue
+			}
+		case OpJCmpIImm:
+			var taken bool
+			if p.condUniform[pc] {
+				taken = ccHoldsI(in.B, f.lanesI(in.A)[0], in.Imm)
+			} else {
+				a := f.lanesI(in.A)
+				taken = ccHoldsI(in.B, a[0], in.Imm)
+				for l := 1; l < len(a); l++ {
+					if ccHoldsI(in.B, a[l], in.Imm) != taken {
+						p.exitVec(f, a0, a1, pc)
+						return Diverged, nil
+					}
+				}
+			}
+			a0 += lIntOp
+			a1 += lBranch
+			if taken {
+				a1 -= roomOne
+				if a1 < roomOne {
+					f.Cnt.addPacked(a0, a1)
+					a0, a1 = 0, uint64(p.room)<<roomShift
+				}
+				if err := f.spend(wd); err != nil {
+					p.exitVec(f, a0, a1, pc)
+					return Halted, err
+				}
+				pc = int(in.C)
+				continue
+			}
+		case OpJCmpF:
+			var taken bool
+			if p.condUniform[pc] {
+				taken = ccHoldsF(in.C, f.lanesF(in.A)[0], f.lanesF(in.B)[0])
+			} else {
+				a := f.lanesF(in.A)
+				b := f.lanesF(in.B)[:len(a)]
+				taken = ccHoldsF(in.C, a[0], b[0])
+				for l := 1; l < len(a); l++ {
+					if ccHoldsF(in.C, a[l], b[l]) != taken {
+						p.exitVec(f, a0, a1, pc)
+						return Diverged, nil
+					}
+				}
+			}
+			a0 += lFloatOp
+			a1 += lBranch
+			if taken {
+				a1 -= roomOne
+				if a1 < roomOne {
+					f.Cnt.addPacked(a0, a1)
+					a0, a1 = 0, uint64(p.room)<<roomShift
+				}
+				if err := f.spend(wd); err != nil {
+					p.exitVec(f, a0, a1, pc)
+					return Halted, err
+				}
+				pc = int(in.Imm)
+				continue
+			}
+		case OpIncJCmpI:
+			// Vectorize guarantees a statically uniform condition here
+			// (the fused counter mutates before testing), so lane 0
+			// decides for the group with no agreement scan.
+			a0 += 2 * lIntOp
+			a1 += lBranch
+			d := f.lanesI(in.A)
+			b := f.lanesI(in.B)[:len(d)]
+			for l := range d {
+				d[l] = d[l] + b[l]
+			}
+			cc, target := unpackCcTarget(in.Imm)
+			if ccHoldsI(cc, d[0], f.lanesI(in.C)[0]) {
+				a1 -= roomOne
+				if a1 < roomOne {
+					f.Cnt.addPacked(a0, a1)
+					a0, a1 = 0, uint64(p.room)<<roomShift
+				}
+				if err := f.spend(wd); err != nil {
+					p.exitVec(f, a0, a1, pc)
+					return Halted, err
+				}
+				pc = int(target)
+				continue
+			}
+
+		default:
+			p.exitVec(f, a0, a1, pc)
+			return Halted, fmt.Errorf("exec: vm: illegal opcode %d at pc %d", in.Op, pc)
+		}
+		pc++
+	}
+	p.exitVec(f, a0, a1, pc)
+	return Halted, nil
+}

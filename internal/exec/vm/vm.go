@@ -126,9 +126,12 @@ func (f *Frame) spend() error {
 // NewFrame allocates a frame sized for fn. Buffers, scalar arguments
 // and WI vectors are bound by the caller.
 func (fn *Func) NewFrame() *Frame {
+	// Register files are rounded up to powers of two so Run can mask
+	// register indices instead of bounds-checking them; nothing outside
+	// the VM observes the padding.
 	f := &Frame{
-		I: make([]int64, fn.NumI),
-		F: make([]float64, fn.NumF),
+		I: make([]int64, ceilPow2(fn.NumI)),
+		F: make([]float64, ceilPow2(fn.NumF)),
 	}
 	if fn.NumGlobals > 0 {
 		f.Globals = make([]Buf, fn.NumGlobals)
@@ -208,6 +211,10 @@ func (p *Func) Run(f *Frame) (Status, error) {
 	code := p.Code
 	ri := f.I
 	rf := f.F
+	// Register files are pow2-sized (NewFrame), so masked indices can
+	// never leave the file and the compiler elides the bounds checks.
+	mi := int32(len(ri) - 1)
+	mf := int32(len(rf) - 1)
 	pc := f.PC
 	// Packed counter accumulators. a1 carries the spill countdown in
 	// its top bits (see counts.go): taken jumps decrement it, and a
@@ -224,167 +231,167 @@ func (p *Func) Run(f *Frame) (Status, error) {
 			return Halted, nil
 
 		case OpMovI:
-			ri[in.A] = ri[in.B]
+			ri[in.A&mi] = ri[in.B&mi]
 		case OpMovF:
-			rf[in.A] = rf[in.B]
+			rf[in.A&mf] = rf[in.B&mf]
 		case OpLdcI:
-			ri[in.A] = in.Imm
+			ri[in.A&mi] = in.Imm
 		case OpLdcF:
-			rf[in.A] = p.FPool[in.Imm]
+			rf[in.A&mf] = p.FPool[in.Imm]
 		case OpI2F:
-			rf[in.A] = float64(ri[in.B])
+			rf[in.A&mf] = float64(ri[in.B&mi])
 		case OpF2I:
-			ri[in.A] = int64(rf[in.B])
+			ri[in.A&mi] = int64(rf[in.B&mf])
 		case OpSnzI:
-			ri[in.A] = b2i(ri[in.B] != 0)
+			ri[in.A&mi] = b2i(ri[in.B&mi] != 0)
 
 		case OpAddI:
 			a0 += lIntOp
-			ri[in.A] = ri[in.B] + ri[in.C]
+			ri[in.A&mi] = ri[in.B&mi] + ri[in.C&mi]
 		case OpSubI:
 			a0 += lIntOp
-			ri[in.A] = ri[in.B] - ri[in.C]
+			ri[in.A&mi] = ri[in.B&mi] - ri[in.C&mi]
 		case OpMulI:
 			a0 += lIntOp
-			ri[in.A] = ri[in.B] * ri[in.C]
+			ri[in.A&mi] = ri[in.B&mi] * ri[in.C&mi]
 		case OpDivI:
 			a0 += lIntOp
-			d := ri[in.C]
+			d := ri[in.C&mi]
 			if d == 0 {
 				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: integer division by zero")
 			}
-			ri[in.A] = ri[in.B] / d
+			ri[in.A&mi] = ri[in.B&mi] / d
 		case OpModI:
 			a0 += lIntOp
-			d := ri[in.C]
+			d := ri[in.C&mi]
 			if d == 0 {
 				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: integer modulo by zero")
 			}
-			ri[in.A] = ri[in.B] % d
+			ri[in.A&mi] = ri[in.B&mi] % d
 		case OpAndI:
 			a0 += lIntOp
-			ri[in.A] = ri[in.B] & ri[in.C]
+			ri[in.A&mi] = ri[in.B&mi] & ri[in.C&mi]
 		case OpOrI:
 			a0 += lIntOp
-			ri[in.A] = ri[in.B] | ri[in.C]
+			ri[in.A&mi] = ri[in.B&mi] | ri[in.C&mi]
 		case OpXorI:
 			a0 += lIntOp
-			ri[in.A] = ri[in.B] ^ ri[in.C]
+			ri[in.A&mi] = ri[in.B&mi] ^ ri[in.C&mi]
 		case OpShlI:
 			a0 += lIntOp
-			ri[in.A] = ri[in.B] << uint(ri[in.C]&63)
+			ri[in.A&mi] = ri[in.B&mi] << uint(ri[in.C&mi]&63)
 		case OpShrI:
 			a0 += lIntOp
-			ri[in.A] = ri[in.B] >> uint(ri[in.C]&63)
+			ri[in.A&mi] = ri[in.B&mi] >> uint(ri[in.C&mi]&63)
 		case OpNegI:
 			a0 += lIntOp
-			ri[in.A] = -ri[in.B]
+			ri[in.A&mi] = -ri[in.B&mi]
 		case OpNotB:
 			a0 += lIntOp
-			ri[in.A] = b2i(ri[in.B] == 0)
+			ri[in.A&mi] = b2i(ri[in.B&mi] == 0)
 
 		case OpAddIImm:
 			a0 += lIntOp
-			ri[in.A] = ri[in.B] + in.Imm
+			ri[in.A&mi] = ri[in.B&mi] + in.Imm
 		case OpMulIImm:
 			a0 += lIntOp
-			ri[in.A] = ri[in.B] * in.Imm
+			ri[in.A&mi] = ri[in.B&mi] * in.Imm
 		case OpDivIImm:
 			a0 += lIntOp
-			ri[in.A] = ri[in.B] / in.Imm
+			ri[in.A&mi] = ri[in.B&mi] / in.Imm
 		case OpModIImm:
 			a0 += lIntOp
-			ri[in.A] = ri[in.B] % in.Imm
+			ri[in.A&mi] = ri[in.B&mi] % in.Imm
 		case OpShlIImm:
 			a0 += lIntOp
-			ri[in.A] = ri[in.B] << uint(in.Imm&63)
+			ri[in.A&mi] = ri[in.B&mi] << uint(in.Imm&63)
 		case OpShrIImm:
 			a0 += lIntOp
-			ri[in.A] = ri[in.B] >> uint(in.Imm&63)
+			ri[in.A&mi] = ri[in.B&mi] >> uint(in.Imm&63)
 		case OpAndIImm:
 			a0 += lIntOp
-			ri[in.A] = ri[in.B] & in.Imm
+			ri[in.A&mi] = ri[in.B&mi] & in.Imm
 		case OpOrIImm:
 			a0 += lIntOp
-			ri[in.A] = ri[in.B] | in.Imm
+			ri[in.A&mi] = ri[in.B&mi] | in.Imm
 		case OpXorIImm:
 			a0 += lIntOp
-			ri[in.A] = ri[in.B] ^ in.Imm
+			ri[in.A&mi] = ri[in.B&mi] ^ in.Imm
 
 		case OpLtI:
 			a0 += lIntOp
-			ri[in.A] = b2i(ri[in.B] < ri[in.C])
+			ri[in.A&mi] = b2i(ri[in.B&mi] < ri[in.C&mi])
 		case OpLeI:
 			a0 += lIntOp
-			ri[in.A] = b2i(ri[in.B] <= ri[in.C])
+			ri[in.A&mi] = b2i(ri[in.B&mi] <= ri[in.C&mi])
 		case OpGtI:
 			a0 += lIntOp
-			ri[in.A] = b2i(ri[in.B] > ri[in.C])
+			ri[in.A&mi] = b2i(ri[in.B&mi] > ri[in.C&mi])
 		case OpGeI:
 			a0 += lIntOp
-			ri[in.A] = b2i(ri[in.B] >= ri[in.C])
+			ri[in.A&mi] = b2i(ri[in.B&mi] >= ri[in.C&mi])
 		case OpEqI:
 			a0 += lIntOp
-			ri[in.A] = b2i(ri[in.B] == ri[in.C])
+			ri[in.A&mi] = b2i(ri[in.B&mi] == ri[in.C&mi])
 		case OpNeI:
 			a0 += lIntOp
-			ri[in.A] = b2i(ri[in.B] != ri[in.C])
+			ri[in.A&mi] = b2i(ri[in.B&mi] != ri[in.C&mi])
 
 		case OpLtIImm:
 			a0 += lIntOp
-			ri[in.A] = b2i(ri[in.B] < in.Imm)
+			ri[in.A&mi] = b2i(ri[in.B&mi] < in.Imm)
 		case OpLeIImm:
 			a0 += lIntOp
-			ri[in.A] = b2i(ri[in.B] <= in.Imm)
+			ri[in.A&mi] = b2i(ri[in.B&mi] <= in.Imm)
 		case OpGtIImm:
 			a0 += lIntOp
-			ri[in.A] = b2i(ri[in.B] > in.Imm)
+			ri[in.A&mi] = b2i(ri[in.B&mi] > in.Imm)
 		case OpGeIImm:
 			a0 += lIntOp
-			ri[in.A] = b2i(ri[in.B] >= in.Imm)
+			ri[in.A&mi] = b2i(ri[in.B&mi] >= in.Imm)
 		case OpEqIImm:
 			a0 += lIntOp
-			ri[in.A] = b2i(ri[in.B] == in.Imm)
+			ri[in.A&mi] = b2i(ri[in.B&mi] == in.Imm)
 		case OpNeIImm:
 			a0 += lIntOp
-			ri[in.A] = b2i(ri[in.B] != in.Imm)
+			ri[in.A&mi] = b2i(ri[in.B&mi] != in.Imm)
 
 		case OpAddF:
 			a0 += lFloatOp
-			rf[in.A] = rf[in.B] + rf[in.C]
+			rf[in.A&mf] = rf[in.B&mf] + rf[in.C&mf]
 		case OpSubF:
 			a0 += lFloatOp
-			rf[in.A] = rf[in.B] - rf[in.C]
+			rf[in.A&mf] = rf[in.B&mf] - rf[in.C&mf]
 		case OpMulF:
 			a0 += lFloatOp
-			rf[in.A] = rf[in.B] * rf[in.C]
+			rf[in.A&mf] = rf[in.B&mf] * rf[in.C&mf]
 		case OpDivF:
 			a0 += lFloatOp
-			rf[in.A] = rf[in.B] / rf[in.C]
+			rf[in.A&mf] = rf[in.B&mf] / rf[in.C&mf]
 		case OpNegF:
 			a0 += lFloatOp
-			rf[in.A] = -rf[in.B]
+			rf[in.A&mf] = -rf[in.B&mf]
 
 		case OpLtF:
 			a0 += lFloatOp
-			ri[in.A] = b2i(rf[in.B] < rf[in.C])
+			ri[in.A&mi] = b2i(rf[in.B&mf] < rf[in.C&mf])
 		case OpLeF:
 			a0 += lFloatOp
-			ri[in.A] = b2i(rf[in.B] <= rf[in.C])
+			ri[in.A&mi] = b2i(rf[in.B&mf] <= rf[in.C&mf])
 		case OpGtF:
 			a0 += lFloatOp
-			ri[in.A] = b2i(rf[in.B] > rf[in.C])
+			ri[in.A&mi] = b2i(rf[in.B&mf] > rf[in.C&mf])
 		case OpGeF:
 			a0 += lFloatOp
-			ri[in.A] = b2i(rf[in.B] >= rf[in.C])
+			ri[in.A&mi] = b2i(rf[in.B&mf] >= rf[in.C&mf])
 		case OpEqF:
 			a0 += lFloatOp
-			ri[in.A] = b2i(rf[in.B] == rf[in.C])
+			ri[in.A&mi] = b2i(rf[in.B&mf] == rf[in.C&mf])
 		case OpNeF:
 			a0 += lFloatOp
-			ri[in.A] = b2i(rf[in.B] != rf[in.C])
+			ri[in.A&mi] = b2i(rf[in.B&mf] != rf[in.C&mf])
 
 		case OpJmp:
 			a1 -= roomOne
@@ -400,7 +407,7 @@ func (p *Func) Run(f *Frame) (Status, error) {
 			continue
 		case OpJZBr:
 			a1 += lBranch
-			if ri[in.A] == 0 {
+			if ri[in.A&mi] == 0 {
 				a1 -= roomOne
 				if a1 < roomOne {
 					f.Cnt.addPacked(a0, a1)
@@ -415,7 +422,7 @@ func (p *Func) Run(f *Frame) (Status, error) {
 			}
 		case OpJZLog:
 			a0 += lIntOp
-			if ri[in.A] == 0 {
+			if ri[in.A&mi] == 0 {
 				a1 -= roomOne
 				if a1 < roomOne {
 					f.Cnt.addPacked(a0, a1)
@@ -430,7 +437,7 @@ func (p *Func) Run(f *Frame) (Status, error) {
 			}
 		case OpJNZLog:
 			a0 += lIntOp
-			if ri[in.A] != 0 {
+			if ri[in.A&mi] != 0 {
 				a1 -= roomOne
 				if a1 < roomOne {
 					f.Cnt.addPacked(a0, a1)
@@ -446,155 +453,155 @@ func (p *Func) Run(f *Frame) (Status, error) {
 
 		case OpWI:
 			a0 += lIntOp
-			ri[in.A] = f.WI[in.B][in.C]
+			ri[in.A&mi] = f.WI[in.B][in.C]
 		case OpWIDyn:
 			a0 += lIntOp
-			d := ri[in.C]
+			d := ri[in.C&mi]
 			if d < 0 || d > 2 {
 				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: work-item query dimension %d out of range", d)
 			}
-			ri[in.A] = f.WI[in.B][d]
+			ri[in.A&mi] = f.WI[in.B][d]
 
 		case OpLdGF:
 			b := &f.Globals[in.B]
-			i := ri[in.C]
+			i := ri[in.C&mi]
 			if i < 0 || i >= int64(len(b.F)) {
 				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.F))
 			}
 			a0 += lGLoad
-			rf[in.A] = float64(b.F[i])
+			rf[in.A&mf] = float64(b.F[i])
 		case OpLdGI:
 			b := &f.Globals[in.B]
-			i := ri[in.C]
+			i := ri[in.C&mi]
 			if i < 0 || i >= int64(len(b.I)) {
 				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.I))
 			}
 			a0 += lGLoad
-			ri[in.A] = int64(b.I[i])
+			ri[in.A&mi] = int64(b.I[i])
 		case OpLdLF:
 			b := &f.Locals[in.B]
-			i := ri[in.C]
+			i := ri[in.C&mi]
 			if i < 0 || i >= int64(len(b.F)) {
 				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.F))
 			}
 			a1 += lLocalOp
-			rf[in.A] = float64(b.F[i])
+			rf[in.A&mf] = float64(b.F[i])
 		case OpLdLI:
 			b := &f.Locals[in.B]
-			i := ri[in.C]
+			i := ri[in.C&mi]
 			if i < 0 || i >= int64(len(b.I)) {
 				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.I))
 			}
 			a1 += lLocalOp
-			ri[in.A] = int64(b.I[i])
+			ri[in.A&mi] = int64(b.I[i])
 
 		case OpStGF:
 			b := &f.Globals[in.B]
-			i := ri[in.C]
+			i := ri[in.C&mi]
 			if i < 0 || i >= int64(len(b.F)) {
 				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: store to %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.F))
 			}
 			a1 += lGStore
-			b.F[i] = float32(rf[in.A])
+			b.F[i] = float32(rf[in.A&mf])
 		case OpStGI:
 			b := &f.Globals[in.B]
-			i := ri[in.C]
+			i := ri[in.C&mi]
 			if i < 0 || i >= int64(len(b.I)) {
 				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: store to %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.I))
 			}
 			a1 += lGStore
-			b.I[i] = int32(ri[in.A])
+			b.I[i] = int32(ri[in.A&mi])
 		case OpStLF:
 			b := &f.Locals[in.B]
-			i := ri[in.C]
+			i := ri[in.C&mi]
 			if i < 0 || i >= int64(len(b.F)) {
 				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: store to %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.F))
 			}
 			a1 += lLocalOp
-			b.F[i] = float32(rf[in.A])
+			b.F[i] = float32(rf[in.A&mf])
 		case OpStLI:
 			b := &f.Locals[in.B]
-			i := ri[in.C]
+			i := ri[in.C&mi]
 			if i < 0 || i >= int64(len(b.I)) {
 				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: store to %s[%d] out of bounds (len %d)", p.Names[in.Imm], i, len(b.I))
 			}
 			a1 += lLocalOp
-			b.I[i] = int32(ri[in.A])
+			b.I[i] = int32(ri[in.A&mi])
 
 		case OpSqrtF:
 			a0 += lTransOp
-			rf[in.A] = math.Sqrt(rf[in.B])
+			rf[in.A&mf] = math.Sqrt(rf[in.B&mf])
 		case OpRsqrtF:
 			a0 += lTransOp
-			rf[in.A] = 1 / math.Sqrt(rf[in.B])
+			rf[in.A&mf] = 1 / math.Sqrt(rf[in.B&mf])
 		case OpExpF:
 			a0 += lTransOp
-			rf[in.A] = math.Exp(rf[in.B])
+			rf[in.A&mf] = math.Exp(rf[in.B&mf])
 		case OpLogF:
 			a0 += lTransOp
-			rf[in.A] = math.Log(rf[in.B])
+			rf[in.A&mf] = math.Log(rf[in.B&mf])
 		case OpLog2F:
 			a0 += lTransOp
-			rf[in.A] = math.Log2(rf[in.B])
+			rf[in.A&mf] = math.Log2(rf[in.B&mf])
 		case OpSinF:
 			a0 += lTransOp
-			rf[in.A] = math.Sin(rf[in.B])
+			rf[in.A&mf] = math.Sin(rf[in.B&mf])
 		case OpCosF:
 			a0 += lTransOp
-			rf[in.A] = math.Cos(rf[in.B])
+			rf[in.A&mf] = math.Cos(rf[in.B&mf])
 		case OpTanF:
 			a0 += lTransOp
-			rf[in.A] = math.Tan(rf[in.B])
+			rf[in.A&mf] = math.Tan(rf[in.B&mf])
 		case OpPowF:
 			a0 += lTransOp
-			rf[in.A] = math.Pow(rf[in.B], rf[in.C])
+			rf[in.A&mf] = math.Pow(rf[in.B&mf], rf[in.C&mf])
 		case OpAbsF:
 			a0 += lOtherB
-			rf[in.A] = math.Abs(rf[in.B])
+			rf[in.A&mf] = math.Abs(rf[in.B&mf])
 		case OpFloorF:
 			a0 += lOtherB
-			rf[in.A] = math.Floor(rf[in.B])
+			rf[in.A&mf] = math.Floor(rf[in.B&mf])
 		case OpCeilF:
 			a0 += lOtherB
-			rf[in.A] = math.Ceil(rf[in.B])
+			rf[in.A&mf] = math.Ceil(rf[in.B&mf])
 		case OpMinF:
 			a0 += lOtherB
-			rf[in.A] = math.Min(rf[in.B], rf[in.C])
+			rf[in.A&mf] = math.Min(rf[in.B&mf], rf[in.C&mf])
 		case OpMaxF:
 			a0 += lOtherB
-			rf[in.A] = math.Max(rf[in.B], rf[in.C])
+			rf[in.A&mf] = math.Max(rf[in.B&mf], rf[in.C&mf])
 		case OpFmaF:
 			a0 += lOtherB
-			rf[in.A] = rf[in.B]*rf[in.C] + rf[in.Imm]
+			rf[in.A&mf] = rf[in.B&mf]*rf[in.C&mf] + rf[int32(in.Imm)&mf]
 		case OpClampF:
 			a0 += lOtherB
-			rf[in.A] = math.Max(rf[in.C], math.Min(rf[in.B], rf[in.Imm]))
+			rf[in.A&mf] = math.Max(rf[in.C&mf], math.Min(rf[in.B&mf], rf[int32(in.Imm)&mf]))
 
 		case OpMinI:
 			a0 += lOtherB
-			ri[in.A] = min(ri[in.B], ri[in.C])
+			ri[in.A&mi] = min(ri[in.B&mi], ri[in.C&mi])
 		case OpMaxI:
 			a0 += lOtherB
-			ri[in.A] = max(ri[in.B], ri[in.C])
+			ri[in.A&mi] = max(ri[in.B&mi], ri[in.C&mi])
 		case OpAbsI:
 			a0 += lOtherB
-			v := ri[in.B]
+			v := ri[in.B&mi]
 			if v < 0 {
 				v = -v
 			}
-			ri[in.A] = v
+			ri[in.A&mi] = v
 		case OpClampI:
 			a0 += lOtherB
-			ri[in.A] = max(ri[in.C], min(ri[in.B], ri[in.Imm]))
+			ri[in.A&mi] = max(ri[in.C&mi], min(ri[in.B&mi], ri[int32(in.Imm)&mi]))
 
 		case OpBar:
 			a1 += lBarrier
@@ -607,97 +614,97 @@ func (p *Func) Run(f *Frame) (Status, error) {
 
 		case OpMulAddI:
 			a0 += 2 * lIntOp
-			ri[in.A] = ri[in.B]*ri[in.C] + ri[in.Imm]
+			ri[in.A&mi] = ri[in.B&mi]*ri[in.C&mi] + ri[int32(in.Imm)&mi]
 		case OpMulImmAddI:
 			a0 += 2 * lIntOp
-			ri[in.A] = ri[in.B]*in.Imm + ri[in.C]
+			ri[in.A&mi] = ri[in.B&mi]*in.Imm + ri[in.C&mi]
 		case OpMulAddF:
 			a0 += 2 * lFloatOp
 			// The explicit conversion forces the product to round
 			// separately, matching the unfused mul-then-add exactly
 			// (Go may otherwise contract the pair into an FMA).
-			rf[in.A] = float64(rf[in.B]*rf[in.C]) + rf[in.Imm]
+			rf[in.A&mf] = float64(rf[in.B&mf]*rf[in.C&mf]) + rf[int32(in.Imm)&mf]
 		case OpAddFLdG:
 			slot, name := unpackMem(in.Imm)
 			b := &f.Globals[slot]
-			i := ri[in.C]
+			i := ri[in.C&mi]
 			if i < 0 || i >= int64(len(b.F)) {
 				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[name], i, len(b.F))
 			}
 			a0 += lFloatOp + lGLoad
-			rf[in.A] = rf[in.B] + float64(b.F[i])
+			rf[in.A&mf] = rf[in.B&mf] + float64(b.F[i])
 		case OpMulFLdG:
 			slot, name := unpackMem(in.Imm)
 			b := &f.Globals[slot]
-			i := ri[in.C]
+			i := ri[in.C&mi]
 			if i < 0 || i >= int64(len(b.F)) {
 				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[name], i, len(b.F))
 			}
 			a0 += lFloatOp + lGLoad
-			rf[in.A] = rf[in.B] * float64(b.F[i])
+			rf[in.A&mf] = rf[in.B&mf] * float64(b.F[i])
 		case OpSubFLdG:
 			slot, name := unpackMem(in.Imm)
 			b := &f.Globals[slot]
-			i := ri[in.C]
+			i := ri[in.C&mi]
 			if i < 0 || i >= int64(len(b.F)) {
 				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[name], i, len(b.F))
 			}
 			a0 += lFloatOp + lGLoad
-			rf[in.A] = rf[in.B] - float64(b.F[i])
+			rf[in.A&mf] = rf[in.B&mf] - float64(b.F[i])
 		case OpLdSubFG:
 			slot, name := unpackMem(in.Imm)
 			b := &f.Globals[slot]
-			i := ri[in.C]
+			i := ri[in.C&mi]
 			if i < 0 || i >= int64(len(b.F)) {
 				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[name], i, len(b.F))
 			}
 			a0 += lFloatOp + lGLoad
-			rf[in.A] = float64(b.F[i]) - rf[in.B]
+			rf[in.A&mf] = float64(b.F[i]) - rf[in.B&mf]
 		case OpMulAccLdG:
 			slot, name := unpackMem(in.Imm)
 			b := &f.Globals[slot]
-			i := ri[in.C]
+			i := ri[in.C&mi]
 			if i < 0 || i >= int64(len(b.F)) {
 				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[name], i, len(b.F))
 			}
 			a0 += 2*lFloatOp + lGLoad
-			rf[in.A] = rf[in.A] + float64(rf[in.B]*float64(b.F[i]))
+			rf[in.A&mf] = rf[in.A&mf] + float64(rf[in.B&mf]*float64(b.F[i]))
 		case OpMulMulF:
 			a0 += 2 * lFloatOp
-			rf[in.A] = float64(rf[in.B]*rf[in.C]) * rf[in.Imm]
+			rf[in.A&mf] = float64(rf[in.B&mf]*rf[in.C&mf]) * rf[int32(in.Imm)&mf]
 		case OpAddRsqrtF:
 			a0 += lFloatOp + lTransOp
-			rf[in.A] = 1 / math.Sqrt(rf[in.B]+rf[in.C])
+			rf[in.A&mf] = 1 / math.Sqrt(rf[in.B&mf]+rf[in.C&mf])
 		case OpLdGFIdx:
 			slot, name, r3 := unpackMemIdx(in.Imm)
 			b := &f.Globals[slot]
-			i := ri[in.B]*ri[in.C] + ri[r3]
+			i := ri[in.B&mi]*ri[in.C&mi] + ri[r3&mi]
 			if i < 0 || i >= int64(len(b.F)) {
 				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[name], i, len(b.F))
 			}
 			a0 += 2*lIntOp + lGLoad
-			rf[in.A] = float64(b.F[i])
+			rf[in.A&mf] = float64(b.F[i])
 		case OpMacLdGIdx:
 			slot, name, r2, r3 := unpackMacIdx(in.Imm)
 			b := &f.Globals[slot]
-			i := ri[in.C]*ri[r2] + ri[r3]
+			i := ri[in.C&mi]*ri[r2&mi] + ri[r3&mi]
 			if i < 0 || i >= int64(len(b.F)) {
 				p.exit(f, a0, a1, pc)
 				return Halted, fmt.Errorf("exec: load %s[%d] out of bounds (len %d)", p.Names[name], i, len(b.F))
 			}
 			a0 += 2*lIntOp + 2*lFloatOp + lGLoad
-			rf[in.A] = rf[in.A] + float64(rf[in.B]*float64(b.F[i]))
+			rf[in.A&mf] = rf[in.A&mf] + float64(rf[in.B&mf]*float64(b.F[i]))
 
 		case OpJCmpI:
 			a0 += lIntOp
 			a1 += lBranch
-			if ccHoldsI(in.C, ri[in.A], ri[in.B]) {
+			if ccHoldsI(in.C, ri[in.A&mi], ri[in.B&mi]) {
 				a1 -= roomOne
 				if a1 < roomOne {
 					f.Cnt.addPacked(a0, a1)
@@ -713,7 +720,7 @@ func (p *Func) Run(f *Frame) (Status, error) {
 		case OpJCmpIImm:
 			a0 += lIntOp
 			a1 += lBranch
-			if ccHoldsI(in.B, ri[in.A], in.Imm) {
+			if ccHoldsI(in.B, ri[in.A&mi], in.Imm) {
 				a1 -= roomOne
 				if a1 < roomOne {
 					f.Cnt.addPacked(a0, a1)
@@ -729,7 +736,7 @@ func (p *Func) Run(f *Frame) (Status, error) {
 		case OpJCmpF:
 			a0 += lFloatOp
 			a1 += lBranch
-			if ccHoldsF(in.C, rf[in.A], rf[in.B]) {
+			if ccHoldsF(in.C, rf[in.A&mf], rf[in.B&mf]) {
 				a1 -= roomOne
 				if a1 < roomOne {
 					f.Cnt.addPacked(a0, a1)
@@ -745,9 +752,9 @@ func (p *Func) Run(f *Frame) (Status, error) {
 		case OpIncJCmpI:
 			a0 += 2 * lIntOp
 			a1 += lBranch
-			v := ri[in.A] + ri[in.B]
-			ri[in.A] = v
-			if ccHoldsI(int32(in.Imm>>32), v, ri[in.C]) {
+			v := ri[in.A&mi] + ri[in.B&mi]
+			ri[in.A&mi] = v
+			if ccHoldsI(int32(in.Imm>>32), v, ri[in.C&mi]) {
 				a1 -= roomOne
 				if a1 < roomOne {
 					f.Cnt.addPacked(a0, a1)

@@ -1,6 +1,11 @@
 package vm
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
 
 // TestSuspendResume drives the barrier protocol directly: with no
 // Barrier callback, Run must stop at each barrier with Suspended and
@@ -66,5 +71,225 @@ kernel void k(global float* out, local float* tile, int n) {
 	}
 	if st != Halted || calls != 2 {
 		t.Fatalf("callback mode: status %v, calls %d", st, calls)
+	}
+}
+
+// vectorizeKernel compiles and vectorizes, failing the test on either.
+func vectorizeKernel(t *testing.T, name, source, kernel string) *VecFunc {
+	t.Helper()
+	p := compileKernel(t, name, source, kernel, Options{})
+	vp, err := Vectorize(p)
+	if err != nil {
+		t.Fatalf("%s: vectorize: %v", name, err)
+	}
+	return vp
+}
+
+// bindVecWI fills the launch-constant WI rows and the local-id ramp for
+// a single 1-D group of w lanes starting at global id base.
+func bindVecWI(f *VecFrame, w int, base int64) {
+	for l := 0; l < w; l++ {
+		f.WI[WIGlobalSize][0][l] = int64(w)
+		f.WI[WILocalSize][0][l] = int64(w)
+		for d := 1; d < 3; d++ {
+			f.WI[WIGlobalSize][d][l] = 1
+			f.WI[WILocalSize][d][l] = 1
+			f.WI[WINumGroups][d][l] = 1
+		}
+		f.WI[WINumGroups][0][l] = 1
+		f.WI[WILocalID][0][l] = int64(l)
+		f.WI[WIGlobalID][0][l] = base + int64(l)
+	}
+}
+
+// TestVecLaneRamps drives the vector tier directly: the global-id query
+// must materialize as a per-lane ramp, and a gid-indexed store must
+// scatter each lane to its own element in one dispatch.
+func TestVecLaneRamps(t *testing.T) {
+	src := `kernel void ramp(global float* out, int n) {
+		int i = get_global_id(0);
+		out[i] = (float)(i * 2);
+	}`
+	vp := vectorizeKernel(t, "ramp", src, "ramp")
+	const w = 8
+	f := vp.NewVecFrame(w)
+	f.Globals = []Buf{{F: make([]float32, w)}}
+	bindVecWI(f, w, 0)
+	for _, pr := range vp.Params {
+		if pr.Kind == ParamInt {
+			f.SetI(pr.Index, w)
+		}
+	}
+	st, err := vp.Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Halted {
+		t.Fatalf("status = %v, want Halted", st)
+	}
+	for i, v := range f.Globals[0].F {
+		if v != float32(2*i) {
+			t.Fatalf("out[%d] = %g, want %g", i, v, float32(2*i))
+		}
+	}
+	// Lane layout invariant: register r's lanes live at [r*W, r*W+W).
+	for r := int32(0); r < int32(vp.NumI); r++ {
+		lanes := f.lanesI(r)
+		for l := range lanes {
+			if &lanes[l] != &f.I[int(r)*w+l] {
+				t.Fatalf("lanesI(%d)[%d] does not alias I[%d]", r, l, int(r)*w+l)
+			}
+		}
+	}
+}
+
+// TestVecFramePow2 pins the pow2 register-file rounding on both frame
+// kinds: masks must cover the file exactly.
+func TestVecFramePow2(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 5, 8, 9, 17} {
+		want := ceilPow2(n)
+		if want&(want-1) != 0 || want < 1 || want < n || (want > 1 && want/2 >= n) {
+			t.Fatalf("ceilPow2(%d) = %d", n, want)
+		}
+	}
+	p := &Func{NumI: 5, NumF: 3}
+	sf := p.NewFrame()
+	if len(sf.I) != 8 || len(sf.F) != 4 {
+		t.Fatalf("scalar frame files %d/%d, want 8/4", len(sf.I), len(sf.F))
+	}
+	vp := &VecFunc{Func: p}
+	vf := vp.NewVecFrame(4)
+	if len(vf.I) != 8*4 || len(vf.F) != 4*4 || vf.mi != 7 || vf.mf != 3 {
+		t.Fatalf("vec frame files %d/%d masks %d/%d", len(vf.I), len(vf.F), vf.mi, vf.mf)
+	}
+}
+
+// TestVectorizeRejects pins the eligibility rules: varying loop
+// back-edges, varying branches inside loop bodies, and varying fused
+// loop counters must all refuse to vectorize.
+func TestVectorizeRejects(t *testing.T) {
+	cases := []struct {
+		name, src, kernel, wantErr string
+	}{
+		{
+			name: "varying_trip_count",
+			src: `kernel void k(global float* out, int n) {
+				int i = get_global_id(0);
+				float acc = 0.0f;
+				for (int j = 0; j < i % 7; j = j + 1) {
+					acc = acc + 1.0f;
+				}
+				out[i] = acc;
+			}`,
+			kernel: "k", wantErr: "loop",
+		},
+		{
+			name: "varying_branch_in_loop",
+			src: `kernel void k(global float* a, global float* out, int n) {
+				int i = get_global_id(0);
+				float acc = 0.0f;
+				for (int j = 0; j < n; j = j + 1) {
+					if (a[j] > 0.5f) {
+						acc = acc + a[j];
+					}
+				}
+				out[i] = acc;
+			}`,
+			kernel: "k", wantErr: "inside loop body",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := compileKernel(t, tc.name, tc.src, tc.kernel, Options{})
+			if _, err := Vectorize(p); err == nil {
+				t.Fatalf("vectorized, want rejection")
+			} else if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+	// And the admitted shape: a varying forward guard outside any loop.
+	vp := vectorizeKernel(t, "guard", `kernel void k(global float* out, int n) {
+		int i = get_global_id(0);
+		if (i < n) { out[i] = 1.0f; }
+	}`, "k")
+	if uni, total := vp.UniformConds(); total != 1 || uni != 0 {
+		t.Fatalf("guard kernel conds = %d/%d, want 0/1", uni, total)
+	}
+}
+
+// TestVecDivergenceParksPC: when lanes disagree at a varying branch,
+// Run must return Diverged with the PC parked at the branch and the
+// branch itself uncounted, so a scalar rerun from the parked state
+// re-executes it exactly once.
+func TestVecDivergenceParksPC(t *testing.T) {
+	src := `kernel void k(global float* a, global float* out, int n) {
+		int i = get_global_id(0);
+		float x = a[i];
+		if (x > 0.0f) {
+			out[i] = x * 2.0f;
+		} else {
+			out[i] = -x;
+		}
+	}`
+	vp := vectorizeKernel(t, "div", src, "k")
+	const w = 4
+	f := vp.NewVecFrame(w)
+	in := make([]float32, w)
+	for i := range in {
+		in[i] = float32(1 - 2*(i%2)) // alternating signs: lanes disagree
+	}
+	f.Globals = []Buf{{F: in}, {F: make([]float32, w)}}
+	bindVecWI(f, w, 0)
+	for _, pr := range vp.Params {
+		if pr.Kind == ParamInt {
+			f.SetI(pr.Index, w)
+		}
+	}
+	st, err := vp.Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Diverged {
+		t.Fatalf("status = %v, want Diverged", st)
+	}
+	in2 := &vp.Code[f.PC]
+	if _, ok := condJumpTarget(in2, f.PC); !ok || vp.condUniform[f.PC] {
+		t.Fatalf("parked PC %d is not a varying conditional jump", f.PC)
+	}
+	if f.Cnt.Branches != 0 {
+		t.Fatalf("diverging branch was counted: Branches = %d", f.Cnt.Branches)
+	}
+	for _, v := range f.Globals[1].F {
+		if v != 0 {
+			t.Fatalf("store retired before divergence: out = %v", f.Globals[1].F)
+		}
+	}
+}
+
+// TestVecBudgetExhaustionMidGroup: a spinning vectorized group must
+// abort with a structured steps error once the shared budget drains —
+// fuel is charged W per taken jump, so exhaustion hits mid-group.
+func TestVecBudgetExhaustionMidGroup(t *testing.T) {
+	src := `kernel void spin(global float* out) {
+		int i = 0;
+		while (i < 2) {
+			i = i - 1;
+		}
+		out[get_global_id(0)] = 1.0;
+	}`
+	vp := vectorizeKernel(t, "spin", src, "spin")
+	const w = 16
+	f := vp.NewVecFrame(w)
+	f.Globals = []Buf{{F: make([]float32, w)}}
+	bindVecWI(f, w, 0)
+	f.B = NewBudget(context.Background(), 100_000, 0)
+	_, err := vp.Run(f)
+	if err == nil {
+		t.Fatal("spin completed under a step budget")
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Kind != BudgetSteps {
+		t.Fatalf("err = %v, want steps BudgetError", err)
 	}
 }

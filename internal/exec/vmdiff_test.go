@@ -135,8 +135,9 @@ func TestVMDiffProfilesByteIdentical(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			cVM := compileTierSrc(t, tc.src, tc.kernel, TierVM)
 			cCl := compileTierSrc(t, tc.src, tc.kernel, TierClosure)
+			cAu := compileTierSrc(t, tc.src, tc.kernel, TierAuto)
 
-			argsVM, argsCl := tc.args(), tc.args()
+			argsVM, argsCl, argsAu := tc.args(), tc.args(), tc.args()
 			pVM, err := cVM.Run(argsVM, tc.nd, RunOptions{})
 			if err != nil {
 				t.Fatalf("vm run: %v", err)
@@ -144,6 +145,10 @@ func TestVMDiffProfilesByteIdentical(t *testing.T) {
 			pCl, err := cCl.Run(argsCl, tc.nd, RunOptions{})
 			if err != nil {
 				t.Fatalf("closure run: %v", err)
+			}
+			pAu, err := cAu.Run(argsAu, tc.nd, RunOptions{})
+			if err != nil {
+				t.Fatalf("auto (%v) run: %v", cAu.Tier(), err)
 			}
 
 			for ai := range argsVM {
@@ -154,6 +159,9 @@ func TestVMDiffProfilesByteIdentical(t *testing.T) {
 				if !reflect.DeepEqual(b.F, argsCl[ai].Buf.F) || !reflect.DeepEqual(b.I, argsCl[ai].Buf.I) {
 					t.Errorf("arg %d buffers differ between tiers", ai)
 				}
+				if !reflect.DeepEqual(b.F, argsAu[ai].Buf.F) || !reflect.DeepEqual(b.I, argsAu[ai].Buf.I) {
+					t.Errorf("arg %d buffers differ between vm and auto (%v)", ai, cAu.Tier())
+				}
 			}
 			if pVM.Global0 != pCl.Global0 || len(pVM.Buckets) != len(pCl.Buckets) {
 				t.Fatalf("profile shape: vm %d/%d buckets, closure %d/%d",
@@ -162,6 +170,9 @@ func TestVMDiffProfilesByteIdentical(t *testing.T) {
 			for b := range pVM.Buckets {
 				if pVM.Buckets[b] != pCl.Buckets[b] {
 					t.Errorf("bucket %d:\n  vm      %+v\n  closure %+v", b, pVM.Buckets[b], pCl.Buckets[b])
+				}
+				if pAu.Buckets[b] != pCl.Buckets[b] {
+					t.Errorf("bucket %d:\n  auto    %+v\n  closure %+v", b, pAu.Buckets[b], pCl.Buckets[b])
 				}
 			}
 		})
@@ -204,13 +215,79 @@ func TestVMDiffFaultProfiles(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			cVM := compileTierSrc(t, tc.src, tc.kernel, TierVM)
 			cCl := compileTierSrc(t, tc.src, tc.kernel, TierClosure)
+			cVe := compileTierSrc(t, tc.src, tc.kernel, TierVec)
 			_, errVM := cVM.Run(tc.args(), tc.nd, RunOptions{})
 			_, errCl := cCl.Run(tc.args(), tc.nd, RunOptions{})
-			if errVM == nil || errCl == nil {
-				t.Fatalf("want faults on both tiers, got vm=%v closure=%v", errVM, errCl)
+			_, errVe := cVe.Run(tc.args(), tc.nd, RunOptions{})
+			if errVM == nil || errCl == nil || errVe == nil {
+				t.Fatalf("want faults on all tiers, got vm=%v closure=%v vec=%v", errVM, errCl, errVe)
 			}
 			if errVM.Error() != errCl.Error() {
 				t.Errorf("fault messages differ:\n  vm      %v\n  closure %v", errVM, errCl)
+			}
+			if errVe.Error() != errCl.Error() {
+				t.Errorf("fault messages differ:\n  vec     %v\n  closure %v", errVe, errCl)
+			}
+		})
+	}
+}
+
+// TestVecDivergenceBailParity pins the vector tier's scalarization
+// path: a data-dependent forward branch vectorizes statically (the
+// lanes are checked for agreement at runtime), so with mixed-sign data
+// some groups converge and run vectorized to completion while others
+// diverge mid-kernel and complete on the scalar VM. Buffers and
+// profiles must stay byte-identical to the closure tier either way.
+func TestVecDivergenceBailParity(t *testing.T) {
+	src := `kernel void k(global float* a, global float* out, int n) {
+		int i = get_global_id(0);
+		float x = a[i] * 0.5f;
+		if (x > 0.0f) {
+			out[i] = sqrt(x) + x * 3.0f;
+		} else {
+			out[i] = fabs(x) - 1.0f;
+		}
+	}`
+	cVe := compileTierSrc(t, src, "k", TierVec)
+	cCl := compileTierSrc(t, src, "k", TierClosure)
+	if cVe.Tier() != TierVec {
+		t.Fatalf("tier = %v, want vec", cVe.Tier())
+	}
+	const n = 256
+	fill := func(mode string) []Arg {
+		a, out := NewFloatBuffer(n), NewFloatBuffer(n)
+		r := rand.New(rand.NewSource(7))
+		for i := range a.F {
+			switch mode {
+			case "uniform": // every lane takes the same side
+				a.F[i] = 1.5
+			case "grouped": // agreement within each 16-item group
+				a.F[i] = float32(1 - 2*((i/16)%2))
+			default: // per-item signs: every group diverges
+				a.F[i] = r.Float32()*4 - 2
+			}
+		}
+		return []Arg{BufArg(a), BufArg(out), IntArg(n)}
+	}
+	nd := NDRange{Global: [3]int{n, 1, 1}, Local: [3]int{16, 1, 1}}
+	for _, mode := range []string{"uniform", "grouped", "mixed"} {
+		t.Run(mode, func(t *testing.T) {
+			argsVe, argsCl := fill(mode), fill(mode)
+			pVe, err := cVe.Run(argsVe, nd, RunOptions{})
+			if err != nil {
+				t.Fatalf("vec run: %v", err)
+			}
+			pCl, err := cCl.Run(argsCl, nd, RunOptions{})
+			if err != nil {
+				t.Fatalf("closure run: %v", err)
+			}
+			if !reflect.DeepEqual(argsVe[1].Buf.F, argsCl[1].Buf.F) {
+				t.Errorf("%s: output buffers differ between vec and closure", mode)
+			}
+			for b := range pCl.Buckets {
+				if pVe.Buckets[b] != pCl.Buckets[b] {
+					t.Errorf("%s bucket %d:\n  vec     %+v\n  closure %+v", mode, b, pVe.Buckets[b], pCl.Buckets[b])
+				}
 			}
 		})
 	}

@@ -38,9 +38,9 @@ echo "== training tiny database + artifacts =="
 
 test -f "$work/models/mc2.json" || { echo "FAIL: no mc2 model artifact"; exit 1; }
 
-echo "== launching serve (adaptive, bytecode-VM execution tier) =="
+echo "== launching serve (adaptive, SIMT vector execution tier) =="
 "$work/serve" -addr "127.0.0.1:$port" -db "$work/db.json" -platform mc2 \
-  -models "$work/models" -model knn -warm vecadd -exec-tier vm \
+  -models "$work/models" -model knn -warm vecadd -exec-tier vec \
   -obs "$work/obslog" -adaptive -retrain-interval 1h -retrain-min 1 &
 pid=$!
 
@@ -71,11 +71,11 @@ echo "== execute (JSON body) =="
 curl -fsS -X POST -H 'Content-Type: application/json' \
   -d '{"program":"vecadd","size":0}' "$base/execute" | grep -q '"verified": true'
 
-echo "== stats: artifact loaded, zero trainings, warm caches, VM tier =="
+echo "== stats: artifact loaded, zero trainings, warm caches, vec tier =="
 curl -fsS "$base/stats" | tee "$work/stats.json"
 grep -q '"trainings": 0' "$work/stats.json"
 grep -q '"artifactLoads": 1' "$work/stats.json"
-grep -q '"execTier": "vm"' "$work/stats.json"
+grep -q '"execTier": "vec"' "$work/stats.json"
 
 echo "== predict/batch: N points in one request =="
 curl -fsS -X POST -H 'Content-Type: application/json' \

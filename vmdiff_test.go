@@ -21,8 +21,10 @@ import (
 )
 
 // compileBothTiers lowers MiniCL source and compiles the named kernel on
-// the closure tier and on the VM tier (which must lower successfully).
-func compileBothTiers(t *testing.T, name, source, kernel string) (cl, vmc *exec.Compiled) {
+// the closure tier, on the scalar VM tier (which must lower
+// successfully), and under TierAuto (which additionally attaches the
+// vector tier whenever the kernel vectorizes).
+func compileBothTiers(t *testing.T, name, source, kernel string) (cl, vmc, atc *exec.Compiled) {
 	t.Helper()
 	u, err := inspire.LowerSource(name, source)
 	if err != nil {
@@ -44,7 +46,22 @@ func compileBothTiers(t *testing.T, name, source, kernel string) (cl, vmc *exec.
 	if vmc.Tier() != exec.TierVM {
 		t.Fatalf("%s: expected VM tier, got %v", name, vmc.Tier())
 	}
-	return cl, vmc
+	atc, err = exec.CompileTier(k, exec.TierAuto)
+	if err != nil {
+		t.Fatalf("%s: auto compile: %v", name, err)
+	}
+	return cl, vmc, atc
+}
+
+// vecExpected names the built-in programs whose control flow is
+// group-uniform at the bytecode level: TierAuto must put them on the
+// vector tier. The rest carry varying loop bounds or divergent branches
+// inside loop bodies and stay scalar.
+var vecExpected = map[string]bool{
+	"blackscholes": true, "nbody": true, "md": true, "bitonicsort": true,
+	"matmul": true, "matvec": true, "transpose": true, "atax": true,
+	"convolution2d": true, "stencil2d": true, "hotspot": true, "srad": true,
+	"pathfinder": true, "vecadd": true, "saxpy": true,
 }
 
 // diffBuffers requires bitwise-equal buffer contents across tiers.
@@ -140,7 +157,11 @@ func TestVMDifferentialSuite(t *testing.T) {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
 			t.Parallel()
-			cl, vmc := compileBothTiers(t, p.Name, p.Source, p.Kernel)
+			cl, vmc, atc := compileBothTiers(t, p.Name, p.Source, p.Kernel)
+			if want := vecExpected[p.Name]; want != (atc.Tier() == exec.TierVec) {
+				t.Fatalf("%s: auto tier %v (vec expected: %v, vecErr: %v)",
+					p.Name, atc.Tier(), want, atc.VecError())
+			}
 
 			// Full-range run, every application iteration compared.
 			ci, err := p.Instance(0)
@@ -148,6 +169,10 @@ func TestVMDifferentialSuite(t *testing.T) {
 				t.Fatal(err)
 			}
 			vi, err := p.Instance(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ai, err := p.Instance(0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -159,8 +184,11 @@ func TestVMDifferentialSuite(t *testing.T) {
 				ctx := fmt.Sprintf("%s full iter %d", p.Name, it)
 				cp := runTier(t, ctx+" closure", cl, ci.Args, ci.ND, 1, exec.RunOptions{})[0]
 				vp := runTier(t, ctx+" vm", vmc, vi.Args, vi.ND, 1, exec.RunOptions{})[0]
+				ap := runTier(t, ctx+" auto", atc, ai.Args, ai.ND, 1, exec.RunOptions{})[0]
 				diffProfiles(t, ctx, cp, vp)
+				diffProfiles(t, ctx+" (auto)", cp, ap)
 				diffBuffers(t, ctx, ci.Args, vi.Args)
+				diffBuffers(t, ctx+" (auto)", ci.Args, ai.Args)
 			}
 
 			// Chunked partition run on fresh instances.
@@ -172,19 +200,31 @@ func TestVMDifferentialSuite(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			ai2, err := p.Instance(0)
+			if err != nil {
+				t.Fatal(err)
+			}
 			for it := 0; it < iters; it++ {
 				for _, ch := range chunks(ci2.ND) {
 					ctx := fmt.Sprintf("%s chunk [%d,%d) iter %d", p.Name, ch[0], ch[1], it)
-					cp := runTier(t, ctx+" closure", cl, ci2.Args, ci2.ND, 1, exec.RunOptions{Lo: ch[0], Hi: ch[1]})[0]
-					vp := runTier(t, ctx+" vm", vmc, vi2.Args, vi2.ND, 1, exec.RunOptions{Lo: ch[0], Hi: ch[1]})[0]
+					opts := exec.RunOptions{Lo: ch[0], Hi: ch[1]}
+					cp := runTier(t, ctx+" closure", cl, ci2.Args, ci2.ND, 1, opts)[0]
+					vp := runTier(t, ctx+" vm", vmc, vi2.Args, vi2.ND, 1, opts)[0]
+					ap := runTier(t, ctx+" auto", atc, ai2.Args, ai2.ND, 1, opts)[0]
 					diffProfiles(t, ctx, cp, vp)
+					diffProfiles(t, ctx+" (auto)", cp, ap)
 				}
 				diffBuffers(t, fmt.Sprintf("%s chunked iter %d", p.Name, it), ci2.Args, vi2.Args)
+				diffBuffers(t, fmt.Sprintf("%s chunked iter %d (auto)", p.Name, it), ci2.Args, ai2.Args)
 			}
 
-			// The VM result must still pass the program's own verifier.
+			// The VM and auto results must still pass the program's own
+			// verifier.
 			if err := p.Verify(vi, 0); err != nil {
 				t.Fatalf("%s: vm output fails program verifier: %v", p.Name, err)
+			}
+			if err := p.Verify(ai, 0); err != nil {
+				t.Fatalf("%s: auto output fails program verifier: %v", p.Name, err)
 			}
 		})
 	}
@@ -203,7 +243,7 @@ func TestVMDifferentialBarrierModes(t *testing.T) {
 	}
 	for _, p := range bench.All() {
 		p := p
-		cl, vmc := compileBothTiers(t, p.Name, p.Source, p.Kernel)
+		cl, vmc, atc := compileBothTiers(t, p.Name, p.Source, p.Kernel)
 		if !cl.HasBarrier() {
 			continue
 		}
@@ -218,6 +258,10 @@ func TestVMDifferentialBarrierModes(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
+				ai, err := p.Instance(0)
+				if err != nil {
+					t.Fatal(err)
+				}
 				iters := p.Iterations
 				if iters < 1 {
 					iters = 1
@@ -225,10 +269,13 @@ func TestVMDifferentialBarrierModes(t *testing.T) {
 				ctx := fmt.Sprintf("%s mode %s", p.Name, m.name)
 				cp := runTier(t, ctx+" closure", cl, ci.Args, ci.ND, iters, exec.RunOptions{Barrier: m.mode})
 				vp := runTier(t, ctx+" vm", vmc, vi.Args, vi.ND, iters, exec.RunOptions{Barrier: m.mode})
+				ap := runTier(t, ctx+" auto", atc, ai.Args, ai.ND, iters, exec.RunOptions{Barrier: m.mode})
 				for it := range cp {
 					diffProfiles(t, fmt.Sprintf("%s iter %d", ctx, it), cp[it], vp[it])
+					diffProfiles(t, fmt.Sprintf("%s iter %d (auto)", ctx, it), cp[it], ap[it])
 				}
 				diffBuffers(t, ctx, ci.Args, vi.Args)
+				diffBuffers(t, ctx+" (auto)", ci.Args, ai.Args)
 			}
 		})
 	}
@@ -343,7 +390,7 @@ func TestVMDifferentialRandomized(t *testing.T) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
-			cl, vmc := compileBothTiers(t, tc.name, tc.source, tc.kernel)
+			cl, vmc, atc := compileBothTiers(t, tc.name, tc.source, tc.kernel)
 			rng := rand.New(rand.NewSource(0xd1ff + int64(len(tc.name))))
 			for round := 0; round < rounds; round++ {
 				mkArgs := func(data [][]float32) []exec.Arg {
@@ -366,7 +413,7 @@ func TestVMDifferentialRandomized(t *testing.T) {
 						data[b][j] = float32(rng.Float64()*4 - 2)
 					}
 				}
-				ca, va := mkArgs(data), mkArgs(data)
+				ca, va, aa := mkArgs(data), mkArgs(data), mkArgs(data)
 				nd := exec.ND1(n)
 				if tc.local > 0 {
 					nd.Local[0] = tc.local
@@ -374,8 +421,11 @@ func TestVMDifferentialRandomized(t *testing.T) {
 				ctx := fmt.Sprintf("%s round %d", tc.name, round)
 				cp := runTier(t, ctx+" closure", cl, ca, nd, 1, exec.RunOptions{})[0]
 				vp := runTier(t, ctx+" vm", vmc, va, nd, 1, exec.RunOptions{})[0]
+				ap := runTier(t, ctx+" auto", atc, aa, nd, 1, exec.RunOptions{})[0]
 				diffProfiles(t, ctx, cp, vp)
+				diffProfiles(t, ctx+" (auto)", cp, ap)
 				diffBuffers(t, ctx, ca, va)
+				diffBuffers(t, ctx+" (auto)", ca, aa)
 			}
 		})
 	}
@@ -431,7 +481,7 @@ kernel void k(global float* a, global float* out, int n) {
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			cl, vmc := compileBothTiers(t, tc.name, tc.source, "k")
+			cl, vmc, atc := compileBothTiers(t, tc.name, tc.source, "k")
 			mk := func() []exec.Arg {
 				return []exec.Arg{
 					exec.BufArg(exec.NewFloatBuffer(n)),
@@ -441,11 +491,15 @@ kernel void k(global float* a, global float* out, int n) {
 			}
 			_, cerr := cl.Run(mk(), exec.ND1(n), exec.RunOptions{Workers: 1})
 			_, verr := vmc.Run(mk(), exec.ND1(n), exec.RunOptions{Workers: 1})
-			if cerr == nil || verr == nil {
-				t.Fatalf("expected faults, closure=%v vm=%v", cerr, verr)
+			_, aerr := atc.Run(mk(), exec.ND1(n), exec.RunOptions{Workers: 1})
+			if cerr == nil || verr == nil || aerr == nil {
+				t.Fatalf("expected faults, closure=%v vm=%v auto=%v", cerr, verr, aerr)
 			}
 			if cerr.Error() != verr.Error() {
 				t.Fatalf("fault message mismatch:\nclosure: %s\nvm:      %s", cerr, verr)
+			}
+			if cerr.Error() != aerr.Error() {
+				t.Fatalf("fault message mismatch:\nclosure: %s\nauto:    %s", cerr, aerr)
 			}
 		})
 	}
