@@ -20,6 +20,7 @@
 package repro
 
 import (
+	"os"
 	"sync"
 	"testing"
 
@@ -493,66 +494,154 @@ func BenchmarkPrediction(b *testing.B) {
 	}
 }
 
-// benchCompileTiers compiles a suite program's kernel on every
-// execution tier, independently of the program's cached (default-tier)
-// kernel. The vec compile is nil when the kernel is not vectorizable.
-func benchCompileTiers(b *testing.B, name string) (*bench.Program, *exec.Compiled, *exec.Compiled, *exec.Compiled) {
-	b.Helper()
-	p, err := bench.Get(name)
-	if err != nil {
-		b.Fatal(err)
-	}
-	u, err := inspire.LowerSource(p.Name, p.Source)
-	if err != nil {
-		b.Fatal(err)
-	}
-	inspire.Optimize(u)
-	k := u.Kernel(p.Kernel)
-	cl, err := exec.CompileTier(k, exec.TierClosure)
-	if err != nil {
-		b.Fatal(err)
-	}
-	vmc, err := exec.CompileTier(k, exec.TierVM)
-	if err != nil {
-		b.Fatal(err)
-	}
-	vcc, err := exec.CompileTier(k, exec.TierVec)
-	if err != nil {
-		vcc = nil
-	}
-	return p, cl, vmc, vcc
+// benchTierSet holds one kernel compiled on every execution tier. The
+// vec compiles are nil when the kernel is not vectorizable; vecV1 is
+// the vector tier with scalarization and re-convergence disabled
+// (REPRO_VEC_V1), the apples-to-apples baseline for the v2 paths.
+type benchTierSet struct {
+	closure, vm, vec, vecV1 *exec.Compiled
 }
 
-// BenchmarkKernelExec compares the three execution tiers on one host
-// worker: closure tree, scalar bytecode VM, and the SIMT vector tier.
-// matvec, matmul, and nbody are the counted-loop kernels where fusion
-// and lane batching bite hardest; blackscholes is group-uniform until
-// its data-dependent cnd branch (it diverges and completes scalar);
-// mandelbrot has per-item loop trip counts and is not vectorizable, so
-// its vec sub-benchmark is skipped. All tiers produce byte-identical
-// buffers and profiles (see vmdiff_test.go).
-func BenchmarkKernelExec(b *testing.B) {
-	for _, prog := range []string{"matvec", "matmul", "nbody", "blackscholes", "mandelbrot"} {
-		p, cl, vmc, vcc := benchCompileTiers(b, prog)
-		inst, err := p.Instance(1)
+func benchCompileTierSet(b *testing.B, source, kernel string) benchTierSet {
+	b.Helper()
+	compile := func(tier exec.Tier) *exec.Compiled {
+		u, err := inspire.LowerSource("bench", source)
 		if err != nil {
 			b.Fatal(err)
 		}
-		for _, tier := range []struct {
-			name string
-			c    *exec.Compiled
-		}{{"closure", cl}, {"vm", vmc}, {"vec", vcc}} {
+		inspire.Optimize(u)
+		c, err := exec.CompileTier(u.Kernel(kernel), tier)
+		if err != nil {
+			if tier == exec.TierVec {
+				return nil
+			}
+			b.Fatal(err)
+		}
+		return c
+	}
+	ts := benchTierSet{
+		closure: compile(exec.TierClosure),
+		vm:      compile(exec.TierVM),
+		vec:     compile(exec.TierVec),
+	}
+	if ts.vec != nil {
+		os.Setenv("REPRO_VEC_V1", "1")
+		ts.vecV1 = compile(exec.TierVec)
+		os.Unsetenv("REPRO_VEC_V1")
+	}
+	return ts
+}
+
+func (ts benchTierSet) legs() []struct {
+	name string
+	c    *exec.Compiled
+} {
+	return []struct {
+		name string
+		c    *exec.Compiled
+	}{{"closure", ts.closure}, {"vm", ts.vm}, {"vec", ts.vec}, {"vecv1", ts.vecV1}}
+}
+
+// benchMicroKernels stress the vector tier's v2 execution paths with
+// shapes the suite programs mix together. "divergent" splits every
+// group at a per-item sign branch and then runs a long convergent
+// tail loop: v1 bails each group to the scalar VM at the branch and
+// grinds the tail item-by-item, v2 runs the sides masked, re-forms at
+// the join, and retires the tail W-wide — this is the kernel that
+// previously finished scalar and now beats the scalar VM outright.
+// "uniformloop" spends its time in a loop whose counter, bound, loads,
+// and accumulator are all group-uniform: v2 retires the whole loop once
+// per group on the scalar slots instead of once per lane.
+var benchMicroKernels = []struct {
+	name   string
+	source string
+	n      int
+	fill   func(i int) float32
+}{
+	{
+		name: "divergent",
+		source: `kernel void k(global float* a, global float* out, int n) {
+			int i = get_global_id(0);
+			float x = a[i];
+			float r;
+			if (x > 0.0f) {
+				r = sqrt(x);
+			} else {
+				r = fabs(x) * 0.75f;
+			}
+			float acc = r;
+			for (int j = 0; j < 96; j = j + 1) {
+				acc = acc + a[j] * 0.25f + r * 0.125f;
+			}
+			out[i] = acc;
+		}`,
+		n:    8192,
+		fill: func(i int) float32 { return float32(1-2*(i%2)) * (0.5 + float32(i%5)*0.25) },
+	},
+	{
+		name: "uniformloop",
+		source: `kernel void k(global float* a, global float* out, int n) {
+			int i = get_global_id(0);
+			float acc = 0.0f;
+			for (int j = 0; j < 256; j = j + 1) {
+				acc = acc + a[j] * 0.5f;
+			}
+			out[i] = acc + (float)i;
+		}`,
+		n:    4096,
+		fill: func(i int) float32 { return float32(i%97) * 0.01 },
+	},
+}
+
+// BenchmarkKernelExec compares the execution tiers on one host worker:
+// closure tree, scalar bytecode VM, the SIMT vector tier, and the
+// vector tier with v2 disabled (vecv1). matvec, matmul, and nbody are
+// the counted-loop kernels where fusion, lane batching, and uniform
+// scalarization bite hardest; blackscholes diverges at its
+// data-dependent cnd branch (v1 completes scalar, v2 re-converges);
+// mandelbrot has per-item loop trip counts and is not vectorizable, so
+// its vec sub-benchmarks are skipped. The divergent and uniformloop
+// microkernels isolate the re-convergence and scalarization paths. All
+// tiers produce byte-identical buffers and profiles (see
+// vmdiff_test.go).
+func BenchmarkKernelExec(b *testing.B) {
+	run := func(name string, ts benchTierSet, args []exec.Arg, nd exec.NDRange) {
+		for _, tier := range ts.legs() {
 			if tier.c == nil {
 				continue
 			}
-			b.Run(prog+"/"+tier.name, func(b *testing.B) {
+			b.Run(name+"/"+tier.name, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := tier.c.Run(inst.Args, inst.ND, exec.RunOptions{Workers: 1}); err != nil {
+					if _, err := tier.c.Run(args, nd, exec.RunOptions{Workers: 1}); err != nil {
 						b.Fatal(err)
 					}
 				}
 			})
 		}
+	}
+	for _, prog := range []string{"matvec", "matmul", "nbody", "blackscholes", "mandelbrot"} {
+		p, err := bench.Get(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := benchCompileTierSet(b, p.Source, p.Kernel)
+		inst, err := p.Instance(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(prog, ts, inst.Args, inst.ND)
+	}
+	for _, mk := range benchMicroKernels {
+		ts := benchCompileTierSet(b, mk.source, "k")
+		if ts.vec == nil {
+			b.Fatalf("%s: expected vectorizable microkernel", mk.name)
+		}
+		a, out := exec.NewFloatBuffer(mk.n), exec.NewFloatBuffer(mk.n)
+		for i := range a.F {
+			a.F[i] = mk.fill(i)
+		}
+		args := []exec.Arg{exec.BufArg(a), exec.BufArg(out), exec.IntArg(mk.n)}
+		run(mk.name, ts, args, exec.ND1(mk.n))
 	}
 }
 

@@ -759,12 +759,24 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !allowMethods(w, r, http.MethodGet) {
 		return
 	}
+	shards := s.fleet.Stats()
+	// Fleet-wide vector-tier totals, so divergence behavior is visible
+	// without walking every shard's engine counters.
+	var vecDiv, vecRec, vecBail uint64
+	for _, st := range shards {
+		vecDiv += st.Engine.VecDivergences
+		vecRec += st.Engine.VecReconverges
+		vecBail += st.Engine.VecScalarBails
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptimeSeconds":     time.Since(s.start).Seconds(),
 		"execTier":          exec.DefaultTier().String(),
 		"platforms":         s.fleet.Platforms(),
 		"shardsPerPlatform": s.fleet.ShardsPerPlatform(),
-		"shards":            s.fleet.Stats(),
+		"shards":            shards,
+		"vecDivergences":    vecDiv,
+		"vecReconverges":    vecRec,
+		"vecScalarBails":    vecBail,
 	})
 }
 

@@ -223,6 +223,10 @@ type engineCounters struct {
 	budgetAbortSteps    atomic.Uint64
 	budgetAbortMem      atomic.Uint64
 	budgetAbortDeadline atomic.Uint64
+
+	vecDivergences atomic.Uint64
+	vecReconverges atomic.Uint64
+	vecScalarBails atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of the engine's counters and cache
@@ -269,6 +273,14 @@ type Stats struct {
 	BudgetAbortsSteps    uint64 `json:"budgetAbortsSteps"`
 	BudgetAbortsMemory   uint64 `json:"budgetAbortsMemory"`
 	BudgetAbortsDeadline uint64 `json:"budgetAbortsDeadline"`
+
+	// Vector-tier execution-path counters, accumulated across every
+	// execution's profile: group splits at varying branches, how many of
+	// those re-formed at the join point and finished vectorized, and how
+	// many degraded to per-item scalar completion.
+	VecDivergences uint64 `json:"vecDivergences"`
+	VecReconverges uint64 `json:"vecReconverges"`
+	VecScalarBails uint64 `json:"vecScalarBails"`
 }
 
 // New builds an engine for the platform named in opts.
@@ -361,6 +373,10 @@ func (e *Engine) Stats() Stats {
 		BudgetAbortsSteps:    e.stats.budgetAbortSteps.Load(),
 		BudgetAbortsMemory:   e.stats.budgetAbortMem.Load(),
 		BudgetAbortsDeadline: e.stats.budgetAbortDeadline.Load(),
+
+		VecDivergences: e.stats.vecDivergences.Load(),
+		VecReconverges: e.stats.vecReconverges.Load(),
+		VecScalarBails: e.stats.vecScalarBails.Load(),
 	}
 }
 
@@ -847,6 +863,11 @@ func (e *Engine) execute(ctx context.Context, req Request) (*Execution, error) {
 		return nil, err
 	}
 	e.stats.executions.Add(1)
+	if p := res.Profile; p != nil {
+		e.stats.vecDivergences.Add(uint64(p.VecDivergences))
+		e.stats.vecReconverges.Add(uint64(p.VecReconverges))
+		e.stats.vecScalarBails.Add(uint64(p.VecScalarBails))
+	}
 	out := &Execution{Prediction: pred, Makespan: res.Makespan, Verified: true}
 	if err := pe.bench.Verify(inst, pred.SizeIdx); err != nil {
 		out.Verified = false

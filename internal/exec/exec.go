@@ -214,6 +214,16 @@ type Profile struct {
 	// Buckets partition [0, Global0) into len(Buckets) contiguous spans.
 	Buckets []Counts
 
+	// Vector-tier divergence telemetry for the launch. VecDivergences
+	// counts lane disagreements at varying branches; VecReconverges is
+	// the subset that re-formed at the join point and finished W-wide;
+	// VecScalarBails counts groups that fell back to per-item scalar
+	// completion. These do not affect pricing — they are execution-path
+	// observability, surfaced through /stats.
+	VecDivergences int64
+	VecReconverges int64
+	VecScalarBails int64
+
 	idxOnce sync.Once
 	idx     *profileIndex
 }

@@ -131,6 +131,7 @@ func (c *Compiled) Run(args []Arg, nd NDRange, opts RunOptions) (*Profile, error
 	var wg sync.WaitGroup
 	errCh := make(chan error, workers)
 	workerBuckets := make([][]Counts, workers)
+	var vecDiv, vecRec, vecBail atomic.Int64
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -154,6 +155,11 @@ func (c *Compiled) Run(args []Arg, nd NDRange, opts RunOptions) (*Profile, error
 			}()
 			rt := newGroupRunner(c, args, nd, ngrp, buckets, opts.Barrier, opts.Budget)
 			defer rt.close()
+			defer func() {
+				vecDiv.Add(rt.vecDiv)
+				vecRec.Add(rt.vecRec)
+				vecBail.Add(rt.vecBail)
+			}()
 			for {
 				g := nextGroup.Add(1) - 1
 				if g >= int64(totalGroups) {
@@ -192,6 +198,9 @@ func (c *Compiled) Run(args []Arg, nd NDRange, opts RunOptions) (*Profile, error
 			putCounts(wb)
 		}
 	}
+	prof.VecDivergences = vecDiv.Load()
+	prof.VecReconverges = vecRec.Load()
+	prof.VecScalarBails = vecBail.Load()
 	return prof, nil
 }
 
@@ -262,6 +271,12 @@ type groupRunner struct {
 	// runs scalar. The scalar vmFrames stay allocated alongside it: they
 	// complete the group when the lanes diverge.
 	vecFrame *vm.VecFrame
+
+	// Vector-tier divergence telemetry, accumulated per runner and
+	// merged into the launch profile after the worker join.
+	vecDiv  int64
+	vecRec  int64
+	vecBail int64
 
 	budget *vm.Budget
 }

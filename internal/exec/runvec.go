@@ -72,6 +72,8 @@ func (r *groupRunner) runGroupVec(g0, g1, g2 int) {
 	}
 	vf.Reset()
 	st, err := r.c.vecProg.Run(vf)
+	r.vecDiv += vf.Divergences
+	r.vecRec += vf.Reconverges
 	if err != nil {
 		panic(execError{err})
 	}
@@ -79,12 +81,24 @@ func (r *groupRunner) runGroupVec(g0, g1, g2 int) {
 		r.bailGroupVec(g0, g1, g2)
 		return
 	}
+	lid0 := vf.WI[vm.WILocalID][0]
+	if vf.Laned {
+		// The group diverged and re-formed: lanes that took different
+		// sides carry different counts (shared counts plus a per-lane
+		// delta from the masked region).
+		for l := 0; l < vf.W; l++ {
+			c := Counts(vf.LaneCounts(l))
+			c.Items = 1
+			c.MaxItemOps = c.totalOps()
+			r.buckets[r.bucketByL0[lid0[l]]].Add(&c)
+		}
+		return
+	}
 	// Convergent execution: every lane retired the same instruction
 	// sequence, so the frame's counts are each item's counts.
 	c := Counts(vf.Cnt)
 	c.Items = 1
 	c.MaxItemOps = c.totalOps()
-	lid0 := vf.WI[vm.WILocalID][0]
 	for l := 0; l < vf.W; l++ {
 		r.buckets[r.bucketByL0[lid0[l]]].Add(&c)
 	}
@@ -93,27 +107,26 @@ func (r *groupRunner) runGroupVec(g0, g1, g2 int) {
 // bailGroupVec scalarizes a diverged group: each lane's registers,
 // parked PC, and accumulated counts transfer into the per-item scalar
 // frames, which then complete on the scalar VM in canonical item order.
-// The diverging instruction has neither executed nor counted on the
-// vector frame, so the scalar rerun picks it up exactly once — counts,
-// stores, and fault messages land byte-identical to an all-scalar run.
+// On a pre-instruction park the diverging instruction has neither
+// executed nor counted on the vector frame, so the scalar rerun picks
+// it up exactly once; on a partial re-formation bail each lane resumes
+// from its own PC with its own counts. Either way — counts, stores,
+// and fault messages land byte-identical to an all-scalar run.
 func (r *groupRunner) bailGroupVec(g0, g1, g2 int) {
 	vf := r.vecFrame
 	p := r.c.vmProg
-	w := vf.W
+	vp := r.c.vecProg
+	r.vecBail++
 	li := 0
 	for l2 := 0; l2 < int(r.lsz[2]); l2++ {
 		for l1 := 0; l1 < int(r.lsz[1]); l1++ {
 			for l0 := 0; l0 < int(r.lsz[0]); l0++ {
 				f := r.vmFrames[li]
 				r.setupItemVM(f, g0, g1, g2, l0, l1, l2)
-				for ri := 0; ri < p.NumI; ri++ {
-					f.I[ri] = vf.I[ri*w+li]
-				}
-				for ri := 0; ri < p.NumF; ri++ {
-					f.F[ri] = vf.F[ri*w+li]
-				}
-				f.PC = vf.PC
-				f.Cnt = vf.Cnt
+				// ScatterLane knows the frame layout: uniform registers
+				// come from the scalar slots, and a partially re-formed
+				// bail hands each lane its own PC and counts.
+				vp.ScatterLane(vf, li, f)
 				li++
 			}
 		}

@@ -43,11 +43,12 @@ func Disassemble(p *Func) string {
 
 // Disassemble renders the vectorized view of the kernel: the scalar
 // disassembly plus the uniformity classification that drives the SIMT
-// tier — a header summarizing it and a per-branch marker column ('u' =
-// statically uniform condition, one lane-0 test decides the group; 'v'
-// = varying, runtime lane-agreement scan with scalarization on
-// disagreement). Golden tests pin this output so classification changes
-// are deliberate.
+// tier — a header summarizing it and a per-instruction marker column
+// ('u' = statically uniform branch condition, executed once per group;
+// 'v' = varying branch, runtime lane-agreement scan with masked
+// re-convergence on disagreement; 's' = scalarized, the instruction
+// retires once on the scalar slots instead of once per lane). Golden
+// tests pin this output so classification changes are deliberate.
 func (p *VecFunc) Disassemble() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "vec func %s\n", p.Name)
@@ -63,8 +64,8 @@ func (p *VecFunc) Disassemble() string {
 			nuf++
 		}
 	}
-	fmt.Fprintf(&b, "  uniform: conds=%d/%d iregs=%d/%d fregs=%d/%d\n",
-		uni, total, nui, len(p.uniI), nuf, len(p.uniF))
+	fmt.Fprintf(&b, "  uniform: conds=%d/%d iregs=%d/%d fregs=%d/%d scal=%d/%d\n",
+		uni, total, nui, len(p.uniI), nuf, len(p.uniF), p.ScalarizedOps(), len(p.Code))
 	for pc := range p.Code {
 		mark := byte(' ')
 		if _, ok := condJumpTarget(&p.Code[pc], pc); ok {
@@ -73,6 +74,8 @@ func (p *VecFunc) Disassemble() string {
 			} else {
 				mark = 'v'
 			}
+		} else if len(p.scal) > 0 && p.scal[pc] {
+			mark = 's'
 		}
 		fmt.Fprintf(&b, "%4d %c %s\n", pc, mark, disasmInstr(p.Func, &p.Code[pc]))
 	}

@@ -376,6 +376,27 @@ func init() {
 	registerOp(OpAddRsqrtF, "addrsqrt.f", FmtFabc, true)
 }
 
+// destReg reports the register an instruction writes, if any, and
+// which file it lives in. Jumps (except the fused counter), stores,
+// barriers, nop and halt write no register. The vector tier's
+// uniformity analysis keys on this to find region-safe divergence
+// joins.
+func destReg(in *Instr) (isF bool, r int32, ok bool) {
+	info, known := LookupOp(in.Op)
+	if !known {
+		return false, 0, false
+	}
+	switch info.Fmt {
+	case FmtIab, FmtIabc, FmtIabImm, FmtIaImm, FmtIaFb, FmtIaFbc,
+		FmtIabcImm, FmtMulImmAdd, FmtWI, FmtWIDyn, FmtLoadI, FmtIncJCmpI:
+		return false, in.A, true
+	case FmtFab, FmtFabc, FmtFaPool, FmtFaIb, FmtFabcImm,
+		FmtLoadF, FmtFusedLdF, FmtFusedMacF, FmtLdIdxF, FmtMacIdxF:
+		return true, in.A, true
+	}
+	return false, 0, false
+}
+
 // packMem packs a buffer slot and a name-pool index into the Imm field
 // of a fused load super-instruction.
 func packMem(slot int32, name int32) int64 { return int64(slot)<<32 | int64(uint32(name)) }

@@ -1,50 +1,122 @@
 package vm
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+	"os"
+)
 
 // SIMT vector execution tier. Vectorize analyzes a compiled Func for
 // register uniformity at the bytecode level and, when the kernel's loop
 // structure is group-uniform, produces a VecFunc that executes W work
-// items per instruction dispatch: register files become W-wide lane
+// items per instruction dispatch: varying registers become W-wide lane
 // arrays, straight-line arms loop over lanes inside one switch arm, and
 // branches take one comparison per group (statically uniform
 // conditions) or one lane-agreement scan (varying forward conditions).
 //
-// The tier is optimistic: statically varying forward branches are
-// allowed, and the group runs vectorized as long as every lane agrees
-// at runtime (the common `if (gid < n)` guard converges for every
-// aligned group). On disagreement — or on any would-fault lane — Run
-// returns Diverged with the PC parked at the offending instruction,
-// which has neither executed nor counted, and the caller scalarizes:
-// each lane's registers are copied into a per-item scalar Frame and
-// completed on the scalar VM. Scalar completion reproduces the
-// canonical item-order fault message and per-item counts exactly, so
-// the vector tier needs no fault strings of its own and buffer/profile/
-// fault parity with the scalar VM and closure tiers is preserved
-// byte-for-byte.
+// Uniform scalarization: registers proven group-uniform live in a
+// single scalar slot (VecFrame.SI/SF) instead of W lanes, and every
+// instruction whose destination is uniform executes exactly once per
+// dispatch (scal[pc]); uniform operands feeding a varying instruction
+// are broadcast into scratch lanes on demand (srcU[pc] marks them).
+// Loads with uniform indices are uniform too — the lanes run in
+// instruction-level lockstep against the same memory state, so a load
+// from the same address yields lane-equal values. The lane storage of
+// a uniform register is never written and holds garbage: all readers —
+// dispatch arms, divergence sub-frames, the bail-out scatter — must
+// consult the uniformity classification.
+//
+// Divergence re-convergence: the tier is optimistic about statically
+// varying forward branches, and the group runs full-width as long as
+// every lane agrees at runtime (the common `if (gid < n)` guard
+// converges for every aligned group). On disagreement the group splits:
+// each side of the branch runs as a compacted sub-group (width = its
+// lane count) through the same dispatch loop up to the join point
+// recorded at vectorize time (the branch's immediate post-dominator),
+// then the group re-forms and resumes full-width. Only irreducible
+// divergence — no safe join point, nested splits beyond the depth cap,
+// or a would-fault lane inside a split — falls back to the full bail:
+// Run returns Diverged and the caller completes each lane on the scalar
+// VM from its per-lane PC. Scalar completion walks items in canonical
+// order, so it reproduces the canonical item-order fault message and
+// per-item counts exactly, and buffer/profile/fault parity with the
+// scalar VM and closure tiers is preserved byte-for-byte.
 //
 // Counter and budget accounting: under convergent execution every lane
 // retires the same instruction sequence, so the packed profile
 // accumulators (counts.go) are charged once per dispatch — they hold
 // per-item counts, which the caller replicates into each item's bucket
-// — while budget fuel is charged W per taken jump (W items each spent
-// one step). The spill-room cadence is identical to the scalar VM.
+// — and scalarized instructions charge the same per-item constants
+// (executing once per dispatch is exactly the per-item cost). Budget
+// fuel is charged W per taken jump (W items each spent one step); a
+// scalarized jump still charges W. After a split the sides accumulate
+// per-lane count deltas (VecFrame.LaneCnt) on top of the shared
+// counts, so per-item totals stay exact. The spill-room cadence is
+// identical to the scalar VM.
+//
+// REPRO_VEC_V1 (env) disables scalarization and re-convergence while
+// keeping the same admission rules: every register stays
+// lane-materialized and any disagreement bails the whole group to
+// scalar frames, matching the PR 9 tier for A/B benchmarking.
 
 // VecFunc is the vectorized view of a compiled kernel: the same
-// bytecode, plus the uniformity classification that drives branch
-// handling.
+// bytecode, plus the uniformity classification that drives
+// scalarization and branch handling.
 type VecFunc struct {
 	*Func
 
 	// condUniform[pc] is true when the conditional jump at pc has a
-	// statically group-uniform condition: one lane-0 test decides the
-	// whole group. Varying conditions get a runtime agreement scan.
+	// statically group-uniform condition: one test decides the whole
+	// group. Varying conditions get a runtime agreement scan.
 	condUniform []bool
 
 	// uniI/uniF record the register classification (true = proven
-	// group-uniform) for the disassembler and tests.
+	// group-uniform) for the disassembler, the bail-out scatter, and
+	// the split fill/scatter.
 	uniI, uniF []bool
+
+	// scalarized is true when uniform registers live in the frame's
+	// scalar slots (v2). Under REPRO_VEC_V1 it is false and every
+	// register is lane-materialized.
+	scalarized bool
+
+	// scal[pc] is true when the instruction at pc executes once per
+	// dispatch on the scalar slots: its destination register (and
+	// therefore every operand) is uniform, or it is a store of a
+	// uniform value to a uniform index, or a conditional jump with a
+	// uniform condition.
+	scal []bool
+
+	// srcU[pc] marks which register operands of a non-scalarized
+	// instruction are uniform and must be read from the scalar slots
+	// (broadcast on demand) instead of their garbage lane storage.
+	srcU []uint8
+
+	// joinPC[pc] is the re-convergence point of the varying
+	// conditional jump at pc — its immediate post-dominator — or -1
+	// when the divergent region is ineligible (contains a barrier,
+	// writes a uniform register, or stores through a uniform index)
+	// and disagreement must take the full scalar bail.
+	joinPC []int
+
+	// regionI/regionF[pc] (set only where joinPC[pc] >= 0) mark the
+	// varying registers the divergent region reads or writes, and
+	// regionWI[pc] whether it queries a work-item row: the split
+	// fill/scatter copies only these instead of the whole frame, which
+	// is most of the cost of a divergence on register-heavy kernels.
+	regionI, regionF [][]bool
+	regionWI         []bool
 }
+
+// srcU operand bits. B and C follow the instruction's register fields;
+// X is the third register operand (packed in Imm for FmtFabcImm /
+// FmtIabcImm, r/r3 for the index-fused loads), X2 is macidx.f's r2.
+const (
+	srcUB uint8 = 1 << iota
+	srcUC
+	srcUX
+	srcUX2
+)
 
 // UniformConds reports how many of the kernel's conditional jumps have
 // statically uniform conditions, and the total number of conditional
@@ -59,6 +131,18 @@ func (p *VecFunc) UniformConds() (uniform, total int) {
 		}
 	}
 	return uniform, total
+}
+
+// ScalarizedOps reports how many instructions execute once per dispatch
+// on the scalar slots.
+func (p *VecFunc) ScalarizedOps() int {
+	n := 0
+	for _, s := range p.scal {
+		if s {
+			n++
+		}
+	}
+	return n
 }
 
 // ceilPow2 rounds n up to the next power of two (minimum 1), so
@@ -100,8 +184,10 @@ func condJumpTarget(in *Instr, pc int) (int, bool) {
 // execution. It fails when a loop back-edge condition is varying (the
 // lanes would iterate different trip counts) or a varying conditional
 // jump sits inside a loop body (the lanes would diverge every
-// iteration); varying forward branches outside loops are admitted and
-// checked for agreement at runtime.
+// iteration); varying forward branches outside loops are admitted,
+// checked for agreement at runtime, and annotated with their
+// re-convergence point when the divergent region is safe to run
+// masked.
 func Vectorize(p *Func) (*VecFunc, error) {
 	nI, nF := max(p.NumI, 1), max(p.NumF, 1)
 	varI := make([]bool, nI)
@@ -122,9 +208,12 @@ func Vectorize(p *Func) (*VecFunc, error) {
 	// Flow-insensitive fixpoint: a register is varying if any write to
 	// it anywhere is varying. This is sound because every control path
 	// the vector loop actually follows is convergent (uniform branches
-	// by induction, varying branches by the runtime agreement check),
-	// so a "uniform" register always holds lane-equal values whenever
-	// it is read.
+	// by induction, varying branches by the runtime agreement check,
+	// divergent regions by the no-uniform-write eligibility rule), so
+	// a "uniform" register always holds lane-equal values whenever it
+	// is read. Loads are uniform when every index component is
+	// uniform: the lanes read the same address against the same memory
+	// state.
 	for changed := true; changed; {
 		changed = false
 		for i := range p.Code {
@@ -167,11 +256,20 @@ func Vectorize(p *Func) (*VecFunc, error) {
 				markI(in.A, in.B == WIGlobalID || in.B == WILocalID, &changed)
 			case FmtWIDyn:
 				markI(in.A, in.B == WIGlobalID || in.B == WILocalID || varI[in.C], &changed)
-			case FmtLoadF, FmtFusedLdF, FmtFusedMacF, FmtLdIdxF, FmtMacIdxF:
-				// Loads are varying: lanes read different addresses.
-				markF(in.A, true, &changed)
+			case FmtLoadF:
+				markF(in.A, varI[in.C], &changed)
 			case FmtLoadI:
-				markI(in.A, true, &changed)
+				markI(in.A, varI[in.C], &changed)
+			case FmtFusedLdF:
+				markF(in.A, varF[in.B] || varI[in.C], &changed)
+			case FmtFusedMacF:
+				markF(in.A, varF[in.B] || varI[in.C], &changed)
+			case FmtLdIdxF:
+				_, _, r3 := unpackMemIdx(in.Imm)
+				markF(in.A, varI[in.B] || varI[in.C] || varI[r3], &changed)
+			case FmtMacIdxF:
+				_, _, r2, r3 := unpackMacIdx(in.Imm)
+				markF(in.A, varF[in.B] || varI[in.C] || varI[r2] || varI[r3], &changed)
 			case FmtIncJCmpI:
 				markI(in.A, varI[in.A] || varI[in.B], &changed)
 			default:
@@ -231,7 +329,22 @@ func Vectorize(p *Func) (*VecFunc, error) {
 		}
 	}
 
-	return &VecFunc{Func: p, condUniform: condU, uniI: notAll(varI), uniF: notAll(varF)}, nil
+	vf := &VecFunc{Func: p, condUniform: condU, uniI: notAll(varI), uniF: notAll(varF)}
+	vf.scal = make([]bool, len(p.Code))
+	vf.srcU = make([]uint8, len(p.Code))
+	vf.joinPC = make([]int, len(p.Code))
+	for i := range vf.joinPC {
+		vf.joinPC[i] = -1
+	}
+	if os.Getenv("REPRO_VEC_V1") != "" {
+		// Compatibility mode: lane-materialize everything, bail on any
+		// disagreement. Same admission rules, PR 9 execution.
+		return vf, nil
+	}
+	vf.scalarized = true
+	vf.computeScal(varI, varF)
+	vf.computeJoins(varI, varF)
+	return vf, nil
 }
 
 func notAll(v []bool) []bool {
@@ -242,15 +355,451 @@ func notAll(v []bool) []bool {
 	return u
 }
 
+// computeScal fills scal (instructions that execute once per dispatch
+// on the scalar slots) and srcU (uniform operands of vector
+// instructions that must be broadcast from the scalar slots).
+func (vf *VecFunc) computeScal(varI, varF []bool) {
+	p := vf.Func
+	uI := func(r int32) bool { return !varI[r] }
+	uF := func(r int32) bool { return !varF[r] }
+	for i := range p.Code {
+		in := &p.Code[i]
+		info, _ := LookupOp(in.Op)
+		var s bool
+		var u uint8
+		setI := func(bit uint8, r int32) {
+			if uI(r) {
+				u |= bit
+			}
+		}
+		setF := func(bit uint8, r int32) {
+			if uF(r) {
+				u |= bit
+			}
+		}
+		switch info.Fmt {
+		case FmtNone, FmtJmp, FmtBar:
+			// Never scalarized, no register reads.
+		case FmtIab, FmtIabImm:
+			s = uI(in.A)
+			if !s {
+				setI(srcUB, in.B)
+			}
+		case FmtIabc:
+			s = uI(in.A)
+			if !s {
+				setI(srcUB, in.B)
+				setI(srcUC, in.C)
+			}
+		case FmtIaImm:
+			s = uI(in.A)
+		case FmtFab:
+			s = uF(in.A)
+			if !s {
+				setF(srcUB, in.B)
+			}
+		case FmtFabc:
+			s = uF(in.A)
+			if !s {
+				setF(srcUB, in.B)
+				setF(srcUC, in.C)
+			}
+		case FmtFaPool:
+			s = uF(in.A)
+		case FmtFaIb:
+			s = uF(in.A)
+			if !s {
+				setI(srcUB, in.B)
+			}
+		case FmtIaFb:
+			s = uI(in.A)
+			if !s {
+				setF(srcUB, in.B)
+			}
+		case FmtIaFbc:
+			s = uI(in.A)
+			if !s {
+				setF(srcUB, in.B)
+				setF(srcUC, in.C)
+			}
+		case FmtFabcImm:
+			s = uF(in.A)
+			if !s {
+				setF(srcUB, in.B)
+				setF(srcUC, in.C)
+				setF(srcUX, int32(in.Imm))
+			}
+		case FmtIabcImm:
+			s = uI(in.A)
+			if !s {
+				setI(srcUB, in.B)
+				setI(srcUC, in.C)
+				setI(srcUX, int32(in.Imm))
+			}
+		case FmtMulImmAdd:
+			s = uI(in.A)
+			if !s {
+				setI(srcUB, in.B)
+				setI(srcUC, in.C)
+			}
+		case FmtWI:
+			s = uI(in.A)
+		case FmtWIDyn:
+			s = uI(in.A)
+			if !s {
+				setI(srcUC, in.C)
+			}
+		case FmtLoadF:
+			s = uF(in.A)
+			if !s {
+				setI(srcUC, in.C)
+			}
+		case FmtLoadI:
+			s = uI(in.A)
+			if !s {
+				setI(srcUC, in.C)
+			}
+		case FmtStoreF:
+			s = uF(in.A) && uI(in.C)
+			if !s {
+				setF(srcUB, in.A)
+				setI(srcUC, in.C)
+			}
+		case FmtStoreI:
+			s = uI(in.A) && uI(in.C)
+			if !s {
+				setI(srcUB, in.A)
+				setI(srcUC, in.C)
+			}
+		case FmtFusedLdF, FmtFusedMacF:
+			s = uF(in.A)
+			if !s {
+				setF(srcUB, in.B)
+				setI(srcUC, in.C)
+			}
+		case FmtLdIdxF:
+			s = uF(in.A)
+			if !s {
+				_, _, r3 := unpackMemIdx(in.Imm)
+				setI(srcUB, in.B)
+				setI(srcUC, in.C)
+				setI(srcUX, r3)
+			}
+		case FmtMacIdxF:
+			s = uF(in.A)
+			if !s {
+				_, _, r2, r3 := unpackMacIdx(in.Imm)
+				setF(srcUB, in.B)
+				setI(srcUC, in.C)
+				setI(srcUX2, r2)
+				setI(srcUX, r3)
+			}
+		case FmtJCond:
+			// The only register operand of a varying jz/jnz condition
+			// is by definition varying: no broadcast bits needed.
+			s = vf.condUniform[i]
+		case FmtJCmpI:
+			s = vf.condUniform[i]
+			if !s {
+				setI(srcUB, in.A)
+				setI(srcUC, in.B)
+			}
+		case FmtJCmpIImm:
+			s = vf.condUniform[i]
+		case FmtJCmpF:
+			s = vf.condUniform[i]
+			if !s {
+				setF(srcUB, in.A)
+				setF(srcUC, in.B)
+			}
+		case FmtIncJCmpI:
+			// A varying addjcmp.i is rejected at admission, so this is
+			// always the statically uniform loop counter.
+			s = vf.condUniform[i]
+		}
+		vf.scal[i] = s
+		vf.srcU[i] = u
+	}
+}
+
+// computeJoins records, for every varying conditional jump, the point
+// where a split group can re-form: the branch's immediate
+// post-dominator, provided the divergent region between the branch and
+// the join is safe to run one side at a time — no barriers (the sides
+// would deadlock each other), no writes to uniform registers (the
+// sides would disagree about a "uniform" value at the join), and no
+// stores through a uniform index (side order would replace the
+// canonical item order for the conflicting writes).
+func (vf *VecFunc) computeJoins(varI, varF []bool) {
+	p := vf.Func
+	n := len(p.Code)
+	anyVarying := false
+	for i := range p.Code {
+		if _, ok := condJumpTarget(&p.Code[i], i); ok && !vf.condUniform[i] {
+			anyVarying = true
+			break
+		}
+	}
+	if !anyVarying {
+		return
+	}
+
+	// succs returns the successor nodes of pc in the CFG whose virtual
+	// exit node is n (reached by halt and by running off the end).
+	succs := func(v int) (int, int) {
+		in := &p.Code[v]
+		if in.Op == OpHalt {
+			return n, -1
+		}
+		if in.Op == OpJmp {
+			return int(in.Imm), -1
+		}
+		nx := v + 1
+		if nx > n {
+			nx = n
+		}
+		if t, ok := condJumpTarget(in, v); ok {
+			return nx, t
+		}
+		return nx, -1
+	}
+
+	// Post-dominator sets as bitsets over nodes 0..n: pdom[exit] =
+	// {exit}, pdom[v] = {v} ∪ ∩ pdom[succ]. Kernels are a few hundred
+	// instructions at most, so the quadratic dataflow is irrelevant at
+	// compile time.
+	words := (n + 1 + 63) / 64
+	pd := make([]uint64, (n+1)*words)
+	row := func(v int) []uint64 { return pd[v*words : (v+1)*words] }
+	for v := 0; v < n; v++ {
+		r := row(v)
+		for w := range r {
+			r[w] = ^uint64(0)
+		}
+	}
+	row(n)[n/64] = 1 << (n % 64)
+	tmp := make([]uint64, words)
+	for changed := true; changed; {
+		changed = false
+		for v := n - 1; v >= 0; v-- {
+			s1, s2 := succs(v)
+			copy(tmp, row(s1))
+			if s2 >= 0 {
+				r2 := row(s2)
+				for w := range tmp {
+					tmp[w] &= r2[w]
+				}
+			}
+			tmp[v/64] |= 1 << (v % 64)
+			r := row(v)
+			for w := range tmp {
+				if r[w] != tmp[w] {
+					copy(r, tmp)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	card := func(v int) int {
+		c := 0
+		for _, w := range row(v) {
+			c += bits.OnesCount64(w)
+		}
+		return c
+	}
+
+	vf.regionI = make([][]bool, n)
+	vf.regionF = make([][]bool, n)
+	vf.regionWI = make([]bool, n)
+
+	seen := make([]bool, n+1)
+	stack := make([]int, 0, n)
+	// touch marks every register operand (sources and destination) of
+	// the instruction in the region's copy sets; uniform registers are
+	// skipped at fill/scatter time, so marking them here is harmless.
+	touch := func(in *Instr, tI, tF []bool, wi *bool) {
+		info, _ := LookupOp(in.Op)
+		mI := func(r int32) { tI[r] = true }
+		mF := func(r int32) { tF[r] = true }
+		switch info.Fmt {
+		case FmtNone, FmtJmp, FmtBar:
+		case FmtJCond:
+			mI(in.A)
+		case FmtJCmpI:
+			mI(in.A)
+			mI(in.B)
+		case FmtJCmpIImm:
+			mI(in.A)
+		case FmtJCmpF:
+			mF(in.A)
+			mF(in.B)
+		case FmtStoreF:
+			mF(in.A)
+			mI(in.C)
+		case FmtStoreI:
+			mI(in.A)
+			mI(in.C)
+		case FmtIab, FmtIabImm:
+			mI(in.A)
+			mI(in.B)
+		case FmtIabc, FmtMulImmAdd, FmtIncJCmpI:
+			mI(in.A)
+			mI(in.B)
+			mI(in.C)
+		case FmtIaImm:
+			mI(in.A)
+		case FmtFab:
+			mF(in.A)
+			mF(in.B)
+		case FmtFabc:
+			mF(in.A)
+			mF(in.B)
+			mF(in.C)
+		case FmtFaPool:
+			mF(in.A)
+		case FmtFaIb:
+			mF(in.A)
+			mI(in.B)
+		case FmtIaFb:
+			mI(in.A)
+			mF(in.B)
+		case FmtIaFbc:
+			mI(in.A)
+			mF(in.B)
+			mF(in.C)
+		case FmtFabcImm:
+			mF(in.A)
+			mF(in.B)
+			mF(in.C)
+			mF(int32(in.Imm))
+		case FmtIabcImm:
+			mI(in.A)
+			mI(in.B)
+			mI(in.C)
+			mI(int32(in.Imm))
+		case FmtWI:
+			mI(in.A)
+			*wi = true
+		case FmtWIDyn:
+			mI(in.A)
+			mI(in.C)
+			*wi = true
+		case FmtLoadF:
+			mF(in.A)
+			mI(in.C)
+		case FmtLoadI:
+			mI(in.A)
+			mI(in.C)
+		case FmtFusedLdF, FmtFusedMacF:
+			mF(in.A)
+			mF(in.B)
+			mI(in.C)
+		case FmtLdIdxF:
+			_, _, r3 := unpackMemIdx(in.Imm)
+			mF(in.A)
+			mI(in.B)
+			mI(in.C)
+			mI(r3)
+		case FmtMacIdxF:
+			_, _, r2, r3 := unpackMacIdx(in.Imm)
+			mF(in.A)
+			mF(in.B)
+			mI(in.C)
+			mI(r2)
+			mI(r3)
+		}
+	}
+	regionOK := func(pc, j int, tI, tF []bool, wi *bool) bool {
+		for i := range seen {
+			seen[i] = false
+		}
+		stack = stack[:0]
+		push := func(v int) {
+			if v >= 0 && v != j && !seen[v] {
+				seen[v] = true
+				if v < n {
+					stack = append(stack, v)
+				}
+			}
+		}
+		s1, s2 := succs(pc)
+		push(s1)
+		push(s2)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			in := &p.Code[v]
+			if in.Op == OpBar {
+				return false
+			}
+			if isF, r, ok := destReg(in); ok {
+				if (isF && !varF[r]) || (!isF && !varI[r]) {
+					return false
+				}
+			}
+			info, _ := LookupOp(in.Op)
+			if (info.Fmt == FmtStoreF || info.Fmt == FmtStoreI) && !varI[in.C] {
+				return false
+			}
+			touch(in, tI, tF, wi)
+			a, b := succs(v)
+			push(a)
+			push(b)
+		}
+		return true
+	}
+
+	for i := range p.Code {
+		if _, ok := condJumpTarget(&p.Code[i], i); !ok || vf.condUniform[i] {
+			continue
+		}
+		// The immediate post-dominator is the strict post-dominator
+		// with the largest pdom set (strict pdoms form a chain; the
+		// nearest one post-dominates into all the others).
+		best, bestCard := -1, -1
+		r := row(i)
+		for w, word := range r {
+			for word != 0 {
+				b := w*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				if b == i {
+					continue
+				}
+				if c := card(b); c > bestCard {
+					best, bestCard = b, c
+				}
+			}
+		}
+		tI := make([]bool, len(varI))
+		tF := make([]bool, len(varF))
+		var wi bool
+		if best >= 0 && regionOK(i, best, tI, tF, &wi) {
+			vf.joinPC[i] = best
+			vf.regionI[i] = tI
+			vf.regionF[i] = tF
+			vf.regionWI[i] = wi
+		}
+	}
+}
+
 // VecFrame is the per-group SIMT execution state: W-wide lane arrays
-// for both register files (lane-major: register r occupies
-// [r*W, r*W+W)), the shared buffer tables, the work-item lane vectors,
-// and the group's per-item counts.
+// for the varying registers of both files (lane-major: register r
+// occupies [r*W, r*W+W)), scalar slots for the uniform registers, the
+// shared buffer tables, the work-item lane vectors, and the group's
+// counts.
 type VecFrame struct {
 	W int
 
-	I []int64   // ceilPow2(NumI) * W lanes
+	I []int64   // ceilPow2(NumI) * W lanes (varying registers)
 	F []float64 // ceilPow2(NumF) * W lanes
+
+	// SI/SF are the scalar slots: one value per uniform register,
+	// written by scalarized instructions and by SetI/SetF argument
+	// binding. A uniform register's lane storage is garbage.
+	SI []int64
+	SF []float64
 
 	Globals []Buf
 	Locals  []Buf
@@ -260,19 +809,47 @@ type VecFrame struct {
 	// rest are broadcast.
 	WI [6][3][]int64
 
-	// Cnt holds per-item counts: under convergent execution every lane
-	// retires the same sequence, so one accumulation stands for each
-	// item. The caller replicates it into per-item profile buckets.
-	Cnt Counts
-	PC  int
+	// Cnt holds the counts shared by every lane: under convergent
+	// execution one accumulation stands for each item. After a
+	// divergence split the sides differ, and the per-lane deltas land
+	// in LaneCnt (Laned reports whether any exist); an item's total is
+	// Cnt plus its lane's delta (LaneCounts).
+	Cnt     Counts
+	Laned   bool
+	LaneCnt []Counts
+
+	PC int
+
+	// PCLaned marks a full bail out of a divergence split: the lanes
+	// stopped at different PCs (LanePC) and the caller must complete
+	// each lane from its own program point. Otherwise every lane is at
+	// PC.
+	PCLaned bool
+	LanePC  []int
+
+	// Stop is the re-convergence join point when this frame executes
+	// one side of a split (-1 otherwise): Run returns as soon as the
+	// PC reaches it.
+	Stop int
+
+	// Divergences counts runtime lane disagreements at varying
+	// branches; Reconverges counts the splits that re-formed at the
+	// join. The difference escalated to a scalar bail.
+	Divergences int64
+	Reconverges int64
 
 	// Fuel is the group's step allowance, charged W per taken jump and
 	// refilled in leases from B exactly like Frame.Fuel.
 	Fuel int64
 	B    *Budget
 
-	idx    []int64 // scratch lane indices for two-pass memory ops
-	mi, mf int32   // pow2 register-index masks
+	idx        []int64   // scratch lane indices for two-pass memory ops
+	bcI        []int64   // broadcast scratch: 3 int operand slots
+	bcF        []float64 // broadcast scratch: 3 float operand slots
+	mi, mf     int32     // pow2 register-index masks
+	depth      int       // split nesting depth (0 = full group)
+	subs       [2]*VecFrame
+	sel0, sel1 []int // split lane partitions (parent lane numbers)
 }
 
 // NewVecFrame allocates a W-lane frame for p. Buffers, scalar
@@ -280,12 +857,19 @@ type VecFrame struct {
 func (p *VecFunc) NewVecFrame(w int) *VecFrame {
 	ni, nf := ceilPow2(p.NumI), ceilPow2(p.NumF)
 	f := &VecFrame{
-		W:   w,
-		I:   make([]int64, ni*w),
-		F:   make([]float64, nf*w),
-		idx: make([]int64, w),
-		mi:  int32(ni - 1),
-		mf:  int32(nf - 1),
+		W:    w,
+		I:    make([]int64, ni*w),
+		F:    make([]float64, nf*w),
+		SI:   make([]int64, ni),
+		SF:   make([]float64, nf),
+		idx:  make([]int64, w),
+		bcI:  make([]int64, 3*w),
+		bcF:  make([]float64, 3*w),
+		mi:   int32(ni - 1),
+		mf:   int32(nf - 1),
+		sel0: make([]int, 0, w),
+		sel1: make([]int, 0, w),
+		Stop: -1,
 	}
 	if p.NumGlobals > 0 {
 		f.Globals = make([]Buf, p.NumGlobals)
@@ -303,38 +887,84 @@ func (p *VecFunc) NewVecFrame(w int) *VecFrame {
 
 // lanesI returns register r's int lane slice. The register index is
 // pow2-masked, so no encoding can index out of the file.
+// lanesI and lanesF are written as a reslice chain rather than the
+// obvious f.I[o:o+f.W]: that keeps their inline cost under the reduced
+// budget the compiler applies to inlinees of a "big" function, so the
+// VecFunc.Run dispatch loop gets them inlined instead of paying a call
+// per operand read.
 func (f *VecFrame) lanesI(r int32) []int64 {
-	o := int(r&f.mi) * f.W
-	return f.I[o : o+f.W]
+	return f.I[int(r&f.mi)*f.W:][:f.W]
 }
 
 func (f *VecFrame) lanesF(r int32) []float64 {
-	o := int(r&f.mf) * f.W
-	return f.F[o : o+f.W]
+	return f.F[int(r&f.mf)*f.W:][:f.W]
 }
 
-// SetI broadcasts a scalar into every lane of int register r (argument
-// binding).
+// splatI fills broadcast slot s with v and returns it as a lane slice.
+func (f *VecFrame) splatI(s int, v int64) []int64 {
+	a := f.bcI[s*f.W : s*f.W+f.W]
+	for l := range a {
+		a[l] = v
+	}
+	return a
+}
+
+func (f *VecFrame) splatF(s int, v float64) []float64 {
+	a := f.bcF[s*f.W : s*f.W+f.W]
+	for l := range a {
+		a[l] = v
+	}
+	return a
+}
+
+// rdI returns register r as a lane slice for a vector arm: the real
+// lanes when r is varying, or its scalar slot broadcast into scratch
+// slot s when uniform (lane storage of uniform registers is garbage).
+func (f *VecFrame) rdI(r int32, uniform bool, s int) []int64 {
+	if uniform {
+		return f.splatI(s, f.SI[r&f.mi])
+	}
+	return f.lanesI(r)
+}
+
+func (f *VecFrame) rdF(r int32, uniform bool, s int) []float64 {
+	if uniform {
+		return f.splatF(s, f.SF[r&f.mf])
+	}
+	return f.lanesF(r)
+}
+
+// SetI binds a scalar into int register r: every lane and the scalar
+// slot, so the value is visible whichever storage the classification
+// selects (argument binding).
 func (f *VecFrame) SetI(r int32, v int64) {
 	a := f.lanesI(r)
 	for l := range a {
 		a[l] = v
 	}
+	f.SI[r&f.mi] = v
 }
 
-// SetF broadcasts a scalar into every lane of float register r.
+// SetF binds a scalar into float register r.
 func (f *VecFrame) SetF(r int32, v float64) {
 	a := f.lanesF(r)
 	for l := range a {
 		a[l] = v
 	}
+	f.SF[r&f.mf] = v
 }
 
-// Reset rewinds the frame to the kernel entry and clears its counts.
-// Register lanes keep their values, mirroring Frame.Reset.
+// Reset rewinds the frame to the kernel entry and clears its counts
+// and divergence state. Register lanes keep their values, mirroring
+// Frame.Reset.
 func (f *VecFrame) Reset() {
 	f.PC = 0
 	f.Cnt = Counts{}
+	f.Stop = -1
+	f.Laned = false
+	f.PCLaned = false
+	f.Divergences = 0
+	f.Reconverges = 0
 }
 
 // spend burns w units of fuel (one per lane) at a taken jump, refilling
@@ -354,4 +984,193 @@ func (f *VecFrame) spend(w int64) error {
 func (p *VecFunc) exitVec(f *VecFrame, a0, a1 uint64, pc int) {
 	f.Cnt.addPacked(a0, a1)
 	f.PC = pc
+}
+
+// addCounts accumulates s into d field by field.
+func addCounts(d, s *Counts) {
+	d.Items += s.Items
+	d.IntOps += s.IntOps
+	d.FloatOps += s.FloatOps
+	d.TransOps += s.TransOps
+	d.OtherBuiltins += s.OtherBuiltins
+	d.GlobalLoads += s.GlobalLoads
+	d.GlobalStores += s.GlobalStores
+	d.LocalOps += s.LocalOps
+	d.Branches += s.Branches
+	d.Barriers += s.Barriers
+	d.MaxItemOps += s.MaxItemOps
+}
+
+// LaneCounts returns lane li's accumulated per-item counts: the shared
+// counts plus the lane's divergence delta, if any.
+func (f *VecFrame) LaneCounts(li int) Counts {
+	c := f.Cnt
+	if f.Laned {
+		addCounts(&c, &f.LaneCnt[li])
+	}
+	return c
+}
+
+// ensureLaned activates the per-lane count deltas, zeroed.
+func (f *VecFrame) ensureLaned() {
+	if f.Laned {
+		return
+	}
+	if f.LaneCnt == nil {
+		f.LaneCnt = make([]Counts, len(f.idx))
+	}
+	for i := range f.LaneCnt {
+		f.LaneCnt[i] = Counts{}
+	}
+	f.Laned = true
+}
+
+// ensurePCLaned activates the per-lane PC array.
+func (f *VecFrame) ensurePCLaned() {
+	if f.LanePC == nil {
+		f.LanePC = make([]int, len(f.idx))
+	}
+}
+
+// ScatterLane copies lane li of the vector frame into a scalar Frame:
+// registers (uniform registers come from the scalar slots), the lane's
+// program point, and its accumulated counts. The exec layer uses it to
+// hand a lane to the scalar VM on a divergence bail.
+func (p *VecFunc) ScatterLane(f *VecFrame, li int, dst *Frame) {
+	for r := 0; r < p.NumI; r++ {
+		if p.scalarized && p.uniI[r] {
+			dst.I[r] = f.SI[r]
+		} else {
+			dst.I[r] = f.I[r*f.W+li]
+		}
+	}
+	for r := 0; r < p.NumF; r++ {
+		if p.scalarized && p.uniF[r] {
+			dst.F[r] = f.SF[r]
+		} else {
+			dst.F[r] = f.F[r*f.W+li]
+		}
+	}
+	if f.PCLaned {
+		dst.PC = f.LanePC[li]
+	} else {
+		dst.PC = f.PC
+	}
+	dst.Cnt = f.LaneCounts(li)
+}
+
+// subFrame returns the lazily allocated side frame i, dimensioned for
+// this frame's full width.
+func (p *VecFunc) subFrame(f *VecFrame, i int) *VecFrame {
+	s := f.subs[i]
+	if s == nil {
+		s = p.NewVecFrame(len(f.idx))
+		f.subs[i] = s
+	}
+	return s
+}
+
+// fillSub prepares side frame s to run the lanes sel of f from start
+// to the join point stop for the divergent region of the branch at
+// pc: varying registers the region touches (and, when it queries
+// them, the WI rows) are compacted into lanes 0..len(sel)-1 —
+// registers outside the region's touch set are skipped entirely —
+// the scalar slots are aliased (the region cannot write a uniform
+// register), and buffers and budget are shared.
+func (p *VecFunc) fillSub(f, s *VecFrame, sel []int, start, stop, pc int) {
+	k := len(sel)
+	s.W = k
+	s.Globals, s.Locals = f.Globals, f.Locals
+	s.B = f.B
+	s.SI, s.SF = f.SI, f.SF
+	s.depth = f.depth + 1
+	s.Stop = stop
+	s.PC = start
+	s.Cnt = Counts{}
+	s.Laned = false
+	s.PCLaned = false
+	s.Divergences = 0
+	s.Reconverges = 0
+	tI, tF := p.regionI[pc], p.regionF[pc]
+	for r := 0; r < p.NumI; r++ {
+		if !tI[r] || (p.scalarized && p.uniI[r]) {
+			continue
+		}
+		src := f.I[r*f.W:]
+		dst := s.I[r*k:]
+		for i, l := range sel {
+			dst[i] = src[l]
+		}
+	}
+	for r := 0; r < p.NumF; r++ {
+		if !tF[r] || (p.scalarized && p.uniF[r]) {
+			continue
+		}
+		src := f.F[r*f.W:]
+		dst := s.F[r*k:]
+		for i, l := range sel {
+			dst[i] = src[l]
+		}
+	}
+	if p.regionWI[pc] {
+		for q := range f.WI {
+			for d := range f.WI[q] {
+				src := f.WI[q][d]
+				dst := s.WI[q][d]
+				for i, l := range sel {
+					dst[i] = src[l]
+				}
+			}
+		}
+	}
+}
+
+// scatterSub merges side frame s back into f after the side ran the
+// region of the branch at pc: touched varying registers return to
+// their parent lanes, the side's counts become per-lane deltas on the
+// parent, and (on a bail) each lane's stopping PC is recorded.
+// Divergence statistics aggregate up.
+func (p *VecFunc) scatterSub(f, s *VecFrame, sel []int, withPC bool, pc int) {
+	k := len(sel)
+	tI, tF := p.regionI[pc], p.regionF[pc]
+	for r := 0; r < p.NumI; r++ {
+		if !tI[r] || (p.scalarized && p.uniI[r]) {
+			continue
+		}
+		src := s.I[r*k:]
+		dst := f.I[r*f.W:]
+		for i, l := range sel {
+			dst[l] = src[i]
+		}
+	}
+	for r := 0; r < p.NumF; r++ {
+		if !tF[r] || (p.scalarized && p.uniF[r]) {
+			continue
+		}
+		src := s.F[r*k:]
+		dst := f.F[r*f.W:]
+		for i, l := range sel {
+			dst[l] = src[i]
+		}
+	}
+	f.ensureLaned()
+	for i, l := range sel {
+		c := s.Cnt
+		if s.Laned {
+			addCounts(&c, &s.LaneCnt[i])
+		}
+		addCounts(&f.LaneCnt[l], &c)
+	}
+	if withPC {
+		f.ensurePCLaned()
+		for i, l := range sel {
+			if s.PCLaned {
+				f.LanePC[l] = s.LanePC[i]
+			} else {
+				f.LanePC[l] = s.PC
+			}
+		}
+	}
+	f.Divergences += s.Divergences
+	f.Reconverges += s.Reconverges
 }

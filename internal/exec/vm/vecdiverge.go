@@ -1,0 +1,159 @@
+package vm
+
+// Divergence handling: when the lanes of a vector group disagree at a
+// varying forward branch, diverge() splits the group into its two
+// sides, runs each side as a compacted sub-group through the same
+// dispatch loop up to the branch's join point (the immediate
+// post-dominator recorded by Vectorize), and re-forms the full group
+// there. Irreducible divergence — no safe join, splits nested past the
+// depth cap, or a would-fault lane inside a side — degrades to the
+// full scalar bail exactly like the original tier.
+
+// joined is the internal status a side frame returns when its PC
+// reaches the join point (VecFrame.Stop). It never escapes Run: the
+// dispatching frame consumes it and resumes full-width.
+const joined Status = 3
+
+// maxDivergeDepth caps split nesting: a side of a side of a side still
+// re-forms, anything deeper bails. Keeps worst-case sub-frame memory
+// bounded at a handful of lanes arrays per group.
+const maxDivergeDepth = 3
+
+// diverge handles a lane disagreement at the varying conditional jump
+// at pc. On success the group has re-formed: counts are spilled, f.PC
+// is the join point, and the caller reseeds its accumulators and
+// continues dispatch (status joined). On irreducible divergence the
+// frame is left in the canonical bail state — either parked
+// pre-instruction with the branch uncounted (no join recorded: the
+// scalar rerun re-executes the branch), or scattered per-lane with
+// PCLaned set (the sides ran partway: each lane resumes from its own
+// PC with the branch already counted) — and the caller returns
+// Diverged. A budget failure aborts with the error; both sides halting
+// (join at the kernel exit) completes the group (status Halted).
+func (p *VecFunc) diverge(f *VecFrame, a0, a1 *uint64, pc int) (Status, error) {
+	f.Divergences++
+	j := -1
+	if f.depth < maxDivergeDepth {
+		j = p.joinPC[pc]
+	}
+	if j < 0 {
+		// Full bail: park pre-instruction, branch uncounted, so the
+		// scalar completion re-executes it exactly once per item.
+		p.exitVec(f, *a0, *a1, pc)
+		return Diverged, nil
+	}
+
+	in := &p.Code[pc]
+	// The branch retires for every lane whichever way it goes: charge
+	// its static counts once, like any convergent instruction.
+	switch in.Op {
+	case OpJZBr:
+		*a1 += lBranch
+	case OpJZLog, OpJNZLog:
+		*a0 += lIntOp
+	case OpJCmpI, OpJCmpIImm:
+		*a0 += lIntOp
+		*a1 += lBranch
+	case OpJCmpF:
+		*a0 += lFloatOp
+		*a1 += lBranch
+	}
+	p.evalTaken(f, pc)
+	p.exitVec(f, *a0, *a1, pc)
+	*a0, *a1 = 0, uint64(p.room)<<roomShift
+	// The taken lanes each spent one step on the jump.
+	if err := f.spend(int64(len(f.sel1))); err != nil {
+		return Halted, err
+	}
+
+	target, _ := condJumpTarget(in, pc)
+	s0 := p.subFrame(f, 0)
+	p.fillSub(f, s0, f.sel0, pc+1, j, pc)
+	s0.Fuel, f.Fuel = f.Fuel, 0
+	st0, err := p.Run(s0)
+	f.Fuel = s0.Fuel
+	if err != nil {
+		return Halted, err
+	}
+	s1 := p.subFrame(f, 1)
+	p.fillSub(f, s1, f.sel1, target, j, pc)
+	s1.Fuel, f.Fuel = f.Fuel, 0
+	st1, err := p.Run(s1)
+	f.Fuel = s1.Fuel
+	if err != nil {
+		return Halted, err
+	}
+
+	switch {
+	case st0 == joined && st1 == joined:
+		p.scatterSub(f, s0, f.sel0, false, pc)
+		p.scatterSub(f, s1, f.sel1, false, pc)
+		f.Reconverges++
+		f.PC = j
+		return joined, nil
+	case st0 == Halted && st1 == Halted:
+		// The join is the kernel exit: both sides ran to halt, so the
+		// group is simply done, with per-lane counts.
+		p.scatterSub(f, s0, f.sel0, false, pc)
+		p.scatterSub(f, s1, f.sel1, false, pc)
+		f.PC = len(p.Code)
+		return Halted, nil
+	default:
+		// A side stopped short of the join (would-fault lane or a
+		// nested split past the depth cap). Bail with per-lane state:
+		// the scalar completion walks items in canonical order from
+		// each lane's own PC, reproducing the canonical first fault.
+		p.scatterSub(f, s0, f.sel0, true, pc)
+		p.scatterSub(f, s1, f.sel1, true, pc)
+		f.PCLaned = true
+		f.PC = pc
+		return Diverged, nil
+	}
+}
+
+// evalTaken partitions the lanes of the varying conditional jump at pc
+// into f.sel0 (fall-through) and f.sel1 (taken), reading uniform
+// operands from the scalar slots.
+func (p *VecFunc) evalTaken(f *VecFrame, pc int) {
+	in := &p.Code[pc]
+	su := p.srcU[pc]
+	f.sel0 = f.sel0[:0]
+	f.sel1 = f.sel1[:0]
+	w := f.W
+	route := func(l int, taken bool) {
+		if taken {
+			f.sel1 = append(f.sel1, l)
+		} else {
+			f.sel0 = append(f.sel0, l)
+		}
+	}
+	switch in.Op {
+	case OpJZBr, OpJZLog:
+		a := f.lanesI(in.A)
+		for l := 0; l < w; l++ {
+			route(l, a[l] == 0)
+		}
+	case OpJNZLog:
+		a := f.lanesI(in.A)
+		for l := 0; l < w; l++ {
+			route(l, a[l] != 0)
+		}
+	case OpJCmpI:
+		a := f.rdI(in.A, su&srcUB != 0, 0)
+		b := f.rdI(in.B, su&srcUC != 0, 1)
+		for l := 0; l < w; l++ {
+			route(l, ccHoldsI(in.C, a[l], b[l]))
+		}
+	case OpJCmpIImm:
+		a := f.lanesI(in.A)
+		for l := 0; l < w; l++ {
+			route(l, ccHoldsI(in.B, a[l], in.Imm))
+		}
+	case OpJCmpF:
+		a := f.rdF(in.A, su&srcUB != 0, 0)
+		b := f.rdF(in.B, su&srcUC != 0, 1)
+		for l := 0; l < w; l++ {
+			route(l, ccHoldsF(in.C, a[l], b[l]))
+		}
+	}
+}

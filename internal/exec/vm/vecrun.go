@@ -6,22 +6,35 @@ import (
 )
 
 // Diverged reports that a vector Run stopped because the group's lanes
-// disagreed at a varying branch, or some lane would have faulted
-// (out-of-bounds access, division by zero, bad work-item dimension).
-// The PC is parked at the offending instruction, which has neither
+// disagreed at a varying branch with no safe join point, or some lane
+// would have faulted (out-of-bounds access, division by zero, bad
+// work-item dimension). Unless the frame says otherwise (PCLaned), the
+// PC is parked at the offending instruction, which has neither
 // executed nor counted; the caller completes each lane on the scalar
 // VM, which reproduces the canonical per-item behavior (including the
-// exact fault message, if any).
+// exact fault message, if any). Lane disagreements at branches WITH a
+// recorded join point are handled internally: the sides run as
+// compacted sub-groups and the group re-forms (see diverge).
 const Diverged Status = 2
 
 // Run executes all W lanes of the frame from its saved PC until the
-// kernel halts, the group diverges (see Diverged), or the step budget
-// is exhausted. Every arm mirrors the scalar VM arm exactly — same
-// float expression shapes (so rounding is bit-identical), same counter
-// constants, same count-vs-check placement — but loops over lanes
-// inside the single dispatch. Memory and fault-checked arms run two
-// passes (scan every lane's index, then execute) so a bail-out leaves
-// the frame exactly at pre-instruction state.
+// kernel halts, the group diverges irreducibly (see Diverged), the
+// frame's Stop PC — the join point of a divergence split — is reached,
+// or the step budget is exhausted. Every arm mirrors the scalar VM arm
+// exactly — same float expression shapes (so rounding is
+// bit-identical), same counter constants, same count-vs-check
+// placement — but loops over lanes inside the single dispatch.
+// Memory and fault-checked arms run two passes (scan every lane's
+// index, then execute) so a bail-out leaves the frame exactly at
+// pre-instruction state.
+//
+// Scalarization: runs of instructions with uniform destinations are
+// delegated to scalRun, which executes them once per dispatch on the
+// scalar slots. Vector arms read uniform operands through rdI/rdF,
+// which broadcast the scalar slot into scratch lanes on demand — the
+// lane storage of a uniform register holds garbage and is never read
+// directly. The hottest memory arms skip the broadcast entirely when
+// the address is uniform: one bounds check, one load, splat the value.
 func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 	code := p.Code
 	w := f.W
@@ -29,8 +42,48 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 	pc := f.PC
 	var a0 uint64
 	a1 := uint64(p.room) << roomShift
+dispatch:
 	for pc < len(code) {
+		if pc == f.Stop {
+			p.exitVec(f, a0, a1, pc)
+			return joined, nil
+		}
+		if p.scal[pc] {
+			// The fused counted-loop back-edge is the hottest scalarized
+			// instruction — in a kernel like matmul it is the ONLY one
+			// between two vector dispatches, every iteration. Execute it
+			// inline (mirroring the scalRun arm exactly) instead of
+			// paying the scalRun call prologue for a one-instruction run.
+			if in := &code[pc]; in.Op == OpIncJCmpI {
+				a0 += 2 * lIntOp
+				a1 += lBranch
+				v := f.SI[in.A&f.mi] + f.SI[in.B&f.mi]
+				f.SI[in.A&f.mi] = v
+				cc, target := unpackCcTarget(in.Imm)
+				if ccHoldsI(cc, v, f.SI[in.C&f.mi]) {
+					a1 -= roomOne
+					if a1 < roomOne {
+						f.Cnt.addPacked(a0, a1)
+						a0, a1 = 0, uint64(p.room)<<roomShift
+					}
+					if err := f.spend(wd); err != nil {
+						p.exitVec(f, a0, a1, pc)
+						return Halted, err
+					}
+					pc = int(target)
+				} else {
+					pc++
+				}
+				continue
+			}
+			st, done, err := p.scalRun(f, &a0, &a1, &pc, wd)
+			if done {
+				return st, err
+			}
+			continue
+		}
 		in := &code[pc]
+		su := p.srcU[pc]
 		switch in.Op {
 		case OpNop:
 		case OpHalt:
@@ -38,9 +91,9 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 			return Halted, nil
 
 		case OpMovI:
-			copy(f.lanesI(in.A), f.lanesI(in.B))
+			copy(f.lanesI(in.A), f.rdI(in.B, su&srcUB != 0, 0))
 		case OpMovF:
-			copy(f.lanesF(in.A), f.lanesF(in.B))
+			copy(f.lanesF(in.A), f.rdF(in.B, su&srcUB != 0, 0))
 		case OpLdcI:
 			d := f.lanesI(in.A)
 			for l := range d {
@@ -54,19 +107,19 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 			}
 		case OpI2F:
 			d := f.lanesF(in.A)
-			b := f.lanesI(in.B)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = float64(b[l])
 			}
 		case OpF2I:
 			d := f.lanesI(in.A)
-			b := f.lanesF(in.B)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = int64(b[l])
 			}
 		case OpSnzI:
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = b2i(b[l] != 0)
 			}
@@ -74,29 +127,29 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 		case OpAddI:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
-			c := f.lanesI(in.C)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdI(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b[l] + c[l]
 			}
 		case OpSubI:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
-			c := f.lanesI(in.C)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdI(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b[l] - c[l]
 			}
 		case OpMulI:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
-			c := f.lanesI(in.C)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdI(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b[l] * c[l]
 			}
 		case OpDivI:
-			c := f.lanesI(in.C)
+			c := f.rdI(in.C, su&srcUC != 0, 1)
 			for l := range c {
 				if c[l] == 0 {
 					p.exitVec(f, a0, a1, pc)
@@ -105,13 +158,13 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 			}
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
 			c = c[:len(d)]
 			for l := range d {
 				d[l] = b[l] / c[l]
 			}
 		case OpModI:
-			c := f.lanesI(in.C)
+			c := f.rdI(in.C, su&srcUC != 0, 1)
 			for l := range c {
 				if c[l] == 0 {
 					p.exitVec(f, a0, a1, pc)
@@ -120,7 +173,7 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 			}
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
 			c = c[:len(d)]
 			for l := range d {
 				d[l] = b[l] % c[l]
@@ -128,54 +181,54 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 		case OpAndI:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
-			c := f.lanesI(in.C)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdI(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b[l] & c[l]
 			}
 		case OpOrI:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
-			c := f.lanesI(in.C)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdI(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b[l] | c[l]
 			}
 		case OpXorI:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
-			c := f.lanesI(in.C)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdI(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b[l] ^ c[l]
 			}
 		case OpShlI:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
-			c := f.lanesI(in.C)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdI(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b[l] << uint(c[l]&63)
 			}
 		case OpShrI:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
-			c := f.lanesI(in.C)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdI(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b[l] >> uint(c[l]&63)
 			}
 		case OpNegI:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = -b[l]
 			}
 		case OpNotB:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = b2i(b[l] == 0)
 			}
@@ -183,63 +236,63 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 		case OpAddIImm:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = b[l] + in.Imm
 			}
 		case OpMulIImm:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = b[l] * in.Imm
 			}
 		case OpDivIImm:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = b[l] / in.Imm
 			}
 		case OpModIImm:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = b[l] % in.Imm
 			}
 		case OpShlIImm:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = b[l] << uint(in.Imm&63)
 			}
 		case OpShrIImm:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = b[l] >> uint(in.Imm&63)
 			}
 		case OpAndIImm:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = b[l] & in.Imm
 			}
 		case OpOrIImm:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = b[l] | in.Imm
 			}
 		case OpXorIImm:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = b[l] ^ in.Imm
 			}
@@ -247,48 +300,48 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 		case OpLtI:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
-			c := f.lanesI(in.C)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdI(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b2i(b[l] < c[l])
 			}
 		case OpLeI:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
-			c := f.lanesI(in.C)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdI(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b2i(b[l] <= c[l])
 			}
 		case OpGtI:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
-			c := f.lanesI(in.C)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdI(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b2i(b[l] > c[l])
 			}
 		case OpGeI:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
-			c := f.lanesI(in.C)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdI(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b2i(b[l] >= c[l])
 			}
 		case OpEqI:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
-			c := f.lanesI(in.C)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdI(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b2i(b[l] == c[l])
 			}
 		case OpNeI:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
-			c := f.lanesI(in.C)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdI(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b2i(b[l] != c[l])
 			}
@@ -296,42 +349,42 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 		case OpLtIImm:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = b2i(b[l] < in.Imm)
 			}
 		case OpLeIImm:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = b2i(b[l] <= in.Imm)
 			}
 		case OpGtIImm:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = b2i(b[l] > in.Imm)
 			}
 		case OpGeIImm:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = b2i(b[l] >= in.Imm)
 			}
 		case OpEqIImm:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = b2i(b[l] == in.Imm)
 			}
 		case OpNeIImm:
 			a0 += lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = b2i(b[l] != in.Imm)
 			}
@@ -339,39 +392,39 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 		case OpAddF:
 			a0 += lFloatOp
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			c := f.lanesF(in.C)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdF(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b[l] + c[l]
 			}
 		case OpSubF:
 			a0 += lFloatOp
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			c := f.lanesF(in.C)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdF(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b[l] - c[l]
 			}
 		case OpMulF:
 			a0 += lFloatOp
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			c := f.lanesF(in.C)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdF(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b[l] * c[l]
 			}
 		case OpDivF:
 			a0 += lFloatOp
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			c := f.lanesF(in.C)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdF(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b[l] / c[l]
 			}
 		case OpNegF:
 			a0 += lFloatOp
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = -b[l]
 			}
@@ -379,48 +432,48 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 		case OpLtF:
 			a0 += lFloatOp
 			d := f.lanesI(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			c := f.lanesF(in.C)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdF(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b2i(b[l] < c[l])
 			}
 		case OpLeF:
 			a0 += lFloatOp
 			d := f.lanesI(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			c := f.lanesF(in.C)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdF(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b2i(b[l] <= c[l])
 			}
 		case OpGtF:
 			a0 += lFloatOp
 			d := f.lanesI(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			c := f.lanesF(in.C)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdF(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b2i(b[l] > c[l])
 			}
 		case OpGeF:
 			a0 += lFloatOp
 			d := f.lanesI(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			c := f.lanesF(in.C)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdF(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b2i(b[l] >= c[l])
 			}
 		case OpEqF:
 			a0 += lFloatOp
 			d := f.lanesI(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			c := f.lanesF(in.C)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdF(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b2i(b[l] == c[l])
 			}
 		case OpNeF:
 			a0 += lFloatOp
 			d := f.lanesI(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			c := f.lanesF(in.C)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdF(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = b2i(b[l] != c[l])
 			}
@@ -446,8 +499,12 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 				taken = a[0] == 0
 				for l := 1; l < len(a); l++ {
 					if (a[l] == 0) != taken {
-						p.exitVec(f, a0, a1, pc)
-						return Diverged, nil
+						st, err := p.diverge(f, &a0, &a1, pc)
+						if st != joined || err != nil {
+							return st, err
+						}
+						pc = f.PC
+						continue dispatch
 					}
 				}
 			}
@@ -474,8 +531,12 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 				taken = a[0] == 0
 				for l := 1; l < len(a); l++ {
 					if (a[l] == 0) != taken {
-						p.exitVec(f, a0, a1, pc)
-						return Diverged, nil
+						st, err := p.diverge(f, &a0, &a1, pc)
+						if st != joined || err != nil {
+							return st, err
+						}
+						pc = f.PC
+						continue dispatch
 					}
 				}
 			}
@@ -502,8 +563,12 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 				taken = a[0] != 0
 				for l := 1; l < len(a); l++ {
 					if (a[l] != 0) != taken {
-						p.exitVec(f, a0, a1, pc)
-						return Diverged, nil
+						st, err := p.diverge(f, &a0, &a1, pc)
+						if st != joined || err != nil {
+							return st, err
+						}
+						pc = f.PC
+						continue dispatch
 					}
 				}
 			}
@@ -526,93 +591,160 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 			a0 += lIntOp
 			copy(f.lanesI(in.A), f.WI[in.B][in.C])
 		case OpWIDyn:
-			dim := f.lanesI(in.C)
-			for l := range dim {
-				if uint64(dim[l]) > 2 {
+			if su&srcUC != 0 {
+				dim := f.SI[in.C&f.mi]
+				if uint64(dim) > 2 {
 					p.exitVec(f, a0, a1, pc)
 					return Diverged, nil
 				}
-			}
-			a0 += lIntOp
-			d := f.lanesI(in.A)
-			dim = dim[:len(d)]
-			q := &f.WI[in.B]
-			for l := range d {
-				d[l] = q[dim[l]][l]
+				a0 += lIntOp
+				copy(f.lanesI(in.A), f.WI[in.B][dim])
+			} else {
+				dim := f.lanesI(in.C)
+				for l := range dim {
+					if uint64(dim[l]) > 2 {
+						p.exitVec(f, a0, a1, pc)
+						return Diverged, nil
+					}
+				}
+				a0 += lIntOp
+				d := f.lanesI(in.A)
+				dim = dim[:len(d)]
+				q := &f.WI[in.B]
+				for l := range d {
+					d[l] = q[dim[l]][l]
+				}
 			}
 
 		case OpLdGF:
 			b := &f.Globals[in.B]
-			ix := f.lanesI(in.C)
 			n := uint64(len(b.F))
-			for l := range ix {
-				if uint64(ix[l]) >= n {
+			if su&srcUC != 0 {
+				// Uniform address: one bounds check, one load, splat.
+				i := f.SI[in.C&f.mi]
+				if uint64(i) >= n {
 					p.exitVec(f, a0, a1, pc)
 					return Diverged, nil
 				}
-			}
-			a0 += lGLoad
-			d := f.lanesF(in.A)
-			ix = ix[:len(d)]
-			bf := b.F
-			for l := range d {
-				d[l] = float64(bf[ix[l]])
+				a0 += lGLoad
+				d := f.lanesF(in.A)
+				v := float64(b.F[i])
+				for l := range d {
+					d[l] = v
+				}
+			} else {
+				ix := f.lanesI(in.C)
+				for l := range ix {
+					if uint64(ix[l]) >= n {
+						p.exitVec(f, a0, a1, pc)
+						return Diverged, nil
+					}
+				}
+				a0 += lGLoad
+				d := f.lanesF(in.A)
+				ix = ix[:len(d)]
+				bf := b.F
+				for l := range d {
+					d[l] = float64(bf[ix[l]])
+				}
 			}
 		case OpLdGI:
 			b := &f.Globals[in.B]
-			ix := f.lanesI(in.C)
 			n := uint64(len(b.I))
-			for l := range ix {
-				if uint64(ix[l]) >= n {
+			if su&srcUC != 0 {
+				i := f.SI[in.C&f.mi]
+				if uint64(i) >= n {
 					p.exitVec(f, a0, a1, pc)
 					return Diverged, nil
 				}
-			}
-			a0 += lGLoad
-			d := f.lanesI(in.A)
-			ix = ix[:len(d)]
-			bi := b.I
-			for l := range d {
-				d[l] = int64(bi[ix[l]])
+				a0 += lGLoad
+				d := f.lanesI(in.A)
+				v := int64(b.I[i])
+				for l := range d {
+					d[l] = v
+				}
+			} else {
+				ix := f.lanesI(in.C)
+				for l := range ix {
+					if uint64(ix[l]) >= n {
+						p.exitVec(f, a0, a1, pc)
+						return Diverged, nil
+					}
+				}
+				a0 += lGLoad
+				d := f.lanesI(in.A)
+				ix = ix[:len(d)]
+				bi := b.I
+				for l := range d {
+					d[l] = int64(bi[ix[l]])
+				}
 			}
 		case OpLdLF:
 			b := &f.Locals[in.B]
-			ix := f.lanesI(in.C)
 			n := uint64(len(b.F))
-			for l := range ix {
-				if uint64(ix[l]) >= n {
+			if su&srcUC != 0 {
+				i := f.SI[in.C&f.mi]
+				if uint64(i) >= n {
 					p.exitVec(f, a0, a1, pc)
 					return Diverged, nil
 				}
-			}
-			a1 += lLocalOp
-			d := f.lanesF(in.A)
-			ix = ix[:len(d)]
-			bf := b.F
-			for l := range d {
-				d[l] = float64(bf[ix[l]])
+				a1 += lLocalOp
+				d := f.lanesF(in.A)
+				v := float64(b.F[i])
+				for l := range d {
+					d[l] = v
+				}
+			} else {
+				ix := f.lanesI(in.C)
+				for l := range ix {
+					if uint64(ix[l]) >= n {
+						p.exitVec(f, a0, a1, pc)
+						return Diverged, nil
+					}
+				}
+				a1 += lLocalOp
+				d := f.lanesF(in.A)
+				ix = ix[:len(d)]
+				bf := b.F
+				for l := range d {
+					d[l] = float64(bf[ix[l]])
+				}
 			}
 		case OpLdLI:
 			b := &f.Locals[in.B]
-			ix := f.lanesI(in.C)
 			n := uint64(len(b.I))
-			for l := range ix {
-				if uint64(ix[l]) >= n {
+			if su&srcUC != 0 {
+				i := f.SI[in.C&f.mi]
+				if uint64(i) >= n {
 					p.exitVec(f, a0, a1, pc)
 					return Diverged, nil
 				}
-			}
-			a1 += lLocalOp
-			d := f.lanesI(in.A)
-			ix = ix[:len(d)]
-			bi := b.I
-			for l := range d {
-				d[l] = int64(bi[ix[l]])
+				a1 += lLocalOp
+				d := f.lanesI(in.A)
+				v := int64(b.I[i])
+				for l := range d {
+					d[l] = v
+				}
+			} else {
+				ix := f.lanesI(in.C)
+				for l := range ix {
+					if uint64(ix[l]) >= n {
+						p.exitVec(f, a0, a1, pc)
+						return Diverged, nil
+					}
+				}
+				a1 += lLocalOp
+				d := f.lanesI(in.A)
+				ix = ix[:len(d)]
+				bi := b.I
+				for l := range d {
+					d[l] = int64(bi[ix[l]])
+				}
 			}
 
 		case OpStGF:
 			b := &f.Globals[in.B]
-			ix := f.lanesI(in.C)
+			ix := f.rdI(in.C, su&srcUC != 0, 0)
 			n := uint64(len(b.F))
 			for l := range ix {
 				if uint64(ix[l]) >= n {
@@ -621,14 +753,14 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 				}
 			}
 			a1 += lGStore
-			src := f.lanesF(in.A)[:len(ix)]
+			src := f.rdF(in.A, su&srcUB != 0, 0)[:len(ix)]
 			bf := b.F
 			for l := range ix {
 				bf[ix[l]] = float32(src[l])
 			}
 		case OpStGI:
 			b := &f.Globals[in.B]
-			ix := f.lanesI(in.C)
+			ix := f.rdI(in.C, su&srcUC != 0, 0)
 			n := uint64(len(b.I))
 			for l := range ix {
 				if uint64(ix[l]) >= n {
@@ -637,14 +769,14 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 				}
 			}
 			a1 += lGStore
-			src := f.lanesI(in.A)[:len(ix)]
+			src := f.rdI(in.A, su&srcUB != 0, 1)[:len(ix)]
 			bi := b.I
 			for l := range ix {
 				bi[ix[l]] = int32(src[l])
 			}
 		case OpStLF:
 			b := &f.Locals[in.B]
-			ix := f.lanesI(in.C)
+			ix := f.rdI(in.C, su&srcUC != 0, 0)
 			n := uint64(len(b.F))
 			for l := range ix {
 				if uint64(ix[l]) >= n {
@@ -653,14 +785,14 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 				}
 			}
 			a1 += lLocalOp
-			src := f.lanesF(in.A)[:len(ix)]
+			src := f.rdF(in.A, su&srcUB != 0, 0)[:len(ix)]
 			bf := b.F
 			for l := range ix {
 				bf[ix[l]] = float32(src[l])
 			}
 		case OpStLI:
 			b := &f.Locals[in.B]
-			ix := f.lanesI(in.C)
+			ix := f.rdI(in.C, su&srcUC != 0, 0)
 			n := uint64(len(b.I))
 			for l := range ix {
 				if uint64(ix[l]) >= n {
@@ -669,7 +801,7 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 				}
 			}
 			a1 += lLocalOp
-			src := f.lanesI(in.A)[:len(ix)]
+			src := f.rdI(in.A, su&srcUB != 0, 1)[:len(ix)]
 			bi := b.I
 			for l := range ix {
 				bi[ix[l]] = int32(src[l])
@@ -678,119 +810,119 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 		case OpSqrtF:
 			a0 += lTransOp
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = math.Sqrt(b[l])
 			}
 		case OpRsqrtF:
 			a0 += lTransOp
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = 1 / math.Sqrt(b[l])
 			}
 		case OpExpF:
 			a0 += lTransOp
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = math.Exp(b[l])
 			}
 		case OpLogF:
 			a0 += lTransOp
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = math.Log(b[l])
 			}
 		case OpLog2F:
 			a0 += lTransOp
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = math.Log2(b[l])
 			}
 		case OpSinF:
 			a0 += lTransOp
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = math.Sin(b[l])
 			}
 		case OpCosF:
 			a0 += lTransOp
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = math.Cos(b[l])
 			}
 		case OpTanF:
 			a0 += lTransOp
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = math.Tan(b[l])
 			}
 		case OpPowF:
 			a0 += lTransOp
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			c := f.lanesF(in.C)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdF(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = math.Pow(b[l], c[l])
 			}
 		case OpAbsF:
 			a0 += lOtherB
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = math.Abs(b[l])
 			}
 		case OpFloorF:
 			a0 += lOtherB
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = math.Floor(b[l])
 			}
 		case OpCeilF:
 			a0 += lOtherB
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				d[l] = math.Ceil(b[l])
 			}
 		case OpMinF:
 			a0 += lOtherB
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			c := f.lanesF(in.C)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdF(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = math.Min(b[l], c[l])
 			}
 		case OpMaxF:
 			a0 += lOtherB
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			c := f.lanesF(in.C)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdF(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = math.Max(b[l], c[l])
 			}
 		case OpFmaF:
 			a0 += lOtherB
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			c := f.lanesF(in.C)[:len(d)]
-			m := f.lanesF(int32(in.Imm))[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdF(in.C, su&srcUC != 0, 1)[:len(d)]
+			m := f.rdF(int32(in.Imm), su&srcUX != 0, 2)[:len(d)]
 			for l := range d {
 				d[l] = b[l]*c[l] + m[l]
 			}
 		case OpClampF:
 			a0 += lOtherB
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			c := f.lanesF(in.C)[:len(d)]
-			m := f.lanesF(int32(in.Imm))[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdF(in.C, su&srcUC != 0, 1)[:len(d)]
+			m := f.rdF(int32(in.Imm), su&srcUX != 0, 2)[:len(d)]
 			for l := range d {
 				d[l] = math.Max(c[l], math.Min(b[l], m[l]))
 			}
@@ -798,23 +930,23 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 		case OpMinI:
 			a0 += lOtherB
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
-			c := f.lanesI(in.C)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdI(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = min(b[l], c[l])
 			}
 		case OpMaxI:
 			a0 += lOtherB
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
-			c := f.lanesI(in.C)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdI(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = max(b[l], c[l])
 			}
 		case OpAbsI:
 			a0 += lOtherB
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
 			for l := range d {
 				v := b[l]
 				if v < 0 {
@@ -825,9 +957,9 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 		case OpClampI:
 			a0 += lOtherB
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
-			c := f.lanesI(in.C)[:len(d)]
-			m := f.lanesI(int32(in.Imm))[:len(d)]
+			b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdI(in.C, su&srcUC != 0, 1)[:len(d)]
+			m := f.rdI(int32(in.Imm), su&srcUX != 0, 2)[:len(d)]
 			for l := range d {
 				d[l] = max(c[l], min(b[l], m[l]))
 			}
@@ -836,31 +968,53 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 			// The whole lane group is resident and instruction-level
 			// lockstep is stronger than barrier-level lockstep: every
 			// pre-barrier store has retired before any lane proceeds.
+			// (Divergent regions never contain a barrier — computeJoins
+			// refuses them — so this arm never runs in a side frame.)
 			a1 += lBarrier
 
 		case OpMulAddI:
 			a0 += 2 * lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
-			c := f.lanesI(in.C)[:len(d)]
-			m := f.lanesI(int32(in.Imm))[:len(d)]
-			for l := range d {
-				d[l] = b[l]*c[l] + m[l]
+			if su&(srcUC|srcUX) == srcUC|srcUX && su&srcUB == 0 {
+				// The hot address shape: varying base times uniform
+				// stride plus uniform offset, one multiply-add per lane
+				// with no broadcast traffic.
+				b := f.lanesI(in.B)[:len(d)]
+				cv := f.SI[in.C&f.mi]
+				xv := f.SI[int32(in.Imm)&f.mi]
+				for l := range d {
+					d[l] = b[l]*cv + xv
+				}
+			} else {
+				b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
+				c := f.rdI(in.C, su&srcUC != 0, 1)[:len(d)]
+				m := f.rdI(int32(in.Imm), su&srcUX != 0, 2)[:len(d)]
+				for l := range d {
+					d[l] = b[l]*c[l] + m[l]
+				}
 			}
 		case OpMulImmAddI:
 			a0 += 2 * lIntOp
 			d := f.lanesI(in.A)
-			b := f.lanesI(in.B)[:len(d)]
-			c := f.lanesI(in.C)[:len(d)]
-			for l := range d {
-				d[l] = b[l]*in.Imm + c[l]
+			if su&srcUC != 0 && su&srcUB == 0 {
+				b := f.lanesI(in.B)[:len(d)]
+				cv := f.SI[in.C&f.mi]
+				for l := range d {
+					d[l] = b[l]*in.Imm + cv
+				}
+			} else {
+				b := f.rdI(in.B, su&srcUB != 0, 0)[:len(d)]
+				c := f.rdI(in.C, su&srcUC != 0, 1)[:len(d)]
+				for l := range d {
+					d[l] = b[l]*in.Imm + c[l]
+				}
 			}
 		case OpMulAddF:
 			a0 += 2 * lFloatOp
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			c := f.lanesF(in.C)[:len(d)]
-			m := f.lanesF(int32(in.Imm))[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdF(in.C, su&srcUC != 0, 1)[:len(d)]
+			m := f.rdF(int32(in.Imm), su&srcUX != 0, 2)[:len(d)]
 			for l := range d {
 				// Explicit conversion as in the scalar arm: the product
 				// rounds separately, never contracted into an FMA.
@@ -869,161 +1023,336 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 		case OpAddFLdG:
 			slot, _ := unpackMem(in.Imm)
 			bb := &f.Globals[slot]
-			ix := f.lanesI(in.C)
 			n := uint64(len(bb.F))
-			for l := range ix {
-				if uint64(ix[l]) >= n {
+			if su&srcUC != 0 {
+				i := f.SI[in.C&f.mi]
+				if uint64(i) >= n {
 					p.exitVec(f, a0, a1, pc)
 					return Diverged, nil
 				}
-			}
-			a0 += lFloatOp + lGLoad
-			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			ix = ix[:len(d)]
-			bf := bb.F
-			for l := range d {
-				d[l] = b[l] + float64(bf[ix[l]])
+				a0 += lFloatOp + lGLoad
+				d := f.lanesF(in.A)
+				b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+				mv := float64(bb.F[i])
+				for l := range d {
+					d[l] = b[l] + mv
+				}
+			} else {
+				ix := f.lanesI(in.C)
+				for l := range ix {
+					if uint64(ix[l]) >= n {
+						p.exitVec(f, a0, a1, pc)
+						return Diverged, nil
+					}
+				}
+				a0 += lFloatOp + lGLoad
+				d := f.lanesF(in.A)
+				b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+				ix = ix[:len(d)]
+				bf := bb.F
+				for l := range d {
+					d[l] = b[l] + float64(bf[ix[l]])
+				}
 			}
 		case OpMulFLdG:
 			slot, _ := unpackMem(in.Imm)
 			bb := &f.Globals[slot]
-			ix := f.lanesI(in.C)
 			n := uint64(len(bb.F))
-			for l := range ix {
-				if uint64(ix[l]) >= n {
+			if su&srcUC != 0 {
+				i := f.SI[in.C&f.mi]
+				if uint64(i) >= n {
 					p.exitVec(f, a0, a1, pc)
 					return Diverged, nil
 				}
-			}
-			a0 += lFloatOp + lGLoad
-			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			ix = ix[:len(d)]
-			bf := bb.F
-			for l := range d {
-				d[l] = b[l] * float64(bf[ix[l]])
+				a0 += lFloatOp + lGLoad
+				d := f.lanesF(in.A)
+				b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+				mv := float64(bb.F[i])
+				for l := range d {
+					d[l] = b[l] * mv
+				}
+			} else {
+				ix := f.lanesI(in.C)
+				for l := range ix {
+					if uint64(ix[l]) >= n {
+						p.exitVec(f, a0, a1, pc)
+						return Diverged, nil
+					}
+				}
+				a0 += lFloatOp + lGLoad
+				d := f.lanesF(in.A)
+				b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+				ix = ix[:len(d)]
+				bf := bb.F
+				for l := range d {
+					d[l] = b[l] * float64(bf[ix[l]])
+				}
 			}
 		case OpSubFLdG:
 			slot, _ := unpackMem(in.Imm)
 			bb := &f.Globals[slot]
-			ix := f.lanesI(in.C)
 			n := uint64(len(bb.F))
-			for l := range ix {
-				if uint64(ix[l]) >= n {
+			if su&srcUC != 0 {
+				i := f.SI[in.C&f.mi]
+				if uint64(i) >= n {
 					p.exitVec(f, a0, a1, pc)
 					return Diverged, nil
 				}
-			}
-			a0 += lFloatOp + lGLoad
-			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			ix = ix[:len(d)]
-			bf := bb.F
-			for l := range d {
-				d[l] = b[l] - float64(bf[ix[l]])
+				a0 += lFloatOp + lGLoad
+				d := f.lanesF(in.A)
+				b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+				mv := float64(bb.F[i])
+				for l := range d {
+					d[l] = b[l] - mv
+				}
+			} else {
+				ix := f.lanesI(in.C)
+				for l := range ix {
+					if uint64(ix[l]) >= n {
+						p.exitVec(f, a0, a1, pc)
+						return Diverged, nil
+					}
+				}
+				a0 += lFloatOp + lGLoad
+				d := f.lanesF(in.A)
+				b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+				ix = ix[:len(d)]
+				bf := bb.F
+				for l := range d {
+					d[l] = b[l] - float64(bf[ix[l]])
+				}
 			}
 		case OpLdSubFG:
 			slot, _ := unpackMem(in.Imm)
 			bb := &f.Globals[slot]
-			ix := f.lanesI(in.C)
 			n := uint64(len(bb.F))
-			for l := range ix {
-				if uint64(ix[l]) >= n {
+			if su&srcUC != 0 {
+				i := f.SI[in.C&f.mi]
+				if uint64(i) >= n {
 					p.exitVec(f, a0, a1, pc)
 					return Diverged, nil
 				}
-			}
-			a0 += lFloatOp + lGLoad
-			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			ix = ix[:len(d)]
-			bf := bb.F
-			for l := range d {
-				d[l] = float64(bf[ix[l]]) - b[l]
+				a0 += lFloatOp + lGLoad
+				d := f.lanesF(in.A)
+				b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+				mv := float64(bb.F[i])
+				for l := range d {
+					d[l] = mv - b[l]
+				}
+			} else {
+				ix := f.lanesI(in.C)
+				for l := range ix {
+					if uint64(ix[l]) >= n {
+						p.exitVec(f, a0, a1, pc)
+						return Diverged, nil
+					}
+				}
+				a0 += lFloatOp + lGLoad
+				d := f.lanesF(in.A)
+				b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+				ix = ix[:len(d)]
+				bf := bb.F
+				for l := range d {
+					d[l] = float64(bf[ix[l]]) - b[l]
+				}
 			}
 		case OpMulAccLdG:
 			slot, _ := unpackMem(in.Imm)
 			bb := &f.Globals[slot]
-			ix := f.lanesI(in.C)
 			n := uint64(len(bb.F))
-			for l := range ix {
-				if uint64(ix[l]) >= n {
+			if su&srcUC != 0 {
+				// The matvec inner product: every lane multiplies its own
+				// row element by the same vector element — one load for
+				// the whole group.
+				i := f.SI[in.C&f.mi]
+				if uint64(i) >= n {
 					p.exitVec(f, a0, a1, pc)
 					return Diverged, nil
 				}
-			}
-			a0 += 2*lFloatOp + lGLoad
-			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			ix = ix[:len(d)]
-			bf := bb.F
-			for l := range d {
-				d[l] = d[l] + float64(b[l]*float64(bf[ix[l]]))
+				a0 += 2*lFloatOp + lGLoad
+				d := f.lanesF(in.A)
+				b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+				mv := float64(bb.F[i])
+				for l := range d {
+					d[l] = d[l] + float64(b[l]*mv)
+				}
+			} else {
+				ix := f.lanesI(in.C)
+				for l := range ix {
+					if uint64(ix[l]) >= n {
+						p.exitVec(f, a0, a1, pc)
+						return Diverged, nil
+					}
+				}
+				a0 += 2*lFloatOp + lGLoad
+				d := f.lanesF(in.A)
+				b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+				ix = ix[:len(d)]
+				bf := bb.F
+				for l := range d {
+					d[l] = d[l] + float64(b[l]*float64(bf[ix[l]]))
+				}
 			}
 		case OpMulMulF:
 			a0 += 2 * lFloatOp
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			c := f.lanesF(in.C)[:len(d)]
-			m := f.lanesF(int32(in.Imm))[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdF(in.C, su&srcUC != 0, 1)[:len(d)]
+			m := f.rdF(int32(in.Imm), su&srcUX != 0, 2)[:len(d)]
 			for l := range d {
 				d[l] = float64(b[l]*c[l]) * m[l]
 			}
 		case OpAddRsqrtF:
 			a0 += lFloatOp + lTransOp
 			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			c := f.lanesF(in.C)[:len(d)]
+			b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+			c := f.rdF(in.C, su&srcUC != 0, 1)[:len(d)]
 			for l := range d {
 				d[l] = 1 / math.Sqrt(b[l]+c[l])
 			}
 		case OpLdGFIdx:
 			slot, _, r3 := unpackMemIdx(in.Imm)
 			bb := &f.Globals[slot]
-			b := f.lanesI(in.B)
-			c := f.lanesI(in.C)[:len(b)]
-			r := f.lanesI(r3)[:len(b)]
-			idx := f.idx[:len(b)]
-			n := uint64(len(bb.F))
-			for l := range b {
-				v := b[l]*c[l] + r[l]
-				if uint64(v) >= n {
-					p.exitVec(f, a0, a1, pc)
-					return Diverged, nil
+			bf := bb.F
+			const uniCX = srcUC | srcUX
+			if su&uniCX == uniCX && su&srcUB == 0 {
+				// row*stride+off with uniform stride and offset (the
+				// matvec/matmul A-operand shape): hoist both scalars and
+				// stream the varying row lanes — no scratch splats. The
+				// int sources cannot alias the float dest, so compute,
+				// check, and gather in one pass; dest lanes written
+				// before a would-fault park are rewritten by the scalar
+				// rerun of this very instruction.
+				cs, rs := f.SI[in.C&f.mi], f.SI[r3&f.mi]
+				b := f.lanesI(in.B)
+				d := f.lanesF(in.A)[:len(b)]
+				for l := range b {
+					v := b[l]*cs + rs
+					if uint64(v) >= uint64(len(bf)) {
+						p.exitVec(f, a0, a1, pc)
+						return Diverged, nil
+					}
+					d[l] = float64(bf[v])
 				}
-				idx[l] = v
+			} else {
+				b := f.rdI(in.B, su&srcUB != 0, 0)
+				c := f.rdI(in.C, su&srcUC != 0, 1)[:len(b)]
+				r := f.rdI(r3, su&srcUX != 0, 2)[:len(b)]
+				d := f.lanesF(in.A)[:len(b)]
+				for l := range b {
+					v := b[l]*c[l] + r[l]
+					if uint64(v) >= uint64(len(bf)) {
+						p.exitVec(f, a0, a1, pc)
+						return Diverged, nil
+					}
+					d[l] = float64(bf[v])
+				}
 			}
 			a0 += 2*lIntOp + lGLoad
-			d := f.lanesF(in.A)
-			idx = idx[:len(d)]
-			bf := bb.F
-			for l := range d {
-				d[l] = float64(bf[idx[l]])
-			}
 		case OpMacLdGIdx:
 			slot, _, r2, r3 := unpackMacIdx(in.Imm)
 			bb := &f.Globals[slot]
-			c := f.lanesI(in.C)
-			i2 := f.lanesI(r2)[:len(c)]
-			i3 := f.lanesI(r3)[:len(c)]
-			idx := f.idx[:len(c)]
 			n := uint64(len(bb.F))
-			for l := range c {
-				v := c[l]*i2[l] + i3[l]
+			const uniIdx = srcUC | srcUX2 | srcUX
+			if su&uniIdx == uniIdx {
+				// The matmul inner product: the B-matrix address
+				// k*n + j is fully uniform when each lane owns a row —
+				// one bounds check and one load feed all W multiply-adds.
+				v := f.SI[in.C&f.mi]*f.SI[r2&f.mi] + f.SI[r3&f.mi]
 				if uint64(v) >= n {
 					p.exitVec(f, a0, a1, pc)
 					return Diverged, nil
 				}
-				idx[l] = v
-			}
-			a0 += 2*lIntOp + 2*lFloatOp + lGLoad
-			d := f.lanesF(in.A)
-			b := f.lanesF(in.B)[:len(d)]
-			idx = idx[:len(d)]
-			bf := bb.F
-			for l := range d {
-				d[l] = d[l] + float64(b[l]*float64(bf[idx[l]]))
+				a0 += 2*lIntOp + 2*lFloatOp + lGLoad
+				d := f.lanesF(in.A)
+				b := f.rdF(in.B, su&srcUB != 0, 0)[:len(d)]
+				mv := float64(bb.F[v])
+				for l := range d {
+					d[l] = d[l] + float64(b[l]*mv)
+				}
+			} else if su&(srcUC|srcUX2) == srcUC|srcUX2 {
+				// k*stride uniform, the lane offset varying (the matmul
+				// B-operand shape k*n+col): one scalar base, stream the
+				// varying offset lanes. The MAC dest is read-modify-write,
+				// so every lane must pass its bounds check before any dest
+				// lane is written (a park after a partial MAC would
+				// double-accumulate on the scalar rerun) — check first,
+				// then recompute the cheap add in the fused MAC loop.
+				base := f.SI[in.C&f.mi] * f.SI[r2&f.mi]
+				bf := bb.F
+				r := f.lanesI(r3)
+				// Gather into the broadcast scratch (no splat uses it on
+				// this path) so the bounds checks double as the fault
+				// checks, then commit into the read-modify-write dest
+				// only once every lane has passed.
+				t := f.bcF[:f.W][:len(r)]
+				for l := range r {
+					v := base + r[l]
+					if uint64(v) >= uint64(len(bf)) {
+						p.exitVec(f, a0, a1, pc)
+						return Diverged, nil
+					}
+					t[l] = float64(bf[v])
+				}
+				a0 += 2*lIntOp + 2*lFloatOp + lGLoad
+				d := f.lanesF(in.A)[:len(r)]
+				if su&srcUB != 0 {
+					bv := f.SF[in.B&f.mf]
+					for l := range d {
+						d[l] = d[l] + bv*t[l]
+					}
+				} else {
+					b := f.lanesF(in.B)[:len(d)]
+					for l := range d {
+						d[l] = d[l] + b[l]*t[l]
+					}
+				}
+			} else {
+				var idx []int64
+				const uniStride = srcUX2 | srcUX
+				if su&uniStride == uniStride {
+					// row varying, stride and offset uniform
+					// (row*n+k): hoist the two scalars.
+					s2, s3 := f.SI[r2&f.mi], f.SI[r3&f.mi]
+					c := f.lanesI(in.C)
+					idx = f.idx[:len(c)]
+					for l := range c {
+						v := c[l]*s2 + s3
+						if uint64(v) >= n {
+							p.exitVec(f, a0, a1, pc)
+							return Diverged, nil
+						}
+						idx[l] = v
+					}
+				} else {
+					c := f.rdI(in.C, su&srcUC != 0, 0)
+					i2 := f.rdI(r2, su&srcUX2 != 0, 1)[:len(c)]
+					i3 := f.rdI(r3, su&srcUX != 0, 2)[:len(c)]
+					idx = f.idx[:len(c)]
+					for l := range c {
+						v := c[l]*i2[l] + i3[l]
+						if uint64(v) >= n {
+							p.exitVec(f, a0, a1, pc)
+							return Diverged, nil
+						}
+						idx[l] = v
+					}
+				}
+				a0 += 2*lIntOp + 2*lFloatOp + lGLoad
+				d := f.lanesF(in.A)
+				idx = idx[:len(d)]
+				bf := bb.F
+				if su&srcUB != 0 {
+					bv := f.SF[in.B&f.mf]
+					for l := range d {
+						d[l] = d[l] + float64(bv*float64(bf[idx[l]]))
+					}
+				} else {
+					b := f.lanesF(in.B)[:len(d)]
+					for l := range d {
+						d[l] = d[l] + float64(b[l]*float64(bf[idx[l]]))
+					}
+				}
 			}
 
 		case OpJCmpI:
@@ -1031,13 +1360,17 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 			if p.condUniform[pc] {
 				taken = ccHoldsI(in.C, f.lanesI(in.A)[0], f.lanesI(in.B)[0])
 			} else {
-				a := f.lanesI(in.A)
-				b := f.lanesI(in.B)[:len(a)]
+				a := f.rdI(in.A, su&srcUB != 0, 0)
+				b := f.rdI(in.B, su&srcUC != 0, 1)[:len(a)]
 				taken = ccHoldsI(in.C, a[0], b[0])
 				for l := 1; l < len(a); l++ {
 					if ccHoldsI(in.C, a[l], b[l]) != taken {
-						p.exitVec(f, a0, a1, pc)
-						return Diverged, nil
+						st, err := p.diverge(f, &a0, &a1, pc)
+						if st != joined || err != nil {
+							return st, err
+						}
+						pc = f.PC
+						continue dispatch
 					}
 				}
 			}
@@ -1065,8 +1398,12 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 				taken = ccHoldsI(in.B, a[0], in.Imm)
 				for l := 1; l < len(a); l++ {
 					if ccHoldsI(in.B, a[l], in.Imm) != taken {
-						p.exitVec(f, a0, a1, pc)
-						return Diverged, nil
+						st, err := p.diverge(f, &a0, &a1, pc)
+						if st != joined || err != nil {
+							return st, err
+						}
+						pc = f.PC
+						continue dispatch
 					}
 				}
 			}
@@ -1090,13 +1427,17 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 			if p.condUniform[pc] {
 				taken = ccHoldsF(in.C, f.lanesF(in.A)[0], f.lanesF(in.B)[0])
 			} else {
-				a := f.lanesF(in.A)
-				b := f.lanesF(in.B)[:len(a)]
+				a := f.rdF(in.A, su&srcUB != 0, 0)
+				b := f.rdF(in.B, su&srcUC != 0, 1)[:len(a)]
 				taken = ccHoldsF(in.C, a[0], b[0])
 				for l := 1; l < len(a); l++ {
 					if ccHoldsF(in.C, a[l], b[l]) != taken {
-						p.exitVec(f, a0, a1, pc)
-						return Diverged, nil
+						st, err := p.diverge(f, &a0, &a1, pc)
+						if st != joined || err != nil {
+							return st, err
+						}
+						pc = f.PC
+						continue dispatch
 					}
 				}
 			}
@@ -1118,7 +1459,9 @@ func (p *VecFunc) Run(f *VecFrame) (Status, error) {
 		case OpIncJCmpI:
 			// Vectorize guarantees a statically uniform condition here
 			// (the fused counter mutates before testing), so lane 0
-			// decides for the group with no agreement scan.
+			// decides for the group with no agreement scan. Only reached
+			// in v1 mode — with scalarization on, a uniform addjcmp.i is
+			// always handled by scalRun.
 			a0 += 2 * lIntOp
 			a1 += lBranch
 			d := f.lanesI(in.A)

@@ -1,0 +1,595 @@
+package vm
+
+import "math"
+
+// scalRun executes the maximal run of scalarized instructions starting
+// at *pc — instructions whose destination (and therefore operands) are
+// group-uniform execute exactly once per dispatch against the frame's
+// scalar slots, mirroring the scalar VM arm for arm. Counter charges
+// are the same per-item constants the vector arms use (one charge per
+// dispatch IS the per-item count), and a taken jump still spends W
+// fuel: W items each took one step.
+//
+// Returns done=false when dispatch should continue in the vector
+// switch at the updated *pc. Otherwise the run ended the whole
+// dispatch: the join point was reached (joined), a lane would have
+// faulted — all lanes, the operands are uniform — and the frame is
+// parked pre-instruction and uncounted for the scalar rerun
+// (Diverged), or the budget drained (Halted with the error).
+func (p *VecFunc) scalRun(f *VecFrame, a0p, a1p *uint64, pcp *int, wd int64) (Status, bool, error) {
+	code := p.Code
+	si, sf := f.SI, f.SF
+	mi, mf := f.mi, f.mf
+	a0, a1 := *a0p, *a1p
+	pc := *pcp
+	out := func() {
+		*a0p, *a1p, *pcp = a0, a1, pc
+	}
+	for pc < len(code) {
+		if pc == f.Stop {
+			out()
+			p.exitVec(f, a0, a1, pc)
+			return joined, true, nil
+		}
+		if !p.scal[pc] {
+			out()
+			return 0, false, nil
+		}
+		in := &code[pc]
+		switch in.Op {
+		case OpMovI:
+			si[in.A&mi] = si[in.B&mi]
+		case OpMovF:
+			sf[in.A&mf] = sf[in.B&mf]
+		case OpLdcI:
+			si[in.A&mi] = in.Imm
+		case OpLdcF:
+			sf[in.A&mf] = p.FPool[in.Imm]
+		case OpI2F:
+			sf[in.A&mf] = float64(si[in.B&mi])
+		case OpF2I:
+			si[in.A&mi] = int64(sf[in.B&mf])
+		case OpSnzI:
+			si[in.A&mi] = b2i(si[in.B&mi] != 0)
+
+		case OpAddI:
+			a0 += lIntOp
+			si[in.A&mi] = si[in.B&mi] + si[in.C&mi]
+		case OpSubI:
+			a0 += lIntOp
+			si[in.A&mi] = si[in.B&mi] - si[in.C&mi]
+		case OpMulI:
+			a0 += lIntOp
+			si[in.A&mi] = si[in.B&mi] * si[in.C&mi]
+		case OpDivI:
+			if si[in.C&mi] == 0 {
+				out()
+				p.exitVec(f, a0, a1, pc)
+				return Diverged, true, nil
+			}
+			a0 += lIntOp
+			si[in.A&mi] = si[in.B&mi] / si[in.C&mi]
+		case OpModI:
+			if si[in.C&mi] == 0 {
+				out()
+				p.exitVec(f, a0, a1, pc)
+				return Diverged, true, nil
+			}
+			a0 += lIntOp
+			si[in.A&mi] = si[in.B&mi] % si[in.C&mi]
+		case OpAndI:
+			a0 += lIntOp
+			si[in.A&mi] = si[in.B&mi] & si[in.C&mi]
+		case OpOrI:
+			a0 += lIntOp
+			si[in.A&mi] = si[in.B&mi] | si[in.C&mi]
+		case OpXorI:
+			a0 += lIntOp
+			si[in.A&mi] = si[in.B&mi] ^ si[in.C&mi]
+		case OpShlI:
+			a0 += lIntOp
+			si[in.A&mi] = si[in.B&mi] << uint(si[in.C&mi]&63)
+		case OpShrI:
+			a0 += lIntOp
+			si[in.A&mi] = si[in.B&mi] >> uint(si[in.C&mi]&63)
+		case OpNegI:
+			a0 += lIntOp
+			si[in.A&mi] = -si[in.B&mi]
+		case OpNotB:
+			a0 += lIntOp
+			si[in.A&mi] = b2i(si[in.B&mi] == 0)
+
+		case OpAddIImm:
+			a0 += lIntOp
+			si[in.A&mi] = si[in.B&mi] + in.Imm
+		case OpMulIImm:
+			a0 += lIntOp
+			si[in.A&mi] = si[in.B&mi] * in.Imm
+		case OpDivIImm:
+			a0 += lIntOp
+			si[in.A&mi] = si[in.B&mi] / in.Imm
+		case OpModIImm:
+			a0 += lIntOp
+			si[in.A&mi] = si[in.B&mi] % in.Imm
+		case OpShlIImm:
+			a0 += lIntOp
+			si[in.A&mi] = si[in.B&mi] << uint(in.Imm&63)
+		case OpShrIImm:
+			a0 += lIntOp
+			si[in.A&mi] = si[in.B&mi] >> uint(in.Imm&63)
+		case OpAndIImm:
+			a0 += lIntOp
+			si[in.A&mi] = si[in.B&mi] & in.Imm
+		case OpOrIImm:
+			a0 += lIntOp
+			si[in.A&mi] = si[in.B&mi] | in.Imm
+		case OpXorIImm:
+			a0 += lIntOp
+			si[in.A&mi] = si[in.B&mi] ^ in.Imm
+
+		case OpLtI:
+			a0 += lIntOp
+			si[in.A&mi] = b2i(si[in.B&mi] < si[in.C&mi])
+		case OpLeI:
+			a0 += lIntOp
+			si[in.A&mi] = b2i(si[in.B&mi] <= si[in.C&mi])
+		case OpGtI:
+			a0 += lIntOp
+			si[in.A&mi] = b2i(si[in.B&mi] > si[in.C&mi])
+		case OpGeI:
+			a0 += lIntOp
+			si[in.A&mi] = b2i(si[in.B&mi] >= si[in.C&mi])
+		case OpEqI:
+			a0 += lIntOp
+			si[in.A&mi] = b2i(si[in.B&mi] == si[in.C&mi])
+		case OpNeI:
+			a0 += lIntOp
+			si[in.A&mi] = b2i(si[in.B&mi] != si[in.C&mi])
+
+		case OpLtIImm:
+			a0 += lIntOp
+			si[in.A&mi] = b2i(si[in.B&mi] < in.Imm)
+		case OpLeIImm:
+			a0 += lIntOp
+			si[in.A&mi] = b2i(si[in.B&mi] <= in.Imm)
+		case OpGtIImm:
+			a0 += lIntOp
+			si[in.A&mi] = b2i(si[in.B&mi] > in.Imm)
+		case OpGeIImm:
+			a0 += lIntOp
+			si[in.A&mi] = b2i(si[in.B&mi] >= in.Imm)
+		case OpEqIImm:
+			a0 += lIntOp
+			si[in.A&mi] = b2i(si[in.B&mi] == in.Imm)
+		case OpNeIImm:
+			a0 += lIntOp
+			si[in.A&mi] = b2i(si[in.B&mi] != in.Imm)
+
+		case OpAddF:
+			a0 += lFloatOp
+			sf[in.A&mf] = sf[in.B&mf] + sf[in.C&mf]
+		case OpSubF:
+			a0 += lFloatOp
+			sf[in.A&mf] = sf[in.B&mf] - sf[in.C&mf]
+		case OpMulF:
+			a0 += lFloatOp
+			sf[in.A&mf] = sf[in.B&mf] * sf[in.C&mf]
+		case OpDivF:
+			a0 += lFloatOp
+			sf[in.A&mf] = sf[in.B&mf] / sf[in.C&mf]
+		case OpNegF:
+			a0 += lFloatOp
+			sf[in.A&mf] = -sf[in.B&mf]
+
+		case OpLtF:
+			a0 += lFloatOp
+			si[in.A&mi] = b2i(sf[in.B&mf] < sf[in.C&mf])
+		case OpLeF:
+			a0 += lFloatOp
+			si[in.A&mi] = b2i(sf[in.B&mf] <= sf[in.C&mf])
+		case OpGtF:
+			a0 += lFloatOp
+			si[in.A&mi] = b2i(sf[in.B&mf] > sf[in.C&mf])
+		case OpGeF:
+			a0 += lFloatOp
+			si[in.A&mi] = b2i(sf[in.B&mf] >= sf[in.C&mf])
+		case OpEqF:
+			a0 += lFloatOp
+			si[in.A&mi] = b2i(sf[in.B&mf] == sf[in.C&mf])
+		case OpNeF:
+			a0 += lFloatOp
+			si[in.A&mi] = b2i(sf[in.B&mf] != sf[in.C&mf])
+
+		case OpJZBr:
+			a1 += lBranch
+			if si[in.A&mi] == 0 {
+				a1 -= roomOne
+				if a1 < roomOne {
+					f.Cnt.addPacked(a0, a1)
+					a0, a1 = 0, uint64(p.room)<<roomShift
+				}
+				if err := f.spend(wd); err != nil {
+					out()
+					p.exitVec(f, a0, a1, pc)
+					return Halted, true, err
+				}
+				pc = int(in.Imm)
+				continue
+			}
+		case OpJZLog:
+			a0 += lIntOp
+			if si[in.A&mi] == 0 {
+				a1 -= roomOne
+				if a1 < roomOne {
+					f.Cnt.addPacked(a0, a1)
+					a0, a1 = 0, uint64(p.room)<<roomShift
+				}
+				if err := f.spend(wd); err != nil {
+					out()
+					p.exitVec(f, a0, a1, pc)
+					return Halted, true, err
+				}
+				pc = int(in.Imm)
+				continue
+			}
+		case OpJNZLog:
+			a0 += lIntOp
+			if si[in.A&mi] != 0 {
+				a1 -= roomOne
+				if a1 < roomOne {
+					f.Cnt.addPacked(a0, a1)
+					a0, a1 = 0, uint64(p.room)<<roomShift
+				}
+				if err := f.spend(wd); err != nil {
+					out()
+					p.exitVec(f, a0, a1, pc)
+					return Halted, true, err
+				}
+				pc = int(in.Imm)
+				continue
+			}
+
+		case OpWI:
+			a0 += lIntOp
+			si[in.A&mi] = f.WI[in.B][in.C][0]
+		case OpWIDyn:
+			dim := si[in.C&mi]
+			if uint64(dim) > 2 {
+				out()
+				p.exitVec(f, a0, a1, pc)
+				return Diverged, true, nil
+			}
+			a0 += lIntOp
+			si[in.A&mi] = f.WI[in.B][dim][0]
+
+		case OpLdGF:
+			b := &f.Globals[in.B]
+			i := si[in.C&mi]
+			if uint64(i) >= uint64(len(b.F)) {
+				out()
+				p.exitVec(f, a0, a1, pc)
+				return Diverged, true, nil
+			}
+			a0 += lGLoad
+			sf[in.A&mf] = float64(b.F[i])
+		case OpLdGI:
+			b := &f.Globals[in.B]
+			i := si[in.C&mi]
+			if uint64(i) >= uint64(len(b.I)) {
+				out()
+				p.exitVec(f, a0, a1, pc)
+				return Diverged, true, nil
+			}
+			a0 += lGLoad
+			si[in.A&mi] = int64(b.I[i])
+		case OpLdLF:
+			b := &f.Locals[in.B]
+			i := si[in.C&mi]
+			if uint64(i) >= uint64(len(b.F)) {
+				out()
+				p.exitVec(f, a0, a1, pc)
+				return Diverged, true, nil
+			}
+			a1 += lLocalOp
+			sf[in.A&mf] = float64(b.F[i])
+		case OpLdLI:
+			b := &f.Locals[in.B]
+			i := si[in.C&mi]
+			if uint64(i) >= uint64(len(b.I)) {
+				out()
+				p.exitVec(f, a0, a1, pc)
+				return Diverged, true, nil
+			}
+			a1 += lLocalOp
+			si[in.A&mi] = int64(b.I[i])
+
+		case OpStGF:
+			// Scalarized store: uniform value to a uniform index. Every
+			// item writes the same value to the same cell, so one store
+			// retires the W of them; the count stays per-item.
+			b := &f.Globals[in.B]
+			i := si[in.C&mi]
+			if uint64(i) >= uint64(len(b.F)) {
+				out()
+				p.exitVec(f, a0, a1, pc)
+				return Diverged, true, nil
+			}
+			a1 += lGStore
+			b.F[i] = float32(sf[in.A&mf])
+		case OpStGI:
+			b := &f.Globals[in.B]
+			i := si[in.C&mi]
+			if uint64(i) >= uint64(len(b.I)) {
+				out()
+				p.exitVec(f, a0, a1, pc)
+				return Diverged, true, nil
+			}
+			a1 += lGStore
+			b.I[i] = int32(si[in.A&mi])
+		case OpStLF:
+			b := &f.Locals[in.B]
+			i := si[in.C&mi]
+			if uint64(i) >= uint64(len(b.F)) {
+				out()
+				p.exitVec(f, a0, a1, pc)
+				return Diverged, true, nil
+			}
+			a1 += lLocalOp
+			b.F[i] = float32(sf[in.A&mf])
+		case OpStLI:
+			b := &f.Locals[in.B]
+			i := si[in.C&mi]
+			if uint64(i) >= uint64(len(b.I)) {
+				out()
+				p.exitVec(f, a0, a1, pc)
+				return Diverged, true, nil
+			}
+			a1 += lLocalOp
+			b.I[i] = int32(si[in.A&mi])
+
+		case OpSqrtF:
+			a0 += lTransOp
+			sf[in.A&mf] = math.Sqrt(sf[in.B&mf])
+		case OpRsqrtF:
+			a0 += lTransOp
+			sf[in.A&mf] = 1 / math.Sqrt(sf[in.B&mf])
+		case OpExpF:
+			a0 += lTransOp
+			sf[in.A&mf] = math.Exp(sf[in.B&mf])
+		case OpLogF:
+			a0 += lTransOp
+			sf[in.A&mf] = math.Log(sf[in.B&mf])
+		case OpLog2F:
+			a0 += lTransOp
+			sf[in.A&mf] = math.Log2(sf[in.B&mf])
+		case OpSinF:
+			a0 += lTransOp
+			sf[in.A&mf] = math.Sin(sf[in.B&mf])
+		case OpCosF:
+			a0 += lTransOp
+			sf[in.A&mf] = math.Cos(sf[in.B&mf])
+		case OpTanF:
+			a0 += lTransOp
+			sf[in.A&mf] = math.Tan(sf[in.B&mf])
+		case OpPowF:
+			a0 += lTransOp
+			sf[in.A&mf] = math.Pow(sf[in.B&mf], sf[in.C&mf])
+		case OpAbsF:
+			a0 += lOtherB
+			sf[in.A&mf] = math.Abs(sf[in.B&mf])
+		case OpFloorF:
+			a0 += lOtherB
+			sf[in.A&mf] = math.Floor(sf[in.B&mf])
+		case OpCeilF:
+			a0 += lOtherB
+			sf[in.A&mf] = math.Ceil(sf[in.B&mf])
+		case OpMinF:
+			a0 += lOtherB
+			sf[in.A&mf] = math.Min(sf[in.B&mf], sf[in.C&mf])
+		case OpMaxF:
+			a0 += lOtherB
+			sf[in.A&mf] = math.Max(sf[in.B&mf], sf[in.C&mf])
+		case OpFmaF:
+			a0 += lOtherB
+			sf[in.A&mf] = sf[in.B&mf]*sf[in.C&mf] + sf[int32(in.Imm)&mf]
+		case OpClampF:
+			a0 += lOtherB
+			sf[in.A&mf] = math.Max(sf[in.C&mf], math.Min(sf[in.B&mf], sf[int32(in.Imm)&mf]))
+
+		case OpMinI:
+			a0 += lOtherB
+			si[in.A&mi] = min(si[in.B&mi], si[in.C&mi])
+		case OpMaxI:
+			a0 += lOtherB
+			si[in.A&mi] = max(si[in.B&mi], si[in.C&mi])
+		case OpAbsI:
+			a0 += lOtherB
+			v := si[in.B&mi]
+			if v < 0 {
+				v = -v
+			}
+			si[in.A&mi] = v
+		case OpClampI:
+			a0 += lOtherB
+			si[in.A&mi] = max(si[in.C&mi], min(si[in.B&mi], si[int32(in.Imm)&mi]))
+
+		case OpMulAddI:
+			a0 += 2 * lIntOp
+			si[in.A&mi] = si[in.B&mi]*si[in.C&mi] + si[int32(in.Imm)&mi]
+		case OpMulImmAddI:
+			a0 += 2 * lIntOp
+			si[in.A&mi] = si[in.B&mi]*in.Imm + si[in.C&mi]
+		case OpMulAddF:
+			a0 += 2 * lFloatOp
+			// Explicit conversion as in the scalar arm: the product
+			// rounds separately, never contracted into an FMA.
+			sf[in.A&mf] = float64(sf[in.B&mf]*sf[in.C&mf]) + sf[int32(in.Imm)&mf]
+		case OpMulMulF:
+			a0 += 2 * lFloatOp
+			sf[in.A&mf] = float64(sf[in.B&mf]*sf[in.C&mf]) * sf[int32(in.Imm)&mf]
+		case OpAddRsqrtF:
+			a0 += lFloatOp + lTransOp
+			sf[in.A&mf] = 1 / math.Sqrt(sf[in.B&mf]+sf[in.C&mf])
+
+		case OpAddFLdG:
+			slot, _ := unpackMem(in.Imm)
+			bb := &f.Globals[slot]
+			i := si[in.C&mi]
+			if uint64(i) >= uint64(len(bb.F)) {
+				out()
+				p.exitVec(f, a0, a1, pc)
+				return Diverged, true, nil
+			}
+			a0 += lFloatOp + lGLoad
+			sf[in.A&mf] = sf[in.B&mf] + float64(bb.F[i])
+		case OpMulFLdG:
+			slot, _ := unpackMem(in.Imm)
+			bb := &f.Globals[slot]
+			i := si[in.C&mi]
+			if uint64(i) >= uint64(len(bb.F)) {
+				out()
+				p.exitVec(f, a0, a1, pc)
+				return Diverged, true, nil
+			}
+			a0 += lFloatOp + lGLoad
+			sf[in.A&mf] = sf[in.B&mf] * float64(bb.F[i])
+		case OpSubFLdG:
+			slot, _ := unpackMem(in.Imm)
+			bb := &f.Globals[slot]
+			i := si[in.C&mi]
+			if uint64(i) >= uint64(len(bb.F)) {
+				out()
+				p.exitVec(f, a0, a1, pc)
+				return Diverged, true, nil
+			}
+			a0 += lFloatOp + lGLoad
+			sf[in.A&mf] = sf[in.B&mf] - float64(bb.F[i])
+		case OpLdSubFG:
+			slot, _ := unpackMem(in.Imm)
+			bb := &f.Globals[slot]
+			i := si[in.C&mi]
+			if uint64(i) >= uint64(len(bb.F)) {
+				out()
+				p.exitVec(f, a0, a1, pc)
+				return Diverged, true, nil
+			}
+			a0 += lFloatOp + lGLoad
+			sf[in.A&mf] = float64(bb.F[i]) - sf[in.B&mf]
+		case OpMulAccLdG:
+			slot, _ := unpackMem(in.Imm)
+			bb := &f.Globals[slot]
+			i := si[in.C&mi]
+			if uint64(i) >= uint64(len(bb.F)) {
+				out()
+				p.exitVec(f, a0, a1, pc)
+				return Diverged, true, nil
+			}
+			a0 += 2*lFloatOp + lGLoad
+			sf[in.A&mf] = sf[in.A&mf] + float64(sf[in.B&mf]*float64(bb.F[i]))
+		case OpLdGFIdx:
+			slot, _, r3 := unpackMemIdx(in.Imm)
+			bb := &f.Globals[slot]
+			v := si[in.B&mi]*si[in.C&mi] + si[r3&mi]
+			if uint64(v) >= uint64(len(bb.F)) {
+				out()
+				p.exitVec(f, a0, a1, pc)
+				return Diverged, true, nil
+			}
+			a0 += 2*lIntOp + lGLoad
+			sf[in.A&mf] = float64(bb.F[v])
+		case OpMacLdGIdx:
+			slot, _, r2, r3 := unpackMacIdx(in.Imm)
+			bb := &f.Globals[slot]
+			v := si[in.C&mi]*si[r2&mi] + si[r3&mi]
+			if uint64(v) >= uint64(len(bb.F)) {
+				out()
+				p.exitVec(f, a0, a1, pc)
+				return Diverged, true, nil
+			}
+			a0 += 2*lIntOp + 2*lFloatOp + lGLoad
+			sf[in.A&mf] = sf[in.A&mf] + float64(sf[in.B&mf]*float64(bb.F[v]))
+
+		case OpJCmpI:
+			a0 += lIntOp
+			a1 += lBranch
+			if ccHoldsI(in.C, si[in.A&mi], si[in.B&mi]) {
+				a1 -= roomOne
+				if a1 < roomOne {
+					f.Cnt.addPacked(a0, a1)
+					a0, a1 = 0, uint64(p.room)<<roomShift
+				}
+				if err := f.spend(wd); err != nil {
+					out()
+					p.exitVec(f, a0, a1, pc)
+					return Halted, true, err
+				}
+				pc = int(in.Imm)
+				continue
+			}
+		case OpJCmpIImm:
+			a0 += lIntOp
+			a1 += lBranch
+			if ccHoldsI(in.B, si[in.A&mi], in.Imm) {
+				a1 -= roomOne
+				if a1 < roomOne {
+					f.Cnt.addPacked(a0, a1)
+					a0, a1 = 0, uint64(p.room)<<roomShift
+				}
+				if err := f.spend(wd); err != nil {
+					out()
+					p.exitVec(f, a0, a1, pc)
+					return Halted, true, err
+				}
+				pc = int(in.C)
+				continue
+			}
+		case OpJCmpF:
+			a0 += lFloatOp
+			a1 += lBranch
+			if ccHoldsF(in.C, sf[in.A&mf], sf[in.B&mf]) {
+				a1 -= roomOne
+				if a1 < roomOne {
+					f.Cnt.addPacked(a0, a1)
+					a0, a1 = 0, uint64(p.room)<<roomShift
+				}
+				if err := f.spend(wd); err != nil {
+					out()
+					p.exitVec(f, a0, a1, pc)
+					return Halted, true, err
+				}
+				pc = int(in.Imm)
+				continue
+			}
+		case OpIncJCmpI:
+			a0 += 2 * lIntOp
+			a1 += lBranch
+			v := si[in.A&mi] + si[in.B&mi]
+			si[in.A&mi] = v
+			cc, target := unpackCcTarget(in.Imm)
+			if ccHoldsI(cc, v, si[in.C&mi]) {
+				a1 -= roomOne
+				if a1 < roomOne {
+					f.Cnt.addPacked(a0, a1)
+					a0, a1 = 0, uint64(p.room)<<roomShift
+				}
+				if err := f.spend(wd); err != nil {
+					out()
+					p.exitVec(f, a0, a1, pc)
+					return Halted, true, err
+				}
+				pc = int(target)
+				continue
+			}
+
+		default:
+			// scal is only ever set for the formats above; treat
+			// anything else as vector work.
+			out()
+			return 0, false, nil
+		}
+		pc++
+	}
+	out()
+	p.exitVec(f, a0, a1, pc)
+	return Halted, true, nil
+}

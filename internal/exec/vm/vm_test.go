@@ -189,8 +189,8 @@ func TestVectorizeRejects(t *testing.T) {
 				int i = get_global_id(0);
 				float acc = 0.0f;
 				for (int j = 0; j < n; j = j + 1) {
-					if (a[j] > 0.5f) {
-						acc = acc + a[j];
+					if (a[i + j] > 0.5f) {
+						acc = acc + 1.0f;
 					}
 				}
 				out[i] = acc;
@@ -216,13 +216,28 @@ func TestVectorizeRejects(t *testing.T) {
 	if uni, total := vp.UniformConds(); total != 1 || uni != 0 {
 		t.Fatalf("guard kernel conds = %d/%d, want 0/1", uni, total)
 	}
+	// A branch on a uniform-index load inside a loop is admitted now:
+	// lockstep lanes load the same cell, so the condition is uniform.
+	vp = vectorizeKernel(t, "uload", `kernel void k(global float* a, global float* out, int n) {
+		int i = get_global_id(0);
+		float acc = 0.0f;
+		for (int j = 0; j < n; j = j + 1) {
+			if (a[j] > 0.5f) {
+				acc = acc + a[j];
+			}
+		}
+		out[i] = acc;
+	}`, "k")
+	if uni, total := vp.UniformConds(); uni != total {
+		t.Fatalf("uniform-load kernel conds = %d/%d, want all uniform", uni, total)
+	}
 }
 
-// TestVecDivergenceParksPC: when lanes disagree at a varying branch,
-// Run must return Diverged with the PC parked at the branch and the
-// branch itself uncounted, so a scalar rerun from the parked state
-// re-executes it exactly once.
-func TestVecDivergenceParksPC(t *testing.T) {
+// TestVecDivergenceReconverges: when lanes disagree at a varying
+// branch whose region has a safe join point, Run must split the group,
+// run both sides masked, and re-form at the join — finishing the whole
+// group W-wide with per-lane counts instead of bailing to scalar.
+func TestVecDivergenceReconverges(t *testing.T) {
 	src := `kernel void k(global float* a, global float* out, int n) {
 		int i = get_global_id(0);
 		float x = a[i];
@@ -250,12 +265,77 @@ func TestVecDivergenceParksPC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if st != Halted {
+		t.Fatalf("status = %v, want Halted", st)
+	}
+	if f.Divergences != 1 || f.Reconverges != 1 {
+		t.Fatalf("Divergences/Reconverges = %d/%d, want 1/1", f.Divergences, f.Reconverges)
+	}
+	for i, v := range f.Globals[1].F {
+		want := -in[i]
+		if in[i] > 0 {
+			want = in[i] * 2
+		}
+		if v != want {
+			t.Fatalf("out[%d] = %g, want %g", i, v, want)
+		}
+	}
+	// Counts went per-lane at the split: each item still saw exactly
+	// one conditional branch, whichever side it took.
+	if !f.Laned {
+		t.Fatal("re-converged frame has no per-lane counts")
+	}
+	for l := 0; l < w; l++ {
+		if c := f.LaneCounts(l); c.Branches != 1 {
+			t.Fatalf("lane %d Branches = %d, want 1", l, c.Branches)
+		}
+	}
+}
+
+// TestVecDivergenceParksPC: a divergent region that is ineligible for
+// re-formation (here: a store through a uniform index, whose side-order
+// writes could differ from canonical item order) must take the full
+// bail — Diverged with the PC parked at the branch and the branch
+// itself uncounted, so a scalar rerun re-executes it exactly once.
+func TestVecDivergenceParksPC(t *testing.T) {
+	src := `kernel void k(global float* a, global float* out, int n) {
+		int i = get_global_id(0);
+		float x = a[i];
+		if (x > 0.0f) {
+			out[0] = x;
+		}
+		out[i] = x;
+	}`
+	vp := vectorizeKernel(t, "divbail", src, "k")
+	const w = 4
+	f := vp.NewVecFrame(w)
+	in := make([]float32, w)
+	for i := range in {
+		in[i] = float32(1 - 2*(i%2)) // alternating signs: lanes disagree
+	}
+	f.Globals = []Buf{{F: in}, {F: make([]float32, w)}}
+	bindVecWI(f, w, 0)
+	for _, pr := range vp.Params {
+		if pr.Kind == ParamInt {
+			f.SetI(pr.Index, w)
+		}
+	}
+	st, err := vp.Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st != Diverged {
 		t.Fatalf("status = %v, want Diverged", st)
+	}
+	if f.PCLaned {
+		t.Fatal("full bail must park a single shared PC")
 	}
 	in2 := &vp.Code[f.PC]
 	if _, ok := condJumpTarget(in2, f.PC); !ok || vp.condUniform[f.PC] {
 		t.Fatalf("parked PC %d is not a varying conditional jump", f.PC)
+	}
+	if f.Divergences != 1 {
+		t.Fatalf("Divergences = %d, want 1", f.Divergences)
 	}
 	if f.Cnt.Branches != 0 {
 		t.Fatalf("diverging branch was counted: Branches = %d", f.Cnt.Branches)
@@ -263,6 +343,57 @@ func TestVecDivergenceParksPC(t *testing.T) {
 	for _, v := range f.Globals[1].F {
 		if v != 0 {
 			t.Fatalf("store retired before divergence: out = %v", f.Globals[1].F)
+		}
+	}
+}
+
+// TestVecScalarization pins the uniform-scalarization analysis: a
+// kernel whose loop counter, bound, and scale parameter are all uniform
+// must report scalarized instructions and still produce exact results,
+// with the uniform registers living in the scalar slots.
+func TestVecScalarization(t *testing.T) {
+	src := `kernel void k(global float* x, global float* out, float alpha, int n) {
+		int i = get_global_id(0);
+		float acc = 0.0f;
+		for (int j = 0; j < n; j = j + 1) {
+			acc = acc + alpha * x[j];
+		}
+		out[i] = acc + (float)i;
+	}`
+	vp := vectorizeKernel(t, "scal", src, "k")
+	if vp.ScalarizedOps() == 0 {
+		t.Fatal("no scalarized instructions in a uniform-loop kernel")
+	}
+	const w = 8
+	f := vp.NewVecFrame(w)
+	in := make([]float32, w)
+	for i := range in {
+		in[i] = float32(i) + 0.5
+	}
+	f.Globals = []Buf{{F: in}, {F: make([]float32, w)}}
+	bindVecWI(f, w, 0)
+	for _, pr := range vp.Params {
+		switch pr.Kind {
+		case ParamInt:
+			f.SetI(pr.Index, w)
+		case ParamFloat:
+			f.SetF(pr.Index, 3)
+		}
+	}
+	st, err := vp.Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Halted {
+		t.Fatalf("status = %v, want Halted", st)
+	}
+	acc := 0.0
+	for j := range in {
+		acc = acc + 3*float64(in[j])
+	}
+	for i, v := range f.Globals[1].F {
+		if want := float32(acc + float64(i)); v != want {
+			t.Fatalf("out[%d] = %g, want %g", i, v, want)
 		}
 	}
 }

@@ -293,6 +293,111 @@ func TestVecDivergenceBailParity(t *testing.T) {
 	}
 }
 
+// TestVecDivergenceReconvergeParity pins the v2 masked-execution path:
+// a data-dependent forward branch with per-item signs diverges every
+// group, the sides run compacted, and the group re-forms at the join
+// point and finishes vectorized. The profile must record the
+// re-convergences (and no scalar bails), and buffers plus per-bucket
+// counts must stay byte-identical to the closure tier even though the
+// two sides retired different instruction mixes per lane.
+func TestVecDivergenceReconvergeParity(t *testing.T) {
+	src := `kernel void k(global float* a, global float* out, int n) {
+		int i = get_global_id(0);
+		float x = a[i];
+		float r = 0.0f;
+		if (x > 0.0f) {
+			r = sqrt(x) * 2.0f + exp(x * 0.25f);
+		} else {
+			r = fabs(x) - 0.5f;
+		}
+		out[i] = r + x;
+	}`
+	cVe := compileTierSrc(t, src, "k", TierVec)
+	cCl := compileTierSrc(t, src, "k", TierClosure)
+	if cVe.Tier() != TierVec {
+		t.Fatalf("tier = %v, want vec", cVe.Tier())
+	}
+	const n = 256
+	mk := func() []Arg {
+		a, out := NewFloatBuffer(n), NewFloatBuffer(n)
+		for i := range a.F {
+			// Alternating signs: every group splits on the branch.
+			a.F[i] = float32(1-2*(i%2)) * (0.25 + float32(i%7)*0.125)
+		}
+		return []Arg{BufArg(a), BufArg(out), IntArg(n)}
+	}
+	nd := NDRange{Global: [3]int{n, 1, 1}, Local: [3]int{16, 1, 1}}
+	argsVe, argsCl := mk(), mk()
+	pVe, err := cVe.Run(argsVe, nd, RunOptions{})
+	if err != nil {
+		t.Fatalf("vec run: %v", err)
+	}
+	pCl, err := cCl.Run(argsCl, nd, RunOptions{})
+	if err != nil {
+		t.Fatalf("closure run: %v", err)
+	}
+	if pVe.VecDivergences == 0 || pVe.VecReconverges == 0 {
+		t.Fatalf("divergences=%d reconverges=%d, want both > 0",
+			pVe.VecDivergences, pVe.VecReconverges)
+	}
+	if pVe.VecScalarBails != 0 {
+		t.Errorf("scalar bails = %d, want 0 (region is re-convergible)", pVe.VecScalarBails)
+	}
+	if pCl.VecDivergences != 0 || pCl.VecReconverges != 0 || pCl.VecScalarBails != 0 {
+		t.Errorf("closure tier reported vec counters: %d/%d/%d",
+			pCl.VecDivergences, pCl.VecReconverges, pCl.VecScalarBails)
+	}
+	if !reflect.DeepEqual(argsVe[1].Buf.F, argsCl[1].Buf.F) {
+		t.Errorf("output buffers differ between vec and closure")
+	}
+	for b := range pCl.Buckets {
+		if pVe.Buckets[b] != pCl.Buckets[b] {
+			t.Errorf("bucket %d:\n  vec     %+v\n  closure %+v", b, pVe.Buckets[b], pCl.Buckets[b])
+		}
+	}
+}
+
+// TestVecDivergenceMaskedFaultOrder: a fault inside a masked side must
+// surface with the message of the canonically FIRST faulting item —
+// even when that item's side ran second in the masked schedule. The
+// side frames park would-fault lanes pre-instruction, the group bails
+// with per-lane PCs, and the scalar completion walks items in order.
+func TestVecDivergenceMaskedFaultOrder(t *testing.T) {
+	// Odd items (x < 0 side) fault on an out-of-bounds load; even items
+	// run clean. The first faulting item is item 1.
+	src := `kernel void k(global float* a, global float* out, int n) {
+		int i = get_global_id(0);
+		float x = a[i];
+		if (x > 0.0f) {
+			out[i] = x * 2.0f;
+		} else {
+			out[i] = a[i + n] * 0.5f;
+		}
+	}`
+	cVe := compileTierSrc(t, src, "k", TierVec)
+	cCl := compileTierSrc(t, src, "k", TierClosure)
+	if cVe.Tier() != TierVec {
+		t.Fatalf("tier = %v, want vec", cVe.Tier())
+	}
+	const n = 64
+	mk := func() []Arg {
+		a, out := NewFloatBuffer(n), NewFloatBuffer(n)
+		for i := range a.F {
+			a.F[i] = float32(1 - 2*(i%2)) // +1, -1, +1, ...
+		}
+		return []Arg{BufArg(a), BufArg(out), IntArg(n)}
+	}
+	nd := NDRange{Global: [3]int{n, 1, 1}, Local: [3]int{16, 1, 1}}
+	_, errVe := cVe.Run(mk(), nd, RunOptions{Workers: 1})
+	_, errCl := cCl.Run(mk(), nd, RunOptions{Workers: 1})
+	if errVe == nil || errCl == nil {
+		t.Fatalf("want faults on both tiers, got vec=%v closure=%v", errVe, errCl)
+	}
+	if errVe.Error() != errCl.Error() {
+		t.Errorf("fault messages differ:\n  vec     %v\n  closure %v", errVe, errCl)
+	}
+}
+
 // BenchmarkVMProfileBatching exercises the block-batched counter path
 // on a loop-heavy kernel (64-iteration MAC loop per item), where the
 // per-iteration counter cost dominated before batching.

@@ -188,6 +188,9 @@ func (r *Runtime) Execute(l Launch, part partition.Partition) (*Result, error) {
 		for i := range prof.Buckets {
 			full.Buckets[i].Add(&prof.Buckets[i])
 		}
+		full.VecDivergences += prof.VecDivergences
+		full.VecReconverges += prof.VecReconverges
+		full.VecScalarBails += prof.VecScalarBails
 		r.putChunkBuf(prof.Buckets)
 	}
 	makespan, bds, err := r.price(l, full, part, align)

@@ -77,6 +77,18 @@ grep -q '"trainings": 0' "$work/stats.json"
 grep -q '"artifactLoads": 1' "$work/stats.json"
 grep -q '"execTier": "vec"' "$work/stats.json"
 
+echo "== vector tier: a divergent kernel re-converges and /stats counts it =="
+div_src='kernel void diverge(global float* a, global float* out, int n) { int i = get_global_id(0); float x = a[i]; if (x > 0.5f) { out[i] = sqrt(x) * 2.0f; } else { out[i] = x + 1.0f; } }'
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d "{\"name\":\"divergent\",\"source\":\"$div_src\"}" "$base/kernels" | tee "$work/divkernel.json"
+grep -q '"tier": "vec"' "$work/divkernel.json"
+curl -fsS -X POST "$base/execute?program=public/divergent&size=0" >/dev/null
+curl -fsS "$base/stats" | tee "$work/stats-vec.json"
+grep -q '"vecDivergences"' "$work/stats-vec.json"
+grep -q '"vecScalarBails"' "$work/stats-vec.json"
+grep -Eq '"vecReconverges": [1-9]' "$work/stats-vec.json" ||
+  { echo "FAIL: divergent kernel recorded no re-convergences"; exit 1; }
+
 echo "== predict/batch: N points in one request =="
 curl -fsS -X POST -H 'Content-Type: application/json' \
   -d '{"requests":[{"program":"vecadd","size":0},{"program":"vecadd","size":1},{"program":"bogus"}]}' \

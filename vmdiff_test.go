@@ -153,6 +153,13 @@ func TestVMDifferentialSuite(t *testing.T) {
 	if len(progs) != 23 {
 		t.Fatalf("expected the 23-program suite, got %d", len(progs))
 	}
+	// Floor on vector-tier coverage: the per-program tier assertions
+	// below enforce the exact expected set, and this guard keeps anyone
+	// from quietly shrinking that set when a program regresses to
+	// scalar — 15 of the 23 programs must stay vectorizable.
+	if nvec := len(vecExpected); nvec < 15 {
+		t.Fatalf("vectorizable floor: %d programs in vecExpected, need >= 15", nvec)
+	}
 	for _, p := range progs {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
@@ -429,6 +436,70 @@ func TestVMDifferentialRandomized(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestVMDifferentialReconvergence pins the vector tier's divergence
+// re-convergence path end to end: a kernel whose groups all split at a
+// varying forward branch must still land on the vector tier under
+// TierAuto, re-form at the join point (reported through the profile's
+// VecReconverges counter, with zero scalar bails), and produce buffers
+// and per-bucket profiles byte-identical to the closure tier — at full
+// range and under a chunked partition.
+func TestVMDifferentialReconvergence(t *testing.T) {
+	source := `
+kernel void k(global float* a, global float* out, int n) {
+    int i = get_global_id(0);
+    float x = a[i];
+    float r;
+    if (x > 0.0f) {
+        r = sqrt(x) + x * 1.5f;
+    } else {
+        r = fabs(x) * 0.5f - 1.0f;
+    }
+    out[i] = r;
+}
+`
+	cl, _, atc := compileBothTiers(t, "reconverge", source, "k")
+	if atc.Tier() != exec.TierVec {
+		t.Fatalf("auto tier = %v, want vec (vecErr: %v)", atc.Tier(), atc.VecError())
+	}
+	const n = 512
+	mk := func() []exec.Arg {
+		a, out := exec.NewFloatBuffer(n), exec.NewFloatBuffer(n)
+		for i := range a.F {
+			a.F[i] = float32(1-2*(i%2)) * (0.5 + float32(i%5)*0.25)
+		}
+		return []exec.Arg{exec.BufArg(a), exec.BufArg(out), exec.IntArg(n)}
+	}
+	nd := exec.NDRange{Global: [3]int{n, 1, 1}, Local: [3]int{16, 1, 1}}
+
+	ca, aa := mk(), mk()
+	cp := runTier(t, "reconverge closure", cl, ca, nd, 1, exec.RunOptions{})[0]
+	ap := runTier(t, "reconverge auto", atc, aa, nd, 1, exec.RunOptions{})[0]
+	if ap.VecDivergences == 0 || ap.VecReconverges == 0 {
+		t.Fatalf("auto tier: divergences=%d reconverges=%d, want both > 0",
+			ap.VecDivergences, ap.VecReconverges)
+	}
+	if ap.VecScalarBails != 0 {
+		t.Errorf("auto tier: scalar bails = %d, want 0", ap.VecScalarBails)
+	}
+	diffProfiles(t, "reconverge full", cp, ap)
+	diffBuffers(t, "reconverge full", ca, aa)
+
+	ca2, aa2 := mk(), mk()
+	var rec int64
+	for _, ch := range chunks(nd) {
+		ctx := fmt.Sprintf("reconverge chunk [%d,%d)", ch[0], ch[1])
+		opts := exec.RunOptions{Lo: ch[0], Hi: ch[1]}
+		cp := runTier(t, ctx+" closure", cl, ca2, nd, 1, opts)[0]
+		ap := runTier(t, ctx+" auto", atc, aa2, nd, 1, opts)[0]
+		rec += ap.VecReconverges
+		diffProfiles(t, ctx, cp, ap)
+	}
+	if rec == 0 {
+		t.Errorf("chunked runs recorded no re-convergences")
+	}
+	diffBuffers(t, "reconverge chunked", ca2, aa2)
 }
 
 // TestVMFaultParity checks that runtime faults surface with identical
